@@ -1,0 +1,44 @@
+//! Fig. 1: the motivating example — direct vs routed-and-scheduled.
+//!
+//! Prints the two published numbers (20 vs 12 per slot) and benchmarks the
+//! Postcard solve on the 3-datacenter instance.
+
+use criterion::Criterion;
+use postcard_core::{solve_postcard, DirectScheduler, OnlineController, PostcardScheduler};
+use postcard_net::{DcId, FileId, NetworkBuilder, TrafficLedger, TransferRequest};
+use std::hint::black_box;
+
+fn fig1_network() -> postcard_net::Network {
+    NetworkBuilder::new(3)
+        .link(DcId(1), DcId(2), 10.0, 1000.0)
+        .link(DcId(1), DcId(0), 1.0, 1000.0)
+        .link(DcId(0), DcId(2), 3.0, 1000.0)
+        .build()
+}
+
+fn fig1_file() -> TransferRequest {
+    TransferRequest::new(FileId(1), DcId(1), DcId(2), 6.0, 3, 0)
+}
+
+fn print_table() {
+    let mut direct = OnlineController::new(fig1_network(), DirectScheduler);
+    let d = direct.step(0, &[fig1_file()]).expect("direct feasible");
+    let mut postcard = OnlineController::new(fig1_network(), PostcardScheduler::new());
+    let p = postcard.step(0, &[fig1_file()]).expect("postcard feasible");
+    println!("fig1 motivating example — cost per slot");
+    println!("direct (paper: 20):   {:.2}", d.cost_per_slot);
+    println!("postcard (paper: 12): {:.2}", p.cost_per_slot);
+    println!();
+}
+
+fn main() {
+    print_table();
+    let mut c = Criterion::default().configure_from_args();
+    let network = fig1_network();
+    let files = [fig1_file()];
+    let ledger = TrafficLedger::new(3);
+    c.bench_function("fig1_postcard_solve", |b| {
+        b.iter(|| solve_postcard(black_box(&network), black_box(&files), &ledger).unwrap())
+    });
+    c.final_summary();
+}

@@ -1,0 +1,36 @@
+//! Figure 7: average cost per slot with throttled capacity (`c_ij = 30
+//! GB/slot`) and patient files (`max T = 8`) — maximum room for
+//! time-shifting.
+//!
+//! Prints the reproduced figure table, then Criterion-benchmarks the
+//! per-slot solver kernels at this setting.
+
+use criterion::Criterion;
+use postcard_bench::{print_figure, random_batch, random_network};
+use postcard_core::solve_postcard;
+use postcard_flow::unified_flow_lp;
+use postcard_net::TrafficLedger;
+use postcard_sim::Scenario;
+use std::hint::black_box;
+
+fn kernels(c: &mut Criterion) {
+    let network = random_network(7, 6, 30.0);
+    let batch = random_batch(7, 6, 3, 8);
+    let ledger = TrafficLedger::new(6);
+    let mut g = c.benchmark_group("fig7_kernels");
+    g.sample_size(10);
+    g.bench_function("postcard_slot_solve", |b| {
+        b.iter(|| solve_postcard(black_box(&network), black_box(&batch), &ledger))
+    });
+    g.bench_function("flow_lp_slot_solve", |b| {
+        b.iter(|| unified_flow_lp(black_box(&network), black_box(&batch), &ledger))
+    });
+    g.finish();
+}
+
+fn main() {
+    print_figure(&Scenario::fig7(), 1);
+    let mut c = Criterion::default().configure_from_args();
+    kernels(&mut c);
+    c.final_summary();
+}

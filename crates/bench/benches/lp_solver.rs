@@ -1,0 +1,96 @@
+//! Micro-benchmarks of the pure-Rust simplex substrate: random inequality
+//! LPs and balanced transportation problems at growing sizes.
+
+use criterion::{BenchmarkId, Criterion};
+use postcard_lp::{LinExpr, Model, Sense, Status};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// A feasible random LP: `min c·x`, `A·x ≤ b` with `b` chosen so the box
+/// midpoint is feasible.
+fn random_lp(seed: u64, num_vars: usize, num_rows: usize) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Model::new(Sense::Minimize);
+    let vars: Vec<_> = (0..num_vars).map(|i| m.add_var(format!("x{i}"), 0.0, 10.0)).collect();
+    let mut obj = LinExpr::new();
+    for &v in &vars {
+        obj.add_term(v, rng.gen_range(-5.0..5.0));
+    }
+    m.set_objective(obj);
+    for _ in 0..num_rows {
+        let mut e = LinExpr::new();
+        let mut mid = 0.0;
+        for &v in &vars {
+            let c = rng.gen_range(-2.0..2.0);
+            e.add_term(v, c);
+            mid += 5.0 * c;
+        }
+        m.leq(e, mid + rng.gen_range(0.0..10.0));
+    }
+    m
+}
+
+fn transportation(seed: u64, n: usize) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Model::new(Sense::Minimize);
+    let supply: Vec<f64> = (0..n).map(|_| rng.gen_range(5.0..20.0f64).round()).collect();
+    let total: f64 = supply.iter().sum();
+    let mut demand: Vec<f64> = (0..n).map(|_| total / n as f64).collect();
+    let leftover = total - demand.iter().sum::<f64>();
+    demand[0] += leftover;
+    let mut vars = Vec::new();
+    let mut obj = LinExpr::new();
+    for i in 0..n {
+        let mut row = Vec::new();
+        for j in 0..n {
+            let v = m.add_var(format!("x{i}_{j}"), 0.0, f64::INFINITY);
+            obj.add_term(v, rng.gen_range(1.0..10.0));
+            row.push(v);
+        }
+        vars.push(row);
+    }
+    m.set_objective(obj);
+    for i in 0..n {
+        let e: LinExpr = (0..n).map(|j| LinExpr::from(vars[i][j])).sum();
+        m.eq(e, supply[i]);
+    }
+    for j in 0..n {
+        let e: LinExpr = (0..n).map(|i| LinExpr::from(vars[i][j])).sum();
+        m.eq(e, demand[j]);
+    }
+    m
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+
+    let mut g = c.benchmark_group("simplex_random_leq");
+    for &(nv, nr) in &[(20usize, 15usize), (50, 40), (100, 80)] {
+        let m = random_lp(nv as u64, nv, nr);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{nv}x{nr}")), &m, |b, m| {
+            b.iter(|| {
+                let s = black_box(m).solve().expect("solves");
+                assert_eq!(s.status(), Status::Optimal);
+                s.objective()
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("simplex_transportation");
+    g.sample_size(20);
+    for &n in &[5usize, 10, 15] {
+        let m = transportation(n as u64, n);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{n}")), &m, |b, m| {
+            b.iter(|| {
+                let s = black_box(m).solve().expect("solves");
+                assert_eq!(s.status(), Status::Optimal);
+                s.objective()
+            })
+        });
+    }
+    g.finish();
+
+    c.final_summary();
+}

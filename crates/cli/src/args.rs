@@ -1,0 +1,192 @@
+//! A small flag parser: `--name value` pairs and boolean `--name` switches,
+//! with typed accessors and unknown-flag detection.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error from argument parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed `--flag [value]` arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+impl Args {
+    /// Parses `argv`, treating `known_switches` as boolean flags (no value).
+    ///
+    /// # Errors
+    ///
+    /// Rejects positional arguments and flags missing their value.
+    pub fn parse(argv: &[String], known_switches: &[&str]) -> Result<Self, ArgError> {
+        let mut values = BTreeMap::new();
+        let mut switches = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(ArgError(format!("unexpected positional argument `{arg}`")));
+            };
+            if known_switches.contains(&name) {
+                switches.push(name.to_string());
+            } else {
+                i += 1;
+                let value = argv
+                    .get(i)
+                    .ok_or_else(|| ArgError(format!("--{name} needs a value")))?;
+                values.insert(name.to_string(), value.clone());
+            }
+            i += 1;
+        }
+        Ok(Self { values, switches, consumed: Default::default() })
+    }
+
+    /// String value of a flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.consumed.borrow_mut().push(name.to_string());
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Typed value with a default.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the flag is present but unparsable.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| ArgError(format!("--{name}: cannot parse `{s}`"))),
+        }
+    }
+
+    /// Required typed value.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the flag is absent or unparsable.
+    pub fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, ArgError> {
+        let s = self
+            .get(name)
+            .ok_or_else(|| ArgError(format!("--{name} is required")))?;
+        s.parse().map_err(|_| ArgError(format!("--{name}: cannot parse `{s}`")))
+    }
+
+    /// `true` when the boolean switch was present.
+    pub fn switch(&self, name: &str) -> bool {
+        self.consumed.borrow_mut().push(name.to_string());
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Errors on flags that no accessor asked about (typo protection).
+    ///
+    /// # Errors
+    ///
+    /// Names the first unknown flag.
+    pub fn reject_unknown(&self) -> Result<(), ArgError> {
+        let consumed = self.consumed.borrow();
+        for k in self.values.keys().chain(self.switches.iter()) {
+            if !consumed.iter().any(|c| c == k) {
+                return Err(ArgError(format!("unknown flag --{k}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses `lo..hi` (inclusive) into a `(usize, usize)` range.
+///
+/// # Errors
+///
+/// Fails on malformed syntax or `lo > hi`.
+pub fn parse_range_usize(s: &str) -> Result<(usize, usize), ArgError> {
+    let (lo, hi) = s
+        .split_once("..")
+        .ok_or_else(|| ArgError(format!("range `{s}` must look like `lo..hi`")))?;
+    let lo: usize = lo.trim().parse().map_err(|_| ArgError(format!("bad range start `{lo}`")))?;
+    let hi: usize = hi.trim().parse().map_err(|_| ArgError(format!("bad range end `{hi}`")))?;
+    if lo > hi {
+        return Err(ArgError(format!("empty range `{s}`")));
+    }
+    Ok((lo, hi))
+}
+
+/// Parses `lo..hi` (inclusive) into an `(f64, f64)` range.
+///
+/// # Errors
+///
+/// Fails on malformed syntax or `lo > hi`.
+pub fn parse_range_f64(s: &str) -> Result<(f64, f64), ArgError> {
+    let (lo, hi) = s
+        .split_once("..")
+        .ok_or_else(|| ArgError(format!("range `{s}` must look like `lo..hi`")))?;
+    let lo: f64 = lo.trim().parse().map_err(|_| ArgError(format!("bad range start `{lo}`")))?;
+    let hi: f64 = hi.trim().parse().map_err(|_| ArgError(format!("bad range end `{hi}`")))?;
+    if lo > hi {
+        return Err(ArgError(format!("empty range `{s}`")));
+    }
+    Ok((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn values_and_switches() {
+        let a = Args::parse(&argv(&["--dcs", "5", "--paper-scale"]), &["paper-scale"]).unwrap();
+        assert_eq!(a.require::<usize>("dcs").unwrap(), 5);
+        assert!(a.switch("paper-scale"));
+        assert!(!a.switch("other"));
+        a.reject_unknown().unwrap();
+    }
+
+    #[test]
+    fn defaults_and_requirements() {
+        let a = Args::parse(&argv(&[]), &[]).unwrap();
+        assert_eq!(a.get_or("seed", 7u64).unwrap(), 7);
+        assert!(a.require::<u64>("seed").is_err());
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert!(Args::parse(&argv(&["--out"]), &[]).is_err());
+    }
+
+    #[test]
+    fn positional_rejected() {
+        assert!(Args::parse(&argv(&["oops"]), &[]).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_detected() {
+        let a = Args::parse(&argv(&["--tyop", "1"]), &[]).unwrap();
+        assert!(a.reject_unknown().is_err());
+    }
+
+    #[test]
+    fn ranges() {
+        assert_eq!(parse_range_usize("1..20").unwrap(), (1, 20));
+        assert_eq!(parse_range_f64("10..100.5").unwrap(), (10.0, 100.5));
+        assert!(parse_range_usize("5..2").is_err());
+        assert!(parse_range_f64("x..2").is_err());
+        assert!(parse_range_usize("7").is_err());
+    }
+}

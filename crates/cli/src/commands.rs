@@ -1,0 +1,380 @@
+//! The CLI subcommands.
+
+use crate::args::{parse_range_f64, parse_range_usize, ArgError, Args};
+use postcard_core::{Decision, OnlineController};
+use postcard_net::{Network, TransferPlan};
+use postcard_sim::{report, run_scenario, Approach, Scenario, Trace, UniformWorkload, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::io::Write;
+
+/// Any failure of a CLI run.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad usage (flags, ranges, unknown subcommand).
+    Usage(String),
+    /// File I/O failure.
+    Io(std::io::Error),
+    /// A domain failure (parse errors, solver failures).
+    Run(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}\n\n{USAGE}"),
+            CliError::Io(e) => write!(f, "I/O error: {e}"),
+            CliError::Run(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Usage(e.0)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+const USAGE: &str = "\
+usage: postcard <command> [flags]
+
+commands:
+  gen-network   --dcs N [--capacity GB] [--price lo..hi] [--seed S] [--out PATH]
+  gen-trace     --dcs N --slots N [--files lo..hi] [--size lo..hi]
+                [--max-deadline T] [--seed S] [--out PATH]
+  schedule      --network PATH --trace PATH [--approach NAME]
+                [--plan-out PATH] [--costs-out PATH]
+  simulate      [--setting fig4|fig5|fig6|fig7|all] [--paper-scale]
+                [--runs N] [--slots N] [--seed S] [--all-approaches]
+  help
+
+approaches: postcard (default), postcard-no-relay-storage, flow-lp,
+            flow-two-phase, flow-greedy, direct";
+
+/// Runs one CLI invocation, writing human output to `out`.
+///
+/// # Errors
+///
+/// [`CliError`] covering usage, I/O, and domain failures.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let Some(command) = argv.first() else {
+        return Err(CliError::Usage("missing command".into()));
+    };
+    let rest = &argv[1..];
+    match command.as_str() {
+        "gen-network" => gen_network(rest, out),
+        "gen-trace" => gen_trace(rest, out),
+        "schedule" => schedule(rest, out),
+        "simulate" => simulate(rest, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+fn approach_by_name(name: &str) -> Result<Approach, CliError> {
+    name.parse().map_err(|e: postcard_sim::ParseApproachError| CliError::Usage(e.to_string()))
+}
+
+fn write_or_print(path: Option<&str>, content: &str, out: &mut dyn Write) -> Result<(), CliError> {
+    match path {
+        Some(p) => {
+            std::fs::write(p, content)?;
+            writeln!(out, "wrote {p}")?;
+        }
+        None => out.write_all(content.as_bytes())?,
+    }
+    Ok(())
+}
+
+fn gen_network(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv, &[])?;
+    let dcs: usize = args.require("dcs")?;
+    if dcs < 2 {
+        return Err(CliError::Usage("--dcs must be at least 2".into()));
+    }
+    let capacity: f64 = args.get_or("capacity", 100.0)?;
+    let price = parse_range_f64(args.get("price").unwrap_or("1..10"))?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let path = args.get("out").map(str::to_string);
+    args.reject_unknown()?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let net = Network::complete_with_prices(dcs, capacity, |_, _| {
+        rng.gen_range(price.0..=price.1)
+    });
+    write_or_print(path.as_deref(), &net.to_csv(), out)
+}
+
+fn gen_trace(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv, &[])?;
+    let dcs: usize = args.require("dcs")?;
+    let slots: u64 = args.require("slots")?;
+    let files = parse_range_usize(args.get("files").unwrap_or("1..4"))?;
+    let size = parse_range_f64(args.get("size").unwrap_or("10..100"))?;
+    let max_deadline: usize = args.get_or("max-deadline", 3)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let path = args.get("out").map(str::to_string);
+    args.reject_unknown()?;
+    if dcs < 2 || max_deadline == 0 || slots == 0 {
+        return Err(CliError::Usage("need --dcs ≥ 2, --slots ≥ 1, --max-deadline ≥ 1".into()));
+    }
+    let mut workload = UniformWorkload::new(
+        WorkloadConfig {
+            num_dcs: dcs,
+            files_per_slot: files,
+            size_gb: size,
+            deadline_slots: (1, max_deadline),
+        },
+        seed,
+    );
+    let trace = Trace::generate(&mut workload, slots);
+    write_or_print(path.as_deref(), &trace.to_csv(), out)
+}
+
+fn schedule(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv, &[])?;
+    let network_path: String = args.require("network")?;
+    let trace_path: String = args.require("trace")?;
+    let approach = approach_by_name(args.get("approach").unwrap_or("postcard"))?;
+    let plan_out = args.get("plan-out").map(str::to_string);
+    let costs_out = args.get("costs-out").map(str::to_string);
+    args.reject_unknown()?;
+
+    let network = Network::from_csv(&std::fs::read_to_string(&network_path)?)
+        .map_err(CliError::Run)?;
+    let trace = Trace::from_csv(&std::fs::read_to_string(&trace_path)?)
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    for r in trace.requests() {
+        if r.src.index() >= network.num_dcs() || r.dst.index() >= network.num_dcs() {
+            return Err(CliError::Run(format!(
+                "{} references a datacenter outside the {}-DC network",
+                r.id,
+                network.num_dcs()
+            )));
+        }
+    }
+
+    let mut ctl =
+        OnlineController::new(network.clone(), approach.scheduler()).with_decision_log();
+    let num_slots = trace.num_slots();
+    for slot in 0..num_slots {
+        let batch = trace.batch(slot);
+        let report = ctl.step(slot, &batch).map_err(|e| CliError::Run(e.to_string()))?;
+        if !report.rejected.is_empty() {
+            writeln!(out, "slot {slot}: rejected {} file(s)", report.rejected.len())?;
+        }
+    }
+    let (accepted, rejected) = ctl.admission_counts();
+    writeln!(
+        out,
+        "{}: {} slots, {} accepted / {} rejected, final bill {:.2}/slot",
+        approach.name(),
+        num_slots,
+        accepted,
+        rejected,
+        ctl.cost_per_slot()
+    )?;
+
+    if let Some(path) = costs_out {
+        let mut csv = String::from("slot,cost_per_slot\n");
+        for (slot, cost) in ctl.cost_history().iter().enumerate() {
+            csv.push_str(&format!("{slot},{cost}\n"));
+        }
+        std::fs::write(&path, csv)?;
+        writeln!(out, "wrote {path}")?;
+    }
+    if let Some(path) = plan_out {
+        let mut combined = TransferPlan::new();
+        let mut rate_decisions = 0usize;
+        for (_, decision) in ctl.decisions() {
+            match decision {
+                Decision::Plan(p) => combined.merge(p),
+                Decision::Rates(_) => rate_decisions += 1,
+            }
+        }
+        if rate_decisions > 0 {
+            writeln!(
+                out,
+                "note: {rate_decisions} decision(s) were constant-rate assignments; \
+                 --plan-out only covers slotted plans (use a postcard/direct approach)"
+            )?;
+        }
+        std::fs::write(&path, combined.to_csv())?;
+        writeln!(out, "wrote {path}")?;
+    }
+    Ok(())
+}
+
+fn simulate(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv, &["paper-scale", "all-approaches"])?;
+    let setting = args.get("setting").unwrap_or("fig6").to_string();
+    let paper_scale = args.switch("paper-scale");
+    let all_approaches = args.switch("all-approaches");
+    let seed: u64 = args.get_or("seed", 1)?;
+    let runs_override: Option<usize> = args.get("runs").map(str::parse).transpose()
+        .map_err(|_| CliError::Usage("--runs: bad value".into()))?;
+    let slots_override: Option<u64> = args.get("slots").map(str::parse).transpose()
+        .map_err(|_| CliError::Usage("--slots: bad value".into()))?;
+    args.reject_unknown()?;
+
+    let bases = match setting.as_str() {
+        "fig4" => vec![Scenario::fig4()],
+        "fig5" => vec![Scenario::fig5()],
+        "fig6" => vec![Scenario::fig6()],
+        "fig7" => vec![Scenario::fig7()],
+        "all" => Scenario::all_figures(),
+        other => return Err(CliError::Usage(format!("unknown setting `{other}`"))),
+    };
+    let approaches = if all_approaches {
+        vec![
+            Approach::Postcard,
+            Approach::FlowLp,
+            Approach::FlowTwoPhase,
+            Approach::FlowGreedy,
+            Approach::Direct,
+        ]
+    } else {
+        Approach::paper_pair()
+    };
+    for base in bases {
+        let mut scenario = if paper_scale { base } else { base.scaled_down() };
+        if let Some(r) = runs_override {
+            scenario.num_runs = r;
+        }
+        if let Some(s) = slots_override {
+            scenario.num_slots = s;
+        }
+        let summaries = run_scenario(&scenario, &approaches, seed)
+            .map_err(|e| CliError::Run(e.to_string()))?;
+        writeln!(out, "{}", report::render_table(&scenario, &summaries))?;
+        writeln!(out, "{}", report::render_verdict(&summaries))?;
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cli(args: &[&str]) -> Result<String, CliError> {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&argv, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("postcard-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_cli(&["help"]).unwrap();
+        assert!(out.contains("gen-network"));
+        assert!(out.contains("simulate"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(matches!(run_cli(&["frobnicate"]), Err(CliError::Usage(_))));
+        assert!(matches!(run_cli(&[]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn gen_network_to_stdout_is_parsable() {
+        let out = run_cli(&["gen-network", "--dcs", "3", "--seed", "5"]).unwrap();
+        let net = Network::from_csv(&out).unwrap();
+        assert_eq!(net.num_dcs(), 3);
+        assert_eq!(net.num_links(), 6);
+    }
+
+    #[test]
+    fn gen_trace_roundtrip_through_file() {
+        let path = tmp("trace.csv");
+        run_cli(&["gen-trace", "--dcs", "4", "--slots", "5", "--out", &path]).unwrap();
+        let trace = Trace::from_csv(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(!trace.is_empty());
+        assert!(trace.num_slots() <= 5);
+    }
+
+    #[test]
+    fn schedule_end_to_end_with_plan_export() {
+        let net_path = tmp("net.csv");
+        let trace_path = tmp("sched_trace.csv");
+        let plan_path = tmp("plan.csv");
+        let costs_path = tmp("costs.csv");
+        run_cli(&[
+            "gen-network", "--dcs", "4", "--capacity", "500", "--out", &net_path,
+        ])
+        .unwrap();
+        run_cli(&[
+            "gen-trace", "--dcs", "4", "--slots", "4", "--files", "1..2", "--out", &trace_path,
+        ])
+        .unwrap();
+        let out = run_cli(&[
+            "schedule",
+            "--network", &net_path,
+            "--trace", &trace_path,
+            "--approach", "postcard",
+            "--plan-out", &plan_path,
+            "--costs-out", &costs_path,
+        ])
+        .unwrap();
+        assert!(out.contains("postcard:"), "{out}");
+        // The exported plan parses and covers the trace's files.
+        let plan =
+            TransferPlan::from_csv(&std::fs::read_to_string(&plan_path).unwrap()).unwrap();
+        assert!(!plan.is_empty());
+        let costs = std::fs::read_to_string(&costs_path).unwrap();
+        assert!(costs.lines().count() >= 4);
+    }
+
+    #[test]
+    fn schedule_rejects_mismatched_trace() {
+        let net_path = tmp("small_net.csv");
+        let trace_path = tmp("big_trace.csv");
+        run_cli(&["gen-network", "--dcs", "2", "--out", &net_path]).unwrap();
+        run_cli(&["gen-trace", "--dcs", "8", "--slots", "2", "--out", &trace_path]).unwrap();
+        let err = run_cli(&["schedule", "--network", &net_path, "--trace", &trace_path]);
+        assert!(matches!(err, Err(CliError::Run(_))), "{err:?}");
+    }
+
+    #[test]
+    fn simulate_tiny_run() {
+        let out = run_cli(&[
+            "simulate", "--setting", "fig6", "--runs", "1", "--slots", "5", "--seed", "2",
+        ])
+        .unwrap();
+        assert!(out.contains("postcard"));
+        assert!(out.contains("flow-lp"));
+        assert!(out.contains("winner:"));
+    }
+
+    #[test]
+    fn unknown_flag_is_reported() {
+        let err = run_cli(&["gen-network", "--dcs", "3", "--frob", "1"]);
+        assert!(matches!(err, Err(CliError::Usage(m)) if m.contains("frob")));
+    }
+
+    #[test]
+    fn bad_approach_is_reported() {
+        let err = run_cli(&[
+            "schedule", "--network", "x", "--trace", "y", "--approach", "quantum",
+        ]);
+        assert!(matches!(err, Err(CliError::Usage(m)) if m.contains("quantum")));
+    }
+}

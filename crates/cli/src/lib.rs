@@ -1,0 +1,23 @@
+//! # postcard-cli — drive the Postcard scheduler from the command line
+//!
+//! Subcommands (see `postcard help`):
+//!
+//! * `gen-network` — sample a complete network (paper-style uniform prices)
+//!   to a CSV file;
+//! * `gen-trace` — sample a workload trace to a CSV file;
+//! * `schedule` — run the online controller over a trace against a network
+//!   and export the committed plan / per-slot bills;
+//! * `simulate` — reproduce a figure setting (Fig. 4–7) like
+//!   `examples/online_simulation.rs`, with knobs.
+//!
+//! All logic lives in this library crate so the test-suite can drive the
+//! commands without spawning processes; `main.rs` is a thin shim.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod args;
+mod commands;
+
+pub use args::{parse_range_f64, parse_range_usize, ArgError, Args};
+pub use commands::{run, CliError};

@@ -1,0 +1,13 @@
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    match postcard_cli::run(&argv, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("postcard: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

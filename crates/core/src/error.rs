@@ -1,0 +1,66 @@
+//! Error types for the Postcard optimizer.
+
+use postcard_lp::LpError;
+use std::fmt;
+
+/// Errors from building or solving a Postcard optimization problem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PostcardError {
+    /// No feasible routing/scheduling exists: the batch cannot be delivered
+    /// within deadlines under the residual capacities, even with
+    /// store-and-forward.
+    Infeasible,
+    /// A file references a datacenter outside the network.
+    UnknownDatacenter {
+        /// The offending datacenter index.
+        dc: usize,
+        /// Number of datacenters in the network.
+        num_dcs: usize,
+    },
+    /// The underlying LP solver failed numerically.
+    Lp(LpError),
+}
+
+impl fmt::Display for PostcardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PostcardError::Infeasible => write!(
+                f,
+                "batch cannot be delivered within deadlines under residual capacities"
+            ),
+            PostcardError::UnknownDatacenter { dc, num_dcs } => {
+                write!(f, "datacenter {dc} out of range (network has {num_dcs})")
+            }
+            PostcardError::Lp(e) => write!(f, "LP solver failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PostcardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PostcardError::Lp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LpError> for PostcardError {
+    fn from(e: LpError) -> Self {
+        PostcardError::Lp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = PostcardError::Lp(LpError::SingularBasis);
+        assert!(e.to_string().contains("singular"));
+        assert!(e.source().is_some());
+        assert!(PostcardError::Infeasible.source().is_none());
+    }
+}

@@ -1,0 +1,19 @@
+//! The Sec. VI extension problems, formulated with the same time-expansion
+//! gadget as the main Postcard problem.
+//!
+//! * [`bulk`] — transfer as much bulk ("background") data as possible using
+//!   only *leftover* bandwidth that is already paid for (the NetStitcher
+//!   scenario, paper problem 11);
+//! * [`budget`] — maximize the transferred volume subject to a hard traffic
+//!   budget per slot.
+//!
+//! Both generalize the paper's fixed-delivery conservation (Eq. 8) with a
+//! per-file *delivered volume* variable `0 ≤ y_k ≤ F_k`, so a file may be
+//! partially served when full service is impossible — the natural reading
+//! of "satisfy as many transfer requests as possible".
+
+pub mod budget;
+pub mod bulk;
+
+pub use budget::{solve_budget_constrained, BudgetSolution};
+pub use bulk::{solve_bulk_max_transfer, BulkCapacityMode, BulkSolution};

@@ -1,0 +1,299 @@
+//! The online controller (paper Sec. III).
+//!
+//! Inter-datacenter traffic cannot be predicted more than seconds ahead, so
+//! Postcard runs *online*: at each slot `t` the files released at `t` are
+//! scheduled given full knowledge of all earlier decisions — which live in
+//! the [`TrafficLedger`] as committed per-slot volumes (including volumes
+//! committed into *future* slots by earlier plans).
+//!
+//! The controller also implements **admission control**: schedulers are
+//! all-or-nothing per batch, so when a whole batch is infeasible the
+//! controller retries file-by-file (in arrival order) and rejects only the
+//! files that genuinely do not fit. The paper assumes feasible workloads and
+//! does not discuss admission; rejections are surfaced in [`StepReport`] so
+//! experiments can verify they are rare and identical across approaches or
+//! account for them.
+
+use crate::error::PostcardError;
+use crate::scheduler::{Decision, Scheduler};
+use postcard_net::{FileId, Network, TrafficLedger, TransferRequest};
+
+/// What happened in one controller step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepReport {
+    /// The slot that was scheduled.
+    pub slot: u64,
+    /// Files fully admitted and committed.
+    pub accepted: Vec<FileId>,
+    /// Files rejected (no feasible service even alone).
+    pub rejected: Vec<FileId>,
+    /// The provider's bill per slot (Σ a_ij · X_ij) after this step.
+    pub cost_per_slot: f64,
+}
+
+/// Drives a [`Scheduler`] slot by slot, maintaining the committed ledger.
+#[derive(Debug)]
+pub struct OnlineController<S> {
+    scheduler: S,
+    network: Network,
+    ledger: TrafficLedger,
+    cost_history: Vec<f64>,
+    total_accepted: usize,
+    total_rejected: usize,
+    accepted_volume: f64,
+    rejected_volume: f64,
+    keep_decisions: bool,
+    decisions: Vec<(u64, Decision)>,
+}
+
+impl<S: Scheduler> OnlineController<S> {
+    /// Creates a controller over `network` with an empty ledger.
+    pub fn new(network: Network, scheduler: S) -> Self {
+        let ledger = TrafficLedger::new(network.num_dcs());
+        Self {
+            scheduler,
+            network,
+            ledger,
+            cost_history: Vec::new(),
+            total_accepted: 0,
+            total_rejected: 0,
+            accepted_volume: 0.0,
+            rejected_volume: 0.0,
+            keep_decisions: false,
+            decisions: Vec::new(),
+        }
+    }
+
+    /// Enables the decision log: every committed [`Decision`] is retained
+    /// and can be read back with [`OnlineController::decisions`] (used by
+    /// the CLI to export plans).
+    pub fn with_decision_log(mut self) -> Self {
+        self.keep_decisions = true;
+        self
+    }
+
+    /// The committed decisions per slot (empty unless
+    /// [`OnlineController::with_decision_log`] was used).
+    pub fn decisions(&self) -> &[(u64, Decision)] {
+        &self.decisions
+    }
+
+    /// The scheduler's name.
+    pub fn scheduler_name(&self) -> &'static str {
+        self.scheduler.name()
+    }
+
+    /// The committed traffic so far.
+    pub fn ledger(&self) -> &TrafficLedger {
+        &self.ledger
+    }
+
+    /// The network being controlled.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Bill per slot after the most recent step (0 before any step).
+    pub fn cost_per_slot(&self) -> f64 {
+        self.cost_history.last().copied().unwrap_or(0.0)
+    }
+
+    /// Bill per slot after every step so far.
+    pub fn cost_history(&self) -> &[f64] {
+        &self.cost_history
+    }
+
+    /// `(accepted, rejected)` file counts so far.
+    pub fn admission_counts(&self) -> (usize, usize) {
+        (self.total_accepted, self.total_rejected)
+    }
+
+    /// `(accepted, rejected)` volumes in GB so far.
+    pub fn admission_volumes(&self) -> (f64, f64) {
+        (self.accepted_volume, self.rejected_volume)
+    }
+
+    /// Schedules the batch of files released at `slot` and commits the
+    /// decision.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-[`PostcardError::Infeasible`] scheduler errors
+    /// (infeasibility is handled by per-file admission instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a file's release slot differs from `slot` — batches must be
+    /// formed per slot.
+    pub fn step(
+        &mut self,
+        slot: u64,
+        files: &[TransferRequest],
+    ) -> Result<StepReport, PostcardError> {
+        for f in files {
+            assert_eq!(f.release_slot, slot, "batch must contain only slot-{slot} releases");
+        }
+        let mut accepted = Vec::new();
+        let mut rejected = Vec::new();
+
+        match self.scheduler.schedule(&self.network, files, &self.ledger) {
+            Ok(decision) => {
+                self.commit(&decision, files);
+                if self.keep_decisions {
+                    self.decisions.push((slot, decision));
+                }
+                accepted.extend(files.iter().map(|f| f.id));
+            }
+            Err(PostcardError::Infeasible) => {
+                // Per-file admission in arrival order.
+                for f in files {
+                    let batch = [*f];
+                    match self.scheduler.schedule(&self.network, &batch, &self.ledger) {
+                        Ok(decision) => {
+                            self.commit(&decision, &batch);
+                            if self.keep_decisions {
+                                self.decisions.push((slot, decision));
+                            }
+                            accepted.push(f.id);
+                        }
+                        Err(PostcardError::Infeasible) => rejected.push(f.id),
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            Err(e) => return Err(e),
+        }
+
+        self.total_accepted += accepted.len();
+        self.total_rejected += rejected.len();
+        for f in files {
+            if accepted.contains(&f.id) {
+                self.accepted_volume += f.size_gb;
+            } else {
+                self.rejected_volume += f.size_gb;
+            }
+        }
+        let cost = self.ledger.cost_per_slot(&self.network);
+        self.cost_history.push(cost);
+        Ok(StepReport { slot, accepted, rejected, cost_per_slot: cost })
+    }
+
+    fn commit(&mut self, decision: &Decision, files: &[TransferRequest]) {
+        match decision {
+            Decision::Plan(plan) => {
+                debug_assert!(
+                    {
+                        let ledger = &self.ledger;
+                        let network = &self.network;
+                        plan.validate(network, files, |i, j, s| ledger.volume(i, j, s)).is_empty()
+                    },
+                    "scheduler {} produced an invalid plan",
+                    self.scheduler.name()
+                );
+                plan.apply_to_ledger(&mut self.ledger);
+            }
+            Decision::Rates(rates) => {
+                debug_assert!(
+                    {
+                        let ledger = &self.ledger;
+                        let network = &self.network;
+                        rates.validate(network, files, |i, j, s| ledger.volume(i, j, s)).is_empty()
+                    },
+                    "scheduler {} produced an invalid assignment",
+                    self.scheduler.name()
+                );
+                rates.apply_to_ledger(files, &mut self.ledger);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{DirectScheduler, FlowLpScheduler, PostcardScheduler};
+    use postcard_net::{DcId, NetworkBuilder};
+
+    fn d(i: usize) -> DcId {
+        DcId(i)
+    }
+
+    fn net() -> Network {
+        NetworkBuilder::new(3)
+            .link(d(1), d(2), 10.0, 100.0)
+            .link(d(1), d(0), 1.0, 100.0)
+            .link(d(0), d(2), 3.0, 100.0)
+            .build()
+    }
+
+    #[test]
+    fn postcard_controller_runs_multi_slot() {
+        let mut ctl = OnlineController::new(net(), PostcardScheduler::new());
+        let f0 = TransferRequest::new(FileId(1), d(1), d(2), 6.0, 3, 0);
+        let r0 = ctl.step(0, &[f0]).unwrap();
+        assert_eq!(r0.accepted, vec![FileId(1)]);
+        assert!(r0.rejected.is_empty());
+        assert!((r0.cost_per_slot - 12.0).abs() < 1e-5);
+
+        // A later file sees the committed traffic.
+        let f1 = TransferRequest::new(FileId(2), d(1), d(2), 6.0, 3, 5);
+        let r1 = ctl.step(5, &[f1]).unwrap();
+        assert_eq!(r1.accepted, vec![FileId(2)]);
+        // The second file reuses the already-paid peaks: cost unchanged.
+        assert!((r1.cost_per_slot - 12.0).abs() < 1e-5, "{}", r1.cost_per_slot);
+        assert_eq!(ctl.cost_history().len(), 2);
+        assert_eq!(ctl.admission_counts(), (2, 0));
+    }
+
+    #[test]
+    fn admission_rejects_only_unservable_files() {
+        // Capacity 2/slot on the single link: a 10-GB 1-slot file can never
+        // fit; a 2-GB one can.
+        let net = NetworkBuilder::new(2).link(d(0), d(1), 1.0, 2.0).build();
+        let mut ctl = OnlineController::new(net, PostcardScheduler::new());
+        let big = TransferRequest::new(FileId(1), d(0), d(1), 10.0, 1, 0);
+        let small = TransferRequest::new(FileId(2), d(0), d(1), 2.0, 1, 0);
+        let r = ctl.step(0, &[big, small]).unwrap();
+        assert_eq!(r.rejected, vec![FileId(1)]);
+        assert_eq!(r.accepted, vec![FileId(2)]);
+        assert_eq!(ctl.admission_volumes(), (2.0, 10.0));
+    }
+
+    #[test]
+    fn flow_controller_commits_rates() {
+        let mut ctl = OnlineController::new(net(), FlowLpScheduler);
+        let f = TransferRequest::new(FileId(1), d(1), d(2), 6.0, 3, 0);
+        let r = ctl.step(0, &[f]).unwrap();
+        assert_eq!(r.accepted.len(), 1);
+        // Rates commit 3 slots of traffic: ledger horizon reaches slot 3.
+        assert_eq!(ctl.ledger().horizon(), 3);
+        // Flow LP routes via the cheap relay: 2·1 + 2·3 = 8 per slot.
+        assert!((r.cost_per_slot - 8.0).abs() < 1e-5, "{}", r.cost_per_slot);
+    }
+
+    #[test]
+    fn direct_controller_matches_fig1a() {
+        let mut ctl = OnlineController::new(net(), DirectScheduler);
+        let f = TransferRequest::new(FileId(1), d(1), d(2), 6.0, 3, 0);
+        let r = ctl.step(0, &[f]).unwrap();
+        assert!((r.cost_per_slot - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must contain only slot-3 releases")]
+    fn wrong_slot_batch_panics() {
+        let mut ctl = OnlineController::new(net(), DirectScheduler);
+        let f = TransferRequest::new(FileId(1), d(1), d(2), 6.0, 3, 0);
+        let _ = ctl.step(3, &[f]);
+    }
+
+    #[test]
+    fn empty_step_keeps_cost() {
+        let mut ctl = OnlineController::new(net(), PostcardScheduler::new());
+        let f = TransferRequest::new(FileId(1), d(1), d(2), 6.0, 3, 0);
+        ctl.step(0, &[f]).unwrap();
+        let before = ctl.cost_per_slot();
+        let r = ctl.step(1, &[]).unwrap();
+        assert_eq!(r.cost_per_slot, before);
+    }
+}

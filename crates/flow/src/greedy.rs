@@ -1,0 +1,164 @@
+//! The cheapest-available-path greedy allocator.
+//!
+//! This is the allocator the paper narrates around Fig. 3: each file takes
+//! the *cheapest available path* at its desired rate; when the cheapest path
+//! lacks capacity the file takes the cheapest path that still has room,
+//! splitting across paths when no single path suffices. Files are processed
+//! in the order given (arrival order in the simulator).
+
+use crate::assignment::FlowAssignment;
+use postcard_net::paths::cheapest_path;
+use postcard_net::{FileId, Network, TrafficLedger, TransferRequest};
+use std::collections::BTreeMap;
+
+const EPS: f64 = 1e-9;
+
+/// Result of [`greedy_cheapest_path`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GreedyOutcome {
+    /// Rates assigned (files may be partially routed).
+    pub assignment: FlowAssignment,
+    /// Files the greedy could not fully route, with the unrouted rate.
+    pub unrouted: Vec<(FileId, f64)>,
+}
+
+/// Greedily routes each file's desired rate over cheapest available paths.
+///
+/// Availability is computed per `(link, slot)` from the ledger's residual
+/// capacities; a path is *available* to a file when every hop has spare rate
+/// across the file's whole active window.
+pub fn greedy_cheapest_path(
+    network: &Network,
+    files: &[TransferRequest],
+    ledger: &TrafficLedger,
+) -> GreedyOutcome {
+    // Spare capacity per (link, slot) shared across files.
+    let mut used: BTreeMap<(usize, usize, u64), f64> = BTreeMap::new();
+    let mut assignment = FlowAssignment::new();
+    let mut unrouted = Vec::new();
+
+    for f in files {
+        let mut remaining = f.desired_rate();
+        while remaining > EPS {
+            // Per-link availability = min over the file's window.
+            let mut avail: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+            for link in network.links() {
+                let mut a = f64::INFINITY;
+                for slot in f.first_slot()..=f.last_slot() {
+                    let spare = ledger.residual(network, link.from, link.to, slot)
+                        - used.get(&(link.from.0, link.to.0, slot)).copied().unwrap_or(0.0);
+                    a = a.min(spare);
+                }
+                avail.insert((link.from.0, link.to.0), a.max(0.0));
+            }
+            let Some(path) =
+                cheapest_path(network, f.src, f.dst, |u, v| avail[&(u.0, v.0)] > EPS)
+            else {
+                unrouted.push((f.id, remaining));
+                break;
+            };
+            let bottleneck = path
+                .hops
+                .iter()
+                .map(|&(u, v)| avail[&(u.0, v.0)])
+                .fold(f64::INFINITY, f64::min);
+            let amount = remaining.min(bottleneck);
+            if amount <= EPS {
+                unrouted.push((f.id, remaining));
+                break;
+            }
+            for &(u, v) in &path.hops {
+                assignment.add_rate(f.id, u, v, amount);
+                for slot in f.first_slot()..=f.last_slot() {
+                    *used.entry((u.0, v.0, slot)).or_insert(0.0) += amount;
+                }
+            }
+            remaining -= amount;
+        }
+    }
+    GreedyOutcome { assignment, unrouted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use postcard_net::{DcId, NetworkBuilder};
+
+    fn d(i: usize) -> DcId {
+        DcId(i)
+    }
+
+    fn triangle(cap: f64) -> Network {
+        NetworkBuilder::new(3)
+            .link(d(0), d(1), 1.0, cap)
+            .link(d(1), d(2), 2.0, cap)
+            .link(d(0), d(2), 10.0, cap)
+            .build()
+    }
+
+    #[test]
+    fn takes_cheapest_path() {
+        let net = triangle(5.0);
+        let f = TransferRequest::new(FileId(1), d(0), d(2), 6.0, 3, 0);
+        let out = greedy_cheapest_path(&net, &[f], &TrafficLedger::new(3));
+        assert!(out.unrouted.is_empty());
+        assert!((out.assignment.rate(FileId(1), d(0), d(1)) - 2.0).abs() < 1e-9);
+        assert!(out.assignment.rate(FileId(1), d(0), d(2)) < 1e-9);
+        assert!(out.assignment.is_valid(&net, &[f], |_, _, _| 0.0));
+    }
+
+    #[test]
+    fn second_file_displaced_to_expensive_path() {
+        // First file saturates the relay; second must go direct.
+        let net = triangle(2.0);
+        let f1 = TransferRequest::new(FileId(1), d(0), d(2), 6.0, 3, 0); // rate 2
+        let f2 = TransferRequest::new(FileId(2), d(0), d(2), 3.0, 3, 0); // rate 1
+        let out = greedy_cheapest_path(&net, &[f1, f2], &TrafficLedger::new(3));
+        assert!(out.unrouted.is_empty(), "{:?}", out.unrouted);
+        assert!((out.assignment.rate(FileId(1), d(0), d(1)) - 2.0).abs() < 1e-9);
+        assert!((out.assignment.rate(FileId(2), d(0), d(2)) - 1.0).abs() < 1e-9);
+        assert!(out.assignment.is_valid(&net, &[f1, f2], |_, _, _| 0.0));
+    }
+
+    #[test]
+    fn splits_across_paths_when_needed() {
+        let net = triangle(2.0);
+        let f = TransferRequest::new(FileId(1), d(0), d(2), 9.0, 3, 0); // rate 3 > any path
+        let out = greedy_cheapest_path(&net, &[f], &TrafficLedger::new(3));
+        assert!(out.unrouted.is_empty());
+        assert!((out.assignment.rate(FileId(1), d(0), d(1)) - 2.0).abs() < 1e-9);
+        assert!((out.assignment.rate(FileId(1), d(0), d(2)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reports_unroutable_remainder() {
+        let net = triangle(1.0);
+        let f = TransferRequest::new(FileId(1), d(0), d(2), 9.0, 3, 0); // rate 3 > cut 2
+        let out = greedy_cheapest_path(&net, &[f], &TrafficLedger::new(3));
+        assert_eq!(out.unrouted.len(), 1);
+        assert_eq!(out.unrouted[0].0, FileId(1));
+        assert!((out.unrouted[0].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_prior_ledger_usage() {
+        let net = triangle(2.0);
+        let mut ledger = TrafficLedger::new(3);
+        // Relay first hop already fully used in slot 1.
+        ledger.record(d(0), d(1), 1, 2.0);
+        let f = TransferRequest::new(FileId(1), d(0), d(2), 3.0, 3, 0); // rate 1, slots 0..=2
+        let out = greedy_cheapest_path(&net, &[f], &ledger);
+        assert!(out.unrouted.is_empty());
+        // Relay unusable across the whole window ⇒ direct.
+        assert!((out.assignment.rate(FileId(1), d(0), d(2)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_destination_unrouted() {
+        let net = NetworkBuilder::new(3).link(d(0), d(1), 1.0, 5.0).build();
+        let f = TransferRequest::new(FileId(1), d(0), d(2), 2.0, 2, 0);
+        let out = greedy_cheapest_path(&net, &[f], &TrafficLedger::new(3));
+        assert_eq!(out.unrouted.len(), 1);
+        assert!(out.assignment.is_empty());
+    }
+}

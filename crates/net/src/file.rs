@@ -1,0 +1,230 @@
+//! Inter-datacenter transfer requests.
+//!
+//! The paper represents all inter-datacenter traffic as *files*: generic
+//! blocks of data with a source, a destination, a size, and a maximum
+//! tolerable transfer time (Sec. III). A "file" may equally be a backup, a
+//! batch of MapReduce intermediate results, or a customer-data migration.
+
+use crate::topology::DcId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a transfer request, unique within one workload.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct FileId(pub u64);
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file#{}", self.0)
+    }
+}
+
+/// The paper's four-tuple `(s_k, d_k, F_k, T_k)` plus a release slot and id.
+///
+/// * `src` / `dst` — source and destination datacenters;
+/// * `size_gb` — file size `F_k` in GB;
+/// * `deadline_slots` — maximum tolerable transfer time `T_k`, counted in
+///   whole slots from the release slot: the file must fully reside at `dst`
+///   by the *end* of slot `release_slot + deadline_slots - 1`;
+/// * `release_slot` — the slot `t` at which the file becomes known to the
+///   controller (files cannot be predicted in advance, Sec. III).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferRequest {
+    /// Unique id.
+    pub id: FileId,
+    /// Source datacenter `s_k`.
+    pub src: DcId,
+    /// Destination datacenter `d_k`.
+    pub dst: DcId,
+    /// File size `F_k` (GB).
+    pub size_gb: f64,
+    /// Maximum tolerable transfer time `T_k` (slots, ≥ 1).
+    pub deadline_slots: usize,
+    /// Slot at which the request arrives.
+    pub release_slot: u64,
+}
+
+impl TransferRequest {
+    /// Creates a validated request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`, `size_gb <= 0`, or `deadline_slots == 0`;
+    /// these are programming errors in workload construction.
+    pub fn new(
+        id: FileId,
+        src: DcId,
+        dst: DcId,
+        size_gb: f64,
+        deadline_slots: usize,
+        release_slot: u64,
+    ) -> Self {
+        assert!(src != dst, "source and destination must differ");
+        assert!(size_gb > 0.0 && size_gb.is_finite(), "file size must be positive and finite");
+        assert!(deadline_slots >= 1, "deadline must allow at least one slot");
+        Self { id, src, dst, size_gb, deadline_slots, release_slot }
+    }
+
+    /// First slot in which this file's data may move.
+    pub fn first_slot(&self) -> u64 {
+        self.release_slot
+    }
+
+    /// Last slot in which this file's data may move (inclusive); by the end
+    /// of this slot the file must be at its destination.
+    pub fn last_slot(&self) -> u64 {
+        self.release_slot + self.deadline_slots as u64 - 1
+    }
+
+    /// `true` if the file may use slot `slot`.
+    pub fn active_in(&self, slot: u64) -> bool {
+        slot >= self.first_slot() && slot <= self.last_slot()
+    }
+
+    /// The constant rate a storage-free transfer needs: `F_k / T_k`
+    /// (GB per slot) — the "desired transmission rate" of the flow-based
+    /// approach (Sec. II-B).
+    pub fn desired_rate(&self) -> f64 {
+        self.size_gb / self.deadline_slots as f64
+    }
+
+    /// Expands a multi-destination transfer into one request per
+    /// destination, sharing source, size, deadline, and release slot — the
+    /// paper's prescription for files with multiple destinations (Sec. III).
+    /// Destinations equal to the source are skipped. Ids are
+    /// `first_new_id + offset`.
+    pub fn fan_out(&self, destinations: &[DcId], first_new_id: u64) -> Vec<TransferRequest> {
+        destinations
+            .iter()
+            .filter(|&&d| d != self.src)
+            .enumerate()
+            .map(|(i, &dst)| {
+                TransferRequest::new(
+                    FileId(first_new_id + i as u64),
+                    self.src,
+                    dst,
+                    self.size_gb,
+                    self.deadline_slots,
+                    self.release_slot,
+                )
+            })
+            .collect()
+    }
+
+    /// Splits this request into `parts` equal smaller requests (the paper's
+    /// remedy for files too large to cross a link in one slot). Ids are
+    /// derived as `base_id + offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts == 0`.
+    pub fn split(&self, parts: usize, first_new_id: u64) -> Vec<TransferRequest> {
+        assert!(parts >= 1, "must split into at least one part");
+        let piece = self.size_gb / parts as f64;
+        (0..parts)
+            .map(|p| {
+                TransferRequest::new(
+                    FileId(first_new_id + p as u64),
+                    self.src,
+                    self.dst,
+                    piece,
+                    self.deadline_slots,
+                    self.release_slot,
+                )
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for TransferRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}→{} {:.1} GB within {} slots (t={})",
+            self.id, self.src, self.dst, self.size_gb, self.deadline_slots, self.release_slot
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> TransferRequest {
+        TransferRequest::new(FileId(7), DcId(1), DcId(2), 6.0, 3, 10)
+    }
+
+    #[test]
+    fn slot_window() {
+        let r = req();
+        assert_eq!(r.first_slot(), 10);
+        assert_eq!(r.last_slot(), 12);
+        assert!(r.active_in(10) && r.active_in(12));
+        assert!(!r.active_in(9) && !r.active_in(13));
+    }
+
+    #[test]
+    fn desired_rate_is_size_over_deadline() {
+        assert!((req().desired_rate() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_preserves_total_and_window() {
+        let r = req();
+        let parts = r.split(4, 100);
+        assert_eq!(parts.len(), 4);
+        let total: f64 = parts.iter().map(|p| p.size_gb).sum();
+        assert!((total - r.size_gb).abs() < 1e-12);
+        assert!(parts.iter().all(|p| p.first_slot() == 10 && p.last_slot() == 12));
+        assert_eq!(parts[3].id, FileId(103));
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn same_endpoints_rejected() {
+        TransferRequest::new(FileId(0), DcId(1), DcId(1), 1.0, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_rejected() {
+        TransferRequest::new(FileId(0), DcId(0), DcId(1), 0.0, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_deadline_rejected() {
+        TransferRequest::new(FileId(0), DcId(0), DcId(1), 1.0, 0, 0);
+    }
+
+    #[test]
+    fn display_mentions_endpoints() {
+        let s = req().to_string();
+        assert!(s.contains("D1") && s.contains("D2") && s.contains("file#7"));
+    }
+
+    #[test]
+    fn fan_out_covers_each_destination_once() {
+        let r = req(); // src = D1
+        let out = r.fan_out(&[DcId(0), DcId(1), DcId(2)], 50);
+        // The source itself (D1) is skipped.
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].dst, DcId(0));
+        assert_eq!(out[1].dst, DcId(2));
+        assert_eq!(out[0].id, FileId(50));
+        assert_eq!(out[1].id, FileId(51));
+        assert!(out.iter().all(|f| f.src == r.src
+            && f.size_gb == r.size_gb
+            && f.deadline_slots == r.deadline_slots
+            && f.release_slot == r.release_slot));
+    }
+
+    #[test]
+    fn fan_out_to_nobody_is_empty() {
+        let r = req();
+        assert!(r.fan_out(&[r.src], 0).is_empty());
+        assert!(r.fan_out(&[], 0).is_empty());
+    }
+}

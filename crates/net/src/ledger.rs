@@ -1,0 +1,219 @@
+//! The traffic ledger: per-slot, per-link volumes actually (or committedly)
+//! sent, with charged-volume tracking.
+//!
+//! The paper's key accounting quantity is the *traffic volume to be charged*
+//! on link `{i, j}` after transmitting files generated up to slot `t`:
+//! `X_ij(t) = max(X_ij(t−1), max_n Σ_k M_ij^k(n))` under the 100-th
+//! percentile scheme. The ledger generalizes this to any percentile for
+//! reporting purposes while tracking the running peak incrementally.
+
+use crate::charging::PercentileScheme;
+use crate::topology::{DcId, Network};
+
+/// Records the volume (GB) sent on every directed link in every slot.
+///
+/// Slots may be written out of order (plans commit future slots); the ledger
+/// grows automatically. Self-links (storage) are *not* recorded — stored
+/// data never crosses an ISP boundary and is free (Sec. V).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficLedger {
+    n: usize,
+    /// Per directed link `(i·n + j)`: per-slot volumes.
+    volumes: Vec<Vec<f64>>,
+    /// Running maximum per link (the 100-th percentile charged volume).
+    peak: Vec<f64>,
+}
+
+impl TrafficLedger {
+    /// Creates an empty ledger for `num_dcs` datacenters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_dcs == 0`.
+    pub fn new(num_dcs: usize) -> Self {
+        assert!(num_dcs > 0);
+        Self { n: num_dcs, volumes: vec![Vec::new(); num_dcs * num_dcs], peak: vec![0.0; num_dcs * num_dcs] }
+    }
+
+    /// Number of datacenters the ledger covers.
+    pub fn num_dcs(&self) -> usize {
+        self.n
+    }
+
+    /// Adds `volume` GB to link `from → to` during `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a self-link, an out-of-range id, or a negative/NaN volume.
+    pub fn record(&mut self, from: DcId, to: DcId, slot: u64, volume: f64) {
+        assert!(from != to, "storage is not ledger traffic");
+        assert!(from.0 < self.n && to.0 < self.n, "datacenter id out of range");
+        assert!(volume >= 0.0 && volume.is_finite(), "volume must be finite and non-negative");
+        if volume == 0.0 {
+            return;
+        }
+        let idx = from.0 * self.n + to.0;
+        let series = &mut self.volumes[idx];
+        let s = slot as usize;
+        if series.len() <= s {
+            series.resize(s + 1, 0.0);
+        }
+        series[s] += volume;
+        if series[s] > self.peak[idx] {
+            self.peak[idx] = series[s];
+        }
+    }
+
+    /// Volume sent on `from → to` during `slot`.
+    pub fn volume(&self, from: DcId, to: DcId, slot: u64) -> f64 {
+        self.volumes[from.0 * self.n + to.0].get(slot as usize).copied().unwrap_or(0.0)
+    }
+
+    /// The full recorded series of a link (may be shorter than the horizon).
+    pub fn series(&self, from: DcId, to: DcId) -> &[f64] {
+        &self.volumes[from.0 * self.n + to.0]
+    }
+
+    /// The running 100-th percentile charged volume `X_ij` of a link — the
+    /// maximum per-slot volume recorded so far.
+    pub fn peak(&self, from: DcId, to: DcId) -> f64 {
+        self.peak[from.0 * self.n + to.0]
+    }
+
+    /// Charged volume of a link under an arbitrary percentile scheme over a
+    /// charging period of `period_slots` slots (unwritten slots count as 0).
+    pub fn charged_volume(
+        &self,
+        from: DcId,
+        to: DcId,
+        scheme: PercentileScheme,
+        period_slots: usize,
+    ) -> f64 {
+        let series = self.series(from, to);
+        let mut padded = series.to_vec();
+        padded.resize(period_slots.max(series.len()), 0.0);
+        scheme.charged_volume(&padded)
+    }
+
+    /// One slot past the last recorded slot, across all links.
+    pub fn horizon(&self) -> u64 {
+        self.volumes.iter().map(|s| s.len() as u64).max().unwrap_or(0)
+    }
+
+    /// Total volume ever recorded on a link.
+    pub fn total_volume(&self, from: DcId, to: DcId) -> f64 {
+        self.series(from, to).iter().sum()
+    }
+
+    /// Residual capacity of `from → to` at `slot` given the network's base
+    /// capacity (0 if the link does not exist; can be negative only if the
+    /// ledger was over-committed, which validation prevents).
+    pub fn residual(&self, network: &Network, from: DcId, to: DcId, slot: u64) -> f64 {
+        match network.capacity(from, to) {
+            Some(cap) => cap - self.volume(from, to, slot),
+            None => 0.0,
+        }
+    }
+
+    /// The provider's current bill per slot under the 100-th percentile
+    /// scheme with linear prices: `Σ_ij a_ij · X_ij` (the paper's Eq. 6
+    /// without the constant `· I` factor).
+    pub fn cost_per_slot(&self, network: &Network) -> f64 {
+        network
+            .links()
+            .map(|l| l.price * self.peak(l.from, l.to))
+            .sum()
+    }
+
+    /// The bill per slot under an arbitrary percentile scheme.
+    pub fn cost_per_slot_with(
+        &self,
+        network: &Network,
+        scheme: PercentileScheme,
+        period_slots: usize,
+    ) -> f64 {
+        network
+            .links()
+            .map(|l| l.price * self.charged_volume(l.from, l.to, scheme, period_slots))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: usize) -> DcId {
+        DcId(i)
+    }
+
+    #[test]
+    fn record_and_read_back() {
+        let mut l = TrafficLedger::new(3);
+        l.record(d(0), d(1), 5, 10.0);
+        l.record(d(0), d(1), 5, 2.5);
+        assert_eq!(l.volume(d(0), d(1), 5), 12.5);
+        assert_eq!(l.volume(d(0), d(1), 4), 0.0);
+        assert_eq!(l.volume(d(1), d(0), 5), 0.0);
+        assert_eq!(l.horizon(), 6);
+    }
+
+    #[test]
+    fn peak_tracks_running_max() {
+        let mut l = TrafficLedger::new(2);
+        l.record(d(0), d(1), 0, 5.0);
+        l.record(d(0), d(1), 3, 9.0);
+        l.record(d(0), d(1), 7, 1.0);
+        assert_eq!(l.peak(d(0), d(1)), 9.0);
+        assert_eq!(l.peak(d(1), d(0)), 0.0);
+    }
+
+    #[test]
+    fn cost_per_slot_sums_priced_peaks() {
+        let net = Network::complete(2, 2.0, 100.0);
+        let mut l = TrafficLedger::new(2);
+        l.record(d(0), d(1), 0, 10.0);
+        l.record(d(1), d(0), 1, 4.0);
+        assert!((l.cost_per_slot(&net) - (2.0 * 10.0 + 2.0 * 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_charging_pads_with_zeros() {
+        let mut l = TrafficLedger::new(2);
+        l.record(d(0), d(1), 0, 100.0);
+        // Over a 20-slot period, p95 charges the 19th sorted slot = 0.
+        assert_eq!(l.charged_volume(d(0), d(1), PercentileScheme::P95, 20), 0.0);
+        // p100 still charges the spike.
+        assert_eq!(l.charged_volume(d(0), d(1), PercentileScheme::MAX, 20), 100.0);
+    }
+
+    #[test]
+    fn residual_subtracts_usage() {
+        let net = Network::complete(2, 1.0, 30.0);
+        let mut l = TrafficLedger::new(2);
+        l.record(d(0), d(1), 2, 12.0);
+        assert_eq!(l.residual(&net, d(0), d(1), 2), 18.0);
+        assert_eq!(l.residual(&net, d(0), d(1), 3), 30.0);
+    }
+
+    #[test]
+    fn zero_volume_records_are_noops() {
+        let mut l = TrafficLedger::new(2);
+        l.record(d(0), d(1), 9, 0.0);
+        assert_eq!(l.horizon(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "storage is not ledger traffic")]
+    fn self_link_rejected() {
+        TrafficLedger::new(2).record(d(1), d(1), 0, 1.0);
+    }
+
+    #[test]
+    fn total_volume_sums_series() {
+        let mut l = TrafficLedger::new(2);
+        l.record(d(0), d(1), 0, 1.0);
+        l.record(d(0), d(1), 5, 2.0);
+        assert_eq!(l.total_volume(d(0), d(1)), 3.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Price-weighted path utilities on the inter-datacenter overlay.
+//!
+//! The flow-based narratives in the paper revolve around *cheapest* and
+//! *cheapest available* paths (Fig. 1, Fig. 3); this module provides the
+//! shared machinery: Dijkstra over link prices with an arbitrary usability
+//! filter, and Yen's algorithm for the k cheapest loopless paths.
+
+use crate::topology::{DcId, Network};
+
+/// A loopless path with its total price per GB.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PricedPath {
+    /// The hops as `(from, to)` pairs, source to destination.
+    pub hops: Vec<(DcId, DcId)>,
+    /// Sum of link prices along the path ($/GB).
+    pub price: f64,
+}
+
+impl PricedPath {
+    /// The nodes visited, source first.
+    pub fn nodes(&self) -> Vec<DcId> {
+        let mut out = Vec::with_capacity(self.hops.len() + 1);
+        if let Some(&(first, _)) = self.hops.first() {
+            out.push(first);
+        }
+        out.extend(self.hops.iter().map(|&(_, to)| to));
+        out
+    }
+
+    /// Number of hops.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// `true` for the degenerate empty path.
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+}
+
+/// Cheapest (by price) path from `src` to `dst` over links for which
+/// `usable` returns `true`. Returns `None` when `dst` is unreachable or
+/// `src == dst`.
+pub fn cheapest_path(
+    network: &Network,
+    src: DcId,
+    dst: DcId,
+    mut usable: impl FnMut(DcId, DcId) -> bool,
+) -> Option<PricedPath> {
+    if src == dst {
+        return None;
+    }
+    let n = network.num_dcs();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<usize>> = vec![None; n];
+    let mut done = vec![false; n];
+    dist[src.0] = 0.0;
+    loop {
+        let u = (0..n)
+            .filter(|&u| !done[u] && dist[u].is_finite())
+            .min_by(|&a, &b| dist[a].partial_cmp(&dist[b]).expect("prices are not NaN"))?;
+        if u == dst.0 {
+            break;
+        }
+        done[u] = true;
+        for v in network.neighbors_out(DcId(u)) {
+            if done[v.0] || !usable(DcId(u), v) {
+                continue;
+            }
+            let w = network.price(DcId(u), v).expect("neighbor implies link");
+            if dist[u] + w < dist[v.0] - 1e-15 {
+                dist[v.0] = dist[u] + w;
+                prev[v.0] = Some(u);
+            }
+        }
+    }
+    let mut hops = Vec::new();
+    let mut v = dst.0;
+    while v != src.0 {
+        let u = prev[v]?;
+        hops.push((DcId(u), DcId(v)));
+        v = u;
+    }
+    hops.reverse();
+    Some(PricedPath { price: dist[dst.0], hops })
+}
+
+/// The `k` cheapest loopless paths from `src` to `dst` (Yen's algorithm),
+/// cheapest first. Returns fewer than `k` when the graph runs out of
+/// distinct paths.
+pub fn k_cheapest_paths(network: &Network, src: DcId, dst: DcId, k: usize) -> Vec<PricedPath> {
+    let mut found: Vec<PricedPath> = Vec::new();
+    let Some(first) = cheapest_path(network, src, dst, |_, _| true) else {
+        return found;
+    };
+    found.push(first);
+    let mut candidates: Vec<PricedPath> = Vec::new();
+
+    while found.len() < k {
+        let last = found.last().expect("at least the first path").clone();
+        let last_nodes = last.nodes();
+        for spur_idx in 0..last.hops.len() {
+            let spur_node = last_nodes[spur_idx];
+            let root: &[(DcId, DcId)] = &last.hops[..spur_idx];
+            // Links removed: the next hop of every found path sharing this
+            // root, plus (to keep paths loopless) every root node.
+            let removed_links: Vec<(DcId, DcId)> = found
+                .iter()
+                .filter(|p| p.hops.len() > spur_idx && p.hops[..spur_idx] == *root)
+                .map(|p| p.hops[spur_idx])
+                .collect();
+            let root_nodes: Vec<DcId> = last_nodes[..spur_idx].to_vec();
+            let spur = cheapest_path(network, spur_node, dst, |u, v| {
+                !removed_links.contains(&(u, v))
+                    && !root_nodes.contains(&v)
+                    && !root_nodes.contains(&u)
+            });
+            if let Some(spur) = spur {
+                let mut hops = root.to_vec();
+                hops.extend(spur.hops);
+                let price: f64 = hops
+                    .iter()
+                    .map(|&(u, v)| network.price(u, v).expect("hop on existing link"))
+                    .sum();
+                let candidate = PricedPath { hops, price };
+                if !found.contains(&candidate) && !candidates.contains(&candidate) {
+                    candidates.push(candidate);
+                }
+            }
+        }
+        candidates.sort_by(|a, b| a.price.partial_cmp(&b.price).expect("finite prices"));
+        if candidates.is_empty() {
+            break;
+        }
+        found.push(candidates.remove(0));
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NetworkBuilder;
+
+    fn d(i: usize) -> DcId {
+        DcId(i)
+    }
+
+    /// Diamond: 0→1→3 (1+1), 0→2→3 (2+2), 0→3 (5).
+    fn diamond() -> Network {
+        NetworkBuilder::new(4)
+            .link(d(0), d(1), 1.0, 1.0)
+            .link(d(1), d(3), 1.0, 1.0)
+            .link(d(0), d(2), 2.0, 1.0)
+            .link(d(2), d(3), 2.0, 1.0)
+            .link(d(0), d(3), 5.0, 1.0)
+            .build()
+    }
+
+    #[test]
+    fn cheapest_path_finds_the_relay() {
+        let p = cheapest_path(&diamond(), d(0), d(3), |_, _| true).unwrap();
+        assert_eq!(p.hops, vec![(d(0), d(1)), (d(1), d(3))]);
+        assert_eq!(p.price, 2.0);
+        assert_eq!(p.nodes(), vec![d(0), d(1), d(3)]);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn filter_excludes_links() {
+        let p = cheapest_path(&diamond(), d(0), d(3), |u, v| (u, v) != (d(1), d(3))).unwrap();
+        assert_eq!(p.price, 4.0);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let net = NetworkBuilder::new(3).link(d(0), d(1), 1.0, 1.0).build();
+        assert!(cheapest_path(&net, d(0), d(2), |_, _| true).is_none());
+        assert!(cheapest_path(&net, d(0), d(0), |_, _| true).is_none());
+    }
+
+    #[test]
+    fn yen_orders_three_paths() {
+        let ps = k_cheapest_paths(&diamond(), d(0), d(3), 5);
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps[0].price, 2.0);
+        assert_eq!(ps[1].price, 4.0);
+        assert_eq!(ps[2].price, 5.0);
+        // All loopless and distinct.
+        for p in &ps {
+            let nodes = p.nodes();
+            let set: std::collections::BTreeSet<_> = nodes.iter().collect();
+            assert_eq!(set.len(), nodes.len(), "loop in {nodes:?}");
+        }
+    }
+
+    #[test]
+    fn yen_respects_k() {
+        assert_eq!(k_cheapest_paths(&diamond(), d(0), d(3), 2).len(), 2);
+        assert_eq!(k_cheapest_paths(&diamond(), d(0), d(3), 1).len(), 1);
+    }
+
+    #[test]
+    fn yen_on_complete_graph_is_loopless_and_sorted() {
+        let net = Network::complete_with_prices(5, 1.0, |i, j| (1 + (i.0 * 5 + j.0) % 7) as f64);
+        let ps = k_cheapest_paths(&net, d(0), d(4), 8);
+        assert!(!ps.is_empty());
+        for w in ps.windows(2) {
+            assert!(w[0].price <= w[1].price + 1e-12);
+        }
+        for p in &ps {
+            assert_eq!(p.hops.first().unwrap().0, d(0));
+            assert_eq!(p.hops.last().unwrap().1, d(4));
+            let nodes = p.nodes();
+            let set: std::collections::BTreeSet<_> = nodes.iter().collect();
+            assert_eq!(set.len(), nodes.len());
+        }
+        // Distinct paths.
+        for i in 0..ps.len() {
+            for j in i + 1..ps.len() {
+                assert_ne!(ps[i].hops, ps[j].hops);
+            }
+        }
+    }
+}

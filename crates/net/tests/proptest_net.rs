@@ -1,0 +1,149 @@
+//! Property-based tests for the network substrate: charging schemes,
+//! ledger accounting, time expansion, and (metamorphic) plan validation.
+
+use postcard_net::{
+    Arc, ArcKind, DcId, FileId, Network, PercentileScheme, TimeExpandedGraph, TrafficLedger,
+    TransferPlan, TransferRequest,
+};
+use proptest::prelude::*;
+
+fn volumes() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1000.0, 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The charged volume is always one of the observed volumes, the 100-th
+    /// percentile is the max, and charging is monotone in q.
+    #[test]
+    fn percentile_charging_properties(vols in volumes(), q1 in 1.0f64..100.0, q2 in 1.0f64..100.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = PercentileScheme::new(lo).charged_volume(&vols);
+        let b = PercentileScheme::new(hi).charged_volume(&vols);
+        prop_assert!(a <= b + 1e-12, "charging must be monotone in q: {a} vs {b}");
+        prop_assert!(vols.iter().any(|&v| (v - a).abs() < 1e-12));
+        let max = PercentileScheme::MAX.charged_volume(&vols);
+        let true_max = vols.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!((max - true_max).abs() < 1e-12);
+    }
+
+    /// Ledger peaks equal the max of the recorded series, and the bill is
+    /// the price-weighted sum of peaks.
+    #[test]
+    fn ledger_peak_is_series_max(
+        records in prop::collection::vec((0usize..3, 0u64..20, 0.1f64..50.0), 1..60),
+    ) {
+        let net = Network::complete(3, 2.0, 1e9);
+        let mut ledger = TrafficLedger::new(3);
+        for &(pair, slot, vol) in &records {
+            let (i, j) = [(0, 1), (1, 2), (2, 0)][pair];
+            ledger.record(DcId(i), DcId(j), slot, vol);
+        }
+        let mut expected_bill = 0.0;
+        for l in net.links() {
+            let series = ledger.series(l.from, l.to);
+            let max = series.iter().cloned().fold(0.0f64, f64::max);
+            prop_assert!((ledger.peak(l.from, l.to) - max).abs() < 1e-9);
+            expected_bill += 2.0 * max;
+        }
+        prop_assert!((ledger.cost_per_slot(&net) - expected_bill).abs() < 1e-9);
+    }
+
+    /// Time expansion has exactly (links + dcs) arcs per slot, and arc
+    /// endpoints always connect consecutive layers.
+    #[test]
+    fn time_expansion_structure(n in 2usize..7, t0 in 0u64..50, slots in 1usize..9) {
+        let net = Network::complete(n, 1.0, 10.0);
+        let g = TimeExpandedGraph::new(&net, t0, slots);
+        prop_assert_eq!(g.num_arcs(), slots * (n * (n - 1) + n));
+        for (_, arc) in g.arcs() {
+            prop_assert_eq!(arc.head().layer, arc.tail().layer + 1);
+            prop_assert!(arc.slot >= t0 && arc.slot < t0 + slots as u64);
+            match arc.kind {
+                ArcKind::Storage => prop_assert_eq!(arc.from, arc.to),
+                ArcKind::Transit => prop_assert_ne!(arc.from, arc.to),
+            }
+        }
+        // Per-slot arc counts are uniform.
+        for s in t0..t0 + slots as u64 {
+            prop_assert_eq!(g.arcs_in_slot(s).count(), n * n);
+        }
+    }
+
+    /// A hop-by-hop relay plan built constructively is always valid, and
+    /// single mutations break exactly the right invariant (metamorphic).
+    #[test]
+    fn constructed_relay_plan_valid_and_mutations_caught(
+        size in 1.0f64..50.0,
+        hold in 0usize..3,
+    ) {
+        // Chain 0 → 1 → 2 with optional holding at the relay.
+        let net = Network::complete(3, 1.0, 1e9);
+        let deadline = 2 + hold;
+        let f = TransferRequest::new(FileId(1), DcId(0), DcId(2), size, deadline, 0);
+        let mut plan = TransferPlan::new();
+        plan.add(f.id, 0, DcId(0), DcId(1), size);
+        for h in 0..hold {
+            plan.add(f.id, 1 + h as u64, DcId(1), DcId(1), size);
+        }
+        plan.add(f.id, 1 + hold as u64, DcId(1), DcId(2), size);
+        prop_assert!(plan.is_valid(&net, &[f], |_, _, _| 0.0));
+
+        // Mutation 1: inflate one transit entry ⇒ conservation breaks.
+        let mut bad = plan.clone();
+        bad.add(f.id, 0, DcId(0), DcId(1), 1.0);
+        prop_assert!(!bad.is_valid(&net, &[f], |_, _, _| 0.0));
+
+        // Mutation 2: move the final hop past the deadline ⇒ window breaks.
+        let mut bad = plan.clone();
+        bad.add(f.id, deadline as u64 + 3, DcId(1), DcId(2), 0.5);
+        prop_assert!(!bad.is_valid(&net, &[f], |_, _, _| 0.0));
+
+        // Mutation 3: shrink capacity below the plan ⇒ capacity breaks.
+        let tight = Network::complete(3, 1.0, size * 0.5);
+        prop_assert!(!plan.is_valid(&tight, &[f], |_, _, _| 0.0));
+    }
+
+    /// Applying a plan to a ledger records exactly the transit volumes.
+    #[test]
+    fn plan_ledger_roundtrip(size in 1.0f64..50.0) {
+        let net = Network::complete(3, 3.0, 1e9);
+        let f = TransferRequest::new(FileId(9), DcId(0), DcId(2), size, 2, 5);
+        let mut plan = TransferPlan::new();
+        plan.add(f.id, 5, DcId(0), DcId(1), size);
+        plan.add(f.id, 6, DcId(1), DcId(2), size);
+        let mut ledger = TrafficLedger::new(3);
+        plan.apply_to_ledger(&mut ledger);
+        prop_assert!((ledger.volume(DcId(0), DcId(1), 5) - size).abs() < 1e-12);
+        prop_assert!((ledger.volume(DcId(1), DcId(2), 6) - size).abs() < 1e-12);
+        prop_assert!((ledger.total_volume(DcId(0), DcId(1)) - size).abs() < 1e-12);
+        prop_assert!((ledger.cost_per_slot(&net) - 6.0 * size).abs() < 1e-9);
+        let _ = net.links().collect::<Vec<_>>();
+    }
+
+    /// `TransferRequest::split` conserves size and produces valid requests.
+    #[test]
+    fn split_conserves_volume(size in 1.0f64..500.0, parts in 1usize..10) {
+        let f = TransferRequest::new(FileId(0), DcId(0), DcId(1), size, 4, 7);
+        let pieces = f.split(parts, 100);
+        prop_assert_eq!(pieces.len(), parts);
+        let total: f64 = pieces.iter().map(|p| p.size_gb).sum();
+        prop_assert!((total - size).abs() < 1e-9);
+        for p in &pieces {
+            prop_assert_eq!(p.deadline_slots, f.deadline_slots);
+            prop_assert_eq!(p.release_slot, f.release_slot);
+        }
+    }
+}
+
+/// Arc usability windows agree with the request's own window arithmetic.
+#[test]
+fn arc_usability_matches_request_window() {
+    let net = Network::complete(3, 1.0, 10.0);
+    let g = TimeExpandedGraph::new(&net, 0, 10);
+    let f = TransferRequest::new(FileId(0), DcId(0), DcId(1), 5.0, 3, 4); // slots 4..=6
+    let usable: Vec<&Arc> = g.arcs_usable_by(&f).map(|(_, a)| a).collect();
+    assert!(usable.iter().all(|a| (4..=6).contains(&a.slot)));
+    assert_eq!(usable.len(), 3 * 9);
+}

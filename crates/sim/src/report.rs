@@ -1,0 +1,126 @@
+//! Plain-text report tables in the shape of the paper's figures.
+
+use crate::runner::ApproachSummary;
+use crate::scenario::Scenario;
+
+/// Renders one scenario's results as an aligned text table:
+///
+/// ```text
+/// fig6 (c_ij = 30 GB/slot, max T = 3) — avg cost per slot, 40 slots × 5 runs
+/// approach     avg cost/slot      95% CI         final    rej%
+/// postcard           1234.56   ± 45.67         1300.00    0.0%
+/// flow-lp            1500.12   ± 50.00         1600.00    1.2%
+/// ```
+pub fn render_table(scenario: &Scenario, summaries: &[ApproachSummary]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} (c_ij = {} GB/slot, max T = {}) — avg cost per slot, {} slots x {} runs\n",
+        scenario.name,
+        scenario.capacity_gb,
+        scenario.deadline_slots.1,
+        scenario.num_slots,
+        scenario.num_runs
+    ));
+    out.push_str(&format!(
+        "{:<28}{:>16}{:>12}{:>14}{:>9}{:>8}\n",
+        "approach", "avg cost/slot", "95% CI", "final", "$/GB", "rej%"
+    ));
+    for s in summaries {
+        out.push_str(&format!(
+            "{:<28}{:>16.2}{:>12}{:>14.2}{:>9.2}{:>7.1}%\n",
+            s.approach.name(),
+            s.avg_cost.mean,
+            format!("± {:.2}", s.avg_cost.half_width),
+            s.final_cost.mean,
+            s.cost_per_gb.mean,
+            100.0 * s.rejection_rate
+        ));
+    }
+    out
+}
+
+/// Renders the winner comparison line the paper's prose reports: which
+/// approach had the lower mean cost and by what factor.
+pub fn render_verdict(summaries: &[ApproachSummary]) -> String {
+    let Some(best) = summaries
+        .iter()
+        .min_by(|a, b| a.avg_cost.mean.partial_cmp(&b.avg_cost.mean).expect("finite costs"))
+    else {
+        return "no results".into();
+    };
+    let mut out = format!("winner: {}", best.approach.name());
+    if best.rejection_rate > 0.05 {
+        out.push_str(&format!(
+            " (caution: it rejected {:.1}% of files — compare the $/GB column)",
+            100.0 * best.rejection_rate
+        ));
+    }
+    for s in summaries {
+        if s.approach != best.approach && best.avg_cost.mean > 0.0 {
+            out.push_str(&format!(
+                "; vs {}: x{:.3}",
+                s.approach.name(),
+                s.avg_cost.mean / best.avg_cost.mean
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{Approach, RunResult};
+    use crate::stats::ConfidenceInterval;
+
+    fn summary(approach: Approach, mean: f64) -> ApproachSummary {
+        ApproachSummary {
+            approach,
+            runs: vec![RunResult {
+                approach,
+                run: 0,
+                num_slots: 10,
+                avg_cost_per_slot: mean,
+                final_cost_per_slot: mean,
+                accepted: 10,
+                rejected: 0,
+                accepted_volume: 100.0,
+                rejected_volume: 0.0,
+                p95_cost_per_slot: mean,
+            }],
+            avg_cost: ConfidenceInterval { mean, half_width: 1.0 },
+            final_cost: ConfidenceInterval { mean, half_width: 1.0 },
+            cost_per_gb: ConfidenceInterval { mean: mean / 10.0, half_width: 0.1 },
+            p95_cost: ConfidenceInterval { mean, half_width: 1.0 },
+            rejection_rate: 0.0,
+        }
+    }
+
+    #[test]
+    fn table_contains_all_approaches() {
+        let s = Scenario::fig6().tiny();
+        let table = render_table(
+            &s,
+            &[summary(Approach::Postcard, 100.0), summary(Approach::FlowLp, 150.0)],
+        );
+        assert!(table.contains("postcard"));
+        assert!(table.contains("flow-lp"));
+        assert!(table.contains("30 GB/slot"));
+        assert!(table.contains("100.00"));
+    }
+
+    #[test]
+    fn verdict_names_winner_and_factor() {
+        let v = render_verdict(&[
+            summary(Approach::Postcard, 100.0),
+            summary(Approach::FlowLp, 150.0),
+        ]);
+        assert!(v.starts_with("winner: postcard"));
+        assert!(v.contains("x1.5"));
+    }
+
+    #[test]
+    fn verdict_empty() {
+        assert_eq!(render_verdict(&[]), "no results");
+    }
+}

@@ -1,0 +1,170 @@
+//! Summary statistics: means, sample deviations, and 95 % confidence
+//! intervals (Student's t for small samples, matching the paper's error
+//! bars over 10 runs).
+
+/// Mean of a slice (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (Bessel-corrected; 0 for fewer than 2 points).
+pub fn sample_stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Two-sided 97.5 % Student-t quantile for `df` degrees of freedom (exact
+/// table through 30, normal approximation beyond).
+fn t_975(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[df - 1],
+        _ => 1.96,
+    }
+}
+
+/// A symmetric confidence interval around a mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate.
+    pub mean: f64,
+    /// Half-width of the 95 % interval.
+    pub half_width: f64,
+}
+
+impl ConfidenceInterval {
+    /// 95 % CI of the mean of `xs` (half-width 0 for < 2 points).
+    pub fn of(xs: &[f64]) -> Self {
+        let m = mean(xs);
+        if xs.len() < 2 {
+            return Self { mean: m, half_width: 0.0 };
+        }
+        let se = sample_stddev(xs) / (xs.len() as f64).sqrt();
+        Self { mean: m, half_width: t_975(xs.len() - 1) * se }
+    }
+
+    /// Lower bound.
+    pub fn low(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound.
+    pub fn high(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// `true` when `other`'s interval overlaps this one.
+    pub fn overlaps(&self, other: &ConfidenceInterval) -> bool {
+        self.low() <= other.high() && other.low() <= self.high()
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} ± {:.2}", self.mean, self.half_width)
+    }
+}
+
+/// Five-number-ish summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of points.
+    pub n: usize,
+    /// Mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes `xs` (all-zero for an empty slice).
+    pub fn of(xs: &[f64]) -> Self {
+        Self {
+            n: xs.len(),
+            mean: mean(xs),
+            stddev: sample_stddev(xs),
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(f64::NEG_INFINITY),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sample stddev of this classic set is ~2.138.
+        assert!((sample_stddev(&xs) - 2.138).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(sample_stddev(&[3.0]), 0.0);
+        let ci = ConfidenceInterval::of(&[3.0]);
+        assert_eq!(ci.mean, 3.0);
+        assert_eq!(ci.half_width, 0.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_more_data() {
+        let small = ConfidenceInterval::of(&[1.0, 2.0, 3.0]);
+        let xs: Vec<f64> = (0..30).map(|i| 1.0 + (i % 3) as f64).collect();
+        let large = ConfidenceInterval::of(&xs);
+        assert!((small.mean - 2.0).abs() < 1e-12);
+        assert!((large.mean - 2.0).abs() < 1e-12);
+        assert!(large.half_width < small.half_width);
+    }
+
+    #[test]
+    fn ci_overlap() {
+        let a = ConfidenceInterval { mean: 1.0, half_width: 0.5 };
+        let b = ConfidenceInterval { mean: 1.8, half_width: 0.4 };
+        let c = ConfidenceInterval { mean: 3.0, half_width: 0.2 };
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn t_quantiles_monotone() {
+        assert!(t_975(1) > t_975(5));
+        assert!(t_975(5) > t_975(30));
+        assert!((t_975(9) - 2.262).abs() < 1e-9); // the paper's n=10 runs
+        assert_eq!(t_975(1000), 1.96);
+    }
+
+    #[test]
+    fn summary_of_sample() {
+        let s = Summary::of(&[1.0, 5.0, 3.0]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_format() {
+        let ci = ConfidenceInterval { mean: 12.345, half_width: 0.678 };
+        assert_eq!(ci.to_string(), "12.35 ± 0.68");
+    }
+}

@@ -1,0 +1,112 @@
+//! The paper's evaluation (Sec. VII), runnable from the command line.
+//!
+//! Reproduces any of the four figure settings, comparing Postcard against
+//! the storage-free flow-based approach (plus optional extra baselines):
+//!
+//! ```sh
+//! # Scaled-down default (laptop-friendly):
+//! cargo run --release --example online_simulation -- --setting fig6
+//!
+//! # All four figures:
+//! cargo run --release --example online_simulation -- --setting all
+//!
+//! # The paper's full 20-datacenter scale (slow!):
+//! cargo run --release --example online_simulation -- --setting fig6 --paper-scale
+//!
+//! # Add more baselines and change seeds/runs:
+//! cargo run --release --example online_simulation -- --setting fig4 --all-approaches --seed 7
+//! ```
+
+use postcard::sim::{report, run_scenario, Approach, Scenario};
+use std::process::ExitCode;
+
+struct Args {
+    settings: Vec<Scenario>,
+    paper_scale: bool,
+    all_approaches: bool,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut settings = vec![Scenario::fig6()];
+    let mut paper_scale = false;
+    let mut all_approaches = false;
+    let mut seed = 1u64;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--setting" => {
+                i += 1;
+                let v = argv.get(i).ok_or("--setting needs a value")?;
+                settings = match v.as_str() {
+                    "fig4" => vec![Scenario::fig4()],
+                    "fig5" => vec![Scenario::fig5()],
+                    "fig6" => vec![Scenario::fig6()],
+                    "fig7" => vec![Scenario::fig7()],
+                    "all" => Scenario::all_figures(),
+                    other => return Err(format!("unknown setting `{other}`")),
+                };
+            }
+            "--paper-scale" => paper_scale = true,
+            "--all-approaches" => all_approaches = true,
+            "--seed" => {
+                i += 1;
+                seed = argv
+                    .get(i)
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --seed value".to_string())?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: online_simulation [--setting fig4|fig5|fig6|fig7|all] \
+                            [--paper-scale] [--all-approaches] [--seed N]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+        i += 1;
+    }
+    Ok(Args { settings, paper_scale, all_approaches, seed })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let approaches = if args.all_approaches {
+        vec![
+            Approach::Postcard,
+            Approach::FlowLp,
+            Approach::FlowTwoPhase,
+            Approach::FlowGreedy,
+            Approach::Direct,
+        ]
+    } else {
+        Approach::paper_pair()
+    };
+
+    for base in &args.settings {
+        let scenario = if args.paper_scale { base.clone() } else { base.scaled_down() };
+        eprintln!(
+            "running {} ({} datacenters, {} slots, {} runs)...",
+            scenario.name, scenario.num_dcs, scenario.num_slots, scenario.num_runs
+        );
+        match run_scenario(&scenario, &approaches, args.seed) {
+            Ok(summaries) => {
+                println!("{}", report::render_table(&scenario, &summaries));
+                println!("{}", report::render_verdict(&summaries));
+                println!();
+            }
+            Err(e) => {
+                eprintln!("{}: failed: {e}", scenario.name);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,67 @@
+//! Record a workload trace to CSV, replay it through two approaches, and
+//! compare bills — the paired-comparison methodology of the paper's
+//! evaluation, on a trace you can inspect and edit.
+//!
+//! ```sh
+//! cargo run --release --example trace_replay            # generate + replay
+//! cargo run --release --example trace_replay -- my.csv  # replay your own
+//! ```
+
+use postcard::sim::{run_trace, Approach, Scenario, Trace};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let scenario = Scenario::fig6().tiny();
+    let network = scenario.network(11);
+
+    let trace = match std::env::args().nth(1) {
+        Some(path) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match Trace::from_csv(&text) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => {
+            let mut workload = scenario.workload(11);
+            let trace = Trace::generate(&mut workload, scenario.num_slots);
+            let path = std::env::temp_dir().join("postcard_trace.csv");
+            if std::fs::write(&path, trace.to_csv()).is_ok() {
+                println!("trace written to {} ({} files)", path.display(), trace.len());
+            }
+            trace
+        }
+    };
+
+    println!(
+        "replaying {} files / {:.0} GB over {} slots on a {}-datacenter network",
+        trace.len(),
+        trace.total_volume(),
+        trace.num_slots(),
+        network.num_dcs()
+    );
+    println!();
+    println!("{:<12}{:>16}{:>14}{:>10}", "approach", "avg cost/slot", "final", "rejected");
+    for approach in [Approach::Postcard, Approach::FlowLp, Approach::Direct] {
+        match run_trace(&network, &trace, trace.num_slots(), approach, 0) {
+            Ok(r) => println!(
+                "{:<12}{:>16.2}{:>14.2}{:>10}",
+                approach.name(),
+                r.avg_cost_per_slot,
+                r.final_cost_per_slot,
+                r.rejected
+            ),
+            Err(e) => println!("{:<12}  failed: {e}", approach.name()),
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,26 @@
+//! # Postcard — minimizing costs on inter-datacenter traffic with store-and-forward
+//!
+//! A from-scratch Rust reproduction of *"Postcard: Minimizing Costs on
+//! Inter-Datacenter Traffic with Store-and-Forward"* (Feng, Li & Li,
+//! IEEE ICDCS 2012).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`lp`] — pure-Rust linear programming (modeling layer + revised simplex);
+//! * [`net`] — network substrate: topology, time-expanded graphs, percentile
+//!   charging, traffic ledger, transfer plans;
+//! * [`flow`] — flow algorithms and the paper's storage-free flow-based
+//!   baseline;
+//! * [`core`] — the Postcard optimizer, online controller, and the Sec. VI
+//!   extensions;
+//! * [`sim`] — the time-slotted simulator, workloads, and statistics used to
+//!   reproduce the paper's evaluation.
+//!
+//! See the repository `README.md` for a quickstart, `DESIGN.md` for the
+//! system inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use postcard_core as core;
+pub use postcard_flow as flow;
+pub use postcard_lp as lp;
+pub use postcard_net as net;
+pub use postcard_sim as sim;

@@ -1,0 +1,115 @@
+//! Failure injection: link capacity degradation between scheduling rounds.
+//!
+//! The paper assumes static capacities; a real deployment sees maintenance
+//! and failures. These tests verify the pieces degrade *detectably and
+//! gracefully*: committed plans that a shock invalidates are caught by the
+//! validators, residual accounting reports the over-commitment, and
+//! re-planning around the shock succeeds when capacity allows.
+
+use postcard::core::{solve_postcard, PostcardError};
+use postcard::net::{
+    DcId, FileId, Network, NetworkBuilder, PlanViolation, TrafficLedger, TransferRequest,
+};
+
+fn chain(cap: f64) -> Network {
+    NetworkBuilder::new(3)
+        .link(DcId(0), DcId(1), 1.0, cap)
+        .link(DcId(1), DcId(2), 2.0, cap)
+        .build()
+}
+
+#[test]
+fn shock_invalidates_committed_plan_detectably() {
+    let net = chain(10.0);
+    let files = [TransferRequest::new(FileId(1), DcId(0), DcId(2), 16.0, 3, 0)];
+    let ledger = TrafficLedger::new(3);
+    let sol = solve_postcard(&net, &files, &ledger).unwrap();
+    assert!(sol.plan.is_valid(&net, &files, |_, _, _| 0.0));
+
+    // The first hop degrades to 5 GB/slot after planning.
+    let mut degraded = net.clone();
+    degraded.set_capacity(DcId(0), DcId(1), 5.0);
+    let violations = sol.plan.validate(&degraded, &files, |_, _, _| 0.0);
+    assert!(
+        violations.iter().any(|v| matches!(
+            v,
+            PlanViolation::Capacity { from: DcId(0), to: DcId(1), .. }
+        )),
+        "shock must surface as a capacity violation: {violations:?}"
+    );
+}
+
+#[test]
+fn residual_goes_negative_on_overcommitment() {
+    // The ledger records what was committed; when capacity shrinks below
+    // the committed volume, the residual exposes the deficit instead of
+    // silently clamping.
+    let net = chain(10.0);
+    let mut ledger = TrafficLedger::new(3);
+    ledger.record(DcId(0), DcId(1), 4, 9.0);
+    let mut degraded = net.clone();
+    degraded.set_capacity(DcId(0), DcId(1), 5.0);
+    assert_eq!(ledger.residual(&net, DcId(0), DcId(1), 4), 1.0);
+    assert_eq!(ledger.residual(&degraded, DcId(0), DcId(1), 4), -4.0);
+}
+
+#[test]
+fn replanning_around_a_shock_succeeds_when_possible() {
+    // Round 1 commits traffic; the shock hits; round 2 must route its file
+    // around both the committed traffic and the degraded link.
+    let net = NetworkBuilder::new(3)
+        .link(DcId(0), DcId(1), 1.0, 10.0)
+        .link(DcId(1), DcId(2), 2.0, 10.0)
+        .link(DcId(0), DcId(2), 8.0, 10.0) // expensive bypass
+        .build();
+    let mut ledger = TrafficLedger::new(3);
+    let f1 = TransferRequest::new(FileId(1), DcId(0), DcId(2), 10.0, 2, 0);
+    let sol1 = solve_postcard(&net, &[f1], &ledger).unwrap();
+    sol1.plan.apply_to_ledger(&mut ledger);
+
+    // Shock: relay hop 0→1 drops to 2 GB/slot from slot 2 onward. Model it
+    // as a degraded network for the second round.
+    let mut degraded = net.clone();
+    degraded.set_capacity(DcId(0), DcId(1), 2.0);
+    let f2 = TransferRequest::new(FileId(2), DcId(0), DcId(2), 12.0, 2, 2);
+    let sol2 = solve_postcard(&degraded, &[f2], &ledger).unwrap();
+    // Valid against the degraded capacities plus the earlier commitments.
+    let violations =
+        sol2.plan.validate(&degraded, &[f2], |i, j, s| ledger.volume(i, j, s));
+    assert!(violations.is_empty(), "{violations:?}");
+    // The bypass must carry most of it: the degraded relay admits at most
+    // 2 GB/slot into the relay during slot 2 (the only slot that can still
+    // make the 2-hop deadline).
+    let relayed: f64 = (2..=3).map(|s| sol2.plan.volume(FileId(2), s, DcId(0), DcId(1))).sum();
+    assert!(relayed <= 2.0 + 1e-6, "relayed {relayed}");
+}
+
+#[test]
+fn replanning_reports_infeasible_when_shock_is_fatal() {
+    let net = chain(10.0);
+    let mut degraded = net.clone();
+    degraded.set_capacity(DcId(0), DcId(1), 1.0);
+    // 16 GB in 3 slots cannot leave the source over a 1 GB/slot only path.
+    let f = TransferRequest::new(FileId(1), DcId(0), DcId(2), 16.0, 3, 0);
+    let ledger = TrafficLedger::new(3);
+    assert_eq!(
+        solve_postcard(&degraded, &[f], &ledger).unwrap_err(),
+        PostcardError::Infeasible
+    );
+}
+
+#[test]
+fn shock_on_unrelated_link_changes_nothing() {
+    let net = NetworkBuilder::new(4)
+        .link(DcId(0), DcId(1), 1.0, 10.0)
+        .link(DcId(1), DcId(2), 2.0, 10.0)
+        .link(DcId(3), DcId(2), 1.0, 10.0)
+        .build();
+    let f = TransferRequest::new(FileId(1), DcId(0), DcId(2), 10.0, 2, 0);
+    let ledger = TrafficLedger::new(4);
+    let before = solve_postcard(&net, &[f], &ledger).unwrap();
+    let mut shocked = net.clone();
+    shocked.set_capacity(DcId(3), DcId(2), 1.0);
+    let after = solve_postcard(&shocked, &[f], &ledger).unwrap();
+    assert!((before.cost_per_slot - after.cost_per_slot).abs() < 1e-9);
+}

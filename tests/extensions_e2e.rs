@@ -1,0 +1,143 @@
+//! End-to-end behaviour of the Sec. VI extension problems.
+
+use postcard::core::extensions::{
+    solve_budget_constrained, solve_bulk_max_transfer, BulkCapacityMode,
+};
+use postcard::net::{DcId, FileId, Network, TrafficLedger, TransferRequest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn instance(seed: u64) -> (Network, Vec<TransferRequest>, TrafficLedger) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 5;
+    let network = Network::complete_with_prices(n, 40.0, |_, _| rng.gen_range(1.0..=10.0));
+    let files: Vec<TransferRequest> = (0..5)
+        .map(|k| {
+            let src = rng.gen_range(0..n);
+            let mut dst = rng.gen_range(0..n);
+            while dst == src {
+                dst = rng.gen_range(0..n);
+            }
+            TransferRequest::new(
+                FileId(k),
+                DcId(src),
+                DcId(dst),
+                rng.gen_range(20.0..=60.0),
+                rng.gen_range(2..=4),
+                0,
+            )
+        })
+        .collect();
+    let mut ledger = TrafficLedger::new(n);
+    // Some links carry historical peaks (sunk cost, free headroom).
+    for l in network.links() {
+        if rng.gen_bool(0.4) {
+            ledger.record(l.from, l.to, 1000, rng.gen_range(5.0..20.0));
+        }
+    }
+    (network, files, ledger)
+}
+
+#[test]
+fn budget_delivery_is_monotone_in_budget() {
+    for seed in 0..4u64 {
+        let (network, files, ledger) = instance(seed);
+        let base = ledger.cost_per_slot(&network);
+        let mut prev = -1.0;
+        for step in 0..6 {
+            let budget = base + 60.0 * step as f64;
+            let sol = solve_budget_constrained(&network, &files, &ledger, budget).unwrap();
+            assert!(
+                sol.total_delivered >= prev - 1e-6,
+                "seed {seed}: delivery dropped ({} after {prev}) at budget {budget}",
+                sol.total_delivered
+            );
+            assert!(sol.cost_per_slot <= budget + 1e-6);
+            prev = sol.total_delivered;
+        }
+    }
+}
+
+#[test]
+fn budget_plans_validate_at_delivered_sizes() {
+    let (network, files, ledger) = instance(9);
+    let budget = ledger.cost_per_slot(&network) + 150.0;
+    let sol = solve_budget_constrained(&network, &files, &ledger, budget).unwrap();
+    let served = sol.delivered_requests(&files);
+    let violations = sol.plan.validate(&network, &served, |i, j, s| ledger.volume(i, j, s));
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn unlimited_budget_matches_full_delivery() {
+    let (network, files, ledger) = instance(3);
+    let total: f64 = files.iter().map(|f| f.size_gb).sum();
+    let sol = solve_budget_constrained(&network, &files, &ledger, 1e9).unwrap();
+    assert!((sol.total_delivered - total).abs() < 1e-4, "{}", sol.total_delivered);
+}
+
+#[test]
+fn bulk_any_residual_dominates_paid_leftover() {
+    for seed in 20..24u64 {
+        let (network, files, ledger) = instance(seed);
+        let paid =
+            solve_bulk_max_transfer(&network, &files, &ledger, BulkCapacityMode::PaidLeftoverOnly)
+                .unwrap();
+        let any =
+            solve_bulk_max_transfer(&network, &files, &ledger, BulkCapacityMode::AnyResidual)
+                .unwrap();
+        assert!(
+            any.total_delivered >= paid.total_delivered - 1e-6,
+            "seed {seed}: {} < {}",
+            any.total_delivered,
+            paid.total_delivered
+        );
+    }
+}
+
+#[test]
+fn bulk_paid_leftover_is_free() {
+    for seed in 30..34u64 {
+        let (network, files, ledger) = instance(seed);
+        let before = ledger.cost_per_slot(&network);
+        let sol =
+            solve_bulk_max_transfer(&network, &files, &ledger, BulkCapacityMode::PaidLeftoverOnly)
+                .unwrap();
+        let mut after = ledger.clone();
+        sol.plan.apply_to_ledger(&mut after);
+        assert!(
+            (after.cost_per_slot(&network) - before).abs() < 1e-6,
+            "seed {seed}: paid-leftover transfer changed the bill"
+        );
+        let served = sol.delivered_requests(&files);
+        assert!(sol
+            .plan
+            .validate(&network, &served, |i, j, s| ledger.volume(i, j, s))
+            .is_empty());
+    }
+}
+
+#[test]
+fn bulk_delivery_bounded_by_request_total() {
+    let (network, files, ledger) = instance(40);
+    let total: f64 = files.iter().map(|f| f.size_gb).sum();
+    let sol = solve_bulk_max_transfer(&network, &files, &ledger, BulkCapacityMode::AnyResidual)
+        .unwrap();
+    assert!(sol.total_delivered <= total + 1e-6);
+    for f in &files {
+        let y = sol.delivered[&f.id];
+        assert!((0.0..=f.size_gb + 1e-9).contains(&y));
+    }
+}
+
+#[test]
+fn budget_with_generous_cap_beats_bulk_paid_only() {
+    // Spending money can only increase what is deliverable relative to
+    // free-only transfers on the same instance.
+    let (network, files, ledger) = instance(50);
+    let free =
+        solve_bulk_max_transfer(&network, &files, &ledger, BulkCapacityMode::PaidLeftoverOnly)
+            .unwrap();
+    let spend = solve_budget_constrained(&network, &files, &ledger, 1e9).unwrap();
+    assert!(spend.total_delivered >= free.total_delivered - 1e-6);
+}

@@ -1,0 +1,71 @@
+//! End-to-end reproduction of the paper's Fig. 1 motivating example.
+//!
+//! Datacenter D2 must send a 6 MB file to D3 within 15 minutes (3 slots);
+//! the same provider operates a relay D1. Prices: D2→D3 $10, D2→D1 $1,
+//! D1→D3 $3 per unit. The paper reports a per-slot cost of **20** without
+//! any strategy and **12** with routing + scheduling.
+
+use postcard::core::{
+    solve_postcard, DirectScheduler, FlowLpScheduler, OnlineController, PostcardScheduler,
+};
+use postcard::net::{DcId, FileId, Network, NetworkBuilder, TrafficLedger, TransferRequest};
+
+fn fig1_network() -> Network {
+    NetworkBuilder::new(3)
+        .link(DcId(1), DcId(2), 10.0, 1000.0)
+        .link(DcId(1), DcId(0), 1.0, 1000.0)
+        .link(DcId(0), DcId(2), 3.0, 1000.0)
+        .build()
+}
+
+fn fig1_file() -> TransferRequest {
+    TransferRequest::new(FileId(1), DcId(1), DcId(2), 6.0, 3, 0)
+}
+
+#[test]
+fn direct_costs_twenty_per_slot() {
+    let mut ctl = OnlineController::new(fig1_network(), DirectScheduler);
+    let report = ctl.step(0, &[fig1_file()]).unwrap();
+    assert!((report.cost_per_slot - 20.0).abs() < 1e-9, "{}", report.cost_per_slot);
+}
+
+#[test]
+fn postcard_reaches_the_papers_twelve() {
+    let mut ctl = OnlineController::new(fig1_network(), PostcardScheduler::new());
+    let report = ctl.step(0, &[fig1_file()]).unwrap();
+    assert!((report.cost_per_slot - 12.0).abs() < 1e-4, "{}", report.cost_per_slot);
+}
+
+#[test]
+fn postcard_plan_matches_fig1b_structure() {
+    // Fig. 1(b): the file is split in two 3 MB blocks pipelined over
+    // D2 → D1 → D3; charged volumes are 3 on each relay link, 0 direct.
+    let sol = solve_postcard(&fig1_network(), &[fig1_file()], &TrafficLedger::new(3)).unwrap();
+    let plan = &sol.plan;
+    assert!((plan.link_peak(DcId(1), DcId(0)) - 3.0).abs() < 1e-6);
+    assert!((plan.link_peak(DcId(0), DcId(2)) - 3.0).abs() < 1e-6);
+    assert!(plan.link_peak(DcId(1), DcId(2)) < 1e-6, "direct link unused");
+    // Half the file waits one slot (at the source or the relay).
+    assert!(plan.total_holdover() >= 3.0 - 1e-6);
+}
+
+#[test]
+fn flow_based_also_prefers_the_relay_here() {
+    // With ample capacity the flow model can use the relay too (at rate 2
+    // on both hops): cost 2·1 + 2·3 = 8 — *cheaper* than Postcard's 12,
+    // because instantaneous forwarding avoids the pipelining burst. This is
+    // exactly the paper's Sec. VII observation that store-and-forward is
+    // bursty when capacity is ample.
+    let mut ctl = OnlineController::new(fig1_network(), FlowLpScheduler);
+    let report = ctl.step(0, &[fig1_file()]).unwrap();
+    assert!((report.cost_per_slot - 8.0).abs() < 1e-4, "{}", report.cost_per_slot);
+}
+
+#[test]
+fn shorter_deadline_removes_the_advantage() {
+    // With T = 1 the relay path (2 hops) is unusable in the slotted model:
+    // Postcard must send everything direct in one slot (cost 60).
+    let file = TransferRequest::new(FileId(1), DcId(1), DcId(2), 6.0, 1, 0);
+    let sol = solve_postcard(&fig1_network(), &[file], &TrafficLedger::new(3)).unwrap();
+    assert!((sol.cost_per_slot - 60.0).abs() < 1e-5, "{}", sol.cost_per_slot);
+}
