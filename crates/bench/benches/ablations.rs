@@ -21,12 +21,8 @@ use std::hint::black_box;
 fn ablation_storage() {
     println!("=== A1: value of relay storage (fig6 setting) ===");
     let scenario = Scenario::fig6().scaled_down();
-    let out = run_scenario(
-        &scenario,
-        &[Approach::Postcard, Approach::PostcardNoRelayStorage],
-        3,
-    )
-    .expect("scenario runs");
+    let out = run_scenario(&scenario, &[Approach::Postcard, Approach::PostcardNoRelayStorage], 3)
+        .expect("scenario runs");
     println!("{}", report::render_table(&scenario, &out));
 }
 

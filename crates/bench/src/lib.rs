@@ -43,6 +43,21 @@ pub fn random_network(seed: u64, num_dcs: usize, capacity: f64) -> Network {
     Network::complete_with_prices(num_dcs, capacity, |_, _| rng.gen_range(1.0..=10.0))
 }
 
+/// Runs a figure scenario (scaled down) and prints the table + verdict the
+/// paper's figure reports. Used by the `fig4`–`fig7` benches.
+pub fn print_figure(base: &postcard_sim::Scenario, seed: u64) {
+    let scenario = base.scaled_down();
+    let approaches = postcard_sim::Approach::paper_pair();
+    match postcard_sim::run_scenario(&scenario, &approaches, seed) {
+        Ok(summaries) => {
+            println!("{}", postcard_sim::report::render_table(&scenario, &summaries));
+            println!("{}", postcard_sim::report::render_verdict(&summaries));
+            println!();
+        }
+        Err(e) => eprintln!("{}: figure run failed: {e}", scenario.name),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,20 +71,5 @@ mod tests {
     #[test]
     fn network_is_deterministic() {
         assert_eq!(random_network(2, 4, 30.0), random_network(2, 4, 30.0));
-    }
-}
-
-/// Runs a figure scenario (scaled down) and prints the table + verdict the
-/// paper's figure reports. Used by the `fig4`–`fig7` benches.
-pub fn print_figure(base: &postcard_sim::Scenario, seed: u64) {
-    let scenario = base.scaled_down();
-    let approaches = postcard_sim::Approach::paper_pair();
-    match postcard_sim::run_scenario(&scenario, &approaches, seed) {
-        Ok(summaries) => {
-            println!("{}", postcard_sim::report::render_table(&scenario, &summaries));
-            println!("{}", postcard_sim::report::render_verdict(&summaries));
-            println!();
-        }
-        Err(e) => eprintln!("{}: figure run failed: {e}", scenario.name),
     }
 }

@@ -43,9 +43,8 @@ impl Args {
                 switches.push(name.to_string());
             } else {
                 i += 1;
-                let value = argv
-                    .get(i)
-                    .ok_or_else(|| ArgError(format!("--{name} needs a value")))?;
+                let value =
+                    argv.get(i).ok_or_else(|| ArgError(format!("--{name} needs a value")))?;
                 values.insert(name.to_string(), value.clone());
             }
             i += 1;
@@ -67,9 +66,7 @@ impl Args {
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
         match self.get(name) {
             None => Ok(default),
-            Some(s) => s
-                .parse()
-                .map_err(|_| ArgError(format!("--{name}: cannot parse `{s}`"))),
+            Some(s) => s.parse().map_err(|_| ArgError(format!("--{name}: cannot parse `{s}`"))),
         }
     }
 
@@ -79,9 +76,7 @@ impl Args {
     ///
     /// Fails when the flag is absent or unparsable.
     pub fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, ArgError> {
-        let s = self
-            .get(name)
-            .ok_or_else(|| ArgError(format!("--{name} is required")))?;
+        let s = self.get(name).ok_or_else(|| ArgError(format!("--{name} is required")))?;
         s.parse().map_err(|_| ArgError(format!("--{name}: cannot parse `{s}`")))
     }
 

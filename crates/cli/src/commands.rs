@@ -3,7 +3,10 @@
 use crate::args::{parse_range_f64, parse_range_usize, ArgError, Args};
 use postcard_core::{Decision, OnlineController};
 use postcard_net::{Network, TransferPlan};
-use postcard_sim::{report, run_scenario, Approach, Scenario, Trace, UniformWorkload, WorkloadConfig};
+use postcard_runtime::{ArrivalSchedule, ClockKind, FaultPlan, Runtime, RuntimeConfig, TierKind};
+use postcard_sim::{
+    report, run_scenario, Approach, Scenario, Trace, UniformWorkload, WorkloadConfig,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -55,10 +58,22 @@ commands:
                 [--plan-out PATH] [--costs-out PATH]
   simulate      [--setting fig4|fig5|fig6|fig7|all] [--paper-scale]
                 [--runs N] [--slots N] [--seed S] [--all-approaches]
+  serve         --network PATH --trace PATH [--slots N]
+                [--checkpoint PATH] [--every N] [--budget-ms MS]
+                [--tiers a,b,c] [--queue N] [--wall-clock]
+                [--degrade slot:from:to:cap[,..]] [--force-timeout slot[:tier][,..]]
+                [--stop-after-slot K] [--metrics-out PATH]
+  resume        --checkpoint PATH [--stop-after-slot K] [--metrics-out PATH]
   help
 
 approaches: postcard (default), postcard-no-relay-storage, flow-lp,
-            flow-two-phase, flow-greedy, direct";
+            flow-two-phase, flow-greedy, direct
+tiers:      postcard, flow-lp, flow-greedy (fallback order; default all three)
+
+`serve` runs the crash-safe service runtime: every slot is scheduled through
+the tier fallback chain, checkpoints are written every --every slots, and
+--stop-after-slot simulates a crash (resume from the last checkpoint with
+`resume`). --metrics-out ending in .csv exports CSV, anything else JSON.";
 
 /// Runs one CLI invocation, writing human output to `out`.
 ///
@@ -75,6 +90,8 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "gen-trace" => gen_trace(rest, out),
         "schedule" => schedule(rest, out),
         "simulate" => simulate(rest, out),
+        "serve" => serve(rest, out),
+        "resume" => resume(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -110,9 +127,7 @@ fn gen_network(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let path = args.get("out").map(str::to_string);
     args.reject_unknown()?;
     let mut rng = StdRng::seed_from_u64(seed);
-    let net = Network::complete_with_prices(dcs, capacity, |_, _| {
-        rng.gen_range(price.0..=price.1)
-    });
+    let net = Network::complete_with_prices(dcs, capacity, |_, _| rng.gen_range(price.0..=price.1));
     write_or_print(path.as_deref(), &net.to_csv(), out)
 }
 
@@ -151,8 +166,8 @@ fn schedule(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let costs_out = args.get("costs-out").map(str::to_string);
     args.reject_unknown()?;
 
-    let network = Network::from_csv(&std::fs::read_to_string(&network_path)?)
-        .map_err(CliError::Run)?;
+    let network =
+        Network::from_csv(&std::fs::read_to_string(&network_path)?).map_err(CliError::Run)?;
     let trace = Trace::from_csv(&std::fs::read_to_string(&trace_path)?)
         .map_err(|e| CliError::Run(e.to_string()))?;
     for r in trace.requests() {
@@ -165,8 +180,7 @@ fn schedule(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         }
     }
 
-    let mut ctl =
-        OnlineController::new(network.clone(), approach.scheduler()).with_decision_log();
+    let mut ctl = OnlineController::new(network.clone(), approach.scheduler()).with_decision_log();
     let num_slots = trace.num_slots();
     for slot in 0..num_slots {
         let batch = trace.batch(slot);
@@ -222,9 +236,15 @@ fn simulate(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let paper_scale = args.switch("paper-scale");
     let all_approaches = args.switch("all-approaches");
     let seed: u64 = args.get_or("seed", 1)?;
-    let runs_override: Option<usize> = args.get("runs").map(str::parse).transpose()
+    let runs_override: Option<usize> = args
+        .get("runs")
+        .map(str::parse)
+        .transpose()
         .map_err(|_| CliError::Usage("--runs: bad value".into()))?;
-    let slots_override: Option<u64> = args.get("slots").map(str::parse).transpose()
+    let slots_override: Option<u64> = args
+        .get("slots")
+        .map(str::parse)
+        .transpose()
         .map_err(|_| CliError::Usage("--slots: bad value".into()))?;
     args.reject_unknown()?;
 
@@ -255,13 +275,139 @@ fn simulate(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         if let Some(s) = slots_override {
             scenario.num_slots = s;
         }
-        let summaries = run_scenario(&scenario, &approaches, seed)
-            .map_err(|e| CliError::Run(e.to_string()))?;
+        let summaries =
+            run_scenario(&scenario, &approaches, seed).map_err(|e| CliError::Run(e.to_string()))?;
         writeln!(out, "{}", report::render_table(&scenario, &summaries))?;
         writeln!(out, "{}", report::render_verdict(&summaries))?;
         writeln!(out)?;
     }
     Ok(())
+}
+
+/// Parses a comma-separated tier list (e.g. `postcard,flow-lp`).
+fn parse_tiers(spec: &str) -> Result<Vec<TierKind>, CliError> {
+    spec.split(',').map(|t| t.trim().parse().map_err(CliError::Usage)).collect()
+}
+
+/// Builds a fault plan from comma-separated `--degrade` / `--force-timeout`
+/// specs.
+fn parse_faults(degrade: Option<&str>, force_timeout: Option<&str>) -> Result<FaultPlan, CliError> {
+    let mut plan = FaultPlan::none();
+    if let Some(specs) = degrade {
+        for spec in specs.split(',') {
+            plan.degradations
+                .push(FaultPlan::parse_degradation(spec.trim()).map_err(CliError::Usage)?);
+        }
+    }
+    if let Some(specs) = force_timeout {
+        for spec in specs.split(',') {
+            plan.timeouts.push(FaultPlan::parse_timeout(spec.trim()).map_err(CliError::Usage)?);
+        }
+    }
+    Ok(plan)
+}
+
+/// Runs a service (fresh or resumed) up to `stop_after_slot`, then reports
+/// and optionally exports metrics. Stopping early does *not* checkpoint —
+/// that is the crash being simulated; `resume` picks up from the last
+/// periodic checkpoint.
+fn drive_service(
+    mut rt: Runtime,
+    stop_after_slot: Option<u64>,
+    metrics_out: Option<&str>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let stop = stop_after_slot.unwrap_or(u64::MAX);
+    while rt.next_slot() < stop {
+        let Some(outcome) = rt.run_slot().map_err(|e| CliError::Run(e.to_string()))? else {
+            break;
+        };
+        if outcome.degraded {
+            writeln!(out, "slot {}: degraded (batch lost)", outcome.report.slot)?;
+        } else if let Some(tier) = outcome.chosen_tier {
+            if tier != rt.config().tiers[0] {
+                writeln!(out, "slot {}: fell back to {tier}", outcome.report.slot)?;
+            }
+        }
+    }
+
+    let (accepted, rejected) = rt.controller().admission_counts();
+    let state = if rt.is_finished() { "finished" } else { "stopped" };
+    writeln!(
+        out,
+        "{state} at slot {}/{}: {} accepted / {} rejected, final bill {:.2}/slot, \
+         {} fallback activation(s)",
+        rt.next_slot(),
+        rt.num_slots(),
+        accepted,
+        rejected,
+        rt.final_cost_per_slot(),
+        rt.metrics().counter("fallback_activations"),
+    )?;
+    if let Some(path) = metrics_out {
+        let content =
+            if path.ends_with(".csv") { rt.metrics().to_csv() } else { rt.metrics().to_json() };
+        std::fs::write(path, content)?;
+        writeln!(out, "wrote {path}")?;
+    }
+    Ok(())
+}
+
+fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv, &["wall-clock"])?;
+    let network_path: String = args.require("network")?;
+    let trace_path: String = args.require("trace")?;
+    let slots: u64 = args.get_or("slots", 0)?;
+    let checkpoint = args.get("checkpoint").map(str::to_string);
+    let every: u64 = args.get_or("every", if checkpoint.is_some() { 1 } else { 0 })?;
+    let budget_ms: u64 = args.get_or("budget-ms", 250)?;
+    let tiers = match args.get("tiers") {
+        Some(spec) => parse_tiers(spec)?,
+        None => TierKind::default_chain(),
+    };
+    let queue_capacity: usize = args.get_or("queue", 1024)?;
+    let wall_clock = args.switch("wall-clock");
+    let faults = parse_faults(args.get("degrade"), args.get("force-timeout"))?;
+    let stop_after_slot: Option<u64> = args
+        .get("stop-after-slot")
+        .map(str::parse)
+        .transpose()
+        .map_err(|_| CliError::Usage("--stop-after-slot: bad value".into()))?;
+    let metrics_out = args.get("metrics-out").map(str::to_string);
+    args.reject_unknown()?;
+
+    let network =
+        Network::from_csv(&std::fs::read_to_string(&network_path)?).map_err(CliError::Run)?;
+    let arrivals =
+        ArrivalSchedule::from_csv(&std::fs::read_to_string(&trace_path)?).map_err(CliError::Run)?;
+    let config = RuntimeConfig {
+        tiers,
+        slot_budget_us: budget_ms.saturating_mul(1000),
+        checkpoint_every: if checkpoint.is_some() { every } else { 0 },
+        checkpoint_path: checkpoint,
+        queue_capacity,
+        clock: if wall_clock { ClockKind::Wall } else { ClockKind::Sim },
+    };
+    let rt = Runtime::new(network, arrivals, faults, slots, config)
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    drive_service(rt, stop_after_slot, metrics_out.as_deref(), out)
+}
+
+fn resume(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv, &[])?;
+    let checkpoint: String = args.require("checkpoint")?;
+    let stop_after_slot: Option<u64> = args
+        .get("stop-after-slot")
+        .map(str::parse)
+        .transpose()
+        .map_err(|_| CliError::Usage("--stop-after-slot: bad value".into()))?;
+    let metrics_out = args.get("metrics-out").map(str::to_string);
+    args.reject_unknown()?;
+
+    let rt = Runtime::resume(std::path::Path::new(&checkpoint))
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    writeln!(out, "resumed from {checkpoint} at slot {}", rt.next_slot())?;
+    drive_service(rt, stop_after_slot, metrics_out.as_deref(), out)
 }
 
 #[cfg(test)]
@@ -317,27 +463,36 @@ mod tests {
         let trace_path = tmp("sched_trace.csv");
         let plan_path = tmp("plan.csv");
         let costs_path = tmp("costs.csv");
+        run_cli(&["gen-network", "--dcs", "4", "--capacity", "500", "--out", &net_path]).unwrap();
         run_cli(&[
-            "gen-network", "--dcs", "4", "--capacity", "500", "--out", &net_path,
-        ])
-        .unwrap();
-        run_cli(&[
-            "gen-trace", "--dcs", "4", "--slots", "4", "--files", "1..2", "--out", &trace_path,
+            "gen-trace",
+            "--dcs",
+            "4",
+            "--slots",
+            "4",
+            "--files",
+            "1..2",
+            "--out",
+            &trace_path,
         ])
         .unwrap();
         let out = run_cli(&[
             "schedule",
-            "--network", &net_path,
-            "--trace", &trace_path,
-            "--approach", "postcard",
-            "--plan-out", &plan_path,
-            "--costs-out", &costs_path,
+            "--network",
+            &net_path,
+            "--trace",
+            &trace_path,
+            "--approach",
+            "postcard",
+            "--plan-out",
+            &plan_path,
+            "--costs-out",
+            &costs_path,
         ])
         .unwrap();
         assert!(out.contains("postcard:"), "{out}");
         // The exported plan parses and covers the trace's files.
-        let plan =
-            TransferPlan::from_csv(&std::fs::read_to_string(&plan_path).unwrap()).unwrap();
+        let plan = TransferPlan::from_csv(&std::fs::read_to_string(&plan_path).unwrap()).unwrap();
         assert!(!plan.is_empty());
         let costs = std::fs::read_to_string(&costs_path).unwrap();
         assert!(costs.lines().count() >= 4);
@@ -356,12 +511,131 @@ mod tests {
     #[test]
     fn simulate_tiny_run() {
         let out = run_cli(&[
-            "simulate", "--setting", "fig6", "--runs", "1", "--slots", "5", "--seed", "2",
+            "simulate",
+            "--setting",
+            "fig6",
+            "--runs",
+            "1",
+            "--slots",
+            "5",
+            "--seed",
+            "2",
         ])
         .unwrap();
         assert!(out.contains("postcard"));
         assert!(out.contains("flow-lp"));
         assert!(out.contains("winner:"));
+    }
+
+    #[test]
+    fn serve_runs_with_faults_and_exports_metrics() {
+        let net_path = tmp("serve_net.csv");
+        let trace_path = tmp("serve_trace.csv");
+        let metrics_path = tmp("serve_metrics.csv");
+        run_cli(&["gen-network", "--dcs", "4", "--capacity", "500", "--out", &net_path]).unwrap();
+        run_cli(&[
+            "gen-trace",
+            "--dcs",
+            "4",
+            "--slots",
+            "4",
+            "--files",
+            "1..2",
+            "--out",
+            &trace_path,
+        ])
+        .unwrap();
+        let out = run_cli(&[
+            "serve",
+            "--network",
+            &net_path,
+            "--trace",
+            &trace_path,
+            "--force-timeout",
+            "1:postcard",
+            "--metrics-out",
+            &metrics_path,
+        ])
+        .unwrap();
+        assert!(out.contains("slot 1: fell back to flow-lp"), "{out}");
+        assert!(out.contains("finished"), "{out}");
+        assert!(out.contains("1 fallback activation(s)"), "{out}");
+        let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(metrics.contains("counter,fallback_activations,0,1"), "{metrics}");
+    }
+
+    #[test]
+    fn serve_crash_then_resume_matches_uninterrupted_run() {
+        let net_path = tmp("crash_net.csv");
+        let trace_path = tmp("crash_trace.csv");
+        let ckpt = tmp("crash.ckpt.json");
+        let m_full = tmp("crash_full.json");
+        let m_resumed = tmp("crash_resumed.json");
+        run_cli(&["gen-network", "--dcs", "4", "--capacity", "500", "--out", &net_path]).unwrap();
+        run_cli(&[
+            "gen-trace",
+            "--dcs",
+            "4",
+            "--slots",
+            "6",
+            "--files",
+            "1..2",
+            "--out",
+            &trace_path,
+        ])
+        .unwrap();
+        // Uninterrupted reference run.
+        run_cli(&[
+            "serve",
+            "--network",
+            &net_path,
+            "--trace",
+            &trace_path,
+            "--metrics-out",
+            &m_full,
+        ])
+        .unwrap();
+        // Crash after slot 3 (checkpointing every slot), then resume.
+        run_cli(&[
+            "serve",
+            "--network",
+            &net_path,
+            "--trace",
+            &trace_path,
+            "--checkpoint",
+            &ckpt,
+            "--stop-after-slot",
+            "3",
+        ])
+        .unwrap();
+        let out = run_cli(&["resume", "--checkpoint", &ckpt, "--metrics-out", &m_resumed]).unwrap();
+        assert!(out.contains("resumed from"), "{out}");
+        assert!(out.contains("finished"), "{out}");
+        // The resumed run's bill gauge matches the uninterrupted run's.
+        let full = std::fs::read_to_string(&m_full).unwrap();
+        let resumed = std::fs::read_to_string(&m_resumed).unwrap();
+        let gauge = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("\"bill_per_slot\""))
+                .map(str::to_string)
+                .expect("bill gauge present")
+        };
+        assert_eq!(gauge(&full), gauge(&resumed));
+    }
+
+    #[test]
+    fn serve_rejects_bad_tier_and_fault_specs() {
+        let err =
+            run_cli(&["serve", "--network", "x", "--trace", "y", "--tiers", "postcard,quantum"]);
+        assert!(matches!(err, Err(CliError::Usage(ref m)) if m.contains("quantum")), "{err:?}");
+        let err = run_cli(&["serve", "--network", "x", "--trace", "y", "--degrade", "1:2"]);
+        assert!(matches!(err, Err(CliError::Usage(_))), "{err:?}");
+    }
+
+    #[test]
+    fn resume_without_snapshot_reports_run_error() {
+        let err = run_cli(&["resume", "--checkpoint", "/nonexistent/nope.json"]);
+        assert!(matches!(err, Err(CliError::Run(_))), "{err:?}");
     }
 
     #[test]
@@ -372,9 +646,7 @@ mod tests {
 
     #[test]
     fn bad_approach_is_reported() {
-        let err = run_cli(&[
-            "schedule", "--network", "x", "--trace", "y", "--approach", "quantum",
-        ]);
+        let err = run_cli(&["schedule", "--network", "x", "--trace", "y", "--approach", "quantum"]);
         assert!(matches!(err, Err(CliError::Usage(m)) if m.contains("quantum")));
     }
 }

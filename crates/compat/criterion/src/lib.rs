@@ -1,0 +1,229 @@
+//! Offline drop-in subset of the [`criterion`](https://bheisler.github.io/criterion.rs)
+//! benchmarking API used by this workspace.
+//!
+//! The real crate cannot be fetched in the offline build containers, so
+//! this is a minimal wall-clock harness behind the same method names:
+//! groups, `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`, `BenchmarkId`, `sample_size`, `configure_from_args`,
+//! `final_summary`. Each benchmark runs a short warm-up, then
+//! `sample_size` timed samples (each sample auto-scales its iteration
+//! count toward ~5 ms), and prints min/median/mean per-iteration times.
+//! No statistics beyond that, no plots, no baseline comparison.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost (accepted, not acted on — the
+/// stub always times routine-only, which is what every variant asks for).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{parameter}", function_name.into()) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times the closure under measurement.
+pub struct Bencher {
+    samples: usize,
+    /// Per-iteration durations, one per sample.
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Benchmarks `routine` alone.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Scale iterations per sample toward ~5 ms so fast routines still
+        // get a stable timing and slow ones don't stall the run.
+        let probe = Instant::now();
+        black_box(routine());
+        let once = probe.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.results.push(start.elapsed() / iters);
+        }
+    }
+
+    /// Benchmarks `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.results.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { samples, results: Vec::new() };
+    f(&mut b);
+    b.results.sort();
+    let (min, median, mean) = if b.results.is_empty() {
+        (Duration::ZERO, Duration::ZERO, Duration::ZERO)
+    } else {
+        let sum: Duration = b.results.iter().sum();
+        (b.results[0], b.results[b.results.len() / 2], sum / b.results.len() as u32)
+    };
+    println!("{label:<50} min {min:>12.2?}   median {median:>12.2?}   mean {mean:>12.2?}");
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let label = format!("{}/{id}", self.name);
+        run_benchmark(&label, self.sample_size, f);
+        self.criterion.benchmarks_run += 1;
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    default_sample_size: usize,
+    benchmarks_run: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 10, benchmarks_run: 0 }
+    }
+}
+
+impl Criterion {
+    /// Accepts (and ignores) harness CLI arguments such as `--bench`.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the default number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), self.default_sample_size, f);
+        self.benchmarks_run += 1;
+        self
+    }
+
+    /// Prints the closing summary line.
+    pub fn final_summary(&mut self) {
+        println!("completed {} benchmarks", self.benchmarks_run);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_samples() {
+        let mut c = Criterion::default().sample_size(3).configure_from_args();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(4);
+        let mut calls = 0u64;
+        g.bench_function("count", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert!(calls >= 4, "routine should run at least once per sample: {calls}");
+        c.final_summary();
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default();
+        let mut setups = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u64; 8]
+                },
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 10);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("5x5").to_string(), "5x5");
+    }
+}

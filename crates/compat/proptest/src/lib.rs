@@ -1,0 +1,307 @@
+//! Offline drop-in subset of the [`proptest`](https://proptest-rs.github.io)
+//! API used by this workspace.
+//!
+//! The real crate cannot be fetched in the offline build containers, so the
+//! features the tests actually use are reimplemented over the vendored
+//! `rand` shim:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]` and
+//!   `arg in strategy` bindings;
+//! * range strategies (`0u64..5000`, `0.1f64..1.0`, inclusive variants),
+//!   tuples of strategies, and [`collection::vec`];
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Semantics differ from upstream in two deliberate ways: case generation
+//! is **deterministic** — seeded per (test name, case index) so failures
+//! reproduce exactly without a persistence file — and there is **no
+//! shrinking**; a failure reports the case index and seed instead of a
+//! minimized input. For the invariant-style properties in this repo that
+//! trade-off is fine.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Generates one value per test case.
+///
+/// The `Value` associated type mirrors upstream so signatures like
+/// `impl Strategy<Value = Vec<f64>>` compile unchanged.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// A strategy that always yields a clone of one value (upstream `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_tuple! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+
+    /// Strategy for `Vec<T>` with a strategy-drawn length.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<E, L> {
+        element: E,
+        len: L,
+    }
+
+    /// `vec(element, 1..40)`: vectors whose length is drawn from `len` and
+    /// whose elements are drawn from `element`.
+    pub fn vec<E: Strategy, L: Strategy<Value = usize>>(element: E, len: L) -> VecStrategy<E, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<E: Strategy, L: Strategy<Value = usize>> Strategy for VecStrategy<E, L> {
+        type Value = Vec<E::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.len.generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration (subset: the case count).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `body` for each case with a deterministic per-case RNG; panics with
+/// the case index and seed on the first failure (macro plumbing — tests use
+/// [`proptest!`] instead).
+pub fn run_cases<F>(name: &str, config: &ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), String>,
+{
+    for case in 0..u64::from(config.cases) {
+        let seed = fnv1a(name) ^ (case + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Err(msg) = body(&mut rng) {
+            panic!("property `{name}` failed at case {case} (seed {seed:#018x}):\n{msg}");
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { ... }`
+/// becomes a `#[test]` running [`ProptestConfig::cases`] generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                $crate::run_cases(stringify!($name), &config, |prop_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), prop_rng);)*
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside [`proptest!`], failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside [`proptest!`], failing the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: `{:?} == {:?}`", l, r));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: `{:?} == {:?}`: {}", l, r, format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Asserts inequality inside [`proptest!`], failing the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::std::result::Result::Err(
+                format!("assertion failed: `{:?} != {:?}`", l, r));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::std::result::Result::Err(
+                format!("assertion failed: `{:?} != {:?}`: {}", l, r, format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Everything tests import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn lens() -> impl Strategy<Value = Vec<f64>> {
+        prop::collection::vec(0.0f64..10.0, 1..5)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, y in -2.0f64..2.0, z in 1u64..=4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y), "y out of range: {y}");
+            prop_assert!((1..=4).contains(&z));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies_compose(
+            xs in lens(),
+            pairs in prop::collection::vec((0usize..3, 0.5f64..1.5), 0..6),
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 5);
+            prop_assert!(xs.iter().all(|v| (0.0..10.0).contains(v)));
+            for (i, w) in &pairs {
+                prop_assert!(*i < 3);
+                prop_assert!((0.5..1.5).contains(w));
+            }
+            prop_assert_eq!(xs.len(), xs.len());
+            prop_assert_ne!(xs.len(), xs.len() + 1);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        let mut first = Vec::new();
+        let cfg = ProptestConfig::with_cases(8);
+        crate::run_cases("det", &cfg, |rng| {
+            first.push(Strategy::generate(&(0u64..1000), rng));
+            Ok(())
+        });
+        let mut second = Vec::new();
+        crate::run_cases("det", &cfg, |rng| {
+            second.push(Strategy::generate(&(0u64..1000), rng));
+            Ok(())
+        });
+        assert_eq!(first, second);
+        assert!(first.iter().any(|&v| v != first[0]), "cases should vary");
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_report_case_and_seed() {
+        crate::run_cases("always_fails", &ProptestConfig::with_cases(4), |_rng| {
+            Err("nope".to_string())
+        });
+    }
+}

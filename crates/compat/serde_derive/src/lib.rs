@@ -1,0 +1,394 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! offline `serde` compat crate.
+//!
+//! `syn` and `quote` are not available in the offline build containers, so
+//! the item is parsed directly from the [`proc_macro::TokenStream`]: outer
+//! attributes and visibility are skipped, then the struct/enum shape and
+//! field/variant names are extracted (field *types* are never needed — the
+//! generated code lets inference pick the right `Deserialize` impl from the
+//! struct literal it builds). Code is generated as a string and re-parsed.
+//!
+//! Supported shapes (everything this workspace derives on):
+//!
+//! * structs with named fields → JSON objects keyed by field name;
+//! * newtype structs → transparent (the inner value);
+//! * tuple structs with 2+ fields → arrays;
+//! * unit structs → `null`;
+//! * enums, externally tagged: unit variants as `"Variant"`, data-carrying
+//!   variants as `{"Variant": payload}`.
+//!
+//! Generics are deliberately unsupported (no derived type here is generic);
+//! the macro panics with a clear message rather than emitting wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree flavor) for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl should parse")
+}
+
+/// Derives `serde::Deserialize` (value-tree flavor) for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl should parse")
+}
+
+// ---------------------------------------------------------------------------
+// Item model + parser
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields; only the arity matters.
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+
+    let keyword = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if matches!(&toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize/Deserialize) compat shim does not support generic type `{name}`");
+    }
+
+    let shape = match keyword.as_str() {
+        "struct" => Shape::Struct(match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        }),
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body for `{name}`, found {other:?}"),
+        },
+        kw => panic!("cannot derive for `{kw} {name}`"),
+    };
+    Item { name, shape }
+}
+
+fn skip_attrs_and_vis(toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next(); // `#`
+                toks.next(); // `[...]`
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                toks.next();
+                if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    toks.next(); // `(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the names. Type tokens
+/// are skipped up to the next comma at angle-bracket depth zero (parens and
+/// braces arrive as atomic groups, so only `<`/`>` need tracking).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        match toks.next() {
+            None => return names,
+            Some(TokenTree::Ident(i)) => names.push(i.to_string()),
+            other => panic!("expected field name, found {other:?}"),
+        }
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        let mut angle_depth = 0usize;
+        loop {
+            match toks.next() {
+                None => return names,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0usize;
+    for tok in body {
+        saw_tokens = true;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // `(A, B)` has one separating comma; `(A, B,)` has a trailing one. A
+    // trailing comma leaves no tokens after it, so both shapes land on
+    // `count + 1` unless the body was empty.
+    if saw_tokens {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            None => return variants,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                toks.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                toks.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip an optional `= discriminant` and the separating comma.
+        for tok in toks.by_ref() {
+            if matches!(&tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => match fields {
+            Fields::Named(names) => ser_named_map(names, "self."),
+            Fields::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+            Fields::Tuple(n) => {
+                let items: Vec<String> =
+                    (0..*n).map(|i| format!("::serde::Serialize::serialize(&self.{i})")).collect();
+                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+            }
+            Fields::Unit => "::serde::Value::Null".to_string(),
+        },
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::serialize(f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                    .collect();
+                                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), {payload})]),",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let payload = ser_named_map(fields, "");
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vname}\".to_string(), {payload})]),",
+                                binds = fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// `Value::Map` literal from named fields; `prefix` is `self.` for structs
+/// and empty for destructured enum-variant bindings.
+fn ser_named_map(names: &[String], prefix: &str) -> String {
+    let entries: Vec<String> = names
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::serialize(&{prefix}{f}))"))
+        .collect();
+    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => match fields {
+            Fields::Named(names) => {
+                let inits: Vec<String> = names
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::deserialize(::serde::field(m, \"{f}\", \"{name}\")?)?,"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let m = v.as_map().ok_or_else(|| ::serde::Error::expected(\"map\", v.kind()))?;\n\
+                     Ok({name} {{ {} }})",
+                    inits.join(" ")
+                )
+            }
+            Fields::Tuple(1) => format!("Ok({name}(::serde::Deserialize::deserialize(v)?))"),
+            Fields::Tuple(n) => format!(
+                "let items = v.as_seq().ok_or_else(|| ::serde::Error::expected(\"sequence\", v.kind()))?;\n\
+                 if items.len() != {n} {{\n\
+                     return Err(::serde::Error::custom(format!(\"expected {n} elements for {name}, found {{}}\", items.len())));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                de_seq_elems(*n, "items")
+            ),
+            Fields::Unit => format!("let _ = v; Ok({name})"),
+        },
+        Shape::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn de_seq_elems(n: usize, seq: &str) -> String {
+    (0..n)
+        .map(|i| format!("::serde::Deserialize::deserialize(&{seq}[{i}])?"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| format!("\"{vname}\" => Ok({name}::{vname}),", vname = v.name))
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            let body = match &v.fields {
+                Fields::Unit => return None,
+                Fields::Tuple(1) => format!(
+                    "Ok({name}::{vname}(::serde::Deserialize::deserialize(payload)?))"
+                ),
+                Fields::Tuple(n) => format!(
+                    "let items = payload.as_seq().ok_or_else(|| ::serde::Error::expected(\"sequence\", payload.kind()))?;\n\
+                     if items.len() != {n} {{\n\
+                         return Err(::serde::Error::custom(format!(\"expected {n} elements for {name}::{vname}, found {{}}\", items.len())));\n\
+                     }}\n\
+                     Ok({name}::{vname}({}))",
+                    de_seq_elems(*n, "items")
+                ),
+                Fields::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::deserialize(::serde::field(m, \"{f}\", \"{name}::{vname}\")?)?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let m = payload.as_map().ok_or_else(|| ::serde::Error::expected(\"map\", payload.kind()))?;\n\
+                         Ok({name}::{vname} {{ {} }})",
+                        inits.join(" ")
+                    )
+                }
+            };
+            Some(format!("\"{vname}\" => {{ {body} }}"))
+        })
+        .collect();
+    format!(
+        "match v {{\n\
+             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+             }},\n\
+             ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, payload) = &entries[0];\n\
+                 let _ = payload;\n\
+                 match tag.as_str() {{\n\
+                     {data_arms}\n\
+                     other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                 }}\n\
+             }},\n\
+             other => Err(::serde::Error::expected(\"enum representation\", other.kind())),\n\
+         }}",
+        unit_arms = unit_arms.join("\n"),
+        data_arms = data_arms.join("\n"),
+    )
+}

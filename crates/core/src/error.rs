@@ -24,10 +24,9 @@ pub enum PostcardError {
 impl fmt::Display for PostcardError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PostcardError::Infeasible => write!(
-                f,
-                "batch cannot be delivered within deadlines under residual capacities"
-            ),
+            PostcardError::Infeasible => {
+                write!(f, "batch cannot be delivered within deadlines under residual capacities")
+            }
             PostcardError::UnknownDatacenter { dc, num_dcs } => {
                 write!(f, "datacenter {dc} out of range (network has {num_dcs})")
             }

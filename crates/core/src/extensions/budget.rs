@@ -36,14 +36,9 @@ impl BudgetSolution {
             .iter()
             .filter_map(|f| {
                 let y = self.delivered.get(&f.id).copied().unwrap_or(0.0);
-                (y > 1e-6).then(|| TransferRequest::new(
-                    f.id,
-                    f.src,
-                    f.dst,
-                    y,
-                    f.deadline_slots,
-                    f.release_slot,
-                ))
+                (y > 1e-6).then(|| {
+                    TransferRequest::new(f.id, f.src, f.dst, y, f.deadline_slots, f.release_slot)
+                })
             })
             .collect()
     }
@@ -117,10 +112,8 @@ pub fn solve_budget_constrained(
         }
         mvars.push(per_arc);
     }
-    let yvars: Vec<Variable> = files
-        .iter()
-        .map(|f| m.add_var(format!("y[{}]", f.id), 0.0, f.size_gb))
-        .collect();
+    let yvars: Vec<Variable> =
+        files.iter().map(|f| m.add_var(format!("y[{}]", f.id), 0.0, f.size_gb)).collect();
     let mut obj = LinExpr::new();
     for &y in &yvars {
         obj.add_term(y, 1.0);
@@ -229,11 +222,8 @@ pub fn solve_budget_constrained(
                     }
                 }
             }
-            let delivered: BTreeMap<FileId, f64> = files
-                .iter()
-                .zip(&yvars)
-                .map(|(f, &y)| (f.id, sol.value(y).max(0.0)))
-                .collect();
+            let delivered: BTreeMap<FileId, f64> =
+                files.iter().zip(&yvars).map(|(f, &y)| (f.id, sol.value(y).max(0.0))).collect();
             // The bill at the optimum: X variables sit at their binding
             // levels, but a maximizer has no pressure to push them down, so
             // recompute the *true* bill from the plan peaks and floors.
@@ -279,8 +269,7 @@ mod tests {
     fn generous_budget_delivers_everything() {
         let net = pair(2.0, 10.0);
         let f = TransferRequest::new(FileId(1), d(0), d(1), 12.0, 3, 0);
-        let sol =
-            solve_budget_constrained(&net, &[f], &TrafficLedger::new(2), 1000.0).unwrap();
+        let sol = solve_budget_constrained(&net, &[f], &TrafficLedger::new(2), 1000.0).unwrap();
         assert!((sol.total_delivered - 12.0).abs() < 1e-5);
         // Best bill: 4 GB/slot × $2 = 8.
         assert!((sol.cost_per_slot - 8.0).abs() < 1e-6, "{}", sol.cost_per_slot);
@@ -342,8 +331,7 @@ mod tests {
             .link(d(0), d(2), 10.0, 10.0)
             .build();
         let f = TransferRequest::new(FileId(1), d(0), d(2), 10.0, 3, 0);
-        let sol =
-            solve_budget_constrained(&net, &[f], &TrafficLedger::new(3), 10.0).unwrap();
+        let sol = solve_budget_constrained(&net, &[f], &TrafficLedger::new(3), 10.0).unwrap();
         // Relay at 5 GB/slot costs 2·5 = 10: exactly in budget, all 10 GB
         // delivered (send 5+5 on hop 1 in slots 0-1, etc.).
         assert!((sol.total_delivered - 10.0).abs() < 1e-5, "{}", sol.total_delivered);

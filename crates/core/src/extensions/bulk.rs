@@ -46,14 +46,9 @@ impl BulkSolution {
             .iter()
             .filter_map(|f| {
                 let y = self.delivered.get(&f.id).copied().unwrap_or(0.0);
-                (y > 1e-6).then(|| TransferRequest::new(
-                    f.id,
-                    f.src,
-                    f.dst,
-                    y,
-                    f.deadline_slots,
-                    f.release_slot,
-                ))
+                (y > 1e-6).then(|| {
+                    TransferRequest::new(f.id, f.src, f.dst, y, f.deadline_slots, f.release_slot)
+                })
             })
             .collect()
     }
@@ -129,10 +124,8 @@ pub fn solve_bulk_max_transfer(
         mvars.push(per_arc);
     }
     // Delivered-volume variables and the objective.
-    let yvars: Vec<Variable> = files
-        .iter()
-        .map(|f| m.add_var(format!("y[{}]", f.id), 0.0, f.size_gb))
-        .collect();
+    let yvars: Vec<Variable> =
+        files.iter().map(|f| m.add_var(format!("y[{}]", f.id), 0.0, f.size_gb)).collect();
     let mut obj = LinExpr::new();
     for &y in &yvars {
         obj.add_term(y, 1.0);
@@ -196,16 +189,9 @@ pub fn solve_bulk_max_transfer(
                     }
                 }
             }
-            let delivered: BTreeMap<FileId, f64> = files
-                .iter()
-                .zip(&yvars)
-                .map(|(f, &y)| (f.id, sol.value(y).max(0.0)))
-                .collect();
-            Ok(BulkSolution {
-                plan,
-                total_delivered: delivered.values().sum(),
-                delivered,
-            })
+            let delivered: BTreeMap<FileId, f64> =
+                files.iter().zip(&yvars).map(|(f, &y)| (f.id, sol.value(y).max(0.0))).collect();
+            Ok(BulkSolution { plan, total_delivered: delivered.values().sum(), delivered })
         }
         Status::Infeasible => unreachable!("delivering nothing is always feasible"),
         Status::Unbounded => unreachable!("deliveries are bounded by file sizes"),
@@ -223,10 +209,7 @@ mod tests {
 
     /// Two-hop chain D0 → D1 → D2, capacity 4 per slot each hop.
     fn chain() -> Network {
-        NetworkBuilder::new(3)
-            .link(d(0), d(1), 2.0, 4.0)
-            .link(d(1), d(2), 2.0, 4.0)
-            .build()
+        NetworkBuilder::new(3).link(d(0), d(1), 2.0, 4.0).link(d(1), d(2), 2.0, 4.0).build()
     }
 
     #[test]
@@ -261,9 +244,8 @@ mod tests {
         let net = chain();
         let ledger = TrafficLedger::new(3); // nothing charged yet
         let f = TransferRequest::new(FileId(1), d(0), d(2), 6.0, 3, 0);
-        let sol =
-            solve_bulk_max_transfer(&net, &[f], &ledger, BulkCapacityMode::PaidLeftoverOnly)
-                .unwrap();
+        let sol = solve_bulk_max_transfer(&net, &[f], &ledger, BulkCapacityMode::PaidLeftoverOnly)
+            .unwrap();
         assert!(sol.total_delivered.abs() < 1e-9);
         assert!(sol.plan.is_empty());
     }
@@ -277,9 +259,8 @@ mod tests {
         ledger.record(d(0), d(1), 100, 3.0);
         ledger.record(d(1), d(2), 100, 3.0);
         let f = TransferRequest::new(FileId(1), d(0), d(2), 20.0, 3, 0);
-        let sol =
-            solve_bulk_max_transfer(&net, &[f], &ledger, BulkCapacityMode::PaidLeftoverOnly)
-                .unwrap();
+        let sol = solve_bulk_max_transfer(&net, &[f], &ledger, BulkCapacityMode::PaidLeftoverOnly)
+            .unwrap();
         // Hop 1 usable in slots 0–1 (departures reaching D2 by slot 2):
         // 2 × 3 = 6 GB delivered, entirely free.
         assert!((sol.total_delivered - 6.0).abs() < 1e-6, "{}", sol.total_delivered);

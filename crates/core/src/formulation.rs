@@ -305,10 +305,7 @@ mod tests {
         let net = NetworkBuilder::new(2).link(d(0), d(1), 1.0, 2.0).build();
         let files = [TransferRequest::new(FileId(1), d(0), d(1), 10.0, 2, 0)];
         let ledger = TrafficLedger::new(2);
-        assert_eq!(
-            solve_postcard(&net, &files, &ledger).unwrap_err(),
-            PostcardError::Infeasible
-        );
+        assert_eq!(solve_postcard(&net, &files, &ledger).unwrap_err(), PostcardError::Infeasible);
     }
 
     #[test]
@@ -415,12 +412,7 @@ mod tests {
         for link in net.links() {
             let x = sol.charged[&(link.from.0, link.to.0)];
             let peak = sol.plan.link_peak(link.from, link.to);
-            assert!(
-                x >= peak - 1e-6,
-                "X[{}->{}] = {x} < plan peak {peak}",
-                link.from,
-                link.to
-            );
+            assert!(x >= peak - 1e-6, "X[{}->{}] = {x} < plan peak {peak}", link.from, link.to);
         }
     }
 }

@@ -56,8 +56,8 @@ mod scheduler;
 
 pub use error::PostcardError;
 pub use formulation::{solve_postcard, solve_postcard_with, PostcardConfig, PostcardSolution};
-pub use online::{OnlineController, StepReport};
+pub use online::{ControllerState, OnlineController, StepReport};
 pub use scheduler::{
     Decision, DirectScheduler, FlowLpScheduler, GreedyScheduler, PostcardScheduler, Scheduler,
-    TwoPhaseScheduler,
+    SolveStats, TwoPhaseScheduler,
 };

@@ -17,6 +17,7 @@
 use crate::error::PostcardError;
 use crate::scheduler::{Decision, Scheduler};
 use postcard_net::{FileId, Network, TrafficLedger, TransferRequest};
+use serde::{Deserialize, Serialize};
 
 /// What happened in one controller step.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,6 +30,28 @@ pub struct StepReport {
     pub rejected: Vec<FileId>,
     /// The provider's bill per slot (Σ a_ij · X_ij) after this step.
     pub cost_per_slot: f64,
+}
+
+/// The complete mutable state of an [`OnlineController`], detached from its
+/// scheduler and network so service runtimes can checkpoint and restore it.
+///
+/// The decision log is deliberately excluded: it is a CLI export aid, can
+/// be arbitrarily large, and a restored controller continues with an empty
+/// log without affecting any scheduling decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerState {
+    /// Committed per-slot volumes and running peaks.
+    pub ledger: TrafficLedger,
+    /// Bill per slot after every step taken so far.
+    pub cost_history: Vec<f64>,
+    /// Files admitted so far.
+    pub total_accepted: usize,
+    /// Files rejected so far.
+    pub total_rejected: usize,
+    /// Volume admitted so far (GB).
+    pub accepted_volume: f64,
+    /// Volume rejected so far (GB).
+    pub rejected_volume: f64,
 }
 
 /// Drives a [`Scheduler`] slot by slot, maintaining the committed ledger.
@@ -83,6 +106,16 @@ impl<S: Scheduler> OnlineController<S> {
         self.scheduler.name()
     }
 
+    /// The scheduler itself (e.g. to read its [`crate::SolveStats`]).
+    pub fn scheduler(&self) -> &S {
+        &self.scheduler
+    }
+
+    /// Mutable access to the scheduler (e.g. to re-arm fault injection).
+    pub fn scheduler_mut(&mut self) -> &mut S {
+        &mut self.scheduler
+    }
+
     /// The committed traffic so far.
     pub fn ledger(&self) -> &TrafficLedger {
         &self.ledger
@@ -91,6 +124,44 @@ impl<S: Scheduler> OnlineController<S> {
     /// The network being controlled.
     pub fn network(&self) -> &Network {
         &self.network
+    }
+
+    /// Mutable access to the network (service runtimes apply link
+    /// degradations here).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    /// Snapshots the controller's complete mutable state (see
+    /// [`ControllerState`] for what is excluded).
+    pub fn export_state(&self) -> ControllerState {
+        ControllerState {
+            ledger: self.ledger.clone(),
+            cost_history: self.cost_history.clone(),
+            total_accepted: self.total_accepted,
+            total_rejected: self.total_rejected,
+            accepted_volume: self.accepted_volume,
+            rejected_volume: self.rejected_volume,
+        }
+    }
+
+    /// Rebuilds a controller from a snapshotted state, a network, and a
+    /// scheduler. Stepping the result continues exactly where
+    /// [`OnlineController::export_state`] left off (the decision log starts
+    /// empty).
+    pub fn from_state(network: Network, scheduler: S, state: ControllerState) -> Self {
+        Self {
+            scheduler,
+            network,
+            ledger: state.ledger,
+            cost_history: state.cost_history,
+            total_accepted: state.total_accepted,
+            total_rejected: state.total_rejected,
+            accepted_volume: state.accepted_volume,
+            rejected_volume: state.rejected_volume,
+            keep_decisions: false,
+            decisions: Vec::new(),
+        }
     }
 
     /// Bill per slot after the most recent step (0 before any step).

@@ -22,6 +22,15 @@ pub enum Decision {
     Rates(FlowAssignment),
 }
 
+/// Solver-side effort counters for the most recent [`Scheduler::schedule`]
+/// call, surfaced so service runtimes can export them as metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Simplex pivots performed by the underlying LP solve (0 for
+    /// combinatorial schedulers).
+    pub lp_iterations: usize,
+}
+
 /// A routing/scheduling policy for one batch of simultaneously released
 /// files.
 pub trait Scheduler {
@@ -41,6 +50,12 @@ pub trait Scheduler {
         files: &[TransferRequest],
         ledger: &TrafficLedger,
     ) -> Result<Decision, PostcardError>;
+
+    /// Effort counters for the most recent `schedule` call. Schedulers that
+    /// do not track effort report the default (all zeros).
+    fn last_stats(&self) -> SolveStats {
+        SolveStats::default()
+    }
 }
 
 impl Scheduler for Box<dyn Scheduler> {
@@ -55,6 +70,10 @@ impl Scheduler for Box<dyn Scheduler> {
         ledger: &TrafficLedger,
     ) -> Result<Decision, PostcardError> {
         self.as_mut().schedule(network, files, ledger)
+    }
+
+    fn last_stats(&self) -> SolveStats {
+        self.as_ref().last_stats()
     }
 }
 
@@ -71,12 +90,18 @@ fn map_baseline(e: BaselineError) -> PostcardError {
 pub struct PostcardScheduler {
     /// Formulation options (relay-storage ablation, simplex tuning).
     pub config: PostcardConfig,
+    last_stats: SolveStats,
 }
 
 impl PostcardScheduler {
     /// Creates a scheduler with default configuration.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a scheduler with an explicit configuration.
+    pub fn with_config(config: PostcardConfig) -> Self {
+        Self { config, last_stats: SolveStats::default() }
     }
 }
 
@@ -96,7 +121,12 @@ impl Scheduler for PostcardScheduler {
         ledger: &TrafficLedger,
     ) -> Result<Decision, PostcardError> {
         let sol = solve_postcard_with(network, files, ledger, &self.config)?;
+        self.last_stats = SolveStats { lp_iterations: sol.lp_iterations };
         Ok(Decision::Plan(sol.plan))
+    }
+
+    fn last_stats(&self) -> SolveStats {
+        self.last_stats
     }
 }
 

@@ -15,8 +15,7 @@ use rand::{Rng, SeedableRng};
 /// feasible: every file can trickle over its direct link).
 fn instance(seed: u64, num_dcs: usize, num_files: usize) -> (Network, Vec<TransferRequest>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let network =
-        Network::complete_with_prices(num_dcs, 500.0, |_, _| rng.gen_range(1.0..=10.0));
+    let network = Network::complete_with_prices(num_dcs, 500.0, |_, _| rng.gen_range(1.0..=10.0));
     let files = (0..num_files)
         .map(|k| {
             let src = rng.gen_range(0..num_dcs);
@@ -139,8 +138,5 @@ fn structurally_infeasible_instances_error() {
     let network = Network::complete(2, 1.0, 5.0);
     let file = TransferRequest::new(FileId(0), DcId(0), DcId(1), 50.0, 1, 0);
     let ledger = TrafficLedger::new(2);
-    assert_eq!(
-        solve_postcard(&network, &[file], &ledger).unwrap_err(),
-        PostcardError::Infeasible
-    );
+    assert_eq!(solve_postcard(&network, &[file], &ledger).unwrap_err(), PostcardError::Infeasible);
 }

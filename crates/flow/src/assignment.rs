@@ -114,18 +114,8 @@ impl FlowAssignment {
 
     /// The aggregate load a set of files puts on `from → to` during `slot`
     /// (only files active in that slot contribute).
-    pub fn link_load(
-        &self,
-        files: &[TransferRequest],
-        from: DcId,
-        to: DcId,
-        slot: u64,
-    ) -> f64 {
-        files
-            .iter()
-            .filter(|f| f.active_in(slot))
-            .map(|f| self.rate(f.id, from, to))
-            .sum()
+    pub fn link_load(&self, files: &[TransferRequest], from: DcId, to: DcId, slot: u64) -> f64 {
+        files.iter().filter(|f| f.active_in(slot)).map(|f| self.rate(f.id, from, to)).sum()
     }
 
     /// Validates the assignment for `files` against `network`.
@@ -160,16 +150,12 @@ impl FlowAssignment {
                     net[j] += r;
                 }
             }
-            for i in 0..n {
+            for (i, &imbalance) in net.iter().enumerate() {
                 if i == f.src.0 || i == f.dst.0 {
                     continue;
                 }
-                if net[i].abs() > VOLUME_TOL {
-                    out.push(FlowViolation::Conservation {
-                        file: f.id,
-                        dc: DcId(i),
-                        imbalance: net[i],
-                    });
+                if imbalance.abs() > VOLUME_TOL {
+                    out.push(FlowViolation::Conservation { file: f.id, dc: DcId(i), imbalance });
                 }
             }
             let delivered = -net[f.src.0];
@@ -186,10 +172,9 @@ impl FlowAssignment {
         }
 
         // Capacity per (link, slot) across the union of windows.
-        if let (Some(lo), Some(hi)) = (
-            files.iter().map(|f| f.first_slot()).min(),
-            files.iter().map(|f| f.last_slot()).max(),
-        ) {
+        if let (Some(lo), Some(hi)) =
+            (files.iter().map(|f| f.first_slot()).min(), files.iter().map(|f| f.last_slot()).max())
+        {
             for slot in lo..=hi {
                 for link in network.links() {
                     let used = self.link_load(files, link.from, link.to, slot);
@@ -296,8 +281,9 @@ mod tests {
         // Slots 1..=2 carry 6 > cap 5.
         let v = a.validate(&triangle(), &[f1, f2], |_, _, _| 0.0);
         assert!(
-            v.iter()
-                .any(|x| matches!(x, FlowViolation::Capacity { slot, .. } if *slot == 1 || *slot == 2)),
+            v.iter().any(
+                |x| matches!(x, FlowViolation::Capacity { slot, .. } if *slot == 1 || *slot == 2)
+            ),
             "{v:?}"
         );
     }

@@ -129,8 +129,7 @@ pub fn two_phase_baseline(
     let paid = static_paid(network, ledger, files, &residual);
 
     // Phase 1: fill already-paid capacity.
-    let phase1 =
-        max_concurrent_flow(network, &commodities, |i, j| paid[&(i.0, j.0)], Some(1.0))?;
+    let phase1 = max_concurrent_flow(network, &commodities, |i, j| paid[&(i.0, j.0)], Some(1.0))?;
     let lambda = phase1.objective.clamp(0.0, 1.0);
 
     let mut assignment = FlowAssignment::new();
@@ -367,10 +366,7 @@ mod tests {
         let net = triangle(1.0);
         let ledger = TrafficLedger::new(3);
         let f = file(3.0, 2);
-        assert_eq!(
-            two_phase_baseline(&net, &[f], &ledger).unwrap_err(),
-            BaselineError::Infeasible
-        );
+        assert_eq!(two_phase_baseline(&net, &[f], &ledger).unwrap_err(), BaselineError::Infeasible);
     }
 
     #[test]

@@ -69,15 +69,10 @@ pub fn decompose_flow(
         }
     }
     let mut paths = Vec::new();
-    loop {
-        // DFS for a simple path src → dst through positive-rate links.
-        let Some(nodes) = find_path(&rate, num_dcs, file.src.0, file.dst.0) else {
-            break;
-        };
-        let bottleneck = nodes
-            .windows(2)
-            .map(|w| rate[w[0] * num_dcs + w[1]])
-            .fold(f64::INFINITY, f64::min);
+    // DFS for a simple path src → dst through positive-rate links.
+    while let Some(nodes) = find_path(&rate, num_dcs, file.src.0, file.dst.0) {
+        let bottleneck =
+            nodes.windows(2).map(|w| rate[w[0] * num_dcs + w[1]]).fold(f64::INFINITY, f64::min);
         if bottleneck <= EPS {
             break;
         }

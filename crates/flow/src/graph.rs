@@ -100,9 +100,7 @@ impl FlowNetwork {
     }
 
     /// Iterates the forward edges as `(id, from, to, capacity, cost)`.
-    pub fn forward_edges(
-        &self,
-    ) -> impl Iterator<Item = (EdgeId, NodeId, NodeId, f64, f64)> + '_ {
+    pub fn forward_edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId, f64, f64)> + '_ {
         self.edges.iter().enumerate().step_by(2).map(|(i, e)| {
             let from = self.edges[i ^ 1].to;
             (EdgeId(i), NodeId(from), NodeId(e.to), e.cap, e.cost)
@@ -112,11 +110,7 @@ impl FlowNetwork {
     /// Total cost of the current flow: `Σ flow_e · cost_e` over forward
     /// edges.
     pub fn total_cost(&self) -> f64 {
-        self.edges
-            .iter()
-            .step_by(2)
-            .map(|e| e.flow.max(0.0) * e.cost)
-            .sum()
+        self.edges.iter().step_by(2).map(|e| e.flow.max(0.0) * e.cost).sum()
     }
 }
 

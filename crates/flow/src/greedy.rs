@@ -51,17 +51,13 @@ pub fn greedy_cheapest_path(
                 }
                 avail.insert((link.from.0, link.to.0), a.max(0.0));
             }
-            let Some(path) =
-                cheapest_path(network, f.src, f.dst, |u, v| avail[&(u.0, v.0)] > EPS)
+            let Some(path) = cheapest_path(network, f.src, f.dst, |u, v| avail[&(u.0, v.0)] > EPS)
             else {
                 unrouted.push((f.id, remaining));
                 break;
             };
-            let bottleneck = path
-                .hops
-                .iter()
-                .map(|&(u, v)| avail[&(u.0, v.0)])
-                .fold(f64::INFINITY, f64::min);
+            let bottleneck =
+                path.hops.iter().map(|&(u, v)| avail[&(u.0, v.0)]).fold(f64::INFINITY, f64::min);
             let amount = remaining.min(bottleneck);
             if amount <= EPS {
                 unrouted.push((f.id, remaining));

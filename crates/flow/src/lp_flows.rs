@@ -220,11 +220,10 @@ mod tests {
     #[test]
     fn mcmf_prefers_cheap_relay() {
         let c = [Commodity { id: 1, src: d(0), dst: d(2), demand: 4.0 }];
-        let sol = min_cost_multicommodity(&triangle(), &c, |i, j| {
-            triangle().capacity(i, j).unwrap()
-        })
-        .unwrap()
-        .unwrap();
+        let sol =
+            min_cost_multicommodity(&triangle(), &c, |i, j| triangle().capacity(i, j).unwrap())
+                .unwrap()
+                .unwrap();
         // All 4 via the relay: cost 4·(1+2) = 12.
         assert!((sol.objective - 12.0).abs() < 1e-6, "{}", sol.objective);
         assert!((sol.rate(1, d(0), d(1)) - 4.0).abs() < 1e-6);
@@ -234,11 +233,10 @@ mod tests {
     #[test]
     fn mcmf_spills_when_relay_saturates() {
         let c = [Commodity { id: 1, src: d(0), dst: d(2), demand: 8.0 }];
-        let sol = min_cost_multicommodity(&triangle(), &c, |i, j| {
-            triangle().capacity(i, j).unwrap()
-        })
-        .unwrap()
-        .unwrap();
+        let sol =
+            min_cost_multicommodity(&triangle(), &c, |i, j| triangle().capacity(i, j).unwrap())
+                .unwrap()
+                .unwrap();
         // 5 via relay (cost 15) + 3 direct (cost 30) = 45.
         assert!((sol.objective - 45.0).abs() < 1e-6, "{}", sol.objective);
     }
@@ -246,10 +244,9 @@ mod tests {
     #[test]
     fn mcmf_infeasible_when_demand_exceeds_cut() {
         let c = [Commodity { id: 1, src: d(0), dst: d(2), demand: 11.0 }];
-        let sol = min_cost_multicommodity(&triangle(), &c, |i, j| {
-            triangle().capacity(i, j).unwrap()
-        })
-        .unwrap();
+        let sol =
+            min_cost_multicommodity(&triangle(), &c, |i, j| triangle().capacity(i, j).unwrap())
+                .unwrap();
         assert!(sol.is_none());
     }
 
@@ -259,11 +256,10 @@ mod tests {
             Commodity { id: 1, src: d(0), dst: d(2), demand: 5.0 },
             Commodity { id: 2, src: d(1), dst: d(2), demand: 5.0 },
         ];
-        let sol = min_cost_multicommodity(&triangle(), &c, |i, j| {
-            triangle().capacity(i, j).unwrap()
-        })
-        .unwrap()
-        .unwrap();
+        let sol =
+            min_cost_multicommodity(&triangle(), &c, |i, j| triangle().capacity(i, j).unwrap())
+                .unwrap()
+                .unwrap();
         // Commodity 2 fills D1→D2 (cost 10); commodity 1 must go direct
         // (cost 50). Total 60.
         assert!((sol.objective - 60.0).abs() < 1e-6, "{}", sol.objective);
@@ -272,9 +268,13 @@ mod tests {
     #[test]
     fn concurrent_flow_full_routing() {
         let c = [Commodity { id: 1, src: d(0), dst: d(2), demand: 4.0 }];
-        let sol =
-            max_concurrent_flow(&triangle(), &c, |i, j| triangle().capacity(i, j).unwrap(), Some(1.0))
-                .unwrap();
+        let sol = max_concurrent_flow(
+            &triangle(),
+            &c,
+            |i, j| triangle().capacity(i, j).unwrap(),
+            Some(1.0),
+        )
+        .unwrap();
         assert!((sol.objective - 1.0).abs() < 1e-6);
     }
 
@@ -282,9 +282,13 @@ mod tests {
     fn concurrent_flow_partial_when_tight() {
         // Demand 20 against a 10-capacity cut: λ = 0.5.
         let c = [Commodity { id: 1, src: d(0), dst: d(2), demand: 20.0 }];
-        let sol =
-            max_concurrent_flow(&triangle(), &c, |i, j| triangle().capacity(i, j).unwrap(), Some(1.0))
-                .unwrap();
+        let sol = max_concurrent_flow(
+            &triangle(),
+            &c,
+            |i, j| triangle().capacity(i, j).unwrap(),
+            Some(1.0),
+        )
+        .unwrap();
         assert!((sol.objective - 0.5).abs() < 1e-6, "{}", sol.objective);
     }
 

@@ -275,7 +275,12 @@ mod tests {
             for u in 0..n {
                 for v in 0..n {
                     if u != v && rng.gen_bool(0.5) {
-                        edges.push((u, v, rng.gen_range(1.0..6.0f64).round(), rng.gen_range(1.0..9.0f64).round()));
+                        edges.push((
+                            u,
+                            v,
+                            rng.gen_range(1.0..6.0f64).round(),
+                            rng.gen_range(1.0..9.0f64).round(),
+                        ));
                     }
                 }
             }

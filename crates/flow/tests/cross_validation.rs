@@ -93,10 +93,8 @@ fn min_cost_flow_matches_lp_on_larger_graphs() {
 
         // LP: min cost at exactly `out.flow` units.
         let mut m = Model::new(Sense::Minimize);
-        let edges: Vec<(usize, usize, f64, f64)> = g0
-            .forward_edges()
-            .map(|(_, from, to, cap, cost)| (from.0, to.0, cap, cost))
-            .collect();
+        let edges: Vec<(usize, usize, f64, f64)> =
+            g0.forward_edges().map(|(_, from, to, cap, cost)| (from.0, to.0, cap, cost)).collect();
         let vars: Vec<_> = edges
             .iter()
             .enumerate()

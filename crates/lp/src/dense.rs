@@ -102,13 +102,13 @@ impl DenseMatrix {
     pub fn mat_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols);
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, out_r) in out.iter_mut().enumerate() {
             let row = self.row(r);
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(x) {
                 acc += a * b;
             }
-            out[r] = acc;
+            *out_r = acc;
         }
         out
     }
@@ -121,9 +121,8 @@ impl DenseMatrix {
     pub fn mat_vec_transposed(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows);
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
+        for (r, &xr) in x.iter().enumerate() {
             let row = self.row(r);
-            let xr = x[r];
             if xr == 0.0 {
                 continue;
             }
@@ -249,15 +248,15 @@ impl LuFactors {
         let mut y = b.to_vec();
         for r in 0..n {
             let mut acc = y[r];
-            for c in 0..r {
-                acc -= self.lu.get(c, r) * y[c];
+            for (c, &yc) in y.iter().enumerate().take(r) {
+                acc -= self.lu.get(c, r) * yc;
             }
             y[r] = acc / self.lu.get(r, r);
         }
         for r in (0..n).rev() {
             let mut acc = y[r];
-            for c in (r + 1)..n {
-                acc -= self.lu.get(c, r) * y[c];
+            for (c, &yc) in y.iter().enumerate().skip(r + 1) {
+                acc -= self.lu.get(c, r) * yc;
             }
             y[r] = acc;
         }
@@ -364,9 +363,9 @@ mod tests {
         for c in 0..3 {
             let col: Vec<f64> = (0..3).map(|r| inv.get(r, c)).collect();
             let prod = a.mat_vec(&col);
-            for r in 0..3 {
+            for (r, &p) in prod.iter().enumerate() {
                 let expect = if r == c { 1.0 } else { 0.0 };
-                assert!(approx(prod[r], expect), "({r},{c}) = {}", prod[r]);
+                assert!(approx(p, expect), "({r},{c}) = {p}");
             }
         }
     }

@@ -114,7 +114,13 @@ impl Model {
     }
 
     /// Adds `count` variables sharing bounds, named `prefix[0..count)`.
-    pub fn add_vars(&mut self, prefix: &str, count: usize, lower: f64, upper: f64) -> Vec<Variable> {
+    pub fn add_vars(
+        &mut self,
+        prefix: &str,
+        count: usize,
+        lower: f64,
+        upper: f64,
+    ) -> Vec<Variable> {
         (0..count).map(|i| self.add_var(format!("{prefix}[{i}]"), lower, upper)).collect()
     }
 
@@ -207,7 +213,9 @@ impl Model {
         for i in 0..self.names.len() {
             let (lo, hi) = (self.lower[i], self.upper[i]);
             if lo.is_nan() || hi.is_nan() {
-                return Err(LpError::NotANumber { context: format!("bounds of `{}`", self.names[i]) });
+                return Err(LpError::NotANumber {
+                    context: format!("bounds of `{}`", self.names[i]),
+                });
             }
             if lo > hi {
                 return Err(LpError::InvalidBounds {

@@ -289,7 +289,12 @@ mod tests {
         let b = back.solve().unwrap();
         assert_eq!(a.status(), Status::Optimal);
         assert_eq!(b.status(), Status::Optimal);
-        assert!((a.objective() - b.objective()).abs() < 1e-9, "{} vs {}", a.objective(), b.objective());
+        assert!(
+            (a.objective() - b.objective()).abs() < 1e-9,
+            "{} vs {}",
+            a.objective(),
+            b.objective()
+        );
     }
 
     #[test]

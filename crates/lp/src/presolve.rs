@@ -25,6 +25,10 @@ use crate::solution::{Solution, Status};
 use crate::Variable;
 use std::collections::BTreeMap;
 
+/// Duplicate-lhs bookkeeping: canonical row key (bit-exact coefficient
+/// terms + relation tag) → (kept slot in `kept_rows`, tightest rhs so far).
+type DupGroups = BTreeMap<(Vec<(usize, u64)>, u8), (usize, f64)>;
+
 /// The outcome of presolving a model: a reduced model plus the bookkeeping
 /// to map solutions back.
 #[derive(Debug, Clone)]
@@ -89,10 +93,7 @@ impl Presolved {
 
 /// Key identifying a row's left-hand side (terms rounded to exact bits).
 fn lhs_key(expr: &crate::LinExpr) -> Vec<(usize, u64)> {
-    expr.iter()
-        .filter(|&(_, c)| c != 0.0)
-        .map(|(v, c)| (v.index(), c.to_bits()))
-        .collect()
+    expr.iter().filter(|&(_, c)| c != 0.0).map(|(v, c)| (v.index(), c.to_bits())).collect()
 }
 
 /// Presolves `model` (see the module docs for the reductions applied).
@@ -107,9 +108,7 @@ pub fn presolve(model: &Model) -> Presolved {
 
     let mut infeasible = false;
     let mut kept_rows = Vec::new();
-    // Tightest rhs seen per duplicate-lhs group: key → (constraint kept slot
-    // in `kept_rows`, relation, rhs).
-    let mut groups: BTreeMap<(Vec<(usize, u64)>, u8), (usize, f64)> = BTreeMap::new();
+    let mut groups: DupGroups = BTreeMap::new();
 
     for (id, con) in model.constraints() {
         let mut terms: Vec<(Variable, f64)> =
@@ -168,10 +167,8 @@ pub fn presolve(model: &Model) -> Presolved {
 
     // Emit the kept rows with their (possibly tightened) rhs, in original
     // order.
-    let mut rows: Vec<(usize, usize, f64)> = groups
-        .into_iter()
-        .map(|((_, _), (slot, rhs))| (slot, kept_rows[slot], rhs))
-        .collect();
+    let mut rows: Vec<(usize, usize, f64)> =
+        groups.into_iter().map(|((_, _), (slot, rhs))| (slot, kept_rows[slot], rhs)).collect();
     rows.sort_unstable_by_key(|&(slot, _, _)| slot);
     let mut final_kept = Vec::with_capacity(rows.len());
     for (_, orig_idx, rhs) in rows {
@@ -276,8 +273,7 @@ mod tests {
         for trial in 0..20 {
             let n = rng.gen_range(2..6usize);
             let mut m = Model::new(Sense::Minimize);
-            let vars: Vec<_> =
-                (0..n).map(|i| m.add_var(format!("x{i}"), 0.0, 10.0)).collect();
+            let vars: Vec<_> = (0..n).map(|i| m.add_var(format!("x{i}"), 0.0, 10.0)).collect();
             let mut obj = LinExpr::new();
             for &v in &vars {
                 obj.add_term(v, rng.gen_range(-3.0..3.0));

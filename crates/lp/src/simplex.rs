@@ -177,7 +177,7 @@ impl<'a> State<'a> {
             }
         }
         let n_art = art_row.len();
-        in_basis.extend(std::iter::repeat(false).take(n_art));
+        in_basis.extend(std::iter::repeat_n(false, n_art));
         for &bcol in &basis {
             if bcol >= n {
                 in_basis[bcol] = true;
@@ -234,8 +234,8 @@ impl<'a> State<'a> {
         self.for_col(j, |k, v| {
             if v != 0.0 {
                 // w += v * binv[:, k]
-                for r in 0..self.m {
-                    w[r] += v * self.binv.get(r, k);
+                for (r, wr) in w.iter_mut().enumerate() {
+                    *wr += v * self.binv.get(r, k);
                 }
             }
         });
@@ -351,7 +351,7 @@ impl<'a> State<'a> {
                         continue;
                     }
                     let d = self.reduced_cost(j, y);
-                    if d < -self.opts.pricing_tol && best.map_or(true, |(_, bd)| d < bd) {
+                    if d < -self.opts.pricing_tol && best.is_none_or(|(_, bd)| d < bd) {
                         best = Some((j, d));
                     }
                 }
@@ -365,9 +365,9 @@ impl<'a> State<'a> {
     /// smallest basis column index (required for the termination guarantee).
     fn ratio_test(&self, w: &[f64]) -> Option<usize> {
         let mut min_ratio = f64::INFINITY;
-        for r in 0..self.m {
-            if w[r] > self.opts.pivot_tol {
-                min_ratio = min_ratio.min(self.xb[r].max(0.0) / w[r]);
+        for (&wr, &xbr) in w.iter().zip(&self.xb) {
+            if wr > self.opts.pivot_tol {
+                min_ratio = min_ratio.min(xbr.max(0.0) / wr);
             }
         }
         if !min_ratio.is_finite() {
@@ -400,9 +400,9 @@ impl<'a> State<'a> {
         }
 
         // Update basic values.
-        for r in 0..self.m {
+        for (r, (xbr, &wr)) in self.xb.iter_mut().zip(w).enumerate() {
             if r != r_out {
-                self.xb[r] -= theta * w[r];
+                *xbr -= theta * wr;
             }
         }
         self.xb[r_out] = theta;
@@ -415,11 +415,10 @@ impl<'a> State<'a> {
                 *v /= pivot;
             }
         }
-        for r in 0..self.m {
-            if r == r_out || w[r] == 0.0 {
+        for (r, &factor) in w.iter().enumerate() {
+            if r == r_out || factor == 0.0 {
                 continue;
             }
-            let factor = w[r];
             let (pivot_row, target) = self.binv.two_rows_mut(r_out, r);
             for (t, p) in target.iter_mut().zip(pivot_row.iter()) {
                 *t -= factor * *p;
@@ -606,8 +605,8 @@ mod tests {
         m.set_objective(obj);
         for i in 0..n {
             let mut e = LinExpr::new();
-            for j in 0..i {
-                e.add_term(xs[j], 2f64.powi((i - j + 1) as i32));
+            for (j, &xj) in xs.iter().enumerate().take(i) {
+                e.add_term(xj, 2f64.powi((i - j + 1) as i32));
             }
             e.add_term(xs[i], 1.0);
             m.leq(e, 5f64.powi(i as i32 + 1));
@@ -635,11 +634,7 @@ mod tests {
         // optimum (computed by hand via the MODI method).
         let supply = [20.0, 30.0, 25.0];
         let demand = [10.0, 25.0, 15.0, 25.0];
-        let cost = [
-            [4.0, 6.0, 8.0, 8.0],
-            [6.0, 8.0, 6.0, 7.0],
-            [5.0, 7.0, 6.0, 8.0],
-        ];
+        let cost = [[4.0, 6.0, 8.0, 8.0], [6.0, 8.0, 6.0, 7.0], [5.0, 7.0, 6.0, 8.0]];
         let mut m = Model::new(Sense::Minimize);
         let mut vars = Vec::new();
         for i in 0..3 {

@@ -131,8 +131,7 @@ impl CscMatrix {
     pub fn mat_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols);
         let mut out = vec![0.0; self.rows];
-        for j in 0..self.cols {
-            let xj = x[j];
+        for (j, &xj) in x.iter().enumerate() {
             if xj == 0.0 {
                 continue;
             }

@@ -122,10 +122,10 @@ impl StandardForm {
         // Pending upper-bound rows: (column, range).
         let mut ub_rows: Vec<(usize, f64)> = Vec::new();
 
-        for i in 0..nv {
+        for (i, fixed) in fixed_values.iter_mut().enumerate() {
             let (lo, hi) = model.bounds(crate::Variable(i));
             if lo.is_finite() && hi.is_finite() && (hi - lo).abs() <= 1e-12 {
-                fixed_values[i] = Some(lo);
+                *fixed = Some(lo);
                 cols_of_var.push(VarCols::Fixed);
             } else if lo.is_finite() {
                 let col = col_source.len();

@@ -50,8 +50,7 @@ pub fn check_feasibility(model: &Model, solution: &Solution, tol: f64) -> Vec<Vi
         return out;
     }
     let x = solution.values();
-    for i in 0..model.num_vars() {
-        let v = x[i];
+    for (i, &v) in x.iter().enumerate().take(model.num_vars()) {
         let (lo, hi) = model.bounds(crate::Variable(i));
         let excess = (lo - v).max(v - hi).max(0.0);
         if excess > tol {
@@ -89,7 +88,12 @@ pub fn is_feasible(model: &Model, solution: &Solution, tol: f64) -> bool {
 /// the optimum, so `solution.objective() ≤ other_objective + tol` must hold
 /// (mirrored for maximization). This is how the tests certify optimality
 /// against brute-force vertex enumeration.
-pub fn at_least_as_good(model: &Model, solution: &Solution, other_objective: f64, tol: f64) -> bool {
+pub fn at_least_as_good(
+    model: &Model,
+    solution: &Solution,
+    other_objective: f64,
+    tol: f64,
+) -> bool {
     match model.sense() {
         crate::Sense::Minimize => solution.objective() <= other_objective + tol,
         crate::Sense::Maximize => solution.objective() >= other_objective - tol,

@@ -17,9 +17,8 @@ fn feasible_box_lp(
     slacks: &[f64],
 ) -> (Model, Vec<Variable>, Vec<f64>) {
     let mut m = Model::new(Sense::Minimize);
-    let vars: Vec<Variable> = (0..n)
-        .map(|i| m.add_var(format!("x{i}"), boxes[i].0, boxes[i].1))
-        .collect();
+    let vars: Vec<Variable> =
+        (0..n).map(|i| m.add_var(format!("x{i}"), boxes[i].0, boxes[i].1)).collect();
     let mut obj = LinExpr::new();
     for (v, c) in vars.iter().zip(costs) {
         obj.add_term(*v, *c);
@@ -195,9 +194,8 @@ fn random_transportation_problems_feasible_and_bounded() {
         let mut m = Model::new(Sense::Minimize);
         let mut vars = Vec::new();
         for i in 0..ns {
-            let row: Vec<Variable> = (0..nd)
-                .map(|j| m.add_var(format!("x{i}_{j}"), 0.0, f64::INFINITY))
-                .collect();
+            let row: Vec<Variable> =
+                (0..nd).map(|j| m.add_var(format!("x{i}_{j}"), 0.0, f64::INFINITY)).collect();
             vars.push(row);
         }
         let mut obj = LinExpr::new();

@@ -9,13 +9,14 @@
 
 use crate::charging::PercentileScheme;
 use crate::topology::{DcId, Network};
+use serde::{Deserialize, Serialize};
 
 /// Records the volume (GB) sent on every directed link in every slot.
 ///
 /// Slots may be written out of order (plans commit future slots); the ledger
 /// grows automatically. Self-links (storage) are *not* recorded — stored
 /// data never crosses an ISP boundary and is free (Sec. V).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrafficLedger {
     n: usize,
     /// Per directed link `(i·n + j)`: per-slot volumes.
@@ -32,7 +33,11 @@ impl TrafficLedger {
     /// Panics if `num_dcs == 0`.
     pub fn new(num_dcs: usize) -> Self {
         assert!(num_dcs > 0);
-        Self { n: num_dcs, volumes: vec![Vec::new(); num_dcs * num_dcs], peak: vec![0.0; num_dcs * num_dcs] }
+        Self {
+            n: num_dcs,
+            volumes: vec![Vec::new(); num_dcs * num_dcs],
+            peak: vec![0.0; num_dcs * num_dcs],
+        }
     }
 
     /// Number of datacenters the ledger covers.
@@ -119,10 +124,7 @@ impl TrafficLedger {
     /// scheme with linear prices: `Σ_ij a_ij · X_ij` (the paper's Eq. 6
     /// without the constant `· I` factor).
     pub fn cost_per_slot(&self, network: &Network) -> f64 {
-        network
-            .links()
-            .map(|l| l.price * self.peak(l.from, l.to))
-            .sum()
+        network.links().map(|l| l.price * self.peak(l.from, l.to)).sum()
     }
 
     /// The bill per slot under an arbitrary percentile scheme.
@@ -215,5 +217,16 @@ mod tests {
         l.record(d(0), d(1), 0, 1.0);
         l.record(d(0), d(1), 5, 2.0);
         assert_eq!(l.total_volume(d(0), d(1)), 3.0);
+    }
+
+    #[test]
+    fn serde_round_trip_is_exact() {
+        let mut l = TrafficLedger::new(3);
+        l.record(d(0), d(1), 0, 0.1 + 0.2); // a value with no short decimal form
+        l.record(d(1), d(2), 7, 123.456_789_012_345);
+        l.record(d(2), d(0), 3, 1.0 / 3.0);
+        let back: TrafficLedger = serde::json::from_str(&serde::json::to_string(&l)).unwrap();
+        assert_eq!(back, l);
+        assert_eq!(back.peak(d(1), d(2)).to_bits(), l.peak(d(1), d(2)).to_bits());
     }
 }

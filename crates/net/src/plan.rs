@@ -219,8 +219,7 @@ impl TransferPlan {
         mut extra_used: impl FnMut(DcId, DcId, u64) -> f64,
     ) -> Vec<PlanViolation> {
         let mut out = Vec::new();
-        let by_id: BTreeMap<FileId, &TransferRequest> =
-            files.iter().map(|f| (f.id, f)).collect();
+        let by_id: BTreeMap<FileId, &TransferRequest> = files.iter().map(|f| (f.id, f)).collect();
 
         // Link existence + window checks, and per-(link, slot) aggregation.
         let mut link_slot: BTreeMap<(usize, usize, u64), f64> = BTreeMap::new();
@@ -256,11 +255,11 @@ impl TransferPlan {
             for slot in f.first_slot()..=f.last_slot() {
                 let mut outflow = vec![0.0; n];
                 let mut inflow = vec![0.0; n];
-                for i in 0..n {
-                    for j in 0..n {
+                for (i, out) in outflow.iter_mut().enumerate() {
+                    for (j, inn) in inflow.iter_mut().enumerate() {
                         let v = self.volume(f.id, slot, DcId(i), DcId(j));
-                        outflow[i] += v;
-                        inflow[j] += v;
+                        *out += v;
+                        *inn += v;
                     }
                 }
                 for i in 0..n {
@@ -288,11 +287,7 @@ impl TransferPlan {
             }
             let delivered = stock[f.dst.0];
             if (delivered - f.size_gb).abs() > VOLUME_TOL {
-                out.push(PlanViolation::Delivery {
-                    file: f.id,
-                    delivered,
-                    expected: f.size_gb,
-                });
+                out.push(PlanViolation::Delivery { file: f.id, delivered, expected: f.size_gb });
             }
         }
         out

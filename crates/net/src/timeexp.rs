@@ -125,11 +125,11 @@ impl TimeExpandedGraph {
         let num_dcs = network.num_dcs();
         let mut arcs = Vec::with_capacity(num_slots * (network.num_links() + num_dcs));
         let mut by_slot = vec![Vec::new(); num_slots];
-        for off in 0..num_slots {
+        for (off, slot_arcs) in by_slot.iter_mut().enumerate() {
             let slot = t0 + off as u64;
             for link in network.links() {
                 let cap = residual(link, slot).unwrap_or(link.capacity).max(0.0);
-                by_slot[off].push(ArcId(arcs.len()));
+                slot_arcs.push(ArcId(arcs.len()));
                 arcs.push(Arc {
                     from: link.from,
                     to: link.to,
@@ -140,7 +140,7 @@ impl TimeExpandedGraph {
                 });
             }
             for dc in network.dcs() {
-                by_slot[off].push(ArcId(arcs.len()));
+                slot_arcs.push(ArcId(arcs.len()));
                 arcs.push(Arc {
                     from: dc,
                     to: dc,

@@ -244,7 +244,7 @@ impl Network {
             if from == to {
                 return Err(err("self-loops are not links"));
             }
-            if !(price >= 0.0 && price.is_finite()) || !(capacity > 0.0) {
+            if !price.is_finite() || price < 0.0 || capacity.is_nan() || capacity <= 0.0 {
                 return Err(err("price must be ≥ 0 and capacity > 0"));
             }
             max_dc = max_dc.max(from).max(to);
@@ -277,11 +277,7 @@ impl NetworkBuilder {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "a network needs at least one datacenter");
-        Self {
-            n,
-            names: (0..n).map(|i| format!("D{i}")).collect(),
-            links: vec![None; n * n],
-        }
+        Self { n, names: (0..n).map(|i| format!("D{i}")).collect(), links: vec![None; n * n] }
     }
 
     /// Adds (or overwrites) the directed link `from → to`.

@@ -1,0 +1,136 @@
+//! Pluggable time sources for the slot loop's solve-budget accounting.
+//!
+//! The fallback chain asks "how long has this slot's solving taken so far?"
+//! — under [`WallClock`] that is real elapsed time, under [`SimClock`] it is
+//! a deterministic counter that only moves when something explicitly
+//! advances it (fault injection, simulated solver cost). Determinism is
+//! what makes checkpoint/resume bit-identical: a resumed run must take the
+//! same fallback decisions as the uninterrupted one, which real wall time
+//! cannot guarantee.
+
+use std::time::{Duration, Instant};
+
+/// A per-slot stopwatch.
+pub trait Clock: std::fmt::Debug {
+    /// Resets the stopwatch at the start of a slot.
+    fn start_slot(&mut self, slot: u64);
+    /// Time spent in the current slot so far.
+    fn elapsed(&self) -> Duration;
+    /// Advances simulated clocks by `d`; a no-op for real clocks (wall time
+    /// advances itself).
+    fn advance(&mut self, d: Duration);
+}
+
+/// Deterministic simulated time: advances only via [`Clock::advance`].
+#[derive(Debug, Default)]
+pub struct SimClock {
+    elapsed: Duration,
+}
+
+impl SimClock {
+    /// A fresh simulated stopwatch at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Clock for SimClock {
+    fn start_slot(&mut self, _slot: u64) {
+        self.elapsed = Duration::ZERO;
+    }
+
+    fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    fn advance(&mut self, d: Duration) {
+        self.elapsed += d;
+    }
+}
+
+/// Real wall-clock time.
+#[derive(Debug)]
+pub struct WallClock {
+    started: Instant,
+}
+
+impl WallClock {
+    /// A stopwatch started now.
+    pub fn new() -> Self {
+        Self { started: Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn start_slot(&mut self, _slot: u64) {
+        self.started = Instant::now();
+    }
+
+    fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    fn advance(&mut self, _d: Duration) {}
+}
+
+/// Which [`Clock`] a runtime uses (serializable for snapshots).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ClockKind {
+    /// Deterministic [`SimClock`] (the default; required for bit-identical
+    /// resume).
+    Sim,
+    /// Real [`WallClock`].
+    Wall,
+}
+
+impl ClockKind {
+    /// Instantiates the clock.
+    pub fn build(self) -> Box<dyn Clock> {
+        match self {
+            ClockKind::Sim => Box::new(SimClock::new()),
+            ClockKind::Wall => Box::new(WallClock::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_only_moves_when_advanced() {
+        let mut c = SimClock::new();
+        c.start_slot(0);
+        assert_eq!(c.elapsed(), Duration::ZERO);
+        c.advance(Duration::from_millis(7));
+        assert_eq!(c.elapsed(), Duration::from_millis(7));
+        c.start_slot(1);
+        assert_eq!(c.elapsed(), Duration::ZERO);
+    }
+
+    #[test]
+    fn wall_clock_moves_by_itself() {
+        let mut c = WallClock::new();
+        c.start_slot(0);
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(c.elapsed() >= Duration::from_millis(1));
+        c.advance(Duration::from_secs(100)); // no-op
+        assert!(c.elapsed() < Duration::from_secs(50));
+    }
+
+    #[test]
+    fn kind_builds_matching_clock() {
+        let mut sim = ClockKind::Sim.build();
+        sim.start_slot(0);
+        sim.advance(Duration::from_secs(1));
+        assert_eq!(sim.elapsed(), Duration::from_secs(1));
+        let wall = ClockKind::Wall.build();
+        assert!(wall.elapsed() < Duration::from_secs(1));
+    }
+}

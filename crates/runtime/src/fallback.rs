@@ -1,0 +1,368 @@
+//! The solver fallback chain: Postcard LP, then the storage-free flow LP,
+//! then the greedy allocator — so a slot is never missed.
+//!
+//! Tier order follows the feasible-set nesting of the underlying models
+//! (Postcard ⊇ flow LP ⊇ greedy): every lower tier is cheaper to solve but
+//! can only be costlier per bill. Three failure classes move the chain to
+//! the next tier:
+//!
+//! * a **forced timeout** from the fault plan (the tier is unavailable this
+//!   slot — modelling an aborted solve);
+//! * a **budget overrun**: the tier solved, but the slot's cumulative solve
+//!   time already exceeds the per-slot budget (checked post-hoc — solves
+//!   are not preempted — and waived for the final tier, which always
+//!   commits rather than miss the slot);
+//! * a **numerical failure** (`PostcardError::Lp`), retried once on the
+//!   same tier before falling through.
+//!
+//! [`PostcardError::Infeasible`] is *not* a fallback trigger: by the
+//! nesting above, a batch infeasible for Postcard is infeasible for every
+//! lower tier, so it propagates immediately and the online controller's
+//! per-file admission takes over.
+
+use crate::clock::Clock;
+use postcard_core::{
+    Decision, FlowLpScheduler, GreedyScheduler, PostcardError, PostcardScheduler, Scheduler,
+    SolveStats,
+};
+use postcard_net::{Network, TrafficLedger, TransferRequest};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// One tier of the fallback chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TierKind {
+    /// The paper's store-and-forward LP.
+    Postcard,
+    /// The storage-free flow LP.
+    FlowLp,
+    /// The cheapest-available-path greedy allocator.
+    Greedy,
+}
+
+impl TierKind {
+    /// Stable name used in metrics, CLI flags, and snapshots.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TierKind::Postcard => "postcard",
+            TierKind::FlowLp => "flow-lp",
+            TierKind::Greedy => "flow-greedy",
+        }
+    }
+
+    /// Builds the tier's scheduler.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match self {
+            TierKind::Postcard => Box::new(PostcardScheduler::new()),
+            TierKind::FlowLp => Box::new(FlowLpScheduler),
+            TierKind::Greedy => Box::new(GreedyScheduler),
+        }
+    }
+
+    /// The default chain, strongest first.
+    pub fn default_chain() -> Vec<TierKind> {
+        vec![TierKind::Postcard, TierKind::FlowLp, TierKind::Greedy]
+    }
+}
+
+impl std::fmt::Display for TierKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for TierKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "postcard" => Ok(TierKind::Postcard),
+            "flow-lp" => Ok(TierKind::FlowLp),
+            "flow-greedy" | "greedy" => Ok(TierKind::Greedy),
+            other => Err(format!("unknown tier `{other}`")),
+        }
+    }
+}
+
+/// Why a tier attempt ended the way it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// The tier's decision was committed.
+    Committed,
+    /// Committed, but only after a retry of a numerical failure.
+    CommittedAfterRetry,
+    /// The fault plan forced this tier to time out.
+    ForcedTimeout,
+    /// The tier solved, but the slot budget was already spent.
+    BudgetExceeded,
+    /// The tier failed numerically twice.
+    Failed,
+    /// The batch is infeasible (propagated, ends the chain).
+    Infeasible,
+}
+
+/// One tier attempt within a slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttemptRecord {
+    /// Which tier.
+    pub tier: TierKind,
+    /// How the attempt ended.
+    pub outcome: AttemptOutcome,
+    /// Cumulative slot solve time when the attempt finished.
+    pub elapsed: Duration,
+    /// LP effort of this attempt (0 for combinatorial tiers).
+    pub lp_iterations: usize,
+}
+
+struct Tier {
+    kind: TierKind,
+    scheduler: Box<dyn Scheduler>,
+}
+
+/// A [`Scheduler`] that tries tiers in order until one commits.
+pub struct FallbackChain {
+    tiers: Vec<Tier>,
+    clock: Box<dyn Clock>,
+    slot_budget: Duration,
+    forced_now: Vec<TierKind>,
+    records: Vec<AttemptRecord>,
+    last_stats: SolveStats,
+}
+
+impl std::fmt::Debug for FallbackChain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FallbackChain")
+            .field("tiers", &self.tiers.iter().map(|t| t.kind).collect::<Vec<_>>())
+            .field("slot_budget", &self.slot_budget)
+            .field("forced_now", &self.forced_now)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FallbackChain {
+    /// Builds a chain over `tiers` (in fallback order) with a per-slot
+    /// solve budget measured by `clock`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiers` is empty.
+    pub fn new(tiers: &[TierKind], slot_budget: Duration, clock: Box<dyn Clock>) -> Self {
+        assert!(!tiers.is_empty(), "fallback chain needs at least one tier");
+        Self {
+            tiers: tiers.iter().map(|&kind| Tier { kind, scheduler: kind.build() }).collect(),
+            clock,
+            slot_budget,
+            forced_now: Vec::new(),
+            records: Vec::new(),
+            last_stats: SolveStats::default(),
+        }
+    }
+
+    /// Starts a slot: resets the stopwatch and attempt log, and arms the
+    /// forced timeouts scheduled for this slot.
+    pub fn begin_slot(&mut self, slot: u64, forced: Vec<TierKind>) {
+        self.clock.start_slot(slot);
+        self.forced_now = forced;
+        self.records.clear();
+    }
+
+    /// Simulated clock access (used by tests and fault drivers to consume
+    /// budget deterministically).
+    pub fn clock_mut(&mut self) -> &mut dyn Clock {
+        self.clock.as_mut()
+    }
+
+    /// All tier attempts since [`FallbackChain::begin_slot`] (several
+    /// schedule calls accumulate here when the controller retries
+    /// per-file admission).
+    pub fn records(&self) -> &[AttemptRecord] {
+        &self.records
+    }
+
+    /// The tier that committed the slot's first decision, if any.
+    pub fn chosen_tier(&self) -> Option<TierKind> {
+        self.records
+            .iter()
+            .find(|r| {
+                matches!(r.outcome, AttemptOutcome::Committed | AttemptOutcome::CommittedAfterRetry)
+            })
+            .map(|r| r.tier)
+    }
+
+    fn record(&mut self, tier: TierKind, outcome: AttemptOutcome, lp_iterations: usize) {
+        self.records.push(AttemptRecord {
+            tier,
+            outcome,
+            elapsed: self.clock.elapsed(),
+            lp_iterations,
+        });
+    }
+}
+
+impl Scheduler for FallbackChain {
+    fn name(&self) -> &'static str {
+        "fallback-chain"
+    }
+
+    fn schedule(
+        &mut self,
+        network: &Network,
+        files: &[TransferRequest],
+        ledger: &TrafficLedger,
+    ) -> Result<Decision, PostcardError> {
+        let num_tiers = self.tiers.len();
+        for i in 0..num_tiers {
+            let kind = self.tiers[i].kind;
+            let is_last = i + 1 == num_tiers;
+
+            if self.forced_now.contains(&kind) && !is_last {
+                self.record(kind, AttemptOutcome::ForcedTimeout, 0);
+                continue;
+            }
+
+            let mut retried = false;
+            let result = loop {
+                match self.tiers[i].scheduler.schedule(network, files, ledger) {
+                    Ok(d) => break Ok(d),
+                    Err(PostcardError::Infeasible) => break Err(PostcardError::Infeasible),
+                    Err(e) if !retried => {
+                        retried = true;
+                        let _ = e;
+                    }
+                    Err(e) => break Err(e),
+                }
+            };
+            let stats = self.tiers[i].scheduler.last_stats();
+
+            match result {
+                Ok(decision) => {
+                    if self.clock.elapsed() > self.slot_budget && !is_last {
+                        self.record(kind, AttemptOutcome::BudgetExceeded, stats.lp_iterations);
+                        continue;
+                    }
+                    let outcome = if retried {
+                        AttemptOutcome::CommittedAfterRetry
+                    } else {
+                        AttemptOutcome::Committed
+                    };
+                    self.record(kind, outcome, stats.lp_iterations);
+                    self.last_stats = stats;
+                    return Ok(decision);
+                }
+                Err(PostcardError::Infeasible) => {
+                    self.record(kind, AttemptOutcome::Infeasible, stats.lp_iterations);
+                    return Err(PostcardError::Infeasible);
+                }
+                Err(e) => {
+                    self.record(kind, AttemptOutcome::Failed, stats.lp_iterations);
+                    if is_last {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        unreachable!("the final tier either commits or returns its error");
+    }
+
+    fn last_stats(&self) -> SolveStats {
+        self.last_stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+    use postcard_net::{DcId, FileId, NetworkBuilder};
+
+    fn d(i: usize) -> DcId {
+        DcId(i)
+    }
+
+    fn net() -> Network {
+        NetworkBuilder::new(3)
+            .link(d(1), d(2), 10.0, 100.0)
+            .link(d(1), d(0), 1.0, 100.0)
+            .link(d(0), d(2), 3.0, 100.0)
+            .build()
+    }
+
+    fn chain() -> FallbackChain {
+        FallbackChain::new(
+            &TierKind::default_chain(),
+            Duration::from_millis(100),
+            Box::new(SimClock::new()),
+        )
+    }
+
+    fn file() -> TransferRequest {
+        TransferRequest::new(FileId(1), d(1), d(2), 6.0, 3, 0)
+    }
+
+    #[test]
+    fn healthy_chain_commits_on_first_tier() {
+        let mut c = chain();
+        c.begin_slot(0, vec![]);
+        let d = c.schedule(&net(), &[file()], &TrafficLedger::new(3)).unwrap();
+        assert!(matches!(d, Decision::Plan(_)));
+        assert_eq!(c.chosen_tier(), Some(TierKind::Postcard));
+        assert_eq!(c.records().len(), 1);
+        assert!(c.last_stats().lp_iterations > 0, "postcard solve should pivot");
+    }
+
+    #[test]
+    fn forced_timeout_activates_next_tier() {
+        let mut c = chain();
+        c.begin_slot(0, vec![TierKind::Postcard]);
+        let d = c.schedule(&net(), &[file()], &TrafficLedger::new(3)).unwrap();
+        assert!(matches!(d, Decision::Rates(_)), "flow LP returns rates");
+        assert_eq!(c.chosen_tier(), Some(TierKind::FlowLp));
+        assert_eq!(c.records()[0].outcome, AttemptOutcome::ForcedTimeout);
+    }
+
+    #[test]
+    fn budget_overrun_falls_through_but_last_tier_always_commits() {
+        let mut c = chain();
+        c.begin_slot(0, vec![]);
+        // Pre-spend the whole slot budget: every non-final tier is rejected
+        // post-hoc, the final tier commits anyway.
+        c.clock_mut().advance(Duration::from_secs(10));
+        let d = c.schedule(&net(), &[file()], &TrafficLedger::new(3)).unwrap();
+        assert!(matches!(d, Decision::Rates(_)));
+        assert_eq!(c.chosen_tier(), Some(TierKind::Greedy));
+        assert_eq!(c.records()[0].outcome, AttemptOutcome::BudgetExceeded);
+        assert_eq!(c.records()[1].outcome, AttemptOutcome::BudgetExceeded);
+    }
+
+    #[test]
+    fn infeasible_propagates_without_fallback() {
+        // 10 GB, 1 slot, capacity 2: infeasible for every tier.
+        let net = NetworkBuilder::new(2).link(d(0), d(1), 1.0, 2.0).build();
+        let f = TransferRequest::new(FileId(1), d(0), d(1), 10.0, 1, 0);
+        let mut c = chain();
+        c.begin_slot(0, vec![]);
+        let err = c.schedule(&net, &[f], &TrafficLedger::new(2)).unwrap_err();
+        assert_eq!(err, PostcardError::Infeasible);
+        // Exactly one attempt: the chain did not try lower tiers.
+        assert_eq!(c.records().len(), 1);
+        assert_eq!(c.records()[0].outcome, AttemptOutcome::Infeasible);
+    }
+
+    #[test]
+    fn forcing_every_tier_still_commits_via_final_tier() {
+        let mut c = chain();
+        c.begin_slot(0, TierKind::default_chain());
+        let d = c.schedule(&net(), &[file()], &TrafficLedger::new(3)).unwrap();
+        assert!(matches!(d, Decision::Rates(_)));
+        assert_eq!(c.chosen_tier(), Some(TierKind::Greedy));
+    }
+
+    #[test]
+    fn tier_names_parse_round_trip() {
+        for t in TierKind::default_chain() {
+            assert_eq!(t.name().parse::<TierKind>().unwrap(), t);
+        }
+        assert_eq!("greedy".parse::<TierKind>().unwrap(), TierKind::Greedy);
+        assert!("quantum".parse::<TierKind>().is_err());
+    }
+}

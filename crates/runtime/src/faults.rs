@@ -1,0 +1,165 @@
+//! Deterministic fault-injection schedules.
+//!
+//! Two fault families, both applied at slot boundaries so runs (and their
+//! resumed halves) replay identically:
+//!
+//! * **link degradations** — at slot `t`, link `i → j`'s capacity drops to
+//!   a given value (the `tests/capacity_shock.rs` scenario, made a
+//!   first-class runtime input);
+//! * **forced solver timeouts** — at slot `t`, a named fallback tier is
+//!   treated as having blown the slot budget, activating the next tier.
+//!
+//! The whole plan serializes into snapshots, so a resumed run sees the same
+//! remaining faults.
+
+use crate::fallback::TierKind;
+use postcard_net::DcId;
+use serde::{Deserialize, Serialize};
+
+/// Capacity drop of one link at one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkDegradation {
+    /// Slot at whose start the degradation applies.
+    pub slot: u64,
+    /// Link source.
+    pub from: usize,
+    /// Link destination.
+    pub to: usize,
+    /// New capacity (GB/slot); must be positive.
+    pub capacity: f64,
+}
+
+/// Forced budget blow-out of one tier at one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForcedTimeout {
+    /// Slot during which the tier times out.
+    pub slot: u64,
+    /// The tier that times out.
+    pub tier: TierKind,
+}
+
+/// A full fault schedule.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Capacity drops, applied at slot starts.
+    pub degradations: Vec<LinkDegradation>,
+    /// Forced tier timeouts.
+    pub timeouts: Vec<ForcedTimeout>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds a link degradation.
+    #[must_use]
+    pub fn degrade(mut self, slot: u64, from: DcId, to: DcId, capacity: f64) -> Self {
+        self.degradations.push(LinkDegradation { slot, from: from.0, to: to.0, capacity });
+        self
+    }
+
+    /// Adds a forced tier timeout.
+    #[must_use]
+    pub fn force_timeout(mut self, slot: u64, tier: TierKind) -> Self {
+        self.timeouts.push(ForcedTimeout { slot, tier });
+        self
+    }
+
+    /// The degradations that fire at `slot`.
+    pub fn degradations_at(&self, slot: u64) -> impl Iterator<Item = &LinkDegradation> {
+        self.degradations.iter().filter(move |d| d.slot == slot)
+    }
+
+    /// The tiers forced to time out during `slot`.
+    pub fn timeouts_at(&self, slot: u64) -> Vec<TierKind> {
+        self.timeouts.iter().filter(|t| t.slot == slot).map(|t| t.tier).collect()
+    }
+
+    /// Parses a `slot:from:to:capacity` degradation spec (CLI format).
+    ///
+    /// # Errors
+    ///
+    /// Describes the malformed component.
+    pub fn parse_degradation(spec: &str) -> Result<LinkDegradation, String> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        if parts.len() != 4 {
+            return Err(format!("degradation `{spec}` must be slot:from:to:capacity"));
+        }
+        let slot = parts[0].parse().map_err(|_| format!("bad slot in `{spec}`"))?;
+        let from = parts[1].parse().map_err(|_| format!("bad source dc in `{spec}`"))?;
+        let to = parts[2].parse().map_err(|_| format!("bad destination dc in `{spec}`"))?;
+        let capacity: f64 = parts[3].parse().map_err(|_| format!("bad capacity in `{spec}`"))?;
+        if capacity.is_nan() || capacity <= 0.0 {
+            return Err(format!("capacity must be positive in `{spec}`"));
+        }
+        Ok(LinkDegradation { slot, from, to, capacity })
+    }
+
+    /// Parses a `slot[:tier]` forced-timeout spec (CLI format; the tier
+    /// defaults to `postcard`).
+    ///
+    /// # Errors
+    ///
+    /// Describes the malformed component.
+    pub fn parse_timeout(spec: &str) -> Result<ForcedTimeout, String> {
+        let (slot_text, tier_text) = match spec.split_once(':') {
+            Some((s, t)) => (s, t),
+            None => (spec, "postcard"),
+        };
+        let slot = slot_text.parse().map_err(|_| format!("bad slot in `{spec}`"))?;
+        let tier = tier_text.parse().map_err(|e| format!("{e} in `{spec}`"))?;
+        Ok(ForcedTimeout { slot, tier })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let plan = FaultPlan::none()
+            .degrade(3, DcId(0), DcId(1), 5.0)
+            .degrade(3, DcId(1), DcId(2), 7.0)
+            .force_timeout(2, TierKind::Postcard)
+            .force_timeout(2, TierKind::FlowLp);
+        assert_eq!(plan.degradations_at(3).count(), 2);
+        assert_eq!(plan.degradations_at(4).count(), 0);
+        assert_eq!(plan.timeouts_at(2), vec![TierKind::Postcard, TierKind::FlowLp]);
+        assert!(plan.timeouts_at(0).is_empty());
+    }
+
+    #[test]
+    fn parse_degradation_formats() {
+        let d = FaultPlan::parse_degradation("5:0:2:12.5").unwrap();
+        assert_eq!((d.slot, d.from, d.to), (5, 0, 2));
+        assert_eq!(d.capacity, 12.5);
+        assert!(FaultPlan::parse_degradation("5:0:2").is_err());
+        assert!(FaultPlan::parse_degradation("5:0:2:-1").is_err());
+        assert!(FaultPlan::parse_degradation("x:0:2:1").is_err());
+    }
+
+    #[test]
+    fn parse_timeout_formats() {
+        assert_eq!(
+            FaultPlan::parse_timeout("4").unwrap(),
+            ForcedTimeout { slot: 4, tier: TierKind::Postcard }
+        );
+        assert_eq!(
+            FaultPlan::parse_timeout("4:flow-lp").unwrap(),
+            ForcedTimeout { slot: 4, tier: TierKind::FlowLp }
+        );
+        assert!(FaultPlan::parse_timeout("4:warp-drive").is_err());
+        assert!(FaultPlan::parse_timeout("four").is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let plan =
+            FaultPlan::none().degrade(1, DcId(0), DcId(1), 2.0).force_timeout(9, TierKind::Greedy);
+        let back: FaultPlan = serde::json::from_str(&serde::json::to_string(&plan)).unwrap();
+        assert_eq!(back, plan);
+    }
+}

@@ -1,0 +1,180 @@
+//! A lightweight metrics registry for the controller service.
+//!
+//! Three instrument families, all keyed by name: monotone **counters**,
+//! last-value **gauges**, and summarizing **histograms** (count / sum /
+//! min / max — enough for latency and iteration-count distributions without
+//! unbounded memory). The registry serializes with the snapshot, so resumed
+//! runs continue their metrics exactly, and exports as JSON or CSV for
+//! external consumption.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Summary statistics of an observed distribution.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Counters, gauges, and histograms for one runtime.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to the named counter (creating it at 0).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Sets the named gauge.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records one observation in the named histogram.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms.entry(name.to_string()).or_default().observe(value);
+    }
+
+    /// The named counter's value (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named gauge's value, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram's summary, if anything was observed.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.get(name)
+    }
+
+    /// Serializes the whole registry as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Serializes the registry as CSV with one row per instrument:
+    /// `kind,name,count,sum,min,max,mean` (counters and gauges use the
+    /// `sum` column, the rest 0).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,count,sum,min,max,mean\n");
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter,{name},0,{v},0,0,0\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("gauge,{name},0,{v},0,0,0\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "histogram,{name},{},{},{},{},{}\n",
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.mean()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.inc("slots", 1);
+        m.inc("slots", 2);
+        assert_eq!(m.counter("slots"), 3);
+        assert_eq!(m.counter("never"), 0);
+    }
+
+    #[test]
+    fn gauges_keep_last_value() {
+        let mut m = MetricsRegistry::new();
+        m.set_gauge("bill", 10.0);
+        m.set_gauge("bill", 7.5);
+        assert_eq!(m.gauge("bill"), Some(7.5));
+        assert_eq!(m.gauge("never"), None);
+    }
+
+    #[test]
+    fn histograms_summarize() {
+        let mut m = MetricsRegistry::new();
+        for v in [3.0, 1.0, 2.0] {
+            m.observe("lat", v);
+        }
+        let h = m.histogram("lat").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 3.0);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_registry() {
+        let mut m = MetricsRegistry::new();
+        m.inc("a", 5);
+        m.set_gauge("g", 0.1 + 0.2);
+        m.observe("h", 1.5);
+        let back: MetricsRegistry = serde::json::from_str(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn csv_lists_every_instrument() {
+        let mut m = MetricsRegistry::new();
+        m.inc("c", 1);
+        m.set_gauge("g", 2.0);
+        m.observe("h", 3.0);
+        let csv = m.to_csv();
+        assert!(csv.contains("counter,c,"));
+        assert!(csv.contains("gauge,g,"));
+        assert!(csv.contains("histogram,h,1,3,3,3,3"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Bounded admission queue for arriving transfer requests.
+//!
+//! A real controller service cannot accept unbounded bursts: the slot loop
+//! offers each slot's arrivals to a bounded queue, and arrivals beyond the
+//! capacity are *dropped at the door* (counted, never scheduled). The queue
+//! is drained completely into the controller batch every slot — the online
+//! controller requires `release_slot == slot`, so requests never carry over
+//! to a later slot. That also means checkpoints taken at slot boundaries
+//! never need to persist queue contents, only the cumulative drop counter
+//! (which the metrics registry carries).
+
+use postcard_net::TransferRequest;
+
+/// A per-slot bounded intake buffer.
+#[derive(Debug, Clone)]
+pub struct AdmissionQueue {
+    capacity: usize,
+    pending: Vec<TransferRequest>,
+    dropped: u64,
+}
+
+impl AdmissionQueue {
+    /// Creates a queue admitting at most `capacity` requests per slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "admission queue capacity must be at least 1");
+        Self { capacity, pending: Vec::new(), dropped: 0 }
+    }
+
+    /// The per-slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offers one slot's arrivals in order; returns how many were dropped.
+    pub fn offer(&mut self, arrivals: &[TransferRequest]) -> usize {
+        let space = self.capacity - self.pending.len();
+        let taken = arrivals.len().min(space);
+        self.pending.extend_from_slice(&arrivals[..taken]);
+        let dropped = arrivals.len() - taken;
+        self.dropped += dropped as u64;
+        dropped
+    }
+
+    /// Drains the queued batch for scheduling (empties the queue).
+    pub fn drain(&mut self) -> Vec<TransferRequest> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Requests currently queued.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Total requests dropped since construction.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use postcard_net::{DcId, FileId};
+
+    fn req(id: u64) -> TransferRequest {
+        TransferRequest::new(FileId(id), DcId(0), DcId(1), 1.0, 1, 0)
+    }
+
+    #[test]
+    fn admits_up_to_capacity_in_order() {
+        let mut q = AdmissionQueue::new(2);
+        let arrivals = [req(1), req(2), req(3)];
+        assert_eq!(q.offer(&arrivals), 1);
+        assert_eq!(q.dropped(), 1);
+        let batch = q.drain();
+        assert_eq!(batch.iter().map(|r| r.id.0).collect::<Vec<_>>(), vec![1, 2]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_resets_capacity_for_next_slot() {
+        let mut q = AdmissionQueue::new(2);
+        q.offer(&[req(1), req(2)]);
+        q.drain();
+        assert_eq!(q.offer(&[req(3)]), 0);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_rejected() {
+        AdmissionQueue::new(0);
+    }
+}

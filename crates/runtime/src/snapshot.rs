@@ -1,0 +1,206 @@
+//! Versioned, self-contained runtime snapshots.
+//!
+//! A snapshot carries *everything* a continuation needs — topology (with any
+//! degradations already applied), remaining arrivals, fault plan, controller
+//! state, metrics, and position — so `postcard resume` works from the file
+//! alone. Snapshots are JSON: the vendored serializer prints `f64`s with
+//! Rust's shortest-round-trip formatting, which is what makes a resumed run
+//! *bit-identical* to the uninterrupted one rather than merely close.
+//!
+//! Writes are atomic (temp file + rename) so a crash during checkpointing
+//! leaves the previous snapshot intact — the whole point of checkpointing a
+//! crash-safe service.
+
+use crate::arrivals::ArrivalSchedule;
+use crate::faults::FaultPlan;
+use crate::metrics::MetricsRegistry;
+use crate::runtime::RuntimeConfig;
+use postcard_core::ControllerState;
+use postcard_net::{DcId, Network, NetworkBuilder};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// One directed link, flattened for serialization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkRecord {
+    /// Source datacenter id.
+    pub from: usize,
+    /// Destination datacenter id.
+    pub to: usize,
+    /// Price per GB of the billed peak.
+    pub price: f64,
+    /// Capacity in GB per slot.
+    pub capacity: f64,
+}
+
+/// The complete persisted state of a [`crate::Runtime`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeSnapshot {
+    /// Format version ([`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// The runtime configuration (tiers, budget, clock, …).
+    pub config: RuntimeConfig,
+    /// Number of datacenters (kept explicitly: links alone cannot represent
+    /// trailing isolated datacenters).
+    pub num_dcs: usize,
+    /// Current links — capacities reflect degradations applied so far.
+    pub links: Vec<LinkRecord>,
+    /// The full arrival schedule (past and future slots).
+    pub arrivals: ArrivalSchedule,
+    /// The fault plan (past and future slots).
+    pub faults: FaultPlan,
+    /// The online controller's mutable state.
+    pub controller: ControllerState,
+    /// Metrics accumulated so far.
+    pub metrics: MetricsRegistry,
+    /// The first slot the continuation must run.
+    pub next_slot: u64,
+    /// One past the last slot of the run.
+    pub num_slots: u64,
+}
+
+impl RuntimeSnapshot {
+    /// Flattens a network into link records (paired with
+    /// [`RuntimeSnapshot::rebuild_network`]).
+    pub fn links_of(network: &Network) -> Vec<LinkRecord> {
+        network
+            .links()
+            .map(|l| LinkRecord {
+                from: l.from.0,
+                to: l.to.0,
+                price: l.price,
+                capacity: l.capacity,
+            })
+            .collect()
+    }
+
+    /// Rebuilds the network from the snapshot's topology fields.
+    pub fn rebuild_network(&self) -> Network {
+        let mut b = NetworkBuilder::new(self.num_dcs);
+        for l in &self.links {
+            b = b.link(DcId(l.from), DcId(l.to), l.price, l.capacity);
+        }
+        b.build()
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parses and version-checks a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Reports malformed JSON or an unsupported version.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let snap: RuntimeSnapshot =
+            serde::json::from_str(text).map_err(|e| format!("malformed snapshot: {e}"))?;
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(format!(
+                "snapshot version {} unsupported (expected {SNAPSHOT_VERSION})",
+                snap.version
+            ));
+        }
+        Ok(snap)
+    }
+
+    /// Writes the snapshot atomically: a sibling temp file is written,
+    /// flushed, then renamed over `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures (the previous snapshot, if any, survives).
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_json())
+            .map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| format!("renaming {} -> {}: {e}", tmp.display(), path.display()))
+    }
+
+    /// Reads and parses a snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// Reports I/O failures, malformed JSON, or an unsupported version.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        Self::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use postcard_net::TrafficLedger;
+
+    fn sample() -> RuntimeSnapshot {
+        let network = NetworkBuilder::new(3)
+            .link(DcId(1), DcId(2), 10.0, 100.0)
+            .link(DcId(1), DcId(0), 1.0, f64::INFINITY)
+            .build();
+        RuntimeSnapshot {
+            version: SNAPSHOT_VERSION,
+            config: RuntimeConfig::default(),
+            num_dcs: network.num_dcs(),
+            links: RuntimeSnapshot::links_of(&network),
+            arrivals: ArrivalSchedule::default(),
+            faults: FaultPlan::none(),
+            controller: ControllerState {
+                ledger: TrafficLedger::new(3),
+                cost_history: vec![0.1 + 0.2, 1.0 / 3.0],
+                total_accepted: 2,
+                total_rejected: 1,
+                accepted_volume: 15.5,
+                rejected_volume: 100.0,
+            },
+            metrics: MetricsRegistry::new(),
+            next_slot: 2,
+            num_slots: 10,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let snap = sample();
+        let back = RuntimeSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+        // Bit-exactness of the awkward floats, explicitly.
+        assert_eq!(back.controller.cost_history[0].to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(back.controller.cost_history[1].to_bits(), (1.0f64 / 3.0).to_bits());
+    }
+
+    #[test]
+    fn network_rebuild_preserves_links_and_infinite_capacity() {
+        let snap = sample();
+        let net = snap.rebuild_network();
+        assert_eq!(net.num_dcs(), 3);
+        assert_eq!(net.capacity(DcId(1), DcId(0)), Some(f64::INFINITY));
+        assert_eq!(net.price(DcId(1), DcId(2)), Some(10.0));
+        assert_eq!(net.capacity(DcId(0), DcId(2)), None);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut snap = sample();
+        snap.version = 99;
+        let err = RuntimeSnapshot::from_json(&snap.to_json()).unwrap_err();
+        assert!(err.contains("version 99"), "{err}");
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let snap = sample();
+        let dir = std::env::temp_dir();
+        let path = dir.join("postcard_runtime_snapshot_test.json");
+        snap.save(&path).unwrap();
+        let back = RuntimeSnapshot::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, snap);
+    }
+}

@@ -39,11 +39,15 @@
 pub mod report;
 mod runner;
 mod scenario;
+mod service;
 mod stats;
 mod workload;
 
-pub use runner::{run_scenario, run_trace, Approach, ApproachSummary, ParseApproachError, RunResult};
+pub use runner::{
+    run_scenario, run_trace, Approach, ApproachSummary, ParseApproachError, RunResult,
+};
 pub use scenario::Scenario;
+pub use service::{run_trace_service, trace_to_arrivals, ServiceRunResult};
 pub use stats::{mean, sample_stddev, ConfidenceInterval, Summary};
 pub use workload::{
     DiurnalWorkload, PoissonWorkload, Trace, TraceParseError, UniformWorkload, Workload,

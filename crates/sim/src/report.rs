@@ -111,10 +111,8 @@ mod tests {
 
     #[test]
     fn verdict_names_winner_and_factor() {
-        let v = render_verdict(&[
-            summary(Approach::Postcard, 100.0),
-            summary(Approach::FlowLp, 150.0),
-        ]);
+        let v =
+            render_verdict(&[summary(Approach::Postcard, 100.0), summary(Approach::FlowLp, 150.0)]);
         assert!(v.starts_with("winner: postcard"));
         assert!(v.contains("x1.5"));
     }

@@ -49,9 +49,12 @@ impl Approach {
     pub fn scheduler(&self) -> Box<dyn Scheduler> {
         match self {
             Approach::Postcard => Box::new(PostcardScheduler::new()),
-            Approach::PostcardNoRelayStorage => Box::new(PostcardScheduler {
-                config: PostcardConfig { allow_relay_storage: false, ..Default::default() },
-            }),
+            Approach::PostcardNoRelayStorage => {
+                Box::new(PostcardScheduler::with_config(PostcardConfig {
+                    allow_relay_storage: false,
+                    ..Default::default()
+                }))
+            }
             Approach::FlowLp => Box::new(FlowLpScheduler),
             Approach::FlowTwoPhase => Box::new(TwoPhaseScheduler),
             Approach::FlowGreedy => Box::new(GreedyScheduler),
@@ -210,9 +213,7 @@ pub fn run_scenario(
 ) -> Result<Vec<ApproachSummary>, PostcardError> {
     let mut per_approach: Vec<Vec<RunResult>> = vec![Vec::new(); approaches.len()];
     for run in 0..scenario.num_runs {
-        let seed = base_seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(run as u64);
+        let seed = base_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(run as u64);
         let network = scenario.network(seed);
         let mut workload = scenario.workload(seed ^ 0xDEAD_BEEF);
         let trace = Trace::generate(&mut workload, scenario.num_slots);
@@ -283,8 +284,7 @@ mod tests {
         // Postcard's feasible set contains every direct plan, so with paired
         // traces its committed bill can only be lower or equal per run.
         let s = Scenario::fig4().tiny();
-        let summaries =
-            run_scenario(&s, &[Approach::Postcard, Approach::Direct], 3).unwrap();
+        let summaries = run_scenario(&s, &[Approach::Postcard, Approach::Direct], 3).unwrap();
         let postcard = &summaries[0];
         let direct = &summaries[1];
         for (p, d) in postcard.runs.iter().zip(&direct.runs) {

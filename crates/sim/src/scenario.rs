@@ -111,9 +111,7 @@ impl Scenario {
     pub fn network(&self, seed: u64) -> Network {
         let mut rng = StdRng::seed_from_u64(seed);
         let (lo, hi) = self.price_range;
-        Network::complete_with_prices(self.num_dcs, self.capacity_gb, |_, _| {
-            rng.gen_range(lo..=hi)
-        })
+        Network::complete_with_prices(self.num_dcs, self.capacity_gb, |_, _| rng.gen_range(lo..=hi))
     }
 
     /// The workload generator for one run.

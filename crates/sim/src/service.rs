@@ -1,0 +1,141 @@
+//! Replaying simulator traces through the fault-tolerant service runtime.
+//!
+//! [`run_trace`](crate::run_trace) drives a bare [`postcard_core`]
+//! controller; [`run_trace_service`] drives the same trace through
+//! [`postcard_runtime::Runtime`] — fallback chain, admission queue, fault
+//! plan, metrics, checkpointing and all. With an all-clear fault plan and
+//! the single Postcard tier the two paths produce *identical* numbers
+//! (asserted by this module's tests), which is what makes the service
+//! runtime a drop-in for experiments that also want crash-safety or fault
+//! injection.
+
+use crate::runner::RunResult;
+use crate::workload::Trace;
+use postcard_net::Network;
+use postcard_runtime::{
+    ArrivalSchedule, FaultPlan, MetricsRegistry, Runtime, RuntimeConfig, RuntimeError,
+};
+
+/// Converts a simulator trace into the runtime's arrival schedule (same
+/// requests, same order).
+pub fn trace_to_arrivals(trace: &Trace) -> ArrivalSchedule {
+    ArrivalSchedule::from_requests(trace.requests().to_vec())
+}
+
+/// One trace replayed through the service runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceRunResult {
+    /// The cost/admission metrics, in the same shape as a plain
+    /// [`crate::run_trace`] result (the `approach` field reports the
+    /// runtime's *first* tier; fallback activity lives in `metrics`).
+    pub result: RunResult,
+    /// The runtime's metrics registry (tier choices, fallback activations,
+    /// solve latency, queue drops, …).
+    pub metrics: MetricsRegistry,
+}
+
+/// Replays one trace through a [`Runtime`] with the given fault plan.
+///
+/// # Errors
+///
+/// Propagates [`RuntimeError`]s (snapshot I/O, invalid config, or a hard
+/// scheduler failure even the degraded path could not absorb).
+pub fn run_trace_service(
+    network: &Network,
+    trace: &Trace,
+    num_slots: u64,
+    faults: FaultPlan,
+    config: RuntimeConfig,
+    run: usize,
+) -> Result<ServiceRunResult, RuntimeError> {
+    let approach = config.tiers[0]
+        .name()
+        .parse()
+        .map_err(|e: crate::runner::ParseApproachError| RuntimeError::Config(e.to_string()))?;
+    let mut rt =
+        Runtime::new(network.clone(), trace_to_arrivals(trace), faults, num_slots, config)?;
+    rt.run_to_end()?;
+
+    let ctl = rt.controller();
+    let (accepted, rejected) = ctl.admission_counts();
+    let (accepted_volume, rejected_volume) = ctl.admission_volumes();
+    let cost_sum: f64 = ctl.cost_history().iter().sum();
+    let slots = rt.num_slots();
+    let p95_cost_per_slot = ctl.ledger().cost_per_slot_with(
+        ctl.network(),
+        postcard_net::PercentileScheme::P95,
+        ctl.ledger().horizon() as usize,
+    );
+    let result = RunResult {
+        approach,
+        run,
+        num_slots: slots,
+        avg_cost_per_slot: cost_sum / slots.max(1) as f64,
+        final_cost_per_slot: ctl.cost_per_slot(),
+        accepted,
+        rejected,
+        accepted_volume,
+        rejected_volume,
+        p95_cost_per_slot,
+    };
+    Ok(ServiceRunResult { result, metrics: rt.metrics().clone() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_trace, Approach};
+    use crate::scenario::Scenario;
+    use crate::workload::Trace;
+    use postcard_runtime::TierKind;
+
+    fn paired_instance() -> (Network, Trace, u64) {
+        let s = Scenario::fig4().tiny();
+        let network = s.network(42);
+        let mut workload = s.workload(42 ^ 0xDEAD_BEEF);
+        let trace = Trace::generate(&mut workload, s.num_slots);
+        (network, trace, s.num_slots)
+    }
+
+    #[test]
+    fn service_path_matches_plain_controller_exactly() {
+        let (network, trace, num_slots) = paired_instance();
+        let plain = run_trace(&network, &trace, num_slots, Approach::Postcard, 0).unwrap();
+        let config = RuntimeConfig { tiers: vec![TierKind::Postcard], ..Default::default() };
+        let service =
+            run_trace_service(&network, &trace, num_slots, FaultPlan::none(), config, 0).unwrap();
+        // Same trace, same solver, same ledger arithmetic: every number is
+        // bit-identical, not merely close.
+        assert_eq!(service.result, plain);
+        assert_eq!(service.metrics.counter("fallback_activations"), 0);
+    }
+
+    #[test]
+    fn full_chain_without_faults_stays_on_postcard() {
+        let (network, trace, num_slots) = paired_instance();
+        let plain = run_trace(&network, &trace, num_slots, Approach::Postcard, 0).unwrap();
+        let service = run_trace_service(
+            &network,
+            &trace,
+            num_slots,
+            FaultPlan::none(),
+            RuntimeConfig::default(),
+            0,
+        )
+        .unwrap();
+        assert_eq!(service.result, plain, "an idle fallback chain must be invisible");
+        assert_eq!(service.metrics.counter("tier_chosen_flow-lp"), 0);
+    }
+
+    #[test]
+    fn forced_timeouts_change_tier_but_never_miss_slots() {
+        let (network, trace, num_slots) = paired_instance();
+        let faults = FaultPlan::none().force_timeout(0, TierKind::Postcard);
+        let service =
+            run_trace_service(&network, &trace, num_slots, faults, RuntimeConfig::default(), 0)
+                .unwrap();
+        assert_eq!(service.metrics.counter("slots_total"), num_slots);
+        assert_eq!(service.metrics.counter("fallback_activations"), 1);
+        assert!(service.metrics.counter("tier_chosen_flow-lp") >= 1);
+    }
+}

@@ -87,8 +87,7 @@ impl UniformWorkload {
 
 impl Workload for UniformWorkload {
     fn batch(&mut self, slot: u64) -> Vec<TransferRequest> {
-        let count =
-            self.rng.gen_range(self.config.files_per_slot.0..=self.config.files_per_slot.1);
+        let count = self.rng.gen_range(self.config.files_per_slot.0..=self.config.files_per_slot.1);
         (0..count).map(|_| self.draw_file(slot)).collect()
     }
 }
@@ -406,8 +405,8 @@ mod tests {
 
     #[test]
     fn trace_parse_errors_name_the_line() {
-        let e = Trace::from_csv("id,src,dst,size_gb,deadline_slots,release_slot\n1,2\n")
-            .unwrap_err();
+        let e =
+            Trace::from_csv("id,src,dst,size_gb,deadline_slots,release_slot\n1,2\n").unwrap_err();
         assert_eq!(e.line, 2);
         let e = Trace::from_csv("0,1,1,5.0,2,0\n").unwrap_err();
         assert!(e.message.contains("inconsistent"));

@@ -17,8 +17,7 @@ use rand::{Rng, SeedableRng};
 fn main() {
     let mut rng = StdRng::seed_from_u64(2012);
     let num_dcs = 5;
-    let network =
-        Network::complete_with_prices(num_dcs, 40.0, |_, _| rng.gen_range(1.0..=10.0));
+    let network = Network::complete_with_prices(num_dcs, 40.0, |_, _| rng.gen_range(1.0..=10.0));
 
     // A peak-hour queue: 8 files wanting out within a few slots.
     let files: Vec<TransferRequest> = (0..8)
@@ -43,7 +42,10 @@ fn main() {
 
     println!("queued volume: {total:.0} GB across {} files", files.len());
     println!();
-    println!("{:>12}  {:>14}  {:>10}  {:>12}", "budget/slot", "delivered GB", "served %", "bill/slot");
+    println!(
+        "{:>12}  {:>14}  {:>10}  {:>12}",
+        "budget/slot", "delivered GB", "served %", "bill/slot"
+    );
     for budget in [0.0, 50.0, 100.0, 150.0, 200.0, 300.0, 500.0, 1000.0] {
         let sol = solve_budget_constrained(&network, &files, &ledger, budget)
             .expect("budget ≥ 0 on an empty ledger is feasible");

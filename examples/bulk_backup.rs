@@ -45,13 +45,9 @@ fn main() {
     // The backup: 300 GB from us-west to eu, due within 12 slots.
     let backup = TransferRequest::new(FileId(1), DcId(0), DcId(2), 300.0, 12, 0);
 
-    let sol = solve_bulk_max_transfer(
-        &network,
-        &[backup],
-        &ledger,
-        BulkCapacityMode::PaidLeftoverOnly,
-    )
-    .expect("bulk LP solves");
+    let sol =
+        solve_bulk_max_transfer(&network, &[backup], &ledger, BulkCapacityMode::PaidLeftoverOnly)
+            .expect("bulk LP solves");
 
     println!("backup size requested: {:.0} GB", backup.size_gb);
     println!("delivered for free:    {:.0} GB", sol.total_delivered);

@@ -79,7 +79,10 @@ fn fig3() {
     println!("no strategy (direct):        cost/slot = {:>6.2}  (paper: 52)", d.cost_per_slot);
 
     println!();
-    println!("postcard holdover: {:.1} GB stored across slot boundaries", sol.plan.total_holdover());
+    println!(
+        "postcard holdover: {:.1} GB stored across slot boundaries",
+        sol.plan.total_holdover()
+    );
 }
 
 fn main() {

@@ -14,7 +14,10 @@
 //! * [`core`] — the Postcard optimizer, online controller, and the Sec. VI
 //!   extensions;
 //! * [`sim`] — the time-slotted simulator, workloads, and statistics used to
-//!   reproduce the paper's evaluation.
+//!   reproduce the paper's evaluation;
+//! * [`runtime`] — the crash-safe controller service: solver fallback chain,
+//!   checkpoint/resume, metrics registry, and fault injection
+//!   (`postcard serve` / `postcard resume`).
 //!
 //! See the repository `README.md` for a quickstart, `DESIGN.md` for the
 //! system inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -23,4 +26,5 @@ pub use postcard_core as core;
 pub use postcard_flow as flow;
 pub use postcard_lp as lp;
 pub use postcard_net as net;
+pub use postcard_runtime as runtime;
 pub use postcard_sim as sim;

@@ -12,10 +12,7 @@ use postcard::net::{
 };
 
 fn chain(cap: f64) -> Network {
-    NetworkBuilder::new(3)
-        .link(DcId(0), DcId(1), 1.0, cap)
-        .link(DcId(1), DcId(2), 2.0, cap)
-        .build()
+    NetworkBuilder::new(3).link(DcId(0), DcId(1), 1.0, cap).link(DcId(1), DcId(2), 2.0, cap).build()
 }
 
 #[test]
@@ -31,10 +28,9 @@ fn shock_invalidates_committed_plan_detectably() {
     degraded.set_capacity(DcId(0), DcId(1), 5.0);
     let violations = sol.plan.validate(&degraded, &files, |_, _, _| 0.0);
     assert!(
-        violations.iter().any(|v| matches!(
-            v,
-            PlanViolation::Capacity { from: DcId(0), to: DcId(1), .. }
-        )),
+        violations
+            .iter()
+            .any(|v| matches!(v, PlanViolation::Capacity { from: DcId(0), to: DcId(1), .. })),
         "shock must surface as a capacity violation: {violations:?}"
     );
 }
@@ -74,8 +70,7 @@ fn replanning_around_a_shock_succeeds_when_possible() {
     let f2 = TransferRequest::new(FileId(2), DcId(0), DcId(2), 12.0, 2, 2);
     let sol2 = solve_postcard(&degraded, &[f2], &ledger).unwrap();
     // Valid against the degraded capacities plus the earlier commitments.
-    let violations =
-        sol2.plan.validate(&degraded, &[f2], |i, j, s| ledger.volume(i, j, s));
+    let violations = sol2.plan.validate(&degraded, &[f2], |i, j, s| ledger.volume(i, j, s));
     assert!(violations.is_empty(), "{violations:?}");
     // The bypass must carry most of it: the degraded relay admits at most
     // 2 GB/slot into the relay during slot 2 (the only slot that can still
@@ -92,10 +87,7 @@ fn replanning_reports_infeasible_when_shock_is_fatal() {
     // 16 GB in 3 slots cannot leave the source over a 1 GB/slot only path.
     let f = TransferRequest::new(FileId(1), DcId(0), DcId(2), 16.0, 3, 0);
     let ledger = TrafficLedger::new(3);
-    assert_eq!(
-        solve_postcard(&degraded, &[f], &ledger).unwrap_err(),
-        PostcardError::Infeasible
-    );
+    assert_eq!(solve_postcard(&degraded, &[f], &ledger).unwrap_err(), PostcardError::Infeasible);
 }
 
 #[test]

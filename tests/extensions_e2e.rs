@@ -83,9 +83,8 @@ fn bulk_any_residual_dominates_paid_leftover() {
         let paid =
             solve_bulk_max_transfer(&network, &files, &ledger, BulkCapacityMode::PaidLeftoverOnly)
                 .unwrap();
-        let any =
-            solve_bulk_max_transfer(&network, &files, &ledger, BulkCapacityMode::AnyResidual)
-                .unwrap();
+        let any = solve_bulk_max_transfer(&network, &files, &ledger, BulkCapacityMode::AnyResidual)
+            .unwrap();
         assert!(
             any.total_delivered >= paid.total_delivered - 1e-6,
             "seed {seed}: {} < {}",
@@ -110,10 +109,7 @@ fn bulk_paid_leftover_is_free() {
             "seed {seed}: paid-leftover transfer changed the bill"
         );
         let served = sol.delivered_requests(&files);
-        assert!(sol
-            .plan
-            .validate(&network, &served, |i, j, s| ledger.volume(i, j, s))
-            .is_empty());
+        assert!(sol.plan.validate(&network, &served, |i, j, s| ledger.volume(i, j, s)).is_empty());
     }
 }
 
@@ -121,8 +117,8 @@ fn bulk_paid_leftover_is_free() {
 fn bulk_delivery_bounded_by_request_total() {
     let (network, files, ledger) = instance(40);
     let total: f64 = files.iter().map(|f| f.size_gb).sum();
-    let sol = solve_bulk_max_transfer(&network, &files, &ledger, BulkCapacityMode::AnyResidual)
-        .unwrap();
+    let sol =
+        solve_bulk_max_transfer(&network, &files, &ledger, BulkCapacityMode::AnyResidual).unwrap();
     assert!(sol.total_delivered <= total + 1e-6);
     for f in &files {
         let y = sol.delivered[&f.id];

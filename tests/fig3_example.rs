@@ -55,9 +55,7 @@ fn postcard_time_shifts_onto_the_paid_cheap_link() {
     // Charged volume on D1→D4 stays at File 2's rate 5.
     assert!((sol.charged[&(0, 3)] - 5.0).abs() < 1e-5);
     // File 1's 8 GB traverse D1→D4 in the later slots.
-    let late: f64 = (5..=6)
-        .map(|s| sol.plan.volume(FileId(1), s, DcId(0), DcId(3)))
-        .sum();
+    let late: f64 = (5..=6).map(|s| sol.plan.volume(FileId(1), s, DcId(0), DcId(3))).sum();
     assert!((late - 8.0).abs() < 1e-5, "late volume = {late}");
     // And storage is actually used.
     assert!(sol.plan.total_holdover() > 1.0);

@@ -77,12 +77,8 @@ fn delay_tolerance_lowers_postcard_cost_with_throttled_capacity() {
 #[test]
 fn direct_is_never_the_winner() {
     let s = shrink(Scenario::fig6());
-    let out = run_scenario(
-        &s,
-        &[Approach::Postcard, Approach::FlowLp, Approach::Direct],
-        11,
-    )
-    .unwrap();
+    let out =
+        run_scenario(&s, &[Approach::Postcard, Approach::FlowLp, Approach::Direct], 11).unwrap();
     let direct = out.iter().find(|o| o.approach == Approach::Direct).unwrap();
     // `direct` rejects whatever does not fit its single link, so compare on
     // throughput-normalized cost, where it must lose to both optimizers.

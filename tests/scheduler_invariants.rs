@@ -7,8 +7,8 @@
 //! every other flow baseline's solutions.
 
 use postcard::core::{
-    solve_postcard, Decision, DirectScheduler, FlowLpScheduler, GreedyScheduler,
-    PostcardScheduler, Scheduler, TwoPhaseScheduler,
+    solve_postcard, Decision, DirectScheduler, FlowLpScheduler, GreedyScheduler, PostcardScheduler,
+    Scheduler, TwoPhaseScheduler,
 };
 use postcard::net::{DcId, FileId, Network, TrafficLedger, TransferRequest};
 use rand::rngs::StdRng;
@@ -48,17 +48,11 @@ fn bill_of(network: &Network, files: &[TransferRequest], decision: &Decision) ->
     let mut ledger = TrafficLedger::new(network.num_dcs());
     match decision {
         Decision::Plan(p) => {
-            assert!(
-                p.is_valid(network, files, |_, _, _| 0.0),
-                "invalid plan from a scheduler"
-            );
+            assert!(p.is_valid(network, files, |_, _, _| 0.0), "invalid plan from a scheduler");
             p.apply_to_ledger(&mut ledger);
         }
         Decision::Rates(r) => {
-            assert!(
-                r.is_valid(network, files, |_, _, _| 0.0),
-                "invalid rates from a scheduler"
-            );
+            assert!(r.is_valid(network, files, |_, _, _| 0.0), "invalid rates from a scheduler");
             r.apply_to_ledger(files, &mut ledger);
         }
     }
@@ -99,10 +93,7 @@ fn postcard_never_costs_more_than_direct() {
             .schedule(&network, &files, &ledger)
             .map(|d| bill_of(&network, &files, &d))
             .unwrap();
-        assert!(
-            postcard <= direct + 1e-5,
-            "seed {seed}: postcard {postcard} > direct {direct}"
-        );
+        assert!(postcard <= direct + 1e-5, "seed {seed}: postcard {postcard} > direct {direct}");
     }
 }
 
@@ -116,10 +107,8 @@ fn unified_flow_lp_dominates_other_flow_baselines() {
             .schedule(&network, &files, &ledger)
             .map(|d| bill_of(&network, &files, &d))
             .unwrap();
-        for other in [
-            Box::new(TwoPhaseScheduler) as Box<dyn Scheduler>,
-            Box::new(GreedyScheduler),
-        ] {
+        for other in [Box::new(TwoPhaseScheduler) as Box<dyn Scheduler>, Box::new(GreedyScheduler)]
+        {
             let mut other = other;
             if let Ok(d) = other.schedule(&network, &files, &ledger) {
                 let bill = bill_of(&network, &files, &d);
@@ -143,14 +132,18 @@ fn postcard_cost_is_monotone_in_deadline() {
         let relaxed_files: Vec<TransferRequest> = files
             .iter()
             .map(|f| {
-                TransferRequest::new(f.id, f.src, f.dst, f.size_gb, f.deadline_slots + 2, f.release_slot)
+                TransferRequest::new(
+                    f.id,
+                    f.src,
+                    f.dst,
+                    f.size_gb,
+                    f.deadline_slots + 2,
+                    f.release_slot,
+                )
             })
             .collect();
         let relaxed = solve_postcard(&network, &relaxed_files, &ledger).unwrap().cost_per_slot;
-        assert!(
-            relaxed <= tight + 1e-5,
-            "seed {seed}: relaxed {relaxed} > tight {tight}"
-        );
+        assert!(relaxed <= tight + 1e-5, "seed {seed}: relaxed {relaxed} > tight {tight}");
     }
 }
 
@@ -159,10 +152,18 @@ fn postcard_benefits_from_prior_paid_volume() {
     // Pre-paying peaks can only lower the *additional* bill: the total bill
     // with a prior peak P on every link is at most (bill without prior) +
     // (cost of the floors).
-    for seed in 400..405u64 {
+    let mut checked = 0usize;
+    for seed in 400..420u64 {
         let (network, files) = random_instance(seed, 4, 3, 100.0);
         let empty = TrafficLedger::new(4);
-        let fresh = solve_postcard(&network, &files, &empty).unwrap().cost_per_slot;
+        // Random draws can be genuinely infeasible (a file larger than its
+        // deadline's capacity envelope); the invariant only concerns
+        // solvable instances, so skip the rest.
+        let Ok(sol) = solve_postcard(&network, &files, &empty) else {
+            continue;
+        };
+        checked += 1;
+        let fresh = sol.cost_per_slot;
         let mut paid = TrafficLedger::new(4);
         for l in network.links() {
             paid.record(l.from, l.to, 1000, 20.0);
@@ -177,23 +178,44 @@ fn postcard_benefits_from_prior_paid_volume() {
         // floor is no larger than the fresh bill.
         assert!(with_prior - floors <= fresh + 1e-5);
     }
+    assert!(checked >= 3, "too few feasible instances: {checked}");
 }
 
 #[test]
 fn plans_respect_residual_capacity_left_by_earlier_batches() {
     // Schedule two consecutive batches; the second must fit around the
-    // first's committed (future) traffic.
-    let (network, batch0) = random_instance(77, 4, 3, 60.0);
-    let mut ledger = TrafficLedger::new(4);
-    let sol0 = solve_postcard(&network, &batch0, &ledger).unwrap();
-    sol0.plan.apply_to_ledger(&mut ledger);
-    let batch1: Vec<TransferRequest> = random_instance(78, 4, 3, 60.0)
-        .1
-        .into_iter()
-        .map(|f| TransferRequest::new(FileId(f.id.0 + 100), f.src, f.dst, f.size_gb, f.deadline_slots, 1))
-        .collect();
-    let sol1 = solve_postcard(&network, &batch1, &ledger).unwrap();
-    // Validate against capacity minus batch-0 usage.
-    let violations = sol1.plan.validate(&network, &batch1, |i, j, s| ledger.volume(i, j, s));
-    assert!(violations.is_empty(), "{violations:?}");
+    // first's committed (future) traffic. Random draws can be infeasible
+    // (alone or after batch 0's commitments), so scan a seed window and
+    // require a minimum number of solvable pairs.
+    let mut checked = 0usize;
+    for seed in 0..40u64 {
+        let (network, batch0) = random_instance(seed, 4, 3, 60.0);
+        let mut ledger = TrafficLedger::new(4);
+        let Ok(sol0) = solve_postcard(&network, &batch0, &ledger) else {
+            continue;
+        };
+        sol0.plan.apply_to_ledger(&mut ledger);
+        let batch1: Vec<TransferRequest> = random_instance(seed + 1000, 4, 3, 60.0)
+            .1
+            .into_iter()
+            .map(|f| {
+                TransferRequest::new(
+                    FileId(f.id.0 + 100),
+                    f.src,
+                    f.dst,
+                    f.size_gb,
+                    f.deadline_slots,
+                    1,
+                )
+            })
+            .collect();
+        let Ok(sol1) = solve_postcard(&network, &batch1, &ledger) else {
+            continue;
+        };
+        // Validate against capacity minus batch-0 usage.
+        let violations = sol1.plan.validate(&network, &batch1, |i, j, s| ledger.volume(i, j, s));
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        checked += 1;
+    }
+    assert!(checked >= 3, "too few feasible batch pairs: {checked}");
 }
