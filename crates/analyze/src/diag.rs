@@ -1,0 +1,255 @@
+//! The diagnostic engine shared by both analysis fronts.
+//!
+//! Diagnostics follow the rustc shape — a level, a stable code, a location,
+//! a message, and an optional help line — and render to either a human
+//! `text` form or a line-oriented `json` form (one object per diagnostic)
+//! that CI can postprocess without a JSON library.
+
+use std::fmt;
+
+/// Severity of a [`Diagnostic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Suspicious but not necessarily wrong; never fails a strict check.
+    Warning,
+    /// A structural defect: the model is malformed or the source violates a
+    /// hard rule.
+    Error,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Level::Warning => write!(f, "warning"),
+            Level::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding, in rustc style: `level[code]: message` plus a location and
+/// an optional help line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity.
+    pub level: Level,
+    /// Stable `PAxxx` code (documented in `LINTS.md`).
+    pub code: &'static str,
+    /// Where the finding is anchored: `path:line` for source findings,
+    /// `row #3` / `arc 0->2@5` / `var M[...]` for model findings.
+    pub location: String,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix or silence it.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates an error-level diagnostic.
+    pub fn error(
+        code: &'static str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            level: Level::Error,
+            code,
+            location: location.into(),
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Creates a warning-level diagnostic.
+    pub fn warning(
+        code: &'static str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            level: Level::Warning,
+            code,
+            location: location.into(),
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Attaches a help line.
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}\n  --> {}", self.level, self.code, self.message, self.location)?;
+        if let Some(h) = &self.help {
+            write!(f, "\n  help: {h}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered collection of diagnostics from one analysis run.
+#[must_use = "a Report may carry errors that should fail the caller"]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Appends every diagnostic of another report.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Iterates the diagnostics in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter()
+    }
+
+    /// Number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// `true` when nothing was found.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of error-level diagnostics.
+    pub fn num_errors(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.level == Level::Error).count()
+    }
+
+    /// Number of warning-level diagnostics.
+    pub fn num_warnings(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.level == Level::Warning).count()
+    }
+
+    /// `true` when at least one diagnostic is an error.
+    pub fn has_errors(&self) -> bool {
+        self.num_errors() > 0
+    }
+
+    /// `true` when a diagnostic with the given code is present.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Renders the rustc-style text form, one block per diagnostic, followed
+    /// by a one-line summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s)\n",
+            self.num_errors(),
+            self.num_warnings()
+        ));
+        out
+    }
+
+    /// Renders one JSON object per line:
+    /// `{"level":"error","code":"PA001","location":"...","message":"...","help":...}`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str("{\"level\":\"");
+            out.push_str(&d.level.to_string());
+            out.push_str("\",\"code\":\"");
+            out.push_str(d.code);
+            out.push_str("\",\"location\":\"");
+            out.push_str(&escape_json(&d.location));
+            out.push_str("\",\"message\":\"");
+            out.push_str(&escape_json(&d.message));
+            out.push_str("\",\"help\":");
+            match &d.help {
+                Some(h) => {
+                    out.push('"');
+                    out.push_str(&escape_json(h));
+                    out.push('"');
+                }
+                None => out.push_str("null"),
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_rendering_includes_code_location_and_help() {
+        let mut r = Report::new();
+        r.push(
+            Diagnostic::error("PA001", "arc 0->1@7", "arc outside the deadline window")
+                .with_help("drop the variable"),
+        );
+        r.push(Diagnostic::warning("PA009", "model", "coefficient ratio 1e9"));
+        let text = r.render_text();
+        assert!(text.contains("error[PA001]: arc outside the deadline window"));
+        assert!(text.contains("--> arc 0->1@7"));
+        assert!(text.contains("help: drop the variable"));
+        assert!(text.contains("1 error(s), 1 warning(s)"));
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_line_orients() {
+        let mut r = Report::new();
+        r.push(Diagnostic::error("PA004", "row #1", "duplicate of \"row #0\""));
+        let json = r.render_json();
+        assert_eq!(json.lines().count(), 1);
+        assert!(json.contains("\\\"row #0\\\""));
+        assert!(json.contains("\"help\":null"));
+    }
+
+    #[test]
+    fn counters() {
+        let mut r = Report::new();
+        assert!(r.is_empty() && !r.has_errors());
+        r.push(Diagnostic::warning("PA007", "row #2", "empty row"));
+        assert!(!r.has_errors() && r.has_code("PA007"));
+        let mut other = Report::new();
+        other.push(Diagnostic::error("PA006", "var x", "free column"));
+        r.merge(other);
+        assert!(r.has_errors());
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.num_warnings(), 1);
+    }
+}

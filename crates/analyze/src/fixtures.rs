@@ -1,0 +1,269 @@
+//! Malformed-model fixtures exercising every model pass.
+//!
+//! Each fixture is a deliberately broken model/graph/problem paired with the
+//! PA code that must flag it; `run_fixtures` runs all of them plus a clean
+//! builder-produced problem that must pass. The CI step
+//! `postcard-analyze model --fixtures` fails unless every expectation holds,
+//! which keeps the analyzer honest: a pass that stops firing on its own
+//! fixture is a regression, and a pass that starts firing on the clean
+//! builder output is a false positive.
+
+use crate::diag::Report;
+use crate::model::{check_model, check_problem};
+use postcard_core::{build_postcard_problem, PostcardConfig, PostcardProblem};
+use postcard_lp::{LinExpr, Model, Sense};
+use postcard_net::{
+    Arc, ArcKind, DcId, FileId, Network, TimeExpandedGraph, TrafficLedger, TransferRequest,
+};
+
+/// One fixture's outcome: the report the analyzer produced and what was
+/// expected of it.
+#[derive(Debug)]
+pub struct FixtureOutcome {
+    /// Fixture name (stable, used in CI output).
+    pub name: &'static str,
+    /// The code that must appear — or `None` for the clean fixture, which
+    /// must produce an empty report.
+    pub expected: Option<&'static str>,
+    /// What the analyzer reported.
+    pub report: Report,
+}
+
+impl FixtureOutcome {
+    /// `true` when the report matches the expectation.
+    pub fn passed(&self) -> bool {
+        match self.expected {
+            Some(code) => self.report.has_code(code),
+            None => self.report.is_empty(),
+        }
+    }
+}
+
+/// A problem whose variable map retains arc variables outside a file's
+/// deadline window (PA001): built correctly for a 3-slot deadline, then the
+/// deadline is tightened to 1 slot without rebuilding, exactly the bug class
+/// where workload mutation and model construction fall out of sync.
+pub fn deadline_violating_problem() -> PostcardProblem {
+    let network = Network::complete(2, 1.0, 100.0);
+    let files = vec![TransferRequest::new(FileId(0), DcId(0), DcId(1), 10.0, 3, 0)];
+    let ledger = TrafficLedger::new(2);
+    let mut problem = build_postcard_problem(&network, &files, &ledger, &PostcardConfig::default())
+        .expect("fixture problem builds");
+    problem.files[0].deadline_slots = 1;
+    problem
+}
+
+/// A graph with a storage arc that changes datacenter and an arc whose slot
+/// skips out of the expansion window (PA002).
+pub fn layer_skipping_graph() -> TimeExpandedGraph {
+    let storage = |dc: usize, slot: u64| Arc {
+        from: DcId(dc),
+        to: DcId(dc),
+        slot,
+        kind: ArcKind::Storage,
+        price: 0.0,
+        capacity: f64::INFINITY,
+    };
+    let mut arcs = vec![storage(0, 0), storage(1, 0), storage(0, 1), storage(1, 1)];
+    // Storage arc that moves data between datacenters.
+    arcs.push(Arc {
+        from: DcId(0),
+        to: DcId(1),
+        slot: 0,
+        kind: ArcKind::Storage,
+        price: 0.0,
+        capacity: f64::INFINITY,
+    });
+    // Transit arc in a slot outside the two-slot window [0, 1].
+    arcs.push(Arc {
+        from: DcId(0),
+        to: DcId(1),
+        slot: 5,
+        kind: ArcKind::Transit,
+        price: 1.0,
+        capacity: 10.0,
+    });
+    TimeExpandedGraph::from_arcs(0, 2, 2, arcs)
+}
+
+/// A graph missing its holdover arcs (PA003): datacenter 1 has no storage
+/// arc in slot 0, so conservation cannot carry unsent data forward.
+pub fn broken_conservation_graph() -> TimeExpandedGraph {
+    let arcs = vec![
+        Arc {
+            from: DcId(0),
+            to: DcId(0),
+            slot: 0,
+            kind: ArcKind::Storage,
+            price: 0.0,
+            capacity: f64::INFINITY,
+        },
+        Arc {
+            from: DcId(0),
+            to: DcId(1),
+            slot: 0,
+            kind: ArcKind::Transit,
+            price: 1.0,
+            capacity: 10.0,
+        },
+    ];
+    TimeExpandedGraph::from_arcs(0, 1, 2, arcs)
+}
+
+/// A model with an exactly duplicated constraint row (PA004).
+pub fn duplicate_row_model() -> Model {
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.add_var("x", 0.0, 10.0);
+    let y = m.add_var("y", 0.0, 10.0);
+    m.set_objective(1.0 * x + 1.0 * y);
+    m.leq(2.0 * x + 3.0 * y, 12.0);
+    m.leq(2.0 * x + 3.0 * y, 9.0);
+    m
+}
+
+/// A model with a scalar-multiple (linearly dependent) row pair (PA005).
+pub fn dependent_row_model() -> Model {
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.add_var("x", 0.0, 10.0);
+    let y = m.add_var("y", 0.0, 10.0);
+    m.set_objective(1.0 * x + 1.0 * y);
+    m.geq(1.0 * x + 2.0 * y, 4.0);
+    m.geq(3.0 * x + 6.0 * y, 12.0);
+    m
+}
+
+/// A model with a free column (PA006): the variable appears in no
+/// constraint and its objective improves without bound.
+pub fn free_column_model() -> Model {
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.add_var("x", 0.0, 5.0);
+    let free = m.add_var("free", 0.0, f64::INFINITY);
+    m.set_objective(1.0 * x - 1.0 * free);
+    m.leq(LinExpr::term(x, 1.0), 5.0);
+    m
+}
+
+/// A model whose constraint coefficients span nine orders of magnitude
+/// (PA009) — e.g. mixing bytes and gigabytes in one formulation.
+pub fn ill_conditioned_model() -> Model {
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.add_var("x", 0.0, 10.0);
+    let y = m.add_var("y", 0.0, 10.0);
+    m.set_objective(1.0 * x + 1.0 * y);
+    m.leq(1.0 * x + 1e9 * y, 1e9);
+    m
+}
+
+/// A well-formed builder-produced problem over a 3-datacenter network with
+/// two overlapping files; every pass must stay silent on it.
+pub fn clean_problem() -> PostcardProblem {
+    let network = Network::complete(3, 2.0, 50.0);
+    let files = vec![
+        TransferRequest::new(FileId(0), DcId(0), DcId(2), 30.0, 4, 0),
+        TransferRequest::new(FileId(1), DcId(1), DcId(0), 12.0, 2, 1),
+    ];
+    let ledger = TrafficLedger::new(3);
+    build_postcard_problem(&network, &files, &ledger, &PostcardConfig::default())
+        .expect("clean fixture builds")
+}
+
+/// Runs every fixture and returns the outcomes (clean fixture last).
+pub fn run_fixtures() -> Vec<FixtureOutcome> {
+    vec![
+        FixtureOutcome {
+            name: "deadline-violating-arc-variable",
+            expected: Some("PA001"),
+            report: check_problem(&deadline_violating_problem()),
+        },
+        FixtureOutcome {
+            name: "layer-skipping-storage-arc",
+            expected: Some("PA002"),
+            report: check_problem(&PostcardProblem {
+                model: Model::new(Sense::Minimize),
+                graph: layer_skipping_graph(),
+                files: Vec::new(),
+                mvars: Vec::new(),
+                xvars: Default::default(),
+            }),
+        },
+        FixtureOutcome {
+            name: "broken-conservation-degree",
+            expected: Some("PA003"),
+            report: crate::model::check_graph(&broken_conservation_graph()),
+        },
+        FixtureOutcome {
+            name: "duplicate-row",
+            expected: Some("PA004"),
+            report: check_model(&duplicate_row_model()),
+        },
+        FixtureOutcome {
+            name: "scalar-multiple-row",
+            expected: Some("PA005"),
+            report: check_model(&dependent_row_model()),
+        },
+        FixtureOutcome {
+            name: "free-column",
+            expected: Some("PA006"),
+            report: check_model(&free_column_model()),
+        },
+        FixtureOutcome {
+            name: "coefficient-spread-1e9",
+            expected: Some("PA009"),
+            report: check_model(&ill_conditioned_model()),
+        },
+        FixtureOutcome {
+            name: "clean-builder-problem",
+            expected: None,
+            report: check_problem(&clean_problem()),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_fixture_meets_its_expectation() {
+        for outcome in run_fixtures() {
+            assert!(
+                outcome.passed(),
+                "fixture `{}` failed: expected {:?}, got:\n{}",
+                outcome.name,
+                outcome.expected,
+                outcome.report.render_text()
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_fixture_names_the_window() {
+        let report = check_problem(&deadline_violating_problem());
+        assert!(report.has_code("PA001"));
+        assert!(report.has_errors());
+        let d = report.iter().find(|d| d.code == "PA001").expect("PA001 present");
+        assert!(d.message.contains("window"));
+    }
+
+    #[test]
+    fn layer_skip_fixture_flags_both_defects() {
+        let report = crate::model::check_graph(&layer_skipping_graph());
+        let pa002: Vec<_> = report.iter().filter(|d| d.code == "PA002").collect();
+        // One for the dc-changing storage arc, one for the out-of-window slot.
+        assert_eq!(pa002.len(), 2);
+    }
+
+    #[test]
+    fn clean_fixture_is_silent() {
+        let report = check_problem(&clean_problem());
+        assert!(report.is_empty(), "unexpected findings:\n{}", report.render_text());
+    }
+
+    #[test]
+    fn duplicate_and_dependent_rows_are_distinguished() {
+        assert!(check_model(&duplicate_row_model()).has_code("PA004"));
+        assert!(!check_model(&duplicate_row_model()).has_code("PA005"));
+        assert!(check_model(&dependent_row_model()).has_code("PA005"));
+        assert!(!check_model(&dependent_row_model()).has_code("PA004"));
+    }
+}

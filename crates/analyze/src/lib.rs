@@ -1,0 +1,29 @@
+//! Pre-solve static analysis for Postcard.
+//!
+//! Two fronts share one diagnostic engine ([`diag`]):
+//!
+//! * **Model analysis** ([`model`]) — structural checks on LP models,
+//!   time-expanded graphs, and assembled [`postcard_core::PostcardProblem`]s
+//!   that catch malformed formulations *without solving*: deadline-window
+//!   violations (PA001), broken graph structure (PA002/PA003), degenerate
+//!   rows and columns (PA004–PA008), and poor conditioning (PA009).
+//! * **Source lint** ([`srclint`]) — a self-contained scanner over the
+//!   workspace's own `.rs` files enforcing numerics and error-handling
+//!   hygiene (PA101–PA105).
+//!
+//! Every code is documented in `crates/analyze/LINTS.md`. The `postcard
+//! analyze` CLI subcommand and the `postcard-analyze` binary expose both
+//! fronts; `postcard-runtime` calls [`model::check_problem`] before each
+//! solve when strict analysis is enabled.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod diag;
+pub mod fixtures;
+pub mod model;
+pub mod srclint;
+
+pub use diag::{Diagnostic, Level, Report};
+pub use model::{check_graph, check_model, check_problem, CONDITIONING_RATIO_LIMIT};
+pub use srclint::{check_source, check_workspace};

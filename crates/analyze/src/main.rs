@@ -1,0 +1,81 @@
+//! `postcard-analyze` — standalone binary for the two analysis fronts.
+//!
+//! ```text
+//! postcard-analyze src [--deny] [--json] [ROOT]   lint workspace sources
+//! postcard-analyze model --fixtures [--json]      self-check the model passes
+//! ```
+//!
+//! `src` exits nonzero only when `--deny` is given and findings exist (CI
+//! runs it with `--deny`). `model --fixtures` exits nonzero unless every
+//! malformed fixture is flagged with its documented code and the clean
+//! builder-produced problem passes.
+
+use postcard_analyze::fixtures::run_fixtures;
+use postcard_analyze::srclint::check_workspace;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str);
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    match mode {
+        Some("src") => {
+            let root = args
+                .iter()
+                .skip(1)
+                .find(|a| !a.starts_with("--"))
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("."));
+            let report = check_workspace(&root);
+            if flag("--json") {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            if flag("--deny") && !report.is_empty() {
+                eprintln!("postcard-analyze: denying {} finding(s)", report.len());
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Some("model") => {
+            if !flag("--fixtures") {
+                eprintln!(
+                    "postcard-analyze model: only `--fixtures` mode is available standalone; \
+                     use `postcard analyze model` (the main CLI) to check scenario models"
+                );
+                return ExitCode::FAILURE;
+            }
+            let mut failed = 0usize;
+            for outcome in run_fixtures() {
+                let verdict = if outcome.passed() { "ok" } else { "FAILED" };
+                match outcome.expected {
+                    Some(code) => {
+                        println!("fixture {:<32} expect {code:<6} {verdict}", outcome.name)
+                    }
+                    None => println!("fixture {:<32} expect clean  {verdict}", outcome.name),
+                }
+                if flag("--json") {
+                    print!("{}", outcome.report.render_json());
+                }
+                if !outcome.passed() {
+                    failed += 1;
+                    eprint!("{}", outcome.report.render_text());
+                }
+            }
+            if failed > 0 {
+                eprintln!("postcard-analyze: {failed} fixture(s) failed");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!(
+                "usage: postcard-analyze src [--deny] [--json] [ROOT]\n       \
+                 postcard-analyze model --fixtures [--json]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Deliberately bad source used by the scanner's fixture test. This file
+//! lives under `tests/fixtures/`, which the workspace scan never visits —
+//! it is only read as *data* by `srclint_fixture.rs`.
+
+/// PA105: missing `#[must_use]` when scanned as crate `lp`.
+#[derive(Debug)]
+pub struct Solution {
+    objective: f64,
+}
+
+pub fn pa101_float_eq(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn pa102_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn pa103_panic() {
+    panic!("boom");
+}
+
+pub fn pa104_todo() {
+    todo!()
+}
+
+pub fn suppressed(x: f64) -> bool {
+    // postcard-analyze: allow(PA101) — intended bit-exact comparison.
+    x == 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    // Inside cfg(test): none of these may be reported.
+    fn fine() {
+        let v: Option<u32> = None;
+        let _ = v.unwrap_or_default();
+        let _ = 1.0_f64 == 2.0;
+    }
+}

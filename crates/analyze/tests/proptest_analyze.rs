@@ -1,0 +1,70 @@
+//! Property: the analyzer never flags a builder-produced problem.
+//!
+//! `build_postcard_problem` is the only sanctioned way to turn a workload
+//! into an LP; every structural property the model passes check for (window
+//! discipline, holdover arcs, row independence, bounded columns) holds by
+//! construction. A finding on builder output is therefore a false positive
+//! — this test keeps the analyzer's precision honest on randomized
+//! instances, the mirror image of the malformed-fixture recall check.
+
+use postcard_analyze::model::check_problem;
+use postcard_core::{build_postcard_problem, PostcardConfig};
+use postcard_net::{DcId, FileId, Network, TrafficLedger, TransferRequest};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn instance(seed: u64, num_dcs: usize, num_files: usize) -> (Network, Vec<TransferRequest>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let network = Network::complete_with_prices(num_dcs, 500.0, |_, _| rng.gen_range(1.0..=10.0));
+    let files = (0..num_files)
+        .map(|k| {
+            let src = rng.gen_range(0..num_dcs);
+            let mut dst = rng.gen_range(0..num_dcs);
+            while dst == src {
+                dst = rng.gen_range(0..num_dcs);
+            }
+            TransferRequest::new(
+                FileId(k as u64),
+                DcId(src),
+                DcId(dst),
+                rng.gen_range(5.0..=80.0),
+                rng.gen_range(1..=4),
+                rng.gen_range(0..3),
+            )
+        })
+        .collect();
+    (network, files)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn builder_problems_pass_all_model_checks(
+        seed in 0u64..5000,
+        nf in 1usize..5,
+        nd in 2usize..6,
+        relay_bit in 0u8..2,
+    ) {
+        let relay = relay_bit == 1;
+        let (network, files) = instance(seed, nd, nf);
+        let ledger = TrafficLedger::new(nd);
+        let config = PostcardConfig { allow_relay_storage: relay, ..PostcardConfig::default() };
+        let problem = build_postcard_problem(&network, &files, &ledger, &config)
+            .expect("complete network builds");
+        let report = check_problem(&problem);
+        prop_assert!(report.is_empty(), "false positives:\n{}", report.render_text());
+    }
+
+    #[test]
+    fn empty_batches_also_pass(nd in 1usize..5) {
+        let network = Network::complete(nd.max(2), 1.0, 10.0);
+        let ledger = TrafficLedger::new(nd.max(2));
+        let problem =
+            build_postcard_problem(&network, &[], &ledger, &PostcardConfig::default())
+                .expect("empty batch builds");
+        let report = check_problem(&problem);
+        prop_assert!(report.is_empty(), "false positives:\n{}", report.render_text());
+    }
+}

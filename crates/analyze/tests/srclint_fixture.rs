@@ -1,0 +1,32 @@
+//! The source scanner must flag every planted defect in the annotated bad
+//! file — and nothing else — when the file is scanned as library crate `lp`.
+
+use postcard_analyze::srclint::check_source;
+
+#[test]
+fn bad_source_fixture_is_fully_flagged() {
+    let content = include_str!("fixtures/bad_source.rs");
+    let report = check_source("fixtures/bad_source.rs", content, "lp");
+
+    for code in ["PA101", "PA102", "PA103", "PA104", "PA105"] {
+        assert!(report.has_code(code), "expected {code} in:\n{}", report.render_text());
+    }
+    // Exactly one finding per planted defect: the allow-annotated comparison
+    // and the whole cfg(test) module must stay silent.
+    assert_eq!(report.len(), 5, "unexpected findings:\n{}", report.render_text());
+    assert_eq!(report.num_errors(), 3); // PA102, PA103, PA104
+    assert_eq!(report.num_warnings(), 2); // PA101, PA105
+}
+
+#[test]
+fn bad_source_fixture_is_clean_outside_library_crates() {
+    let content = include_str!("fixtures/bad_source.rs");
+    // In a non-library crate only PA101 and PA104 apply (PA105 only checks
+    // `lp` types; PA102/PA103 only library crates).
+    let report = check_source("fixtures/bad_source.rs", content, "cli");
+    assert!(report.has_code("PA101"));
+    assert!(report.has_code("PA104"));
+    assert!(!report.has_code("PA102"));
+    assert!(!report.has_code("PA103"));
+    assert!(!report.has_code("PA105"));
+}

@@ -60,10 +60,12 @@ commands:
                 [--runs N] [--slots N] [--seed S] [--all-approaches]
   serve         --network PATH --trace PATH [--slots N]
                 [--checkpoint PATH] [--every N] [--budget-ms MS]
-                [--tiers a,b,c] [--queue N] [--wall-clock]
+                [--tiers a,b,c] [--queue N] [--wall-clock] [--strict]
                 [--degrade slot:from:to:cap[,..]] [--force-timeout slot[:tier][,..]]
                 [--stop-after-slot K] [--metrics-out PATH]
   resume        --checkpoint PATH [--stop-after-slot K] [--metrics-out PATH]
+  analyze src   [--root PATH] [--deny] [--json]
+  analyze model --network PATH --trace PATH [--json] | --fixtures
   help
 
 approaches: postcard (default), postcard-no-relay-storage, flow-lp,
@@ -73,7 +75,14 @@ tiers:      postcard, flow-lp, flow-greedy (fallback order; default all three)
 `serve` runs the crash-safe service runtime: every slot is scheduled through
 the tier fallback chain, checkpoints are written every --every slots, and
 --stop-after-slot simulates a crash (resume from the last checkpoint with
-`resume`). --metrics-out ending in .csv exports CSV, anything else JSON.";
+`resume`). --metrics-out ending in .csv exports CSV, anything else JSON.
+With --strict every slot's LP is structurally checked before solving and
+batches with error-level findings are dropped (metric: analysis_rejections).
+
+`analyze` runs postcard-analyze (codes in crates/analyze/LINTS.md):
+`src` lints the workspace sources (--deny exits nonzero on findings);
+`model` builds the LP for a network + trace and checks it without solving
+(exits nonzero on error-level findings), or self-checks with --fixtures.";
 
 /// Runs one CLI invocation, writing human output to `out`.
 ///
@@ -92,6 +101,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "simulate" => simulate(rest, out),
         "serve" => serve(rest, out),
         "resume" => resume(rest, out),
+        "analyze" => analyze(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -354,7 +364,7 @@ fn drive_service(
 }
 
 fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    let args = Args::parse(argv, &["wall-clock"])?;
+    let args = Args::parse(argv, &["wall-clock", "strict"])?;
     let network_path: String = args.require("network")?;
     let trace_path: String = args.require("trace")?;
     let slots: u64 = args.get_or("slots", 0)?;
@@ -367,6 +377,7 @@ fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     };
     let queue_capacity: usize = args.get_or("queue", 1024)?;
     let wall_clock = args.switch("wall-clock");
+    let strict_analysis = args.switch("strict");
     let faults = parse_faults(args.get("degrade"), args.get("force-timeout"))?;
     let stop_after_slot: Option<u64> = args
         .get("stop-after-slot")
@@ -387,6 +398,7 @@ fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         checkpoint_path: checkpoint,
         queue_capacity,
         clock: if wall_clock { ClockKind::Wall } else { ClockKind::Sim },
+        strict_analysis,
     };
     let rt = Runtime::new(network, arrivals, faults, slots, config)
         .map_err(|e| CliError::Usage(e.to_string()))?;
@@ -408,6 +420,89 @@ fn resume(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         .map_err(|e| CliError::Run(e.to_string()))?;
     writeln!(out, "resumed from {checkpoint} at slot {}", rt.next_slot())?;
     drive_service(rt, stop_after_slot, metrics_out.as_deref(), out)
+}
+
+/// `postcard analyze <src|model> …` — both fronts of `postcard-analyze`.
+fn analyze(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let Some(mode) = argv.first() else {
+        return Err(CliError::Usage("analyze needs a mode: `src` or `model`".into()));
+    };
+    let rest = &argv[1..];
+    match mode.as_str() {
+        "src" => analyze_src(rest, out),
+        "model" => analyze_model(rest, out),
+        other => Err(CliError::Usage(format!("unknown analyze mode `{other}`"))),
+    }
+}
+
+fn analyze_src(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv, &["deny", "json"])?;
+    let root = args.get("root").unwrap_or(".").to_string();
+    let deny = args.switch("deny");
+    let json = args.switch("json");
+    args.reject_unknown()?;
+    let report = postcard_analyze::check_workspace(std::path::Path::new(&root));
+    let rendered = if json { report.render_json() } else { report.render_text() };
+    out.write_all(rendered.as_bytes())?;
+    if deny && !report.is_empty() {
+        return Err(CliError::Run(format!("analyze src: denying {} finding(s)", report.len())));
+    }
+    Ok(())
+}
+
+fn analyze_model(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv, &["json", "fixtures"])?;
+    let json = args.switch("json");
+    if args.switch("fixtures") {
+        args.reject_unknown()?;
+        let mut failed = 0usize;
+        for outcome in postcard_analyze::fixtures::run_fixtures() {
+            let verdict = if outcome.passed() { "ok" } else { "FAILED" };
+            let expected = outcome.expected.unwrap_or("clean");
+            writeln!(out, "fixture {:<32} expect {expected:<6} {verdict}", outcome.name)?;
+            if !outcome.passed() {
+                failed += 1;
+                out.write_all(outcome.report.render_text().as_bytes())?;
+            }
+        }
+        if failed > 0 {
+            return Err(CliError::Run(format!("analyze model: {failed} fixture(s) failed")));
+        }
+        return Ok(());
+    }
+    let network_path: String = args.require("network")?;
+    let trace_path: String = args.require("trace")?;
+    args.reject_unknown()?;
+    let network =
+        Network::from_csv(&std::fs::read_to_string(&network_path)?).map_err(CliError::Run)?;
+    let trace = Trace::from_csv(&std::fs::read_to_string(&trace_path)?)
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    let files = trace.requests().to_vec();
+    let ledger = postcard_net::TrafficLedger::new(network.num_dcs());
+    let problem = postcard_core::build_postcard_problem(
+        &network,
+        &files,
+        &ledger,
+        &postcard_core::PostcardConfig::default(),
+    )
+    .map_err(|e| CliError::Run(format!("building the LP failed: {e}")))?;
+    let report = postcard_analyze::check_problem(&problem);
+    let rendered = if json { report.render_json() } else { report.render_text() };
+    out.write_all(rendered.as_bytes())?;
+    writeln!(
+        out,
+        "checked {} file(s), {} variable(s), {} constraint(s)",
+        files.len(),
+        problem.model.num_vars(),
+        problem.model.num_constraints()
+    )?;
+    if report.has_errors() {
+        return Err(CliError::Run(format!(
+            "analyze model: {} error-level finding(s)",
+            report.num_errors()
+        )));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -621,6 +716,66 @@ mod tests {
                 .expect("bill gauge present")
         };
         assert_eq!(gauge(&full), gauge(&resumed));
+    }
+
+    #[test]
+    fn analyze_model_fixtures_pass() {
+        let out = run_cli(&["analyze", "model", "--fixtures"]).unwrap();
+        assert!(out.contains("deadline-violating-arc-variable"), "{out}");
+        assert!(out.contains("clean-builder-problem"), "{out}");
+        assert!(!out.contains("FAILED"), "{out}");
+    }
+
+    #[test]
+    fn analyze_model_accepts_generated_scenarios() {
+        let net_path = tmp("analyze_net.csv");
+        let trace_path = tmp("analyze_trace.csv");
+        run_cli(&["gen-network", "--dcs", "4", "--capacity", "500", "--out", &net_path]).unwrap();
+        run_cli(&["gen-trace", "--dcs", "4", "--slots", "3", "--out", &trace_path]).unwrap();
+        let out =
+            run_cli(&["analyze", "model", "--network", &net_path, "--trace", &trace_path]).unwrap();
+        assert!(out.contains("0 error(s)"), "{out}");
+        assert!(out.contains("checked"), "{out}");
+    }
+
+    #[test]
+    fn analyze_src_deny_fails_on_bad_tree_and_passes_clean_one() {
+        // A fake workspace with one float comparison in its root sources.
+        let root = tmp("analyze_root");
+        let src = std::path::Path::new(&root).join("src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(src.join("lib.rs"), "pub fn f(x: f64) -> bool { x == 1.0 }\n").unwrap();
+        let out = run_cli(&["analyze", "src", "--root", &root]).unwrap();
+        assert!(out.contains("PA101"), "{out}");
+        let err = run_cli(&["analyze", "src", "--root", &root, "--deny"]);
+        assert!(matches!(err, Err(CliError::Run(_))), "{err:?}");
+        // Clean tree: no findings, --deny passes.
+        std::fs::write(src.join("lib.rs"), "pub fn f(x: u64) -> bool { x == 1 }\n").unwrap();
+        let out = run_cli(&["analyze", "src", "--root", &root, "--deny"]).unwrap();
+        assert!(out.contains("0 error(s), 0 warning(s)"), "{out}");
+    }
+
+    #[test]
+    fn serve_strict_runs_clean_workloads_unchanged() {
+        let net_path = tmp("strict_net.csv");
+        let trace_path = tmp("strict_trace.csv");
+        let metrics_path = tmp("strict_metrics.csv");
+        run_cli(&["gen-network", "--dcs", "4", "--capacity", "500", "--out", &net_path]).unwrap();
+        run_cli(&["gen-trace", "--dcs", "4", "--slots", "3", "--out", &trace_path]).unwrap();
+        let out = run_cli(&[
+            "serve",
+            "--network",
+            &net_path,
+            "--trace",
+            &trace_path,
+            "--strict",
+            "--metrics-out",
+            &metrics_path,
+        ])
+        .unwrap();
+        assert!(out.contains("finished"), "{out}");
+        let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(!metrics.contains("analysis_rejections"), "no rejections: {metrics}");
     }
 
     #[test]

@@ -82,8 +82,8 @@ pub fn solve_budget_constrained(
             cost_per_slot: current_bill,
         });
     }
-    let t0 = files.iter().map(|f| f.first_slot()).min().expect("nonempty");
-    let t_end = files.iter().map(|f| f.last_slot()).max().expect("nonempty");
+    let t0 = files.iter().map(|f| f.first_slot()).min().unwrap_or(0);
+    let t_end = files.iter().map(|f| f.last_slot()).max().unwrap_or(t0);
     let horizon = (t_end - t0 + 1) as usize;
     let graph = TimeExpandedGraph::with_residual(network, t0, horizon, |l, slot| {
         Some(ledger.residual(network, l.from, l.to, slot))

@@ -93,16 +93,6 @@ pub fn solve_postcard_with(
     ledger: &TrafficLedger,
     config: &PostcardConfig,
 ) -> Result<PostcardSolution, PostcardError> {
-    for f in files {
-        for dc in [f.src, f.dst] {
-            if dc.index() >= network.num_dcs() {
-                return Err(PostcardError::UnknownDatacenter {
-                    dc: dc.index(),
-                    num_dcs: network.num_dcs(),
-                });
-            }
-        }
-    }
     if files.is_empty() {
         return Ok(PostcardSolution {
             plan: TransferPlan::new(),
@@ -114,9 +104,96 @@ pub fn solve_postcard_with(
             lp_iterations: 0,
         });
     }
+    build_postcard_problem(network, files, ledger, config)?.solve(&config.simplex)
+}
 
-    let t0 = files.iter().map(|f| f.first_slot()).min().expect("nonempty");
-    let t_end = files.iter().map(|f| f.last_slot()).max().expect("nonempty");
+/// The assembled (but unsolved) Postcard LP: the model plus the bookkeeping
+/// linking LP variables back to time-expanded arcs and links.
+///
+/// Produced by [`build_postcard_problem`] and consumed by
+/// [`PostcardProblem::solve`]; `postcard-analyze` inspects it structurally
+/// (deadline windows, storage-arc shape, conservation degree) *before* —
+/// or instead of — solving.
+#[derive(Debug, Clone)]
+pub struct PostcardProblem {
+    /// The LP (Eq. 6–10 plus the charged-volume linearization).
+    pub model: Model,
+    /// The time-expanded graph the model was built over.
+    pub graph: TimeExpandedGraph,
+    /// The batch the problem was built for (in batch order).
+    pub files: Vec<TransferRequest>,
+    /// Per file (batch order): the arc variables `M_ij^k(n)` that exist
+    /// (constraint 10 is enforced by *absence* — see the module docs).
+    pub mvars: Vec<BTreeMap<ArcId, Variable>>,
+    /// Charged-volume variable `X_ij` per directed link `(i, j)`.
+    pub xvars: BTreeMap<(usize, usize), Variable>,
+}
+
+impl PostcardProblem {
+    /// Solves the assembled LP and maps the optimum back to a transfer plan.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`solve_postcard`].
+    pub fn solve(&self, options: &SimplexOptions) -> Result<PostcardSolution, PostcardError> {
+        let sol = self.model.solve_with(options)?;
+        match sol.status() {
+            Status::Optimal => {
+                let mut plan = TransferPlan::new();
+                for (k, f) in self.files.iter().enumerate() {
+                    for (&id, &v) in &self.mvars[k] {
+                        let value = sol.value(v);
+                        if value > 1e-9 {
+                            let arc = self.graph.arc(id);
+                            plan.add(f.id, arc.slot, arc.from, arc.to, value);
+                        }
+                    }
+                }
+                let charged: BTreeMap<(usize, usize), f64> =
+                    self.xvars.iter().map(|(&k, &x)| (k, sol.value(x))).collect();
+                Ok(PostcardSolution {
+                    plan,
+                    cost_per_slot: sol.objective(),
+                    charged,
+                    lp_iterations: sol.iterations(),
+                })
+            }
+            Status::Infeasible => Err(PostcardError::Infeasible),
+            Status::Unbounded => unreachable!("objective is bounded below by prior peaks"),
+        }
+    }
+}
+
+/// Assembles the Postcard LP for `files` against the residual capacities and
+/// prior peaks recorded in `ledger`, without solving it.
+///
+/// An empty batch yields a trivial problem (a one-slot expansion, only the
+/// charged-volume variables, no constraints).
+///
+/// # Errors
+///
+/// [`PostcardError::UnknownDatacenter`] for malformed requests;
+/// [`PostcardError::Infeasible`] when a file's source has no usable outgoing
+/// arc at its release slot (structural infeasibility detected during
+/// assembly).
+pub fn build_postcard_problem(
+    network: &Network,
+    files: &[TransferRequest],
+    ledger: &TrafficLedger,
+    config: &PostcardConfig,
+) -> Result<PostcardProblem, PostcardError> {
+    for f in files {
+        for dc in [f.src, f.dst] {
+            if dc.index() >= network.num_dcs() {
+                return Err(PostcardError::UnknownDatacenter {
+                    dc: dc.index(),
+                    num_dcs: network.num_dcs(),
+                });
+            }
+        }
+    }
+    let t0 = files.iter().map(|f| f.first_slot()).min().unwrap_or(0);
+    let t_end = files.iter().map(|f| f.last_slot()).max().unwrap_or(t0);
     let horizon = (t_end - t0 + 1) as usize;
     let graph = TimeExpandedGraph::with_residual(network, t0, horizon, |l, slot| {
         Some(ledger.residual(network, l.from, l.to, slot))
@@ -216,6 +293,7 @@ pub fn solve_postcard_with(
                 }
                 let rhs = if slot == f.first_slot() && dc == f.src { f.size_gb } else { 0.0 };
                 if expr.is_empty() {
+                    // postcard-analyze: allow(PA101) — rhs is 0.0 or a size.
                     if rhs != 0.0 {
                         // The source has no usable outgoing arcs at release:
                         // structurally infeasible.
@@ -228,31 +306,7 @@ pub fn solve_postcard_with(
         }
     }
 
-    let sol = m.solve_with(&config.simplex)?;
-    match sol.status() {
-        Status::Optimal => {
-            let mut plan = TransferPlan::new();
-            for (k, f) in files.iter().enumerate() {
-                for (&id, &v) in &mvars[k] {
-                    let value = sol.value(v);
-                    if value > 1e-9 {
-                        let arc = graph.arc(id);
-                        plan.add(f.id, arc.slot, arc.from, arc.to, value);
-                    }
-                }
-            }
-            let charged: BTreeMap<(usize, usize), f64> =
-                xvars.iter().map(|(&k, &x)| (k, sol.value(x))).collect();
-            Ok(PostcardSolution {
-                plan,
-                cost_per_slot: sol.objective(),
-                charged,
-                lp_iterations: sol.iterations(),
-            })
-        }
-        Status::Infeasible => Err(PostcardError::Infeasible),
-        Status::Unbounded => unreachable!("objective is bounded below by prior peaks"),
-    }
+    Ok(PostcardProblem { model: m, graph, files: files.to_vec(), mvars, xvars })
 }
 
 #[cfg(test)]
@@ -401,6 +455,35 @@ mod tests {
             solve_postcard(&net, &files, &ledger),
             Err(PostcardError::UnknownDatacenter { dc: 7, .. })
         ));
+    }
+
+    #[test]
+    fn build_problem_exposes_structure_and_solves_identically() {
+        let net = fig1_net();
+        let files = [TransferRequest::new(FileId(1), d(1), d(2), 6.0, 3, 0)];
+        let ledger = TrafficLedger::new(3);
+        let p = build_postcard_problem(&net, &files, &ledger, &PostcardConfig::default()).unwrap();
+        assert_eq!(p.mvars.len(), 1);
+        assert_eq!(p.xvars.len(), net.num_links());
+        // Every arc variable's slot lies inside the file's window (Eq. 10).
+        for &id in p.mvars[0].keys() {
+            assert!(files[0].active_in(p.graph.arc(id).slot));
+        }
+        // Solving the assembled problem matches the one-shot API.
+        let a = p.solve(&SimplexOptions::default()).unwrap();
+        let b = solve_postcard(&net, &files, &ledger).unwrap();
+        assert!((a.cost_per_slot - b.cost_per_slot).abs() < 1e-9);
+        assert_eq!(a.plan, b.plan);
+    }
+
+    #[test]
+    fn build_problem_accepts_empty_batch() {
+        let net = fig1_net();
+        let ledger = TrafficLedger::new(3);
+        let p = build_postcard_problem(&net, &[], &ledger, &PostcardConfig::default()).unwrap();
+        assert!(p.mvars.is_empty());
+        assert_eq!(p.model.num_constraints(), 0);
+        assert_eq!(p.xvars.len(), net.num_links());
     }
 
     #[test]

@@ -55,7 +55,10 @@ mod online;
 mod scheduler;
 
 pub use error::PostcardError;
-pub use formulation::{solve_postcard, solve_postcard_with, PostcardConfig, PostcardSolution};
+pub use formulation::{
+    build_postcard_problem, solve_postcard, solve_postcard_with, PostcardConfig, PostcardProblem,
+    PostcardSolution,
+};
 pub use online::{ControllerState, OnlineController, StepReport};
 pub use scheduler::{
     Decision, DirectScheduler, FlowLpScheduler, GreedyScheduler, PostcardScheduler, Scheduler,

@@ -179,8 +179,8 @@ pub fn unified_flow_lp(
     if files.is_empty() {
         return Ok(FlowAssignment::new());
     }
-    let lo = files.iter().map(|f| f.first_slot()).min().expect("nonempty");
-    let hi = files.iter().map(|f| f.last_slot()).max().expect("nonempty");
+    let lo = files.iter().map(|f| f.first_slot()).min().unwrap_or(0);
+    let hi = files.iter().map(|f| f.last_slot()).max().unwrap_or(lo);
 
     let mut m = Model::new(Sense::Minimize);
     // Rate variables.

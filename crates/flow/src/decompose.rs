@@ -111,9 +111,10 @@ fn find_path(rate: &[f64], n: usize, src: usize, dst: usize) -> Option<Vec<usize
             }
         }
         if !advanced {
-            let popped = stack.pop().expect("stack nonempty");
-            on_path[popped] = false;
-            cursor[popped] = 0;
+            if let Some(popped) = stack.pop() {
+                on_path[popped] = false;
+                cursor[popped] = 0;
+            }
         }
     }
     None

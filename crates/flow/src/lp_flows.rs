@@ -66,6 +66,7 @@ fn conservation_rows(
                 0.0
             };
             match lambda {
+                // postcard-analyze: allow(PA101) — sign is exactly ±1 or 0.
                 Some(l) if sign != 0.0 => {
                     expr.add_term(l, -sign * c.demand);
                     m.eq(expr, 0.0);

@@ -90,12 +90,15 @@ pub fn edmonds_karp_max_flow(g: &mut FlowNetwork, s: NodeId, t: NodeId) -> f64 {
         let mut bottleneck = f64::INFINITY;
         let mut v = t.0;
         while v != s.0 {
+            // postcard-analyze: allow(PA102) — BFS set prev_edge for every
+            // node on the augmenting path it just found.
             let ei = prev_edge[v].expect("path reaches s");
             bottleneck = bottleneck.min(g.res(ei));
             v = g.edges[ei ^ 1].to;
         }
         let mut v = t.0;
         while v != s.0 {
+            // postcard-analyze: allow(PA102) — same path walk as above.
             let ei = prev_edge[v].expect("path reaches s");
             g.push(ei, bottleneck);
             v = g.edges[ei ^ 1].to;

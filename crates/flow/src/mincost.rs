@@ -96,6 +96,8 @@ pub fn min_cost_flow(g: &mut FlowNetwork, s: NodeId, t: NodeId, target: f64) -> 
         let mut bottleneck = target - flow;
         let mut v = t.0;
         while v != s.0 {
+            // postcard-analyze: allow(PA102) — Bellman-Ford set prev_edge
+            // for every node on the shortest path it just found.
             let ei = prev_edge[v].expect("path must reach s");
             bottleneck = bottleneck.min(g.res(ei));
             v = g.edges[ei ^ 1].to;
@@ -106,6 +108,7 @@ pub fn min_cost_flow(g: &mut FlowNetwork, s: NodeId, t: NodeId, target: f64) -> 
         // Apply.
         let mut v = t.0;
         while v != s.0 {
+            // postcard-analyze: allow(PA102) — same path walk as above.
             let ei = prev_edge[v].expect("path must reach s");
             g.push(ei, bottleneck);
             cost += bottleneck * g.edges[ei].cost;
@@ -178,12 +181,16 @@ pub fn cycle_canceling_min_cost(
         let Some(mut v) = updated_node else { break };
         // Walk back n steps to land inside the cycle, then extract it.
         for _ in 0..n {
+            // postcard-analyze: allow(PA102) — a node relaxed in pass n has
+            // a predecessor chain at least n long.
             v = g.edges[prev_edge[v].expect("updated node has a predecessor") ^ 1].to;
         }
         let start = v;
         let mut cycle = Vec::new();
         let mut bottleneck = f64::INFINITY;
         loop {
+            // postcard-analyze: allow(PA102) — every node of the extracted
+            // negative cycle was relaxed, so it has a predecessor edge.
             let ei = prev_edge[v].expect("cycle edge");
             cycle.push(ei);
             bottleneck = bottleneck.min(g.res(ei));

@@ -123,6 +123,7 @@ impl DenseMatrix {
         let mut out = vec![0.0; self.cols];
         for (r, &xr) in x.iter().enumerate() {
             let row = self.row(r);
+            // postcard-analyze: allow(PA101) — exact-zero row skip.
             if xr == 0.0 {
                 continue;
             }
@@ -191,6 +192,7 @@ impl LuFactors {
             for r in (col + 1)..n {
                 let factor = lu.get(r, col) / pivot;
                 lu.set(r, col, factor);
+                // postcard-analyze: allow(PA101) — exact-zero elimination skip.
                 if factor != 0.0 {
                     let (pivot_row, row) = lu.two_rows_mut(col, r);
                     for c in (col + 1)..n {

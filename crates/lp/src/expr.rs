@@ -102,6 +102,7 @@ impl LinExpr {
 
     /// Removes terms with exactly-zero coefficients.
     pub fn compact(&mut self) {
+        // postcard-analyze: allow(PA101) — bit-exact zero removal is the point.
         self.terms.retain(|_, c| *c != 0.0);
     }
 

@@ -201,6 +201,31 @@ impl Model {
         self.constraints.iter().enumerate().map(|(i, c)| (ConstraintId(i), c))
     }
 
+    /// Iterates over all variable handles of the model, in index order.
+    pub fn variables(&self) -> impl Iterator<Item = Variable> {
+        (0..self.names.len()).map(Variable)
+    }
+
+    /// Builds a column-wise view of the constraint matrix: entry `v` holds
+    /// the `(constraint, coefficient)` pairs variable `v` appears in, with
+    /// zero coefficients excluded. One sweep over every stored term; the
+    /// static-analysis passes use this to reason about whole columns without
+    /// re-scanning rows per variable. Terms referencing out-of-range
+    /// variable handles are skipped (they are reported by
+    /// [`Model::validate`] instead).
+    pub fn columns(&self) -> Vec<Vec<(ConstraintId, f64)>> {
+        let mut cols = vec![Vec::new(); self.names.len()];
+        for (id, con) in self.constraints() {
+            for (v, c) in con.expr().iter() {
+                // postcard-analyze: allow(PA101) — exact-zero sparsity test.
+                if c != 0.0 && v.0 < cols.len() {
+                    cols[v.0].push((id, c));
+                }
+            }
+        }
+        cols
+    }
+
     /// Validates the model (bounds, NaNs, handle ranges).
     ///
     /// # Errors

@@ -57,11 +57,13 @@ pub fn write_mps(model: &Model, name: &str) -> String {
     for i in 0..model.num_vars() {
         let v = crate::Variable(i);
         let obj_coef = model.objective_expr().coefficient(v);
+        // postcard-analyze: allow(PA101) — MPS omits exact-zero entries.
         if obj_coef != 0.0 {
             let _ = writeln!(out, "    x{i}  COST  {obj_coef}");
         }
         for (id, con) in model.constraints() {
             let c = con.expr().coefficient(v);
+            // postcard-analyze: allow(PA101) — MPS omits exact-zero entries.
             if c != 0.0 {
                 let _ = writeln!(out, "    x{i}  c{}  {c}", id.index());
             }
@@ -69,6 +71,7 @@ pub fn write_mps(model: &Model, name: &str) -> String {
     }
     let _ = writeln!(out, "RHS");
     for (id, con) in model.constraints() {
+        // postcard-analyze: allow(PA101) — MPS omits exact-zero entries.
         if con.rhs() != 0.0 {
             let _ = writeln!(out, "    RHS  c{}  {}", id.index(), con.rhs());
         }
@@ -77,6 +80,7 @@ pub fn write_mps(model: &Model, name: &str) -> String {
     for i in 0..model.num_vars() {
         let (lo, hi) = model.bounds(crate::Variable(i));
         // Default MPS bounds are [0, ∞): only emit deviations.
+        // postcard-analyze: allow(PA101) — comparing against the exact default.
         if lo == 0.0 && hi == f64::INFINITY {
             continue;
         }
@@ -90,6 +94,7 @@ pub fn write_mps(model: &Model, name: &str) -> String {
         }
         if lo.is_infinite() {
             let _ = writeln!(out, " MI BND  x{i}");
+        // postcard-analyze: allow(PA101) — exact MPS default lower bound.
         } else if lo != 0.0 {
             let _ = writeln!(out, " LO BND  x{i}  {lo}");
         }

@@ -1,12 +1,15 @@
 //! Opt-in presolve: shrink a [`Model`] before the simplex sees it.
 //!
-//! Two classic, always-safe reductions are implemented:
+//! Three classic, always-safe reductions are implemented:
 //!
-//! 1. **Singleton-row folding** — a constraint touching exactly one
+//! 1. **Empty-row elimination** — a constraint whose left-hand side has no
+//!    (nonzero) terms reads `0 ⋈ rhs`; it is dropped, after checking whether
+//!    the trivial relation holds (a violated one proves infeasibility);
+//! 2. **Singleton-row folding** — a constraint touching exactly one
 //!    variable (`a·x ⋈ b`) is a bound in disguise and is folded into the
 //!    variable's bound interval (detecting empty intervals as
 //!    infeasibility);
-//! 2. **Duplicate-row elimination** — rows with identical left-hand sides
+//! 3. **Duplicate-row elimination** — rows with identical left-hand sides
 //!    keep only their tightest right-hand side.
 //!
 //! The Postcard formulations benefit directly: every capacity row on an arc
@@ -31,6 +34,7 @@ type DupGroups = BTreeMap<(Vec<(usize, u64)>, u8), (usize, f64)>;
 
 /// The outcome of presolving a model: a reduced model plus the bookkeeping
 /// to map solutions back.
+#[must_use = "a Presolved carries the reduced model (and possibly a proof of infeasibility)"]
 #[derive(Debug, Clone)]
 pub struct Presolved {
     reduced: Model,
@@ -93,6 +97,7 @@ impl Presolved {
 
 /// Key identifying a row's left-hand side (terms rounded to exact bits).
 fn lhs_key(expr: &crate::LinExpr) -> Vec<(usize, u64)> {
+    // postcard-analyze: allow(PA101) — exact-zero sparsity filter.
     expr.iter().filter(|&(_, c)| c != 0.0).map(|(v, c)| (v.index(), c.to_bits())).collect()
 }
 
@@ -111,11 +116,23 @@ pub fn presolve(model: &Model) -> Presolved {
     let mut groups: DupGroups = BTreeMap::new();
 
     for (id, con) in model.constraints() {
-        let mut terms: Vec<(Variable, f64)> =
-            con.expr().iter().filter(|&(_, c)| c != 0.0).collect();
+        // postcard-analyze: allow(PA101) — exact-zero sparsity filter.
+        let terms: Vec<(Variable, f64)> = con.expr().iter().filter(|&(_, c)| c != 0.0).collect();
+        // Empty row → `0 ⋈ rhs`: drop it, flagging infeasibility when the
+        // trivial relation does not hold.
+        if terms.is_empty() {
+            let holds = match con.relation() {
+                Relation::Leq => 0.0 <= con.rhs() + 1e-12,
+                Relation::Geq => 0.0 >= con.rhs() - 1e-12,
+                Relation::Eq => con.rhs().abs() <= 1e-12,
+            };
+            if !holds {
+                infeasible = true;
+            }
+            continue;
+        }
         // Singleton row → fold into the bound.
-        if terms.len() == 1 {
-            let (v, a) = terms.pop().expect("one term");
+        if let [(v, a)] = terms[..] {
             let ratio = con.rhs() / a;
             let (mut lo, mut hi) = reduced.bounds(v);
             let (implies_ub, implies_lb) = match (con.relation(), a > 0.0) {
@@ -176,6 +193,11 @@ pub fn presolve(model: &Model) -> Presolved {
         reduced.add_constraint(con.expr().clone(), con.relation(), rhs);
         final_kept.push(orig_idx);
     }
+    debug_assert!(
+        // postcard-analyze: allow(PA101) — exact-zero sparsity test.
+        reduced.constraints().all(|(_, c)| c.expr().iter().any(|(_, coef)| coef != 0.0)),
+        "presolve must not emit empty rows"
+    );
 
     Presolved {
         reduced,
@@ -235,6 +257,27 @@ mod tests {
         assert_eq!(p.solve().unwrap().status(), Status::Infeasible);
         // The full solver agrees.
         assert_eq!(m.solve().unwrap().status(), Status::Infeasible);
+    }
+
+    #[test]
+    fn empty_rows_are_dropped_or_prove_infeasibility() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 10.0);
+        m.set_objective(LinExpr::from(x));
+        m.leq(LinExpr::new(), 5.0); // 0 ≤ 5: vacuous, dropped
+        m.geq(x + 1.0, 3.0); // kept (as a bound)
+        let p = presolve(&m);
+        assert!(!p.proven_infeasible());
+        assert_eq!(p.reduced().num_constraints(), 0);
+        assert!((p.solve().unwrap().objective() - 2.0).abs() < 1e-9);
+
+        let mut bad = Model::new(Sense::Minimize);
+        let y = bad.add_var("y", 0.0, 1.0);
+        bad.set_objective(LinExpr::from(y));
+        bad.geq(LinExpr::new(), 5.0); // 0 ≥ 5: impossible
+        let p = presolve(&bad);
+        assert!(p.proven_infeasible());
+        assert_eq!(p.solve().unwrap().status(), Status::Infeasible);
     }
 
     #[test]

@@ -53,6 +53,7 @@ impl Default for SimplexOptions {
 
 /// Raw solution over the standard-form columns (before mapping back to the
 /// originating model).
+#[must_use = "dropping a RawSolution discards the solve outcome"]
 #[derive(Debug, Clone)]
 pub struct RawSolution {
     /// Termination status.
@@ -232,6 +233,7 @@ impl<'a> State<'a> {
     fn pivot_column(&self, j: usize) -> Vec<f64> {
         let mut w = vec![0.0; self.m];
         self.for_col(j, |k, v| {
+            // postcard-analyze: allow(PA101) — exact-zero sparsity skip.
             if v != 0.0 {
                 // w += v * binv[:, k]
                 for (r, wr) in w.iter_mut().enumerate() {
@@ -302,6 +304,8 @@ impl<'a> State<'a> {
                 iterations: self.iterations,
             });
         }
+        #[cfg(debug_assertions)]
+        self.assert_optimality_certificate();
 
         let mut x = vec![0.0; self.n];
         for (r, &j) in self.basis.iter().enumerate() {
@@ -378,14 +382,18 @@ impl<'a> State<'a> {
         });
         match self.pricing {
             Pricing::Bland => tied.min_by_key(|&r| self.basis[r]),
-            Pricing::Dantzig => {
-                tied.max_by(|&a, &b| w[a].partial_cmp(&w[b]).expect("pivots are finite"))
-            }
+            // total_cmp instead of partial_cmp: a NaN pivot weight (which a
+            // pathological column could produce) must not panic the solver;
+            // NaN sorts above every finite value under the IEEE total order,
+            // and a NaN pivot element is then rejected by refactorization.
+            Pricing::Dantzig => tied.max_by(|&a, &b| w[a].total_cmp(&w[b])),
         }
     }
 
     /// Executes the pivot: `j_in` enters, row `r_out` leaves.
     fn pivot(&mut self, j_in: usize, r_out: usize, w: &[f64]) {
+        debug_assert!(!self.in_basis[j_in], "entering column {j_in} is already basic");
+        debug_assert!(self.in_basis[self.basis[r_out]], "leaving column must currently be basic");
         let theta = (self.xb[r_out].max(0.0)) / w[r_out];
         if theta <= 1e-12 {
             self.degenerate_run += 1;
@@ -416,6 +424,7 @@ impl<'a> State<'a> {
             }
         }
         for (r, &factor) in w.iter().enumerate() {
+            // postcard-analyze: allow(PA101) — exact-zero rows need no elimination.
             if r == r_out || factor == 0.0 {
                 continue;
             }
@@ -431,6 +440,32 @@ impl<'a> State<'a> {
         self.basis[r_out] = j_in;
         self.iterations += 1;
         self.pivots_since_refactor += 1;
+        debug_assert_eq!(
+            self.in_basis.iter().filter(|&&b| b).count(),
+            self.m,
+            "basis must hold exactly m distinct columns after a pivot"
+        );
+    }
+
+    /// Debug-only optimality certificate: with the current duals, every
+    /// column still eligible to enter must have a nonnegative reduced cost
+    /// (up to pricing tolerance). Makes `cargo test` in debug mode an
+    /// executable proof that `Optimal` is only ever reported together with a
+    /// valid dual certificate.
+    #[cfg(debug_assertions)]
+    fn assert_optimality_certificate(&self) {
+        let y = self.duals();
+        let limit = if self.allow_artificials { self.num_cols() } else { self.n };
+        for j in 0..limit {
+            if self.in_basis[j] {
+                continue;
+            }
+            let d = self.reduced_cost(j, &y);
+            debug_assert!(
+                d >= -self.opts.pricing_tol,
+                "optimality certificate violated: column {j} has reduced cost {d}"
+            );
+        }
     }
 
     /// Pivot zero-level artificials out of the basis where a real column has

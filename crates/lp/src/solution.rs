@@ -4,6 +4,7 @@ use crate::expr::Variable;
 use crate::model::ConstraintId;
 
 /// Termination status of a solve.
+#[must_use = "a solve status must be inspected: non-optimal outcomes carry no usable values"]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Status {
     /// An optimal basic feasible solution was found.
@@ -29,6 +30,7 @@ impl std::fmt::Display for Status {
 /// For non-[`Status::Optimal`] outcomes the primal/dual values are all zero
 /// and the objective is `f64::NAN` (infeasible) or signed infinity
 /// (unbounded); always check [`Solution::status`] first.
+#[must_use = "dropping a Solution discards the solve outcome, including infeasibility"]
 #[derive(Debug, Clone)]
 pub struct Solution {
     status: Status,

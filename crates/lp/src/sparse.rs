@@ -40,6 +40,7 @@ impl CscBuilder {
     /// Panics if the coordinate is out of range.
     pub fn push(&mut self, row: usize, col: usize, value: f64) {
         assert!(row < self.rows && col < self.cols, "triplet out of range");
+        // postcard-analyze: allow(PA101) — exact-zero entries are not stored.
         if value != 0.0 {
             self.triplets.push((row, col, value));
         }
@@ -56,13 +57,14 @@ impl CscBuilder {
         let mut values: Vec<f64> = Vec::with_capacity(self.triplets.len());
         let mut last: Option<(usize, usize)> = None;
         for (r, c, v) in self.triplets {
-            if last == Some((c, r)) {
-                *values.last_mut().expect("merge target exists") += v;
-            } else {
-                row_idx.push(r);
-                values.push(v);
-                col_ptr[c + 1] += 1;
-                last = Some((c, r));
+            match values.last_mut() {
+                Some(tail) if last == Some((c, r)) => *tail += v,
+                _ => {
+                    row_idx.push(r);
+                    values.push(v);
+                    col_ptr[c + 1] += 1;
+                    last = Some((c, r));
+                }
             }
         }
         for c in 0..self.cols {
@@ -132,6 +134,7 @@ impl CscMatrix {
         assert_eq!(x.len(), self.cols);
         let mut out = vec![0.0; self.rows];
         for (j, &xj) in x.iter().enumerate() {
+            // postcard-analyze: allow(PA101) — exact-zero column skip.
             if xj == 0.0 {
                 continue;
             }

@@ -77,6 +77,7 @@ fn rewrite_terms(
     let mut terms: Vec<(usize, f64)> = Vec::with_capacity(expr.len() * 2);
     let mut rhs_delta = 0.0;
     for (v, coef) in expr.iter() {
+        // postcard-analyze: allow(PA101) — exact-zero terms are not emitted.
         if coef == 0.0 {
             continue;
         }

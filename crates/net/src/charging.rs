@@ -141,7 +141,7 @@ impl PercentileScheme {
             return 0.0;
         }
         let mut sorted = volumes.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("volumes must not be NaN"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let rank = ((self.q / 100.0) * sorted.len() as f64).ceil() as usize;
         sorted[rank.clamp(1, sorted.len()) - 1]
     }

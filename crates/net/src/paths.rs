@@ -58,7 +58,7 @@ pub fn cheapest_path(
     loop {
         let u = (0..n)
             .filter(|&u| !done[u] && dist[u].is_finite())
-            .min_by(|&a, &b| dist[a].partial_cmp(&dist[b]).expect("prices are not NaN"))?;
+            .min_by(|&a, &b| dist[a].total_cmp(&dist[b]))?;
         if u == dst.0 {
             break;
         }
@@ -67,7 +67,7 @@ pub fn cheapest_path(
             if done[v.0] || !usable(DcId(u), v) {
                 continue;
             }
-            let w = network.price(DcId(u), v).expect("neighbor implies link");
+            let Some(w) = network.price(DcId(u), v) else { continue };
             if dist[u] + w < dist[v.0] - 1e-15 {
                 dist[v.0] = dist[u] + w;
                 prev[v.0] = Some(u);
@@ -97,7 +97,7 @@ pub fn k_cheapest_paths(network: &Network, src: DcId, dst: DcId, k: usize) -> Ve
     let mut candidates: Vec<PricedPath> = Vec::new();
 
     while found.len() < k {
-        let last = found.last().expect("at least the first path").clone();
+        let Some(last) = found.last().cloned() else { break };
         let last_nodes = last.nodes();
         for spur_idx in 0..last.hops.len() {
             let spur_node = last_nodes[spur_idx];
@@ -120,6 +120,8 @@ pub fn k_cheapest_paths(network: &Network, src: DcId, dst: DcId, k: usize) -> Ve
                 hops.extend(spur.hops);
                 let price: f64 = hops
                     .iter()
+                    // postcard-analyze: allow(PA102) — hops are copied from
+                    // already-found paths over the same immutable network.
                     .map(|&(u, v)| network.price(u, v).expect("hop on existing link"))
                     .sum();
                 let candidate = PricedPath { hops, price };
@@ -128,7 +130,7 @@ pub fn k_cheapest_paths(network: &Network, src: DcId, dst: DcId, k: usize) -> Ve
                 }
             }
         }
-        candidates.sort_by(|a, b| a.price.partial_cmp(&b.price).expect("finite prices"));
+        candidates.sort_by(|a, b| a.price.total_cmp(&b.price));
         if candidates.is_empty() {
             break;
         }

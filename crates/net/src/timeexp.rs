@@ -154,6 +154,30 @@ impl TimeExpandedGraph {
         Self { t0, num_slots, num_dcs, arcs, by_slot }
     }
 
+    /// Assembles a graph directly from an arc list, with **no validation**.
+    ///
+    /// Arcs whose slot lies outside `[t0, t0 + num_slots)` are kept in the
+    /// arc list (and therefore visible to [`TimeExpandedGraph::arcs`]) but
+    /// not indexed by slot. The regular constructors can only produce
+    /// well-formed expansions; this one exists so that tests and the
+    /// `postcard-analyze` malformed-graph fixtures can express structurally
+    /// broken graphs — deadline-violating slots, storage arcs that change
+    /// datacenter — and exercise the checks that reject them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_slots == 0`.
+    pub fn from_arcs(t0: u64, num_slots: usize, num_dcs: usize, arcs: Vec<Arc>) -> Self {
+        assert!(num_slots > 0, "time expansion needs at least one slot");
+        let mut by_slot = vec![Vec::new(); num_slots];
+        for (i, a) in arcs.iter().enumerate() {
+            if a.slot >= t0 && a.slot < t0 + num_slots as u64 {
+                by_slot[(a.slot - t0) as usize].push(ArcId(i));
+            }
+        }
+        Self { t0, num_slots, num_dcs, arcs, by_slot }
+    }
+
     /// First slot covered.
     pub fn first_slot(&self) -> u64 {
         self.t0
@@ -321,6 +345,34 @@ mod tests {
         let usable: Vec<u64> = g.arcs_usable_by(&f).map(|(_, a)| a.slot).collect();
         assert!(usable.iter().all(|&s| s == 3 || s == 4));
         assert_eq!(usable.len(), 2 * 9);
+    }
+
+    #[test]
+    fn from_arcs_keeps_out_of_range_arcs_unindexed() {
+        let arcs = vec![
+            Arc {
+                from: DcId(0),
+                to: DcId(1),
+                slot: 2,
+                kind: ArcKind::Transit,
+                price: 1.0,
+                capacity: 5.0,
+            },
+            // Slot 9 is outside [2, 4): visible via arcs(), absent per slot.
+            Arc {
+                from: DcId(0),
+                to: DcId(0),
+                slot: 9,
+                kind: ArcKind::Storage,
+                price: 0.0,
+                capacity: f64::INFINITY,
+            },
+        ];
+        let g = TimeExpandedGraph::from_arcs(2, 2, 2, arcs);
+        assert_eq!(g.num_arcs(), 2);
+        assert_eq!(g.arcs_in_slot(2).count(), 1);
+        assert_eq!(g.arcs_in_slot(9).count(), 0);
+        assert_eq!(g.arcs().filter(|(_, a)| a.slot == 9).count(), 1);
     }
 
     #[test]

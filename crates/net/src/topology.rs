@@ -194,6 +194,8 @@ impl Network {
     pub fn set_capacity(&mut self, from: DcId, to: DcId, capacity: f64) {
         assert!(capacity > 0.0, "capacity must be positive");
         let n = self.n;
+        // postcard-analyze: allow(PA102) — documented panic contract (see
+        // the `# Panics` section above).
         let slot = self.links[from.0 * n + to.0].as_mut().expect("link must exist");
         slot.capacity = capacity;
     }

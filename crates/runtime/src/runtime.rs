@@ -23,7 +23,10 @@ use crate::faults::FaultPlan;
 use crate::metrics::MetricsRegistry;
 use crate::queue::AdmissionQueue;
 use crate::snapshot::{RuntimeSnapshot, SNAPSHOT_VERSION};
-use postcard_core::{OnlineController, PostcardError, StepReport};
+use postcard_analyze::check_problem;
+use postcard_core::{
+    build_postcard_problem, OnlineController, PostcardConfig, PostcardError, StepReport,
+};
 use postcard_net::{DcId, Network};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
@@ -44,6 +47,11 @@ pub struct RuntimeConfig {
     pub queue_capacity: usize,
     /// Which clock measures the solve budget.
     pub clock: ClockKind,
+    /// Run `postcard-analyze`'s structural checks on every slot's problem
+    /// before solving; batches whose problem has error-level findings are
+    /// dropped (counted in the `analysis_rejections` metric) instead of
+    /// being handed to the solver.
+    pub strict_analysis: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -55,6 +63,7 @@ impl Default for RuntimeConfig {
             checkpoint_path: None,
             queue_capacity: 1024,
             clock: ClockKind::Sim,
+            strict_analysis: false,
         }
     }
 }
@@ -254,7 +263,37 @@ impl Runtime {
         if dropped > 0 {
             self.metrics.inc("queue_dropped", dropped as u64);
         }
-        let batch = self.queue.drain();
+        let mut batch = self.queue.drain();
+
+        // (2b) Strict pre-solve analysis: assemble the slot's problem
+        // without solving and reject the batch on structural errors
+        // (deadline-window violations, malformed graphs, unbounded
+        // columns — see crates/analyze/LINTS.md) rather than letting a
+        // malformed model reach the simplex.
+        if self.config.strict_analysis && !batch.is_empty() {
+            let verdict = build_postcard_problem(
+                self.controller.network(),
+                &batch,
+                self.controller.ledger(),
+                &PostcardConfig::default(),
+            );
+            let rejected = match verdict {
+                Ok(problem) => {
+                    let report = check_problem(&problem);
+                    report.has_errors().then(|| report.render_text())
+                }
+                Err(e) => Some(format!("problem construction failed: {e}\n")),
+            };
+            if let Some(findings) = rejected {
+                self.metrics.inc("analysis_rejections", 1);
+                self.metrics.inc("files_lost_analysis", batch.len() as u64);
+                eprintln!(
+                    "slot {slot}: strict analysis rejected the batch ({} file(s)):\n{findings}",
+                    batch.len()
+                );
+                batch.clear();
+            }
+        }
 
         // (3) Schedule through the fallback chain.
         let forced = self.faults.timeouts_at(slot);
@@ -328,6 +367,8 @@ impl Runtime {
             && !self.is_finished();
         let checkpointed = if due {
             let path = PathBuf::from(
+                // postcard-analyze: allow(PA102) — `checkpoint_every > 0`
+                // implies a path; Runtime::new rejects the combination.
                 self.config.checkpoint_path.as_deref().expect("validated at construction"),
             );
             // Count before saving so the snapshot includes its own write —
@@ -494,6 +535,45 @@ mod tests {
             Runtime::new(net(), arrivals(), FaultPlan::none(), 1, bad_ckpt),
             Err(RuntimeError::Config(_))
         ));
+    }
+
+    #[test]
+    fn strict_analysis_is_silent_on_valid_workloads() {
+        let config = RuntimeConfig { strict_analysis: true, ..Default::default() };
+        let mut strict = Runtime::new(net(), arrivals(), FaultPlan::none(), 4, config).unwrap();
+        let mut plain =
+            Runtime::new(net(), arrivals(), FaultPlan::none(), 4, RuntimeConfig::default())
+                .unwrap();
+        strict.run_to_end().unwrap();
+        plain.run_to_end().unwrap();
+        assert_eq!(strict.metrics().counter("analysis_rejections"), 0);
+        assert_eq!(strict.metrics().counter("files_accepted"), 2);
+        // Strict mode must not change the outcome of a clean run.
+        for (a, b) in strict.cost_history().iter().zip(plain.cost_history()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn strict_analysis_rejects_unbuildable_batches() {
+        // A request naming datacenter 7 in a 3-datacenter network: problem
+        // construction fails, so strict mode drops the batch pre-solve
+        // instead of letting the slot degrade through the fallback chain.
+        let reqs = vec![
+            TransferRequest::new(FileId(1), d(1), d(2), 6.0, 3, 0),
+            TransferRequest::new(FileId(2), DcId(7), d(2), 4.0, 2, 0),
+        ];
+        let config = RuntimeConfig { strict_analysis: true, ..Default::default() };
+        let mut rt =
+            Runtime::new(net(), ArrivalSchedule::from_requests(reqs), FaultPlan::none(), 2, config)
+                .unwrap();
+        let outcomes = rt.run_to_end().unwrap();
+        assert_eq!(rt.metrics().counter("analysis_rejections"), 1);
+        assert_eq!(rt.metrics().counter("files_lost_analysis"), 2);
+        assert_eq!(rt.metrics().counter("files_accepted"), 0);
+        // The slot still ran (empty batch) and was not counted as degraded.
+        assert_eq!(outcomes.len(), 2);
+        assert!(!outcomes[0].degraded);
     }
 
     #[test]

@@ -21,7 +21,11 @@ use serde::{Deserialize, Serialize};
 use std::path::Path;
 
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// History: v1 — initial format; v2 — `RuntimeConfig` gained
+/// `strict_analysis` (the vendored serde shim treats missing fields as
+/// errors, so the addition is a format break).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// One directed link, flattened for serialization.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

@@ -17,11 +17,15 @@
 //!   reproduce the paper's evaluation;
 //! * [`runtime`] — the crash-safe controller service: solver fallback chain,
 //!   checkpoint/resume, metrics registry, and fault injection
-//!   (`postcard serve` / `postcard resume`).
+//!   (`postcard serve` / `postcard resume`);
+//! * [`analyze`] — static analysis: pre-solve model checks (PA0xx) and the
+//!   workspace source lint (PA1xx) behind one diagnostic engine
+//!   (`postcard analyze`, `postcard serve --strict`).
 //!
 //! See the repository `README.md` for a quickstart, `DESIGN.md` for the
 //! system inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
 
+pub use postcard_analyze as analyze;
 pub use postcard_core as core;
 pub use postcard_flow as flow;
 pub use postcard_lp as lp;
