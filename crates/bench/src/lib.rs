@@ -5,6 +5,8 @@
 //! Criterion micro-benchmark of the per-slot solver kernel that dominates
 //! the simulation's cost.
 
+pub mod solver_baseline;
+
 use postcard_net::{DcId, FileId, Network, TransferRequest};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -1,0 +1,319 @@
+//! Cold- vs warm-start slot-loop solver baseline.
+//!
+//! Replays a recurring batch shape through consecutive slots on figure-like
+//! presets, solving each slot's Postcard LP twice — cold and warm-started
+//! from the previous slot's optimal basis — against the *same* ledger (the
+//! cold plan is the one committed, so both paths see the identical LP
+//! sequence and their objectives are directly comparable). The output
+//! (`BENCH_solver.json`) records total pivots and wall-time percentiles per
+//! preset; pivot counts are deterministic, so CI can gate on them while
+//! ignoring machine-dependent timings.
+
+use postcard_core::{solve_postcard_warm_with, solve_postcard_with, PostcardConfig};
+use postcard_lp::Basis;
+use postcard_net::{DcId, FileId, Network, TrafficLedger, TransferRequest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One benchmark preset: a network shape plus a recurring per-slot batch
+/// pattern, sized after the paper's figure scenarios.
+#[derive(Debug, Clone)]
+pub struct PresetSpec {
+    /// Preset name (stable across runs; used as the JSON key).
+    pub name: &'static str,
+    /// Number of datacenters in the complete network.
+    pub num_dcs: usize,
+    /// Files released every slot.
+    pub files_per_slot: usize,
+    /// Largest per-file deadline (slots); the pattern cycles 1..=this.
+    pub max_deadline: usize,
+    /// Number of consecutive slots to replay.
+    pub num_slots: u64,
+    /// Per-link capacity (ample, so the LP shape recurs slot over slot).
+    pub capacity: f64,
+    /// Seed for the network prices and the batch pattern.
+    pub seed: u64,
+}
+
+/// The presets, scaled after fig. 4–7 of the paper (`--quick` halves the
+/// slot count and trims the largest preset).
+pub fn presets(quick: bool) -> Vec<PresetSpec> {
+    let slots = if quick { 6 } else { 12 };
+    let mut out = vec![
+        PresetSpec {
+            name: "fig4_deadline_sweep",
+            num_dcs: 5,
+            files_per_slot: 5,
+            max_deadline: 3,
+            num_slots: slots,
+            capacity: 500.0,
+            seed: 4,
+        },
+        PresetSpec {
+            name: "fig5_file_count",
+            num_dcs: 5,
+            files_per_slot: 8,
+            max_deadline: 2,
+            num_slots: slots,
+            capacity: 500.0,
+            seed: 5,
+        },
+        PresetSpec {
+            name: "fig6_file_size",
+            num_dcs: 4,
+            files_per_slot: 6,
+            max_deadline: 3,
+            num_slots: slots,
+            capacity: 800.0,
+            seed: 6,
+        },
+    ];
+    if !quick {
+        out.push(PresetSpec {
+            name: "fig7_network_size",
+            num_dcs: 8,
+            files_per_slot: 6,
+            max_deadline: 3,
+            num_slots: slots,
+            capacity: 800.0,
+            seed: 7,
+        });
+    }
+    out
+}
+
+/// Pivot count and wall-time summary of one solve path over a slot loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathSummary {
+    /// Total simplex pivots across all slots (deterministic).
+    pub total_pivots: u64,
+    /// Mean per-solve wall time in milliseconds (machine-dependent).
+    pub mean_ms: f64,
+    /// Median per-solve wall time in milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile per-solve wall time in milliseconds.
+    pub p95_ms: f64,
+}
+
+/// Result of one preset's slot loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PresetResult {
+    /// Preset name.
+    pub name: String,
+    /// Slots replayed.
+    pub num_slots: u64,
+    /// The cold path (phase-1 start every slot).
+    pub cold: PathSummary,
+    /// The warm path (previous slot's basis threaded forward).
+    pub warm: PathSummary,
+    /// Largest `|warm − cold|` objective difference over all slots — the
+    /// equivalence gate (must stay below 1e-6).
+    pub max_objective_diff: f64,
+}
+
+/// The whole benchmark report (`BENCH_solver.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// One entry per preset.
+    pub presets: Vec<PresetResult>,
+}
+
+fn summarize(total_pivots: u64, times_ms: &mut [f64]) -> PathSummary {
+    times_ms.sort_by(f64::total_cmp);
+    let n = times_ms.len();
+    let mean = if n == 0 { 0.0 } else { times_ms.iter().sum::<f64>() / n as f64 };
+    let pick = |q: f64| {
+        if n == 0 {
+            0.0
+        } else {
+            times_ms[(((n as f64) * q) as usize).min(n - 1)]
+        }
+    };
+    PathSummary { total_pivots, mean_ms: mean, p50_ms: pick(0.50), p95_ms: pick(0.95) }
+}
+
+/// Runs one preset's slot loop and summarizes both paths.
+///
+/// # Panics
+///
+/// Panics if a slot's LP fails to solve — the presets are sized with ample
+/// capacity precisely so every batch is feasible.
+pub fn run_preset(spec: &PresetSpec) -> PresetResult {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let prices: Vec<f64> =
+        (0..spec.num_dcs * spec.num_dcs).map(|_| rng.gen_range(1.0..=10.0)).collect();
+    let mut i = 0;
+    let network = Network::complete_with_prices(spec.num_dcs, spec.capacity, |_, _| {
+        i += 1;
+        prices[i - 1]
+    });
+    // The recurring (src, dst, deadline, base size) pattern: the same shape
+    // every slot so consecutive LPs share dimensions; only sizes vary.
+    let pattern: Vec<(usize, usize, usize, f64)> = (0..spec.files_per_slot)
+        .map(|k| {
+            let src = rng.gen_range(0..spec.num_dcs);
+            let mut dst = rng.gen_range(0..spec.num_dcs);
+            while dst == src {
+                dst = rng.gen_range(0..spec.num_dcs);
+            }
+            (src, dst, 1 + k % spec.max_deadline, rng.gen_range(5.0..=20.0))
+        })
+        .collect();
+
+    let config = PostcardConfig::default();
+    let mut ledger = TrafficLedger::new(spec.num_dcs);
+    let mut warm_basis: Option<Basis> = None;
+    let (mut cold_pivots, mut warm_pivots) = (0u64, 0u64);
+    let (mut cold_ms, mut warm_ms) = (Vec::new(), Vec::new());
+    let mut max_objective_diff = 0.0f64;
+
+    for slot in 0..spec.num_slots {
+        let files: Vec<TransferRequest> = pattern
+            .iter()
+            .enumerate()
+            .map(|(k, &(src, dst, deadline, base))| {
+                // Mild slot-over-slot drift: recurring traffic whose volumes
+                // wobble a few percent, the regime warm starts target. Large
+                // swings would push the inherited basis primal-infeasible
+                // and degrade every solve to cold.
+                let size = base * (1.0 + 0.02 * ((slot as usize + k) % 4) as f64);
+                TransferRequest::new(
+                    FileId(slot * 1000 + k as u64),
+                    DcId(src),
+                    DcId(dst),
+                    size,
+                    deadline,
+                    slot,
+                )
+            })
+            .collect();
+
+        let t0 = Instant::now();
+        let cold = solve_postcard_with(&network, &files, &ledger, &config)
+            .unwrap_or_else(|e| panic!("{}: cold solve failed at slot {slot}: {e}", spec.name));
+        cold_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        cold_pivots += cold.lp_iterations as u64;
+
+        let t0 = Instant::now();
+        let warm =
+            solve_postcard_warm_with(&network, &files, &ledger, &config, warm_basis.as_ref())
+                .unwrap_or_else(|e| panic!("{}: warm solve failed at slot {slot}: {e}", spec.name));
+        warm_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        warm_pivots += warm.lp_iterations as u64;
+
+        max_objective_diff =
+            max_objective_diff.max((warm.cost_per_slot - cold.cost_per_slot).abs());
+        warm_basis = warm.basis;
+        // Commit the COLD plan: both paths see the identical ledger (and
+        // therefore the identical LP) at every slot.
+        cold.plan.apply_to_ledger(&mut ledger);
+    }
+
+    PresetResult {
+        name: spec.name.to_string(),
+        num_slots: spec.num_slots,
+        cold: summarize(cold_pivots, &mut cold_ms),
+        warm: summarize(warm_pivots, &mut warm_ms),
+        max_objective_diff,
+    }
+}
+
+/// Runs every preset.
+pub fn run_all(quick: bool) -> BenchReport {
+    BenchReport { presets: presets(quick).iter().map(run_preset).collect() }
+}
+
+/// Checks a fresh report against the committed baseline: cold pivots must
+/// not regress more than 20 % on any preset the baseline knows, warm must
+/// keep its ≥2x aggregate pivot advantage, and warm/cold objectives must
+/// agree to 1e-6 on every preset. Returns the failures (empty = pass).
+pub fn check(current: &BenchReport, baseline: &BenchReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    for cur in &current.presets {
+        if cur.max_objective_diff > 1e-6 {
+            failures.push(format!(
+                "{}: warm/cold objective diff {} exceeds 1e-6",
+                cur.name, cur.max_objective_diff
+            ));
+        }
+        if let Some(base) = baseline.presets.iter().find(|p| p.name == cur.name) {
+            let limit = (base.cold.total_pivots as f64 * 1.2).ceil() as u64;
+            if cur.cold.total_pivots > limit {
+                failures.push(format!(
+                    "{}: cold pivots regressed {} -> {} (>20% over baseline)",
+                    cur.name, base.cold.total_pivots, cur.cold.total_pivots
+                ));
+            }
+        } else {
+            failures.push(format!("{}: preset missing from baseline", cur.name));
+        }
+    }
+    let cold_total: u64 = current.presets.iter().map(|p| p.cold.total_pivots).sum();
+    let warm_total: u64 = current.presets.iter().map(|p| p.warm.total_pivots).sum();
+    if warm_total * 2 > cold_total {
+        failures.push(format!("warm pivots {warm_total} not at least 2x below cold {cold_total}"));
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> PresetSpec {
+        PresetSpec {
+            name: "tiny",
+            num_dcs: 4,
+            files_per_slot: 4,
+            max_deadline: 2,
+            num_slots: 6,
+            capacity: 500.0,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn preset_run_is_deterministic_in_pivots() {
+        let a = run_preset(&tiny());
+        let b = run_preset(&tiny());
+        assert_eq!(a.cold.total_pivots, b.cold.total_pivots);
+        assert_eq!(a.warm.total_pivots, b.warm.total_pivots);
+        assert_eq!(a.max_objective_diff, b.max_objective_diff);
+    }
+
+    #[test]
+    fn warm_path_matches_cold_objectives_and_pivots_less() {
+        let r = run_preset(&tiny());
+        assert!(r.max_objective_diff < 1e-6, "diff {}", r.max_objective_diff);
+        assert!(
+            r.warm.total_pivots < r.cold.total_pivots,
+            "warm {} >= cold {}",
+            r.warm.total_pivots,
+            r.cold.total_pivots
+        );
+    }
+
+    #[test]
+    fn check_catches_pivot_regressions() {
+        let good = run_preset(&tiny());
+        let report = BenchReport { presets: vec![good.clone()] };
+        assert!(check(&report, &report).is_empty(), "{:?}", check(&report, &report));
+        let mut regressed = report.clone();
+        regressed.presets[0].cold.total_pivots = good.cold.total_pivots * 2;
+        let failures = check(&regressed, &report);
+        assert!(failures.iter().any(|f| f.contains("regressed")), "{failures:?}");
+        let unknown =
+            BenchReport { presets: vec![PresetResult { name: "other".into(), ..good.clone() }] };
+        assert!(!check(&unknown, &report).is_empty());
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = BenchReport { presets: vec![run_preset(&tiny())] };
+        let json = serde::json::to_string_pretty(&report);
+        let back: BenchReport = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -61,6 +61,7 @@ commands:
   serve         --network PATH --trace PATH [--slots N]
                 [--checkpoint PATH] [--every N] [--budget-ms MS]
                 [--tiers a,b,c] [--queue N] [--wall-clock] [--strict]
+                [--warm-start]
                 [--degrade slot:from:to:cap[,..]] [--force-timeout slot[:tier][,..]]
                 [--stop-after-slot K] [--metrics-out PATH]
   resume        --checkpoint PATH [--stop-after-slot K] [--metrics-out PATH]
@@ -78,6 +79,9 @@ the tier fallback chain, checkpoints are written every --every slots, and
 `resume`). --metrics-out ending in .csv exports CSV, anything else JSON.
 With --strict every slot's LP is structurally checked before solving and
 batches with error-level findings are dropped (metric: analysis_rejections).
+With --warm-start the LP tiers carry the optimal simplex basis between slots
+(metrics: warm_start_hits / warm_start_misses); results are unchanged, solves
+are cheaper.
 
 `analyze` runs postcard-analyze (codes in crates/analyze/LINTS.md):
 `src` lints the workspace sources (--deny exits nonzero on findings);
@@ -364,7 +368,7 @@ fn drive_service(
 }
 
 fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    let args = Args::parse(argv, &["wall-clock", "strict"])?;
+    let args = Args::parse(argv, &["wall-clock", "strict", "warm-start"])?;
     let network_path: String = args.require("network")?;
     let trace_path: String = args.require("trace")?;
     let slots: u64 = args.get_or("slots", 0)?;
@@ -378,6 +382,7 @@ fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let queue_capacity: usize = args.get_or("queue", 1024)?;
     let wall_clock = args.switch("wall-clock");
     let strict_analysis = args.switch("strict");
+    let warm_start = args.switch("warm-start");
     let faults = parse_faults(args.get("degrade"), args.get("force-timeout"))?;
     let stop_after_slot: Option<u64> = args
         .get("stop-after-slot")
@@ -399,6 +404,7 @@ fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         queue_capacity,
         clock: if wall_clock { ClockKind::Wall } else { ClockKind::Sim },
         strict_analysis,
+        warm_start,
     };
     let rt = Runtime::new(network, arrivals, faults, slots, config)
         .map_err(|e| CliError::Usage(e.to_string()))?;
@@ -776,6 +782,29 @@ mod tests {
         assert!(out.contains("finished"), "{out}");
         let metrics = std::fs::read_to_string(&metrics_path).unwrap();
         assert!(!metrics.contains("analysis_rejections"), "no rejections: {metrics}");
+    }
+
+    #[test]
+    fn serve_warm_start_counts_hits() {
+        let net_path = tmp("warm_net.csv");
+        let trace_path = tmp("warm_trace.csv");
+        let metrics_path = tmp("warm_metrics.csv");
+        run_cli(&["gen-network", "--dcs", "4", "--capacity", "500", "--out", &net_path]).unwrap();
+        run_cli(&["gen-trace", "--dcs", "4", "--slots", "4", "--out", &trace_path]).unwrap();
+        let out = run_cli(&[
+            "serve",
+            "--network",
+            &net_path,
+            "--trace",
+            &trace_path,
+            "--warm-start",
+            "--metrics-out",
+            &metrics_path,
+        ])
+        .unwrap();
+        assert!(out.contains("finished"), "{out}");
+        let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(metrics.contains("warm_start_"), "warm metrics missing: {metrics}");
     }
 
     #[test]

@@ -56,8 +56,8 @@ mod scheduler;
 
 pub use error::PostcardError;
 pub use formulation::{
-    build_postcard_problem, solve_postcard, solve_postcard_with, PostcardConfig, PostcardProblem,
-    PostcardSolution,
+    build_postcard_problem, solve_postcard, solve_postcard_warm_with, solve_postcard_with,
+    PostcardConfig, PostcardProblem, PostcardSolution,
 };
 pub use online::{ControllerState, OnlineController, StepReport};
 pub use scheduler::{

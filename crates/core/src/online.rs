@@ -332,7 +332,7 @@ mod tests {
 
     #[test]
     fn flow_controller_commits_rates() {
-        let mut ctl = OnlineController::new(net(), FlowLpScheduler);
+        let mut ctl = OnlineController::new(net(), FlowLpScheduler::new());
         let f = TransferRequest::new(FileId(1), d(1), d(2), 6.0, 3, 0);
         let r = ctl.step(0, &[f]).unwrap();
         assert_eq!(r.accepted.len(), 1);

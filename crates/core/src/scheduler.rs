@@ -3,10 +3,11 @@
 //! naive direct-path sender.
 
 use crate::error::PostcardError;
-use crate::formulation::{solve_postcard_with, PostcardConfig};
+use crate::formulation::{solve_postcard_warm_with, PostcardConfig};
 use postcard_flow::{
-    greedy_cheapest_path, two_phase_baseline, unified_flow_lp, BaselineError, FlowAssignment,
+    greedy_cheapest_path, two_phase_baseline, unified_flow_lp_warm, BaselineError, FlowAssignment,
 };
+use postcard_lp::Basis;
 use postcard_net::{Network, TrafficLedger, TransferPlan, TransferRequest};
 
 /// What a scheduler decided for a batch.
@@ -29,6 +30,10 @@ pub struct SolveStats {
     /// Simplex pivots performed by the underlying LP solve (0 for
     /// combinatorial schedulers).
     pub lp_iterations: usize,
+    /// Whether the solve was handed a previous basis to warm-start from.
+    /// `false` for cold solves, non-LP schedulers, and the first solve of a
+    /// warm-starting scheduler.
+    pub warm_started: bool,
 }
 
 /// A routing/scheduling policy for one batch of simultaneously released
@@ -88,9 +93,13 @@ fn map_baseline(e: BaselineError) -> PostcardError {
 /// time-expanded graph.
 #[derive(Debug, Clone, Default)]
 pub struct PostcardScheduler {
-    /// Formulation options (relay-storage ablation, simplex tuning).
+    /// Formulation options (relay-storage ablation, simplex tuning, warm
+    /// starts).
     pub config: PostcardConfig,
     last_stats: SolveStats,
+    /// The optimal basis of the previous solve, carried across slots when
+    /// `config.warm_start` is set.
+    last_basis: Option<Basis>,
 }
 
 impl PostcardScheduler {
@@ -101,7 +110,7 @@ impl PostcardScheduler {
 
     /// Creates a scheduler with an explicit configuration.
     pub fn with_config(config: PostcardConfig) -> Self {
-        Self { config, last_stats: SolveStats::default() }
+        Self { config, last_stats: SolveStats::default(), last_basis: None }
     }
 }
 
@@ -120,8 +129,17 @@ impl Scheduler for PostcardScheduler {
         files: &[TransferRequest],
         ledger: &TrafficLedger,
     ) -> Result<Decision, PostcardError> {
-        let sol = solve_postcard_with(network, files, ledger, &self.config)?;
-        self.last_stats = SolveStats { lp_iterations: sol.lp_iterations };
+        let warm = if self.config.warm_start { self.last_basis.as_ref() } else { None };
+        let warm_started = warm.is_some();
+        let sol = solve_postcard_warm_with(network, files, ledger, &self.config, warm)?;
+        self.last_stats = SolveStats { lp_iterations: sol.lp_iterations, warm_started };
+        if self.config.warm_start {
+            // Keep the previous basis when a trivial (empty-batch) solve
+            // exported none — the next real solve can still use it.
+            if sol.basis.is_some() {
+                self.last_basis = sol.basis;
+            }
+        }
         Ok(Decision::Plan(sol.plan))
     }
 
@@ -132,8 +150,27 @@ impl Scheduler for PostcardScheduler {
 
 /// The strongest storage-free baseline: one LP in the exact percentile cost
 /// model (Sec. II-B's model, optimally solved).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct FlowLpScheduler;
+#[derive(Debug, Clone, Default)]
+pub struct FlowLpScheduler {
+    /// When `true`, the optimal basis is carried between slots as a simplex
+    /// warm start (results are unaffected — stale bases degrade to cold).
+    pub warm_start: bool,
+    last_stats: SolveStats,
+    last_basis: Option<Basis>,
+}
+
+impl FlowLpScheduler {
+    /// Creates a cold-solving scheduler (the default).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a scheduler that warm-starts each solve from the previous
+    /// slot's optimal basis.
+    pub fn warm_starting() -> Self {
+        Self { warm_start: true, ..Self::default() }
+    }
+}
 
 impl Scheduler for FlowLpScheduler {
     fn name(&self) -> &'static str {
@@ -146,7 +183,18 @@ impl Scheduler for FlowLpScheduler {
         files: &[TransferRequest],
         ledger: &TrafficLedger,
     ) -> Result<Decision, PostcardError> {
-        unified_flow_lp(network, files, ledger).map(Decision::Rates).map_err(map_baseline)
+        let warm = if self.warm_start { self.last_basis.as_ref() } else { None };
+        let warm_started = warm.is_some();
+        let out = unified_flow_lp_warm(network, files, ledger, warm).map_err(map_baseline)?;
+        self.last_stats = SolveStats { lp_iterations: out.lp_iterations, warm_started };
+        if self.warm_start && out.basis.is_some() {
+            self.last_basis = out.basis;
+        }
+        Ok(Decision::Rates(out.assignment))
+    }
+
+    fn last_stats(&self) -> SolveStats {
+        self.last_stats
     }
 }
 
@@ -269,7 +317,7 @@ mod tests {
         let files = [file()];
         let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
             Box::new(PostcardScheduler::new()),
-            Box::new(FlowLpScheduler),
+            Box::new(FlowLpScheduler::new()),
             Box::new(TwoPhaseScheduler),
             Box::new(GreedyScheduler),
             Box::new(DirectScheduler),
@@ -341,7 +389,7 @@ mod tests {
     fn scheduler_names_are_distinct() {
         let names = [
             PostcardScheduler::new().name(),
-            FlowLpScheduler.name(),
+            FlowLpScheduler::new().name(),
             TwoPhaseScheduler.name(),
             GreedyScheduler.name(),
             DirectScheduler.name(),

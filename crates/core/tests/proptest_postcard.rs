@@ -5,7 +5,9 @@
 //! independent checker, and cost claims are verified against recomputed
 //! ledgers and dominance relations.
 
-use postcard_core::{solve_postcard, solve_postcard_with, PostcardConfig, PostcardError};
+use postcard_core::{
+    solve_postcard, solve_postcard_warm_with, solve_postcard_with, PostcardConfig, PostcardError,
+};
 use postcard_net::{DcId, FileId, Network, TrafficLedger, TransferRequest};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -108,6 +110,41 @@ proptest! {
             .expect("direct trickle remains feasible")
             .cost_per_slot;
         prop_assert!(full <= ablated + 1e-6, "full {full} > ablated {ablated}");
+    }
+
+    /// Warm-starting from the basis of a *perturbed* sibling problem (same
+    /// shape, resized files, shifted release slot) must reproduce the cold
+    /// objective exactly: the warm path may only change how many pivots the
+    /// solver spends, never where it lands.
+    #[test]
+    fn warm_start_from_perturbed_basis_matches_cold_objective(
+        seed in 0u64..5000,
+        nf in 1usize..5,
+        scale in 0.7f64..1.4,
+    ) {
+        let (network, files) = instance(seed, 4, nf);
+        let ledger = TrafficLedger::new(4);
+        let cfg = PostcardConfig::default();
+        let donor = solve_postcard_with(&network, &files, &ledger, &cfg)
+            .expect("generous capacity");
+        let shifted: Vec<TransferRequest> = files
+            .iter()
+            .map(|f| TransferRequest::new(
+                f.id, f.src, f.dst, f.size_gb * scale, f.deadline_slots, f.release_slot + 1,
+            ))
+            .collect();
+        let cold = solve_postcard_with(&network, &shifted, &ledger, &cfg).expect("feasible");
+        let warm =
+            solve_postcard_warm_with(&network, &shifted, &ledger, &cfg, donor.basis.as_ref())
+                .expect("feasible");
+        prop_assert!(
+            (warm.cost_per_slot - cold.cost_per_slot).abs() < 1e-6 * (1.0 + cold.cost_per_slot),
+            "warm {} vs cold {}",
+            warm.cost_per_slot,
+            cold.cost_per_slot
+        );
+        let violations = warm.plan.validate(&network, &shifted, |_, _, _| 0.0);
+        prop_assert!(violations.is_empty(), "{violations:?}");
     }
 
     /// Uniform price scaling scales the optimum and preserves the plan's

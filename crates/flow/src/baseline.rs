@@ -13,7 +13,7 @@
 
 use crate::assignment::FlowAssignment;
 use crate::lp_flows::{max_concurrent_flow, min_cost_multicommodity, Commodity};
-use postcard_lp::{LinExpr, LpError, Model, Sense, Status};
+use postcard_lp::{Basis, LinExpr, LpError, Model, Sense, Status};
 use postcard_net::{DcId, FileId, Network, TrafficLedger, TransferRequest};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -176,8 +176,42 @@ pub fn unified_flow_lp(
     files: &[TransferRequest],
     ledger: &TrafficLedger,
 ) -> Result<FlowAssignment, BaselineError> {
+    unified_flow_lp_warm(network, files, ledger, None).map(|o| o.assignment)
+}
+
+/// Outcome of [`unified_flow_lp_warm`]: the assignment plus solver effort and
+/// the optimal basis for warm-starting the next same-shaped solve.
+#[derive(Debug, Clone)]
+pub struct UnifiedFlowOutcome {
+    /// The optimal rate assignment.
+    pub assignment: FlowAssignment,
+    /// Simplex pivots used (0 for an empty batch).
+    pub lp_iterations: usize,
+    /// The optimal basis, exportable into the next solve's `warm` argument
+    /// (`None` for an empty batch).
+    pub basis: Option<Basis>,
+}
+
+/// [`unified_flow_lp`], warm-started from a previously exported [`Basis`].
+///
+/// A mismatched or stale basis silently degrades to a cold solve; the result
+/// is identical either way.
+///
+/// # Errors
+///
+/// Same contract as [`unified_flow_lp`].
+pub fn unified_flow_lp_warm(
+    network: &Network,
+    files: &[TransferRequest],
+    ledger: &TrafficLedger,
+    warm: Option<&Basis>,
+) -> Result<UnifiedFlowOutcome, BaselineError> {
     if files.is_empty() {
-        return Ok(FlowAssignment::new());
+        return Ok(UnifiedFlowOutcome {
+            assignment: FlowAssignment::new(),
+            lp_iterations: 0,
+            basis: None,
+        });
     }
     let lo = files.iter().map(|f| f.first_slot()).min().unwrap_or(0);
     let hi = files.iter().map(|f| f.last_slot()).max().unwrap_or(lo);
@@ -256,7 +290,7 @@ pub fn unified_flow_lp(
         }
     }
 
-    let sol = m.solve()?;
+    let sol = m.solve_warm(&postcard_lp::SimplexOptions::default(), warm)?;
     match sol.status() {
         Status::Optimal => {
             let mut a = FlowAssignment::new();
@@ -266,7 +300,11 @@ pub fn unified_flow_lp(
                     a.add_rate(files[k].id, DcId(i), DcId(j), r);
                 }
             }
-            Ok(a)
+            Ok(UnifiedFlowOutcome {
+                assignment: a,
+                lp_iterations: sol.iterations(),
+                basis: sol.basis().cloned(),
+            })
         }
         Status::Infeasible => Err(BaselineError::Infeasible),
         Status::Unbounded => unreachable!("objective bounded below by prior peaks"),
@@ -375,6 +413,30 @@ mod tests {
         let ledger = TrafficLedger::new(3);
         assert!(two_phase_baseline(&net, &[], &ledger).unwrap().assignment.is_empty());
         assert!(unified_flow_lp(&net, &[], &ledger).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unified_warm_restart_matches_cold() {
+        let net = triangle(5.0);
+        let ledger = TrafficLedger::new(6);
+        let f0 = file(4.0, 2);
+        let first = unified_flow_lp_warm(&net, &[f0], &ledger, None).unwrap();
+        assert!(first.basis.is_some());
+        // Commit and solve a same-shaped follow-up batch, warm and cold.
+        let mut ledger2 = ledger.clone();
+        first.assignment.apply_to_ledger(&[f0], &mut ledger2);
+        let f1 = TransferRequest::new(FileId(2), d(0), d(2), 4.0, 2, 2);
+        let cold = unified_flow_lp_warm(&net, &[f1], &ledger2, None).unwrap();
+        let warm = unified_flow_lp_warm(&net, &[f1], &ledger2, first.basis.as_ref()).unwrap();
+        // Alternate optima may differ in the vertex, never in the bill.
+        let bill = |a: &FlowAssignment| {
+            let mut l = ledger2.clone();
+            a.apply_to_ledger(&[f1], &mut l);
+            l.cost_per_slot(&net)
+        };
+        assert!((bill(&warm.assignment) - bill(&cold.assignment)).abs() < 1e-6);
+        assert!(warm.assignment.is_valid(&net, &[f1], |i, j, s| ledger2.volume(i, j, s)));
+        assert!(warm.lp_iterations <= cold.lp_iterations);
     }
 
     #[test]

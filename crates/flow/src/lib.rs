@@ -57,7 +57,10 @@ mod maxflow;
 mod mincost;
 
 pub use assignment::{FlowAssignment, FlowViolation};
-pub use baseline::{two_phase_baseline, unified_flow_lp, BaselineError, FlowBaselineOutcome};
+pub use baseline::{
+    two_phase_baseline, unified_flow_lp, unified_flow_lp_warm, BaselineError, FlowBaselineOutcome,
+    UnifiedFlowOutcome,
+};
 pub use decompose::{decompose_flow, Decomposition, PathShare};
 pub use graph::{EdgeId, FlowNetwork, NodeId};
 pub use greedy::{greedy_cheapest_path, GreedyOutcome};

@@ -1,9 +1,9 @@
 //! Dense matrices and LU factorization with partial pivoting.
 //!
-//! The simplex solver keeps its basis inverse as a dense matrix (basis sizes
-//! in this project are in the hundreds-to-low-thousands), refactorizing from
-//! scratch with the LU routines in this module whenever update error
-//! accumulates.
+//! The simplex solver itself works with the sparse factorization in
+//! [`crate::factor`]; the dense routines here remain the reference
+//! implementation the sparse path is tested against, and are exported for
+//! standalone dense linear-system work.
 
 use crate::LpError;
 
@@ -277,22 +277,6 @@ impl LuFactors {
         }
         det
     }
-
-    /// Computes the explicit inverse by solving against identity columns.
-    pub fn inverse(&self) -> DenseMatrix {
-        let n = self.dim();
-        let mut inv = DenseMatrix::zeros(n, n);
-        let mut e = vec![0.0; n];
-        for c in 0..n {
-            e[c] = 1.0;
-            let col = self.solve(&e);
-            e[c] = 0.0;
-            for (r, v) in col.into_iter().enumerate() {
-                inv.set(r, c, v);
-            }
-        }
-        inv
-    }
 }
 
 #[cfg(test)]
@@ -354,22 +338,6 @@ mod tests {
         let x = lu.solve(&[7.0, 9.0]);
         assert!(approx(x[0], 9.0) && approx(x[1], 7.0));
         assert!(approx(lu.determinant(), -1.0));
-    }
-
-    #[test]
-    fn inverse_round_trips() {
-        let a = DenseMatrix::from_rows(3, 3, &[3.0, 1.0, 2.0, 1.0, 4.0, 0.0, 2.0, 0.0, 5.0]);
-        let lu = LuFactors::factorize(&a, 1e-12).unwrap();
-        let inv = lu.inverse();
-        // A · A⁻¹ should be identity.
-        for c in 0..3 {
-            let col: Vec<f64> = (0..3).map(|r| inv.get(r, c)).collect();
-            let prod = a.mat_vec(&col);
-            for (r, &p) in prod.iter().enumerate() {
-                let expect = if r == c { 1.0 } else { 0.0 };
-                assert!(approx(p, expect), "({r},{c}) = {p}");
-            }
-        }
     }
 
     #[test]

@@ -1,0 +1,419 @@
+//! Sparse LU factorization of simplex basis matrices.
+//!
+//! The revised simplex solver represents its basis `B` as a product-form
+//! factorization computed here, plus a short eta file (see [`crate::eta`])
+//! of post-factorization pivots. Bases arising from time-expanded flow
+//! models are extremely sparse and near-triangular — each structural
+//! column touches two conservation rows and a capacity row — so a
+//! column-singleton peel orders most of the basis without any fill-in,
+//! and the remaining columns are eliminated left-looking with partial
+//! pivoting.
+//!
+//! Storage is Gaussian product form: step `k` eliminates basis column
+//! `col_order[k]` on pivot row `pivot_row[k]`, recording the off-pivot
+//! multipliers in `lcols[k]` (the sparse column of the elementary
+//! transform `M_k`, unit diagonal implicit) and the transformed column's
+//! upper-triangular entries in `ucols[k]`/`udiag[k]`. `ftran`/`btran`
+//! replay these transforms in O(nnz(L) + nnz(U)).
+
+use crate::error::LpError;
+
+/// Sparse LU factorization of a square basis matrix in product form.
+#[derive(Debug, Clone)]
+pub(crate) struct BasisFactor {
+    /// Dimension of the factorized basis.
+    m: usize,
+    /// `col_order[k]` is the basis position eliminated at step `k`.
+    col_order: Vec<usize>,
+    /// `pivot_row[k]` is the pivot row chosen at step `k`.
+    pivot_row: Vec<usize>,
+    /// Off-pivot elimination multipliers of step `k`: `(row, l)` pairs.
+    lcols: Vec<Vec<(usize, f64)>>,
+    /// Upper entries of the transformed column at step `k`: `(step, u)`
+    /// pairs where `step < k` indexes an earlier pivot.
+    ucols: Vec<Vec<(usize, f64)>>,
+    /// Pivot value of step `k`.
+    udiag: Vec<f64>,
+}
+
+impl BasisFactor {
+    /// Factorization of the `m × m` identity (the all-slack/artificial
+    /// start basis). Every ftran/btran through it is a no-op copy.
+    pub(crate) fn identity(m: usize) -> Self {
+        Self {
+            m,
+            col_order: (0..m).collect(),
+            pivot_row: (0..m).collect(),
+            lcols: vec![Vec::new(); m],
+            ucols: vec![Vec::new(); m],
+            udiag: vec![1.0; m],
+        }
+    }
+
+    /// Dimension of the factorized basis.
+    #[cfg(test)]
+    pub(crate) fn dim(&self) -> usize {
+        self.m
+    }
+
+    /// Total stored nonzeros across the L and U factors (fill metric).
+    #[cfg(test)]
+    pub(crate) fn fill(&self) -> usize {
+        let l: usize = self.lcols.iter().map(Vec::len).sum();
+        let u: usize = self.ucols.iter().map(Vec::len).sum();
+        l + u + self.m
+    }
+
+    /// Factorizes the basis whose `k`-th column has the sparse entries
+    /// `cols[k]` (row, value). Returns [`LpError::SingularBasis`] when no
+    /// pivot larger than `pivot_tol` in magnitude can be found for some
+    /// column.
+    pub(crate) fn factorize(cols: &[Vec<(usize, f64)>], pivot_tol: f64) -> Result<Self, LpError> {
+        let m = cols.len();
+
+        // Column-singleton peel: repeatedly pick a column with exactly one
+        // entry in a still-active row and pivot on it. Time-expanded bases
+        // are near-triangular, so this usually orders most of the basis
+        // with zero fill-in; leftovers fall through to the general
+        // left-looking phase in their natural order.
+        let mut order: Vec<usize> = Vec::with_capacity(m);
+        {
+            let mut row_active = vec![true; m];
+            let mut assigned = vec![false; m];
+            let mut active_count: Vec<usize> = cols.iter().map(Vec::len).collect();
+            let mut row_cols: Vec<Vec<usize>> = vec![Vec::new(); m];
+            for (j, col) in cols.iter().enumerate() {
+                for &(r, _) in col {
+                    if r >= m {
+                        return Err(LpError::SingularBasis);
+                    }
+                    row_cols[r].push(j);
+                }
+            }
+            let mut queue: Vec<usize> = (0..m).filter(|&j| active_count[j] == 1).collect();
+            while let Some(j) = queue.pop() {
+                if assigned[j] || active_count[j] != 1 {
+                    continue;
+                }
+                let Some(&(r, v)) = cols[j].iter().find(|&&(r, _)| row_active[r]) else {
+                    continue;
+                };
+                if v.abs() <= pivot_tol {
+                    // Too small to pivot on structurally; leave this column
+                    // to the general phase (which may still reject it).
+                    continue;
+                }
+                assigned[j] = true;
+                order.push(j);
+                row_active[r] = false;
+                for &j2 in &row_cols[r] {
+                    if !assigned[j2] && active_count[j2] > 0 {
+                        active_count[j2] -= 1;
+                        if active_count[j2] == 1 {
+                            queue.push(j2);
+                        }
+                    }
+                }
+            }
+            for (j, &done) in assigned.iter().enumerate() {
+                if !done {
+                    order.push(j);
+                }
+            }
+        }
+
+        // Left-looking elimination over the chosen column order, with a
+        // dense scatter work array and partial pivoting among rows not yet
+        // used as pivots.
+        let mut col_order = Vec::with_capacity(m);
+        let mut pivot_row = Vec::with_capacity(m);
+        let mut lcols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+        let mut ucols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+        let mut udiag = Vec::with_capacity(m);
+        let mut is_pivot = vec![false; m];
+        let mut work = vec![0.0_f64; m];
+
+        for &j in &order {
+            for &(r, v) in &cols[j] {
+                work[r] += v;
+            }
+            // Apply the earlier elementary transforms in step order,
+            // recording the upper-triangular entries they expose.
+            let mut uents: Vec<(usize, f64)> = Vec::new();
+            for i in 0..col_order.len() {
+                let x = work[pivot_row[i]];
+                // postcard-analyze: allow(PA101) — exact-zero scatter skip.
+                if x != 0.0 {
+                    uents.push((i, x));
+                    for &(r, l) in &lcols[i] {
+                        work[r] -= l * x;
+                    }
+                }
+            }
+            // Partial pivoting among rows that are not yet pivots.
+            let mut best = usize::MAX;
+            let mut best_abs = pivot_tol;
+            for (r, &w) in work.iter().enumerate() {
+                if !is_pivot[r] && w.abs() > best_abs {
+                    best_abs = w.abs();
+                    best = r;
+                }
+            }
+            if best == usize::MAX {
+                // Clean the work array before bailing is unnecessary: the
+                // factorization is discarded on error.
+                return Err(LpError::SingularBasis);
+            }
+            let d = work[best];
+            let mut lent: Vec<(usize, f64)> = Vec::new();
+            for (r, &w) in work.iter().enumerate() {
+                // postcard-analyze: allow(PA101) — exact-zero multiplier skip.
+                if r != best && !is_pivot[r] && w != 0.0 {
+                    lent.push((r, w / d));
+                }
+            }
+            // Reset exactly the touched entries: earlier pivot rows came
+            // through `uents`, active rows through `lent`, plus the pivot.
+            for &(i, _) in &uents {
+                work[pivot_row[i]] = 0.0;
+            }
+            for &(r, _) in &lent {
+                work[r] = 0.0;
+            }
+            work[best] = 0.0;
+            is_pivot[best] = true;
+            col_order.push(j);
+            pivot_row.push(best);
+            udiag.push(d);
+            ucols.push(uents);
+            lcols.push(lent);
+        }
+
+        Ok(Self { m, col_order, pivot_row, lcols, ucols, udiag })
+    }
+
+    /// Solves `B·z = b` in place: `work` holds `b` on entry and `z` on
+    /// exit, where `z[k]` is the multiplier of the basis column at
+    /// position `k`.
+    pub(crate) fn ftran(&self, work: &mut [f64]) {
+        debug_assert_eq!(work.len(), self.m);
+        // Forward pass: apply the elementary transforms M_0 … M_{m-1}.
+        for k in 0..self.m {
+            let x = work[self.pivot_row[k]];
+            // postcard-analyze: allow(PA101) — exact-zero skip.
+            if x != 0.0 {
+                for &(r, l) in &self.lcols[k] {
+                    work[r] -= l * x;
+                }
+            }
+        }
+        // Column-oriented back substitution through U.
+        let mut s = vec![0.0_f64; self.m];
+        for k in (0..self.m).rev() {
+            let v = work[self.pivot_row[k]] / self.udiag[k];
+            s[k] = v;
+            // postcard-analyze: allow(PA101) — exact-zero skip.
+            if v != 0.0 {
+                for &(i, u) in &self.ucols[k] {
+                    work[self.pivot_row[i]] -= u * v;
+                }
+            }
+        }
+        for k in 0..self.m {
+            work[self.col_order[k]] = s[k];
+        }
+    }
+
+    /// Solves `Bᵀ·y = c` in place: `work` holds `c` on entry (indexed by
+    /// basis position) and `y` (indexed by row) on exit.
+    pub(crate) fn btran(&self, work: &mut [f64]) {
+        debug_assert_eq!(work.len(), self.m);
+        // Forward solve through Uᵀ in step order.
+        let mut s = vec![0.0_f64; self.m];
+        for k in 0..self.m {
+            let mut v = work[self.col_order[k]];
+            for &(i, u) in &self.ucols[k] {
+                v -= u * s[i];
+            }
+            s[k] = v / self.udiag[k];
+        }
+        for k in 0..self.m {
+            work[self.pivot_row[k]] = s[k];
+        }
+        // Apply the transposed elementary transforms in reverse order.
+        for k in (0..self.m).rev() {
+            let mut v = work[self.pivot_row[k]];
+            for &(r, l) in &self.lcols[k] {
+                v -= l * work[r];
+            }
+            work[self.pivot_row[k]] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::{DenseMatrix, LuFactors};
+
+    fn dense_from_cols(cols: &[Vec<(usize, f64)>]) -> DenseMatrix {
+        let m = cols.len();
+        let mut a = DenseMatrix::zeros(m, m);
+        for (j, col) in cols.iter().enumerate() {
+            for &(r, v) in col {
+                a.set(r, j, a.get(r, j) + v);
+            }
+        }
+        a
+    }
+
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((*state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    }
+
+    #[test]
+    fn identity_is_a_no_op() {
+        let f = BasisFactor::identity(5);
+        let mut v = vec![1.0, -2.0, 3.0, 0.0, 0.5];
+        let expect = v.clone();
+        f.ftran(&mut v);
+        assert_eq!(v, expect);
+        f.btran(&mut v);
+        assert_eq!(v, expect);
+        assert_eq!(f.dim(), 5);
+    }
+
+    #[test]
+    fn triangular_basis_factors_without_fill() {
+        // A lower-triangular basis: singleton peel should order it fully.
+        let cols =
+            vec![vec![(0, 2.0), (1, 1.0), (2, -1.0)], vec![(1, 3.0), (2, 0.5)], vec![(2, 4.0)]];
+        let f = BasisFactor::factorize(&cols, 1e-12).unwrap();
+        // No fill: stored nnz equals the input nnz.
+        assert_eq!(f.fill(), 6);
+        let mut b = vec![4.0, 5.0, 2.0];
+        f.ftran(&mut b);
+        let a = dense_from_cols(&cols);
+        let lu = LuFactors::factorize(&a, 1e-12).unwrap();
+        let expect = lu.solve(&[4.0, 5.0, 2.0]);
+        for (got, want) in b.iter().zip(&expect) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn ftran_matches_dense_solve_on_random_bases() {
+        let mut state = 0xDEAD_BEEF_u64;
+        for trial in 0..20 {
+            let m = 4 + trial % 13;
+            // Sparse columns with a guaranteed diagonal for nonsingularity.
+            let cols: Vec<Vec<(usize, f64)>> = (0..m)
+                .map(|j| {
+                    let mut col = vec![(j, 3.0 + lcg(&mut state))];
+                    for r in 0..m {
+                        if r != j && lcg(&mut state) > 0.55 {
+                            col.push((r, lcg(&mut state)));
+                        }
+                    }
+                    col
+                })
+                .collect();
+            let b: Vec<f64> = (0..m).map(|_| lcg(&mut state)).collect();
+            let f = BasisFactor::factorize(&cols, 1e-12).unwrap();
+            let mut z = b.clone();
+            f.ftran(&mut z);
+            let a = dense_from_cols(&cols);
+            let lu = LuFactors::factorize(&a, 1e-12).unwrap();
+            let expect = lu.solve(&b);
+            for (got, want) in z.iter().zip(&expect) {
+                assert!((got - want).abs() < 1e-8, "trial {trial}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn btran_matches_dense_transposed_solve() {
+        let mut state = 0xC0FF_EE11_u64;
+        for trial in 0..20 {
+            let m = 3 + trial % 11;
+            let cols: Vec<Vec<(usize, f64)>> = (0..m)
+                .map(|j| {
+                    let mut col = vec![(j, 2.5 + lcg(&mut state))];
+                    for r in 0..m {
+                        if r != j && lcg(&mut state) > 0.6 {
+                            col.push((r, lcg(&mut state)));
+                        }
+                    }
+                    col
+                })
+                .collect();
+            let c: Vec<f64> = (0..m).map(|_| lcg(&mut state)).collect();
+            let f = BasisFactor::factorize(&cols, 1e-12).unwrap();
+            let mut y = c.clone();
+            f.btran(&mut y);
+            let a = dense_from_cols(&cols);
+            let lu = LuFactors::factorize(&a, 1e-12).unwrap();
+            let expect = lu.solve_transposed(&c);
+            for (got, want) in y.iter().zip(&expect) {
+                assert!((got - want).abs() < 1e-8, "trial {trial}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn permuted_identity_needs_pivoting() {
+        // Columns of a cyclic permutation matrix: every diagonal is zero.
+        let cols = vec![vec![(1, 1.0)], vec![(2, 1.0)], vec![(0, 1.0)]];
+        let f = BasisFactor::factorize(&cols, 1e-12).unwrap();
+        let mut b = vec![7.0, 8.0, 9.0];
+        f.ftran(&mut b);
+        // B z = b with B e0 = e1, B e1 = e2, B e2 = e0 → z = (8, 9, 7).
+        assert_eq!(b, vec![8.0, 9.0, 7.0]);
+    }
+
+    #[test]
+    fn singular_basis_rejected() {
+        let cols = vec![vec![(0, 1.0), (1, 2.0)], vec![(0, 2.0), (1, 4.0)]];
+        assert_eq!(BasisFactor::factorize(&cols, 1e-10).unwrap_err(), LpError::SingularBasis);
+    }
+
+    #[test]
+    fn out_of_range_row_rejected() {
+        let cols = vec![vec![(5, 1.0)]];
+        assert_eq!(BasisFactor::factorize(&cols, 1e-10).unwrap_err(), LpError::SingularBasis);
+    }
+
+    #[test]
+    fn ftran_btran_round_trip() {
+        // btran(ftran-adjoint) consistency: yᵀ B z == cᵀ z' relationship is
+        // exercised indirectly by checking B·ftran(b) == b.
+        let mut state = 0x1357_9BDF_u64;
+        let m = 12;
+        let cols: Vec<Vec<(usize, f64)>> = (0..m)
+            .map(|j| {
+                let mut col = vec![(j, 4.0 + lcg(&mut state))];
+                for r in 0..m {
+                    if r != j && lcg(&mut state) > 0.7 {
+                        col.push((r, lcg(&mut state)));
+                    }
+                }
+                col
+            })
+            .collect();
+        let b: Vec<f64> = (0..m).map(|_| lcg(&mut state)).collect();
+        let f = BasisFactor::factorize(&cols, 1e-12).unwrap();
+        let mut z = b.clone();
+        f.ftran(&mut z);
+        // Recompute B·z column-wise and compare with b.
+        let mut bz = vec![0.0; m];
+        for (j, col) in cols.iter().enumerate() {
+            for &(r, v) in col {
+                bz[r] += v * z[j];
+            }
+        }
+        for (got, want) in bz.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+}

@@ -6,9 +6,11 @@
 //! * a small **modeling layer** ([`Model`], [`Variable`], [`LinExpr`]) for
 //!   building problems with named variables, bounds, and `≤ / = / ≥`
 //!   constraints;
-//! * a **two-phase revised simplex** solver ([`SimplexSolver`]) operating on a
-//!   sparse column representation with an explicitly maintained basis inverse
-//!   and periodic refactorization;
+//! * a **two-phase sparse revised simplex** solver ([`SimplexSolver`])
+//!   pricing directly against the CSC constraint matrix, with the basis held
+//!   as a sparse LU factorization plus product-form (eta-file) updates,
+//!   periodic refactorization, and warm starts from a previously exported
+//!   [`Basis`];
 //! * **solution objects** ([`Solution`]) carrying primal values, dual values,
 //!   reduced costs, and the termination [`Status`];
 //! * an independent **verifier** ([`validate`]) used by the test-suite to
@@ -43,7 +45,9 @@
 
 mod dense;
 mod error;
+mod eta;
 mod expr;
+mod factor;
 mod model;
 pub mod mps;
 pub mod presolve;
@@ -57,7 +61,7 @@ pub use dense::{DenseMatrix, LuFactors};
 pub use error::LpError;
 pub use expr::{LinExpr, Variable};
 pub use model::{Constraint, ConstraintId, Model, Relation, Sense};
-pub use simplex::{SimplexOptions, SimplexSolver};
+pub use simplex::{Basis, SimplexOptions, SimplexSolver};
 pub use solution::{Solution, Status};
 pub use sparse::CscMatrix;
 

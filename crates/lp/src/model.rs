@@ -288,10 +288,30 @@ impl Model {
     ///
     /// Same contract as [`Model::solve`].
     pub fn solve_with(&self, options: &SimplexOptions) -> Result<Solution, LpError> {
+        self.solve_warm(options, None)
+    }
+
+    /// Solves with explicit options, warm-starting from a basis exported by
+    /// a previous optimal solve ([`Solution::basis`]) when one is supplied.
+    ///
+    /// The basis is only an accelerator: when its dimensions do not match
+    /// this model's standard form, or it is singular or infeasible for the
+    /// new data, the solver silently falls back to a cold two-phase solve,
+    /// so the result is identical (up to degenerate-optimum tie-breaking)
+    /// to [`Model::solve_with`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Model::solve`].
+    pub fn solve_warm(
+        &self,
+        options: &SimplexOptions,
+        warm: Option<&crate::simplex::Basis>,
+    ) -> Result<Solution, LpError> {
         self.validate()?;
         let sf = StandardForm::from_model(self);
         let solver = SimplexSolver::new(options.clone());
-        let raw = solver.solve(&sf)?;
+        let raw = solver.solve_warm(&sf, warm)?;
         Ok(sf.map_solution(self, raw))
     }
 }

@@ -78,6 +78,7 @@ impl Presolved {
                 vec![0.0; self.reduced.num_vars()],
                 vec![0.0; self.num_original_rows],
                 0,
+                None,
             ));
         }
         let sol = self.reduced.solve()?;
@@ -85,12 +86,15 @@ impl Presolved {
         for (reduced_idx, &orig_idx) in self.kept_rows.iter().enumerate() {
             duals[orig_idx] = sol.duals()[reduced_idx];
         }
+        // The reduced model's basis indexes *its* standard form, not the
+        // original model's, so it is not forwarded for warm starts.
         Ok(Solution::new(
             sol.status(),
             sol.objective(),
             sol.values().to_vec(),
             duals,
             sol.iterations(),
+            None,
         ))
     }
 }

@@ -1,4 +1,4 @@
-//! Two-phase revised simplex with an explicitly maintained basis inverse.
+//! Two-phase sparse revised simplex with LU + eta-file basis updates.
 //!
 //! The implementation follows the classic scheme:
 //!
@@ -13,11 +13,23 @@
 //!
 //! Pricing is Dantzig (most negative reduced cost) with an automatic switch
 //! to Bland's rule after a run of degenerate pivots, which guarantees
-//! termination. The basis inverse is refactorized from scratch (dense LU)
-//! every [`SimplexOptions::refactor_every`] pivots to bound numerical drift.
+//! termination. The basis is held as a sparse LU factorization
+//! ([`crate::factor`]) plus a product-form eta file ([`crate::eta`]): pivot
+//! columns and duals come from `ftran`/`btran` against the CSC constraint
+//! matrix directly — nothing is densified — and a pivot appends one sparse
+//! eta vector instead of eliminating an m×m inverse. The factorization is
+//! rebuilt (and the eta file cleared) every
+//! [`SimplexOptions::refactor_every`] pivots to bound numerical drift.
+//!
+//! Solves can be **warm-started** from the [`Basis`] exported by a previous
+//! optimal solve: phase 1 is skipped entirely when the supplied basis is
+//! still nonsingular and primal feasible for the new right-hand side, which
+//! is the common case for the near-identical LPs produced by consecutive
+//! Postcard slots.
 
-use crate::dense::{DenseMatrix, LuFactors};
 use crate::error::LpError;
+use crate::eta::EtaFile;
+use crate::factor::BasisFactor;
 use crate::solution::Status;
 use crate::standard::StandardForm;
 
@@ -32,10 +44,15 @@ pub struct SimplexOptions {
     pub pivot_tol: f64,
     /// Phase-1 objective above this value ⇒ infeasible.
     pub feas_tol: f64,
-    /// Refactorize the basis inverse every this many pivots.
+    /// Refactorize the basis (and clear the eta file) every this many
+    /// pivots. Smaller values bound both numerical drift and the length of
+    /// the eta file replayed on every `ftran`/`btran`.
     pub refactor_every: usize,
     /// Consecutive degenerate pivots before switching to Bland's rule.
     pub bland_after: usize,
+    /// Eta-file entries with magnitude at or below this are dropped to keep
+    /// update vectors sparse.
+    pub eta_drop_tol: f64,
 }
 
 impl Default for SimplexOptions {
@@ -45,9 +62,40 @@ impl Default for SimplexOptions {
             pricing_tol: 1e-7,
             pivot_tol: 1e-9,
             feas_tol: 1e-6,
-            refactor_every: 512,
+            refactor_every: 64,
             bland_after: 64,
+            eta_drop_tol: 1e-12,
         }
+    }
+}
+
+/// A simplex basis over standard-form columns, exported from an optimal
+/// solve and usable to warm-start a later solve of a same-shaped problem
+/// via [`crate::Model::solve_warm`].
+///
+/// Entries `< num_cols()` name structural/slack standard-form columns;
+/// entries `>= num_cols()` encode an artificial covering row
+/// `entry - num_cols()` (left behind by a linearly dependent row). The
+/// encoding is canonical — it does not depend on solver-internal column
+/// ordering — so a basis can be replayed against any standard form with the
+/// same dimensions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Basis {
+    /// Basic column per row position, in the canonical encoding above.
+    cols: Vec<usize>,
+    /// Standard-form column count of the originating problem.
+    n_cols: usize,
+}
+
+impl Basis {
+    /// Number of rows (= basic columns) of the originating problem.
+    pub fn num_rows(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of standard-form columns of the originating problem.
+    pub fn num_cols(&self) -> usize {
+        self.n_cols
     }
 }
 
@@ -68,6 +116,9 @@ pub struct RawSolution {
     pub objective: f64,
     /// Total pivots performed.
     pub iterations: usize,
+    /// The optimal basis, for warm-starting a subsequent solve. `None`
+    /// unless the solve terminated optimal.
+    pub basis: Option<Basis>,
 }
 
 /// The revised simplex engine.
@@ -85,13 +136,25 @@ impl SimplexSolver {
         Self { options }
     }
 
-    /// Solves a standard-form problem.
+    /// Solves a standard-form problem, warm-starting from `warm` when one
+    /// is supplied and still usable.
+    ///
+    /// A warm basis left primal-infeasible by a right-hand-side change is
+    /// first repaired with dual-simplex pivots (it stays dual feasible, so
+    /// the repair is usually a handful of pivots). The basis is rejected —
+    /// silently falling back to the cold two-phase path — when its
+    /// dimensions do not match, its factorization is singular, or the dual
+    /// repair stalls. A singular basis encountered *during* the
+    /// warm-started iteration also falls back to a full cold solve.
     ///
     /// # Errors
     ///
-    /// [`LpError::IterationLimit`] if the pivot budget is exhausted and
-    /// [`LpError::SingularBasis`] if refactorization fails.
-    pub(crate) fn solve(&self, sf: &StandardForm) -> Result<RawSolution, LpError> {
+    /// Same contract as [`SimplexSolver::solve`].
+    pub(crate) fn solve_warm(
+        &self,
+        sf: &StandardForm,
+        warm: Option<&Basis>,
+    ) -> Result<RawSolution, LpError> {
         if sf.trivially_infeasible {
             return Ok(RawSolution {
                 status: Status::Infeasible,
@@ -99,8 +162,24 @@ impl SimplexSolver {
                 y: vec![0.0; sf.m],
                 objective: f64::NAN,
                 iterations: 0,
+                basis: None,
             });
         }
+        if let Some(basis) = warm {
+            if let Some(mut state) = State::warm(sf, &self.options, basis) {
+                match state.finish_phase2() {
+                    Err(LpError::SingularBasis) => {
+                        // The inherited basis degraded mid-flight; restart
+                        // cold (which carries its own singularity retry).
+                    }
+                    other => return other,
+                }
+            }
+        }
+        self.solve_cold(sf)
+    }
+
+    fn solve_cold(&self, sf: &StandardForm) -> Result<RawSolution, LpError> {
         let mut state = State::new(sf, &self.options);
         match state.run() {
             Err(LpError::SingularBasis) => {
@@ -141,13 +220,15 @@ struct State<'a> {
     /// Basis column per row (may be ≥ n for artificials).
     basis: Vec<usize>,
     in_basis: Vec<bool>,
-    binv: DenseMatrix,
+    /// Sparse LU of the basis as of the last refactorization.
+    factor: BasisFactor,
+    /// Product-form updates accumulated since the last refactorization.
+    etas: EtaFile,
     /// Current basic values `x_B = B⁻¹ b`.
     xb: Vec<f64>,
     /// Phase-dependent costs for all columns (real + artificial).
     cost: Vec<f64>,
     iterations: usize,
-    pivots_since_refactor: usize,
     degenerate_run: usize,
     pricing: Pricing,
     /// Artificial columns are barred from entering in phase 2.
@@ -193,15 +274,163 @@ impl<'a> State<'a> {
             art_row,
             basis,
             in_basis,
-            binv: DenseMatrix::identity(m),
+            factor: BasisFactor::identity(m),
+            etas: EtaFile::new(),
             xb,
             cost: vec![0.0; n + n_art],
             iterations: 0,
-            pivots_since_refactor: 0,
             degenerate_run: 0,
             pricing: Pricing::Dantzig,
             allow_artificials: true,
         }
+    }
+
+    /// Builds a phase-2-ready state from a previously exported basis, or
+    /// `None` when the basis cannot seed this problem (dimension mismatch,
+    /// duplicate columns, singular factorization, or primal infeasibility
+    /// for the new right-hand side).
+    fn warm(sf: &'a StandardForm, opts: &'a SimplexOptions, warm: &Basis) -> Option<State<'a>> {
+        let n = sf.n_cols;
+        let m = sf.m;
+        if warm.cols.len() != m || warm.n_cols != n {
+            return None;
+        }
+        // Decode the canonical basis: entries ≥ n name an artificial pinned
+        // to a specific row (left behind by a linearly dependent row in the
+        // exporting solve).
+        let mut art_row: Vec<usize> = Vec::new();
+        let mut basis: Vec<usize> = Vec::with_capacity(m);
+        for &j in &warm.cols {
+            if j < n {
+                basis.push(j);
+            } else {
+                let r = j - n;
+                if r >= m {
+                    return None;
+                }
+                basis.push(n + art_row.len());
+                art_row.push(r);
+            }
+        }
+        let n_art = art_row.len();
+        let mut in_basis = vec![false; n + n_art];
+        for &j in &basis {
+            if in_basis[j] {
+                return None;
+            }
+            in_basis[j] = true;
+        }
+        {
+            let mut row_seen = vec![false; m];
+            for &r in &art_row {
+                if row_seen[r] {
+                    return None;
+                }
+                row_seen[r] = true;
+            }
+        }
+        let mut cost = sf.c.clone();
+        cost.extend(std::iter::repeat_n(0.0, n_art));
+        let mut st = State {
+            sf,
+            opts,
+            n,
+            m,
+            art_row,
+            basis,
+            in_basis,
+            factor: BasisFactor::identity(m),
+            etas: EtaFile::new(),
+            xb: vec![0.0; m],
+            cost,
+            iterations: 0,
+            degenerate_run: 0,
+            pricing: Pricing::Dantzig,
+            allow_artificials: false,
+        };
+        if st.refactorize().is_err() {
+            return None;
+        }
+        // Inherited artificials must still sit at level zero: they pin rows
+        // the exporting solve found linearly dependent, and a nonzero value
+        // there means the new right-hand side is inconsistent on that row.
+        for (r, &j) in st.basis.iter().enumerate() {
+            if j >= st.n && st.xb[r].abs() > opts.feas_tol {
+                return None;
+            }
+        }
+        // The new b may have pushed some basic values negative. The basis
+        // is still *dual* feasible (costs did not change since it priced
+        // out optimal), which is exactly the dual simplex's starting
+        // condition — repair primal feasibility with dual pivots instead
+        // of throwing the basis away.
+        if !st.repair_primal_feasibility() {
+            return None;
+        }
+        for v in st.xb.iter_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        Some(st)
+    }
+
+    /// Dual-simplex repair loop: while some basic value is negative, choose
+    /// the most-negative row as the leaving row and enter the column that
+    /// keeps reduced costs nonnegative (the standard dual ratio test). Ends
+    /// with a primal-feasible basis (true) or gives up (false) when no
+    /// entering column exists, a pivot is numerically unusable, or the
+    /// pivot budget is exhausted — the caller then falls back to a cold
+    /// solve, so this loop never needs its own anti-cycling guarantee.
+    fn repair_primal_feasibility(&mut self) -> bool {
+        let budget = (2 * self.m).max(64);
+        for _ in 0..budget {
+            let mut r_out = None;
+            let mut worst = -self.opts.feas_tol;
+            for (r, &v) in self.xb.iter().enumerate() {
+                if v < worst {
+                    worst = v;
+                    r_out = Some(r);
+                }
+            }
+            let Some(r) = r_out else {
+                return true;
+            };
+            // Row r of B⁻¹A, via ρ = B⁻ᵀ·e_r.
+            let mut rho = vec![0.0; self.m];
+            rho[r] = 1.0;
+            self.btran(&mut rho);
+            let y = self.duals();
+            let mut best: Option<(usize, f64)> = None;
+            for j in 0..self.n {
+                if self.in_basis[j] {
+                    continue;
+                }
+                let mut alpha = 0.0;
+                self.for_col(j, |k, v| alpha += v * rho[k]);
+                if alpha < -self.opts.pivot_tol {
+                    // Clamp tiny negative reduced costs (eta-file drift);
+                    // the ratio keeps the duals feasible after the pivot.
+                    let ratio = self.reduced_cost(j, &y).max(0.0) / -alpha;
+                    if best.is_none_or(|(_, b)| ratio < b) {
+                        best = Some((j, ratio));
+                    }
+                }
+            }
+            let Some((j_in, _)) = best else {
+                return false;
+            };
+            let w = self.pivot_column(j_in);
+            if w[r] >= -self.opts.pivot_tol {
+                return false;
+            }
+            let theta = self.xb[r] / w[r];
+            self.pivot_with_theta(j_in, r, &w, theta);
+            if self.etas.len() >= self.opts.refactor_every && self.refactorize().is_err() {
+                return false;
+            }
+        }
+        false
     }
 
     fn num_cols(&self) -> usize {
@@ -229,25 +458,36 @@ impl<'a> State<'a> {
         self.cost[j] - dot
     }
 
-    /// `w = B⁻¹ · A_j`.
+    /// Forward solve `B·z = v` through the LU factors and the eta file.
+    /// Input is row-indexed; output is basis-position-indexed.
+    fn ftran(&self, v: &mut [f64]) {
+        self.factor.ftran(v);
+        self.etas.apply_ftran(v);
+    }
+
+    /// Transposed solve `Bᵀ·y = c` through the eta file and the LU
+    /// factors. Input is basis-position-indexed; output is row-indexed.
+    fn btran(&self, v: &mut [f64]) {
+        self.etas.apply_btran(v);
+        self.factor.btran(v);
+    }
+
+    /// `w = B⁻¹ · A_j`, scattered from the CSC column and solved sparsely.
     fn pivot_column(&self, j: usize) -> Vec<f64> {
         let mut w = vec![0.0; self.m];
-        self.for_col(j, |k, v| {
-            // postcard-analyze: allow(PA101) — exact-zero sparsity skip.
-            if v != 0.0 {
-                // w += v * binv[:, k]
-                for (r, wr) in w.iter_mut().enumerate() {
-                    *wr += v * self.binv.get(r, k);
-                }
-            }
-        });
+        self.for_col(j, |r, v| w[r] += v);
+        self.ftran(&mut w);
         w
     }
 
-    /// Dual vector `y = (B⁻¹)ᵀ c_B`.
+    /// Dual vector `y = B⁻ᵀ c_B`.
     fn duals(&self) -> Vec<f64> {
-        let cb: Vec<f64> = self.basis.iter().map(|&j| self.cost[j]).collect();
-        self.binv.mat_vec_transposed(&cb)
+        let mut y = vec![0.0; self.m];
+        for (pos, &j) in self.basis.iter().enumerate() {
+            y[pos] = self.cost[j];
+        }
+        self.btran(&mut y);
+        y
     }
 
     fn run(&mut self) -> Result<RawSolution, LpError> {
@@ -270,6 +510,7 @@ impl<'a> State<'a> {
                     y: vec![0.0; self.m],
                     objective: f64::NAN,
                     iterations: self.iterations,
+                    basis: None,
                 });
             }
             self.evict_artificials()?;
@@ -286,11 +527,19 @@ impl<'a> State<'a> {
         self.allow_artificials = false;
         self.pricing = Pricing::Dantzig;
         self.degenerate_run = 0;
+        self.finish_phase2()
+    }
 
-        // ---- Phase 2 ----
+    /// Runs phase 2 from the current (feasible) basis to termination and
+    /// packages the result. Shared by the cold path (after phase 1) and the
+    /// warm path (directly).
+    fn finish_phase2(&mut self) -> Result<RawSolution, LpError> {
         let mut outcome = self.optimize()?;
-        if outcome == PhaseOutcome::Optimal && self.pivots_since_refactor >= 128 {
-            // Clean accumulated drift out of the basis inverse before
+        if outcome == PhaseOutcome::Optimal
+            && !self.etas.is_empty()
+            && self.etas.len() >= self.opts.refactor_every / 4
+        {
+            // Clean accumulated eta-file drift out of the basis before
             // reporting, and re-verify optimality on the refreshed numbers.
             self.refactorize()?;
             outcome = self.optimize()?;
@@ -302,6 +551,7 @@ impl<'a> State<'a> {
                 y: vec![0.0; self.m],
                 objective: f64::NEG_INFINITY,
                 iterations: self.iterations,
+                basis: None,
             });
         }
         #[cfg(debug_assertions)]
@@ -316,7 +566,25 @@ impl<'a> State<'a> {
         }
         let y = self.duals();
         let objective = self.sf.c.iter().zip(&x).map(|(c, v)| c * v).sum();
-        Ok(RawSolution { status: Status::Optimal, x, y, objective, iterations: self.iterations })
+        Ok(RawSolution {
+            status: Status::Optimal,
+            x,
+            y,
+            objective,
+            iterations: self.iterations,
+            basis: Some(self.export_basis()),
+        })
+    }
+
+    /// Canonical encoding of the current basis (artificials become
+    /// `n + row` markers, independent of solver-internal ordering).
+    fn export_basis(&self) -> Basis {
+        let cols = self
+            .basis
+            .iter()
+            .map(|&j| if j < self.n { j } else { self.n + self.art_row[j - self.n] })
+            .collect();
+        Basis { cols, n_cols: self.n }
     }
 
     /// Pivots until the current cost vector is optimal.
@@ -325,7 +593,7 @@ impl<'a> State<'a> {
             if self.iterations >= self.opts.max_iterations {
                 return Err(LpError::IterationLimit { limit: self.opts.max_iterations });
             }
-            if self.pivots_since_refactor >= self.opts.refactor_every {
+            if self.etas.len() >= self.opts.refactor_every {
                 self.refactorize()?;
             }
             let y = self.duals();
@@ -390,11 +658,20 @@ impl<'a> State<'a> {
         }
     }
 
-    /// Executes the pivot: `j_in` enters, row `r_out` leaves.
+    /// Executes the pivot: `j_in` enters, row `r_out` leaves. Costs
+    /// O(nnz(w)): the basis representation absorbs the change as one
+    /// appended eta vector instead of an O(m²) inverse update.
     fn pivot(&mut self, j_in: usize, r_out: usize, w: &[f64]) {
+        let theta = (self.xb[r_out].max(0.0)) / w[r_out];
+        self.pivot_with_theta(j_in, r_out, w, theta);
+    }
+
+    /// The pivot bookkeeping with an explicit step length: the primal path
+    /// derives `theta` from the clamped ratio test, the dual repair path
+    /// from a negative basic value over a negative pivot element.
+    fn pivot_with_theta(&mut self, j_in: usize, r_out: usize, w: &[f64], theta: f64) {
         debug_assert!(!self.in_basis[j_in], "entering column {j_in} is already basic");
         debug_assert!(self.in_basis[self.basis[r_out]], "leaving column must currently be basic");
-        let theta = (self.xb[r_out].max(0.0)) / w[r_out];
         if theta <= 1e-12 {
             self.degenerate_run += 1;
             if self.degenerate_run > self.opts.bland_after {
@@ -415,31 +692,15 @@ impl<'a> State<'a> {
         }
         self.xb[r_out] = theta;
 
-        // Update B⁻¹ by row elimination with the pivot row.
-        let pivot = w[r_out];
-        {
-            let row = self.binv.row_mut(r_out);
-            for v in row.iter_mut() {
-                *v /= pivot;
-            }
-        }
-        for (r, &factor) in w.iter().enumerate() {
-            // postcard-analyze: allow(PA101) — exact-zero rows need no elimination.
-            if r == r_out || factor == 0.0 {
-                continue;
-            }
-            let (pivot_row, target) = self.binv.two_rows_mut(r_out, r);
-            for (t, p) in target.iter_mut().zip(pivot_row.iter()) {
-                *t -= factor * *p;
-            }
-        }
+        // Record the product-form update B_new = B_old · E, where E is the
+        // identity with column r_out replaced by w.
+        self.etas.push(r_out, w, self.opts.eta_drop_tol);
 
         let j_out = self.basis[r_out];
         self.in_basis[j_out] = false;
         self.in_basis[j_in] = true;
         self.basis[r_out] = j_in;
         self.iterations += 1;
-        self.pivots_since_refactor += 1;
         debug_assert_eq!(
             self.in_basis.iter().filter(|&&b| b).count(),
             self.m,
@@ -478,8 +739,10 @@ impl<'a> State<'a> {
             if self.basis[r] < self.n {
                 continue;
             }
-            // Row r of B⁻¹.
-            let brow: Vec<f64> = self.binv.row(r).to_vec();
+            // Row r of B⁻¹ is B⁻ᵀ·e_r, a transposed solve away.
+            let mut brow = vec![0.0; self.m];
+            brow[r] = 1.0;
+            self.btran(&mut brow);
             let mut found = None;
             for j in 0..self.n {
                 if self.in_basis[j] {
@@ -500,21 +763,25 @@ impl<'a> State<'a> {
         Ok(())
     }
 
-    /// Rebuilds `B⁻¹` from scratch via dense LU and recomputes `x_B`.
+    /// Rebuilds the sparse LU from the basis columns, clears the eta file,
+    /// and recomputes `x_B`.
     fn refactorize(&mut self) -> Result<(), LpError> {
-        let mut bmat = DenseMatrix::zeros(self.m, self.m);
-        for (col_pos, &j) in self.basis.iter().enumerate() {
-            self.for_col(j, |r, v| bmat.set(r, col_pos, v));
+        let mut cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(self.m);
+        for &j in &self.basis {
+            let mut col = Vec::new();
+            self.for_col(j, |r, v| col.push((r, v)));
+            cols.push(col);
         }
-        let lu = LuFactors::factorize(&bmat, 1e-12)?;
-        self.binv = lu.inverse();
-        self.xb = self.binv.mat_vec(&self.sf.b);
-        for v in self.xb.iter_mut() {
+        self.factor = BasisFactor::factorize(&cols, 1e-12)?;
+        self.etas.clear();
+        let mut xb = self.sf.b.clone();
+        self.factor.ftran(&mut xb);
+        for v in xb.iter_mut() {
             if *v < 0.0 && *v > -1e-9 {
                 *v = 0.0;
             }
         }
-        self.pivots_since_refactor = 0;
+        self.xb = xb;
         Ok(())
     }
 }
@@ -625,6 +892,27 @@ mod tests {
     }
 
     #[test]
+    fn blands_rule_terminates_under_sparse_pricer() {
+        // Beale's cycling instance again, but forced onto Bland's rule from
+        // the very first pivot (bland_after = 0 trips the switch on the
+        // first degenerate step). Termination at the known optimum shows
+        // the anti-cycling guarantee survives the sparse pricing path.
+        let mut m = Model::new(Sense::Minimize);
+        let x1 = m.add_var("x1", 0.0, f64::INFINITY);
+        let x2 = m.add_var("x2", 0.0, f64::INFINITY);
+        let x3 = m.add_var("x3", 0.0, f64::INFINITY);
+        let x4 = m.add_var("x4", 0.0, f64::INFINITY);
+        m.set_objective(-0.75 * x1 + 150.0 * x2 - 0.02 * x3 + 6.0 * x4);
+        m.leq(0.25 * x1 - 60.0 * x2 - 0.04 * x3 + 9.0 * x4, 0.0);
+        m.leq(0.5 * x1 - 90.0 * x2 - 0.02 * x3 + 3.0 * x4, 0.0);
+        m.leq(LinExpr::from(x3), 1.0);
+        let opts = SimplexOptions { bland_after: 0, ..Default::default() };
+        let s = m.solve_with(&opts).unwrap();
+        assert_eq!(s.status(), Status::Optimal);
+        assert!((s.objective() + 0.05).abs() < 1e-7, "objective = {}", s.objective());
+    }
+
+    #[test]
     fn klee_minty_cube_terminates_optimally() {
         // The Klee–Minty cube (n = 6): exponential worst case for Dantzig
         // pricing but must still terminate at the known optimum 5^n... the
@@ -710,5 +998,145 @@ mod tests {
         // verified with a successive-shortest-paths min-cost-flow solver
         // (integral data, so the LP optimum coincides).
         assert!((s.objective() - 470.0).abs() < 1e-6, "objective = {}", s.objective());
+    }
+
+    #[test]
+    fn warm_restart_from_optimal_basis_takes_zero_pivots() {
+        // Re-solving the same problem from its own exported basis must not
+        // pivot at all: the basis prices out immediately.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, f64::INFINITY);
+        let y = m.add_var("y", 0.0, f64::INFINITY);
+        m.set_objective(2.0 * x + 3.0 * y);
+        m.geq(x + y, 4.0);
+        m.leq(x - y, 1.0);
+        let cold = m.solve().unwrap();
+        assert_eq!(cold.status(), Status::Optimal);
+        let basis = cold.basis().expect("optimal solve exports a basis").clone();
+        let warm = m.solve_warm(&SimplexOptions::default(), Some(&basis)).unwrap();
+        assert_eq!(warm.status(), Status::Optimal);
+        assert!((warm.objective() - cold.objective()).abs() < 1e-9);
+        assert_eq!(warm.iterations(), 0, "warm restart should not pivot");
+    }
+
+    #[test]
+    fn warm_start_survives_rhs_change() {
+        // Same constraint shape, different right-hand side: the old basis
+        // stays feasible here and the warm solve must agree with cold.
+        let build = |cap: f64| {
+            let mut m = Model::new(Sense::Minimize);
+            let x = m.add_var("x", 0.0, f64::INFINITY);
+            let y = m.add_var("y", 0.0, f64::INFINITY);
+            m.set_objective(5.0 * x + 4.0 * y);
+            m.geq(x + y, cap);
+            m.leq(2.0 * x + y, 3.0 * cap);
+            m
+        };
+        let first = build(4.0).solve().unwrap();
+        let basis = first.basis().expect("basis exported").clone();
+        let m2 = build(5.0);
+        let warm = m2.solve_warm(&SimplexOptions::default(), Some(&basis)).unwrap();
+        let cold = m2.solve().unwrap();
+        assert_eq!(warm.status(), Status::Optimal);
+        assert!(
+            (warm.objective() - cold.objective()).abs() < 1e-6,
+            "warm {} vs cold {}",
+            warm.objective(),
+            cold.objective()
+        );
+        assert!(warm.iterations() <= cold.iterations());
+    }
+
+    #[test]
+    fn warm_start_repairs_primal_infeasible_basis_with_dual_pivots() {
+        // Tightening `x ≤ 3` to `x ≤ 1` drives the exported basis primal
+        // infeasible (its slack goes negative), but it stays dual feasible:
+        // the dual repair must recover the new optimum in fewer pivots than
+        // a cold two-phase solve instead of falling back.
+        let build = |cap: f64| {
+            let mut m = Model::new(Sense::Minimize);
+            let x = m.add_var("x", 0.0, f64::INFINITY);
+            let y = m.add_var("y", 0.0, f64::INFINITY);
+            m.set_objective(x + 2.0 * y);
+            m.geq(x + y, 2.0);
+            m.leq(LinExpr::from(x), cap);
+            m
+        };
+        let first = build(3.0).solve().unwrap();
+        assert_eq!(first.status(), Status::Optimal);
+        let basis = first.basis().expect("basis exported").clone();
+        let m2 = build(1.0);
+        let cold = m2.solve().unwrap();
+        let warm = m2.solve_warm(&SimplexOptions::default(), Some(&basis)).unwrap();
+        assert_eq!(warm.status(), Status::Optimal);
+        assert!(
+            (warm.objective() - cold.objective()).abs() < 1e-9,
+            "warm {} vs cold {}",
+            warm.objective(),
+            cold.objective()
+        );
+        assert!((warm.objective() - 3.0).abs() < 1e-9);
+        assert!(
+            warm.iterations() < cold.iterations(),
+            "repair should beat the cold solve: warm {} vs cold {}",
+            warm.iterations(),
+            cold.iterations()
+        );
+    }
+
+    #[test]
+    fn warm_start_with_mismatched_dimensions_falls_back_to_cold() {
+        let mut small = Model::new(Sense::Minimize);
+        let x = small.add_var("x", 0.0, f64::INFINITY);
+        small.set_objective(LinExpr::from(x));
+        small.geq(LinExpr::from(x), 1.0);
+        let basis = small.solve().unwrap().basis().expect("basis").clone();
+
+        let mut big = Model::new(Sense::Minimize);
+        let a = big.add_var("a", 0.0, f64::INFINITY);
+        let b = big.add_var("b", 0.0, f64::INFINITY);
+        big.set_objective(a + b);
+        big.geq(a + b, 2.0);
+        big.leq(a - b, 1.0);
+        let s = big.solve_warm(&SimplexOptions::default(), Some(&basis)).unwrap();
+        assert_eq!(s.status(), Status::Optimal);
+        assert!((s.objective() - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn warm_basis_round_trips_through_rank_deficient_rows() {
+        // A redundant equality leaves an artificial in the exported basis
+        // (canonically encoded); warm-starting from it must still work.
+        let build = || {
+            let mut m = Model::new(Sense::Minimize);
+            let x = m.add_var("x", 0.0, f64::INFINITY);
+            let y = m.add_var("y", 0.0, f64::INFINITY);
+            m.set_objective(3.0 * x + y);
+            m.eq(x + y, 2.0);
+            m.eq(x + y, 2.0);
+            m
+        };
+        let cold = build().solve().unwrap();
+        let basis = cold.basis().expect("basis exported despite dependent row").clone();
+        let warm = build().solve_warm(&SimplexOptions::default(), Some(&basis)).unwrap();
+        assert_eq!(warm.status(), Status::Optimal);
+        assert!((warm.objective() - cold.objective()).abs() < 1e-9);
+        assert_eq!(warm.iterations(), 0);
+    }
+
+    #[test]
+    fn infeasible_and_unbounded_export_no_basis() {
+        let mut inf = Model::new(Sense::Minimize);
+        let x = inf.add_var("x", 0.0, f64::INFINITY);
+        inf.set_objective(LinExpr::from(x));
+        inf.leq(LinExpr::from(x), 1.0);
+        inf.geq(LinExpr::from(x), 2.0);
+        assert!(inf.solve().unwrap().basis().is_none());
+
+        let mut unb = Model::new(Sense::Maximize);
+        let y = unb.add_var("y", 0.0, f64::INFINITY);
+        unb.set_objective(LinExpr::from(y));
+        unb.geq(LinExpr::from(y), 1.0);
+        assert!(unb.solve().unwrap().basis().is_none());
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::expr::Variable;
 use crate::model::ConstraintId;
+use crate::simplex::Basis;
 
 /// Termination status of a solve.
 #[must_use = "a solve status must be inspected: non-optimal outcomes carry no usable values"]
@@ -38,6 +39,7 @@ pub struct Solution {
     values: Vec<f64>,
     duals: Vec<f64>,
     iterations: usize,
+    basis: Option<Basis>,
 }
 
 impl Solution {
@@ -47,8 +49,9 @@ impl Solution {
         values: Vec<f64>,
         duals: Vec<f64>,
         iterations: usize,
+        basis: Option<Basis>,
     ) -> Self {
-        Self { status, objective, values, duals, iterations }
+        Self { status, objective, values, duals, iterations, basis }
     }
 
     /// Termination status.
@@ -104,6 +107,13 @@ impl Solution {
     pub fn iterations(&self) -> usize {
         self.iterations
     }
+
+    /// The optimal basis, for warm-starting a later solve of a same-shaped
+    /// model via [`crate::Model::solve_warm`]. `None` unless the solve
+    /// terminated [`Status::Optimal`].
+    pub fn basis(&self) -> Option<&Basis> {
+        self.basis.as_ref()
+    }
 }
 
 #[cfg(test)]
@@ -119,11 +129,12 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let s = Solution::new(Status::Optimal, 3.5, vec![1.0, 2.0], vec![0.5], 7);
+        let s = Solution::new(Status::Optimal, 3.5, vec![1.0, 2.0], vec![0.5], 7, None);
         assert!(s.is_optimal());
         assert_eq!(s.objective(), 3.5);
         assert_eq!(s.values(), &[1.0, 2.0]);
         assert_eq!(s.duals(), &[0.5]);
         assert_eq!(s.iterations(), 7);
+        assert!(s.basis().is_none());
     }
 }

@@ -276,7 +276,7 @@ impl StandardForm {
                         duals[ci] = self.obj_sign * self.row_sign[r] * raw.y[r];
                     }
                 }
-                Solution::new(Status::Optimal, objective, values, duals, raw.iterations)
+                Solution::new(Status::Optimal, objective, values, duals, raw.iterations, raw.basis)
             }
             Status::Infeasible => Solution::new(
                 Status::Infeasible,
@@ -284,6 +284,7 @@ impl StandardForm {
                 vec![0.0; nv],
                 vec![0.0; model.num_constraints()],
                 raw.iterations,
+                None,
             ),
             Status::Unbounded => {
                 let obj = match model.sense() {
@@ -296,6 +297,7 @@ impl StandardForm {
                     vec![0.0; nv],
                     vec![0.0; model.num_constraints()],
                     raw.iterations,
+                    None,
                 )
             }
         }

@@ -22,8 +22,8 @@
 
 use crate::clock::Clock;
 use postcard_core::{
-    Decision, FlowLpScheduler, GreedyScheduler, PostcardError, PostcardScheduler, Scheduler,
-    SolveStats,
+    Decision, FlowLpScheduler, GreedyScheduler, PostcardConfig, PostcardError, PostcardScheduler,
+    Scheduler, SolveStats,
 };
 use postcard_net::{Network, TrafficLedger, TransferRequest};
 use serde::{Deserialize, Serialize};
@@ -50,11 +50,25 @@ impl TierKind {
         }
     }
 
-    /// Builds the tier's scheduler.
+    /// Builds the tier's scheduler (cold solves).
     pub fn build(&self) -> Box<dyn Scheduler> {
+        self.build_with(false)
+    }
+
+    /// Builds the tier's scheduler, enabling cross-slot simplex warm starts
+    /// on the LP tiers when `warm_start` is set (combinatorial tiers ignore
+    /// the flag).
+    pub fn build_with(&self, warm_start: bool) -> Box<dyn Scheduler> {
         match self {
-            TierKind::Postcard => Box::new(PostcardScheduler::new()),
-            TierKind::FlowLp => Box::new(FlowLpScheduler),
+            TierKind::Postcard => Box::new(PostcardScheduler::with_config(PostcardConfig {
+                warm_start,
+                ..PostcardConfig::default()
+            })),
+            TierKind::FlowLp => {
+                let mut s = FlowLpScheduler::new();
+                s.warm_start = warm_start;
+                Box::new(s)
+            }
             TierKind::Greedy => Box::new(GreedyScheduler),
         }
     }
@@ -112,6 +126,8 @@ pub struct AttemptRecord {
     pub elapsed: Duration,
     /// LP effort of this attempt (0 for combinatorial tiers).
     pub lp_iterations: usize,
+    /// Whether the attempt's solve was warm-started from a previous basis.
+    pub warm_started: bool,
 }
 
 struct Tier {
@@ -147,9 +163,27 @@ impl FallbackChain {
     ///
     /// Panics if `tiers` is empty.
     pub fn new(tiers: &[TierKind], slot_budget: Duration, clock: Box<dyn Clock>) -> Self {
+        Self::with_warm_start(tiers, slot_budget, clock, false)
+    }
+
+    /// [`FallbackChain::new`], with cross-slot warm starts enabled on the LP
+    /// tiers when `warm_start` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiers` is empty.
+    pub fn with_warm_start(
+        tiers: &[TierKind],
+        slot_budget: Duration,
+        clock: Box<dyn Clock>,
+        warm_start: bool,
+    ) -> Self {
         assert!(!tiers.is_empty(), "fallback chain needs at least one tier");
         Self {
-            tiers: tiers.iter().map(|&kind| Tier { kind, scheduler: kind.build() }).collect(),
+            tiers: tiers
+                .iter()
+                .map(|&kind| Tier { kind, scheduler: kind.build_with(warm_start) })
+                .collect(),
             clock,
             slot_budget,
             forced_now: Vec::new(),
@@ -189,12 +223,13 @@ impl FallbackChain {
             .map(|r| r.tier)
     }
 
-    fn record(&mut self, tier: TierKind, outcome: AttemptOutcome, lp_iterations: usize) {
+    fn record(&mut self, tier: TierKind, outcome: AttemptOutcome, stats: SolveStats) {
         self.records.push(AttemptRecord {
             tier,
             outcome,
             elapsed: self.clock.elapsed(),
-            lp_iterations,
+            lp_iterations: stats.lp_iterations,
+            warm_started: stats.warm_started,
         });
     }
 }
@@ -216,7 +251,7 @@ impl Scheduler for FallbackChain {
             let is_last = i + 1 == num_tiers;
 
             if self.forced_now.contains(&kind) && !is_last {
-                self.record(kind, AttemptOutcome::ForcedTimeout, 0);
+                self.record(kind, AttemptOutcome::ForcedTimeout, SolveStats::default());
                 continue;
             }
 
@@ -237,7 +272,7 @@ impl Scheduler for FallbackChain {
             match result {
                 Ok(decision) => {
                     if self.clock.elapsed() > self.slot_budget && !is_last {
-                        self.record(kind, AttemptOutcome::BudgetExceeded, stats.lp_iterations);
+                        self.record(kind, AttemptOutcome::BudgetExceeded, stats);
                         continue;
                     }
                     let outcome = if retried {
@@ -245,16 +280,16 @@ impl Scheduler for FallbackChain {
                     } else {
                         AttemptOutcome::Committed
                     };
-                    self.record(kind, outcome, stats.lp_iterations);
+                    self.record(kind, outcome, stats);
                     self.last_stats = stats;
                     return Ok(decision);
                 }
                 Err(PostcardError::Infeasible) => {
-                    self.record(kind, AttemptOutcome::Infeasible, stats.lp_iterations);
+                    self.record(kind, AttemptOutcome::Infeasible, stats);
                     return Err(PostcardError::Infeasible);
                 }
                 Err(e) => {
-                    self.record(kind, AttemptOutcome::Failed, stats.lp_iterations);
+                    self.record(kind, AttemptOutcome::Failed, stats);
                     if is_last {
                         return Err(e);
                     }

@@ -2,13 +2,45 @@
 //!
 //! Three instrument families, all keyed by name: monotone **counters**,
 //! last-value **gauges**, and summarizing **histograms** (count / sum /
-//! min / max — enough for latency and iteration-count distributions without
-//! unbounded memory). The registry serializes with the snapshot, so resumed
-//! runs continue their metrics exactly, and exports as JSON or CSV for
-//! external consumption.
+//! min / max plus a fixed set of log-scaled buckets, so p50/p95/p99
+//! estimates come without unbounded memory). The registry serializes with
+//! the snapshot, so resumed runs continue their metrics exactly, and
+//! exports as JSON or CSV for external consumption.
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// Number of log-scaled buckets each histogram keeps.
+const NUM_BUCKETS: usize = 64;
+
+/// Bucket `k` spans `[2^(k - BUCKET_OFFSET), 2^(k + 1 - BUCKET_OFFSET))`;
+/// with 64 buckets and offset 31 the grid covers ~4.7e-10 .. 8.6e9, wide
+/// enough for latencies in seconds and pivot counts alike. Values at or
+/// below zero land in bucket 0, values past the top land in the last.
+const BUCKET_OFFSET: i32 = 31;
+
+fn bucket_of(value: f64) -> usize {
+    if value <= 0.0 || value.is_nan() {
+        return 0;
+    }
+    if value.is_infinite() {
+        return NUM_BUCKETS - 1;
+    }
+    let k = value.log2().floor() as i32 + BUCKET_OFFSET;
+    k.clamp(0, NUM_BUCKETS as i32 - 1) as usize
+}
+
+fn bucket_lo(k: usize) -> f64 {
+    if k == 0 {
+        0.0
+    } else {
+        ((k as i32 - BUCKET_OFFSET) as f64).exp2()
+    }
+}
+
+fn bucket_hi(k: usize) -> f64 {
+    ((k as i32 + 1 - BUCKET_OFFSET) as f64).exp2()
+}
 
 /// Summary statistics of an observed distribution.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
@@ -21,6 +53,9 @@ pub struct HistogramSummary {
     pub min: f64,
     /// Largest observation (0 when empty).
     pub max: f64,
+    /// Log-scaled bucket counts (allocated on first observation; see
+    /// [`HistogramSummary::percentile`]).
+    pub buckets: Vec<u64>,
 }
 
 impl HistogramSummary {
@@ -35,6 +70,10 @@ impl HistogramSummary {
         }
         self.count += 1;
         self.sum += value;
+        if self.buckets.len() != NUM_BUCKETS {
+            self.buckets.resize(NUM_BUCKETS, 0);
+        }
+        self.buckets[bucket_of(value)] += 1;
     }
 
     /// Mean of the observations (0 when empty).
@@ -44,6 +83,47 @@ impl HistogramSummary {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Estimates the `q`-quantile (`q ∈ [0, 1]`) from the log-scaled
+    /// buckets, interpolating linearly inside the bucket holding the target
+    /// rank and clamping into `[min, max]`. Exact for `q = 0` and `q = 1`;
+    /// within one bucket width (a factor of 2) otherwise. Returns 0 when
+    /// empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if (cum + c) as f64 >= target {
+                let frac = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
+                let lo = bucket_lo(k);
+                let hi = bucket_hi(k);
+                return (lo + frac * (hi - lo)).clamp(self.min, self.max);
+            }
+            cum += c;
+        }
+        self.max
+    }
+
+    /// The median estimate (see [`HistogramSummary::percentile`]).
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// The 95th-percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.percentile(0.95)
+    }
+
+    /// The 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
     }
 }
 
@@ -91,34 +171,86 @@ impl MetricsRegistry {
         self.histograms.get(name)
     }
 
-    /// Serializes the whole registry as pretty JSON.
+    /// Serializes the registry as pretty JSON for external consumption:
+    /// histograms are exported with their derived statistics (mean and the
+    /// p50/p95/p99 estimates) instead of raw buckets. Snapshots use the
+    /// derived `Serialize` impl instead, which round-trips exactly.
     pub fn to_json(&self) -> String {
-        serde::json::to_string_pretty(self)
+        let histograms: BTreeMap<String, HistogramExport> = self
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                (
+                    name.clone(),
+                    HistogramExport {
+                        count: h.count,
+                        sum: h.sum,
+                        min: h.min,
+                        max: h.max,
+                        mean: h.mean(),
+                        p50: h.p50(),
+                        p95: h.p95(),
+                        p99: h.p99(),
+                    },
+                )
+            })
+            .collect();
+        let export = RegistryExport {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms,
+        };
+        serde::json::to_string_pretty(&export)
     }
 
     /// Serializes the registry as CSV with one row per instrument:
-    /// `kind,name,count,sum,min,max,mean` (counters and gauges use the
-    /// `sum` column, the rest 0).
+    /// `kind,name,count,sum,min,max,mean,p50,p95,p99` (counters and gauges
+    /// use the `sum` column, the rest 0).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("kind,name,count,sum,min,max,mean\n");
+        let mut out = String::from("kind,name,count,sum,min,max,mean,p50,p95,p99\n");
         for (name, v) in &self.counters {
-            out.push_str(&format!("counter,{name},0,{v},0,0,0\n"));
+            out.push_str(&format!("counter,{name},0,{v},0,0,0,0,0,0\n"));
         }
         for (name, v) in &self.gauges {
-            out.push_str(&format!("gauge,{name},0,{v},0,0,0\n"));
+            out.push_str(&format!("gauge,{name},0,{v},0,0,0,0,0,0\n"));
         }
         for (name, h) in &self.histograms {
             out.push_str(&format!(
-                "histogram,{name},{},{},{},{},{}\n",
+                "histogram,{name},{},{},{},{},{},{},{},{}\n",
                 h.count,
                 h.sum,
                 h.min,
                 h.max,
-                h.mean()
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99()
             ));
         }
         out
     }
+}
+
+/// The external-export shape of one histogram (see
+/// [`MetricsRegistry::to_json`]).
+#[derive(Debug, Clone, Serialize)]
+struct HistogramExport {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    mean: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+}
+
+/// The external-export shape of the registry.
+#[derive(Debug, Clone, Serialize)]
+struct RegistryExport {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, HistogramExport>,
 }
 
 #[cfg(test)]
@@ -158,12 +290,28 @@ mod tests {
 
     #[test]
     fn json_round_trip_preserves_registry() {
+        // Snapshots use the derived serde impls, which must round-trip
+        // exactly (buckets included).
         let mut m = MetricsRegistry::new();
         m.inc("a", 5);
         m.set_gauge("g", 0.1 + 0.2);
         m.observe("h", 1.5);
-        let back: MetricsRegistry = serde::json::from_str(&m.to_json()).unwrap();
+        let json = serde::json::to_string_pretty(&m);
+        let back: MetricsRegistry = serde::json::from_str(&json).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn json_export_carries_percentiles() {
+        let mut m = MetricsRegistry::new();
+        for v in 1..=100 {
+            m.observe("lat", v as f64);
+        }
+        let json = m.to_json();
+        for field in ["\"p50\"", "\"p95\"", "\"p99\"", "\"mean\""] {
+            assert!(json.contains(field), "missing {field}: {json}");
+        }
+        assert!(!json.contains("buckets"), "raw buckets must not leak: {json}");
     }
 
     #[test]
@@ -173,8 +321,44 @@ mod tests {
         m.set_gauge("g", 2.0);
         m.observe("h", 3.0);
         let csv = m.to_csv();
+        assert!(csv.starts_with("kind,name,count,sum,min,max,mean,p50,p95,p99\n"));
         assert!(csv.contains("counter,c,"));
         assert!(csv.contains("gauge,g,"));
-        assert!(csv.contains("histogram,h,1,3,3,3,3"));
+        assert!(csv.contains("histogram,h,1,3,3,3,3,3,3,3"));
+    }
+
+    #[test]
+    fn percentiles_track_known_distributions() {
+        let mut h = HistogramSummary::default();
+        // A single observation: every percentile is that value.
+        h.observe(4.0);
+        assert_eq!(h.p50(), 4.0);
+        assert_eq!(h.p99(), 4.0);
+        // Uniform 1..=1000: log-bucket estimates are within a factor of 2
+        // of the true quantiles, and clamped to the observed range.
+        let mut u = HistogramSummary::default();
+        for v in 1..=1000 {
+            u.observe(v as f64);
+        }
+        let p50 = u.p50();
+        assert!((250.0..=1000.0).contains(&p50), "p50 = {p50}");
+        let p99 = u.p99();
+        assert!((495.0..=1000.0).contains(&p99), "p99 = {p99}");
+        assert!(u.p50() <= u.p95() && u.p95() <= u.p99());
+        assert!(u.percentile(1.0) <= u.max);
+        assert!(u.percentile(0.0) >= u.min);
+    }
+
+    #[test]
+    fn percentiles_handle_zero_and_negative_values() {
+        let mut h = HistogramSummary::default();
+        for v in [-1.0, 0.0, 2.0, 8.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 4);
+        assert!(h.p50() >= h.min && h.p50() <= h.max);
+        assert_eq!(h.percentile(0.0).max(h.min), h.percentile(0.0));
+        // Empty histogram reports zeros.
+        assert_eq!(HistogramSummary::default().p95(), 0.0);
     }
 }

@@ -52,6 +52,11 @@ pub struct RuntimeConfig {
     /// dropped (counted in the `analysis_rejections` metric) instead of
     /// being handed to the solver.
     pub strict_analysis: bool,
+    /// Carry the optimal simplex basis between slots on the LP tiers so each
+    /// solve warm-starts from the previous slot's optimum. Off by default;
+    /// results are identical either way (stale bases degrade to cold
+    /// solves), only solve effort changes.
+    pub warm_start: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -64,6 +69,7 @@ impl Default for RuntimeConfig {
             queue_capacity: 1024,
             clock: ClockKind::Sim,
             strict_analysis: false,
+            warm_start: false,
         }
     }
 }
@@ -142,7 +148,12 @@ impl Runtime {
         config: RuntimeConfig,
     ) -> Result<Self, RuntimeError> {
         Self::validate(&config)?;
-        let chain = FallbackChain::new(&config.tiers, config.slot_budget(), config.clock.build());
+        let chain = FallbackChain::with_warm_start(
+            &config.tiers,
+            config.slot_budget(),
+            config.clock.build(),
+            config.warm_start,
+        );
         let num_slots = num_slots.max(arrivals.num_slots());
         Ok(Self {
             controller: OnlineController::new(network, chain),
@@ -191,10 +202,14 @@ impl Runtime {
     pub fn from_snapshot(snap: RuntimeSnapshot) -> Result<Self, RuntimeError> {
         Self::validate(&snap.config)?;
         let network = snap.rebuild_network();
-        let chain = FallbackChain::new(
+        // Warm-start state (the previous optimal basis) is deliberately not
+        // snapshotted: a resumed run cold-solves its first slot, which only
+        // costs pivots — committed results are unaffected.
+        let chain = FallbackChain::with_warm_start(
             &snap.config.tiers,
             snap.config.slot_budget(),
             snap.config.clock.build(),
+            snap.config.warm_start,
         );
         Ok(Self {
             controller: OnlineController::from_state(network, chain, snap.controller),
@@ -287,6 +302,10 @@ impl Runtime {
             if let Some(findings) = rejected {
                 self.metrics.inc("analysis_rejections", 1);
                 self.metrics.inc("files_lost_analysis", batch.len() as u64);
+                // Distribution of rejected-batch sizes, so operators can see
+                // whether strict mode is dropping single stragglers or whole
+                // waves (exported with p50/p95/p99 like the latency series).
+                self.metrics.observe("analysis_rejection_batch_size", batch.len() as f64);
                 eprintln!(
                     "slot {slot}: strict analysis rejected the batch ({} file(s)):\n{findings}",
                     batch.len()
@@ -343,6 +362,13 @@ impl Runtime {
                         rec.elapsed.as_secs_f64(),
                     );
                     self.metrics.observe("lp_iterations", rec.lp_iterations as f64);
+                    if self.config.warm_start && rec.tier != TierKind::Greedy {
+                        if rec.warm_started {
+                            self.metrics.inc("warm_start_hits", 1);
+                        } else {
+                            self.metrics.inc("warm_start_misses", 1);
+                        }
+                    }
                     if rec.outcome == AttemptOutcome::CommittedAfterRetry {
                         self.metrics.inc("tier_retries", 1);
                     }
@@ -574,6 +600,27 @@ mod tests {
         // The slot still ran (empty batch) and was not counted as degraded.
         assert_eq!(outcomes.len(), 2);
         assert!(!outcomes[0].degraded);
+    }
+
+    #[test]
+    fn warm_start_run_matches_cold_costs_and_counts_hits() {
+        let config = RuntimeConfig { warm_start: true, ..Default::default() };
+        let mut warm = Runtime::new(net(), arrivals(), FaultPlan::none(), 4, config).unwrap();
+        let mut cold =
+            Runtime::new(net(), arrivals(), FaultPlan::none(), 4, RuntimeConfig::default())
+                .unwrap();
+        warm.run_to_end().unwrap();
+        cold.run_to_end().unwrap();
+        // Equivalence gate: same bills to 1e-6 on every slot.
+        assert_eq!(warm.cost_history().len(), cold.cost_history().len());
+        for (a, b) in warm.cost_history().iter().zip(cold.cost_history()) {
+            assert!((a - b).abs() < 1e-6, "warm {a} vs cold {b}");
+        }
+        assert_eq!(warm.metrics().counter("files_accepted"), 2);
+        // Two non-empty batches: the first solve misses, the second hits.
+        assert_eq!(warm.metrics().counter("warm_start_misses"), 1);
+        assert_eq!(warm.metrics().counter("warm_start_hits"), 1);
+        assert_eq!(cold.metrics().counter("warm_start_hits"), 0);
     }
 
     #[test]

@@ -24,8 +24,9 @@ use std::path::Path;
 ///
 /// History: v1 — initial format; v2 — `RuntimeConfig` gained
 /// `strict_analysis` (the vendored serde shim treats missing fields as
-/// errors, so the addition is a format break).
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// errors, so the addition is a format break); v3 — `RuntimeConfig` gained
+/// `warm_start` and `HistogramSummary` gained percentile buckets.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// One directed link, flattened for serialization.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

@@ -56,7 +56,7 @@ fn flow_based_also_prefers_the_relay_here() {
     // because instantaneous forwarding avoids the pipelining burst. This is
     // exactly the paper's Sec. VII observation that store-and-forward is
     // bursty when capacity is ample.
-    let mut ctl = OnlineController::new(fig1_network(), FlowLpScheduler);
+    let mut ctl = OnlineController::new(fig1_network(), FlowLpScheduler::new());
     let report = ctl.step(0, &[fig1_file()]).unwrap();
     assert!((report.cost_per_slot - 8.0).abs() < 1e-4, "{}", report.cost_per_slot);
 }

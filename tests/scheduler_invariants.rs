@@ -66,7 +66,7 @@ fn every_scheduler_produces_validated_decisions() {
         let ledger = TrafficLedger::new(5);
         let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
             Box::new(PostcardScheduler::new()),
-            Box::new(FlowLpScheduler),
+            Box::new(FlowLpScheduler::new()),
             Box::new(TwoPhaseScheduler),
             Box::new(GreedyScheduler),
             Box::new(DirectScheduler),
@@ -102,7 +102,7 @@ fn unified_flow_lp_dominates_other_flow_baselines() {
     for seed in 200..208u64 {
         let (network, files) = random_instance(seed, 5, 3, 200.0);
         let ledger = TrafficLedger::new(5);
-        let mut flow_lp = FlowLpScheduler;
+        let mut flow_lp = FlowLpScheduler::new();
         let lp_bill = flow_lp
             .schedule(&network, &files, &ledger)
             .map(|d| bill_of(&network, &files, &d))
