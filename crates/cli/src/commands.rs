@@ -60,8 +60,8 @@ commands:
                 [--runs N] [--slots N] [--seed S] [--all-approaches]
   serve         --network PATH --trace PATH [--slots N]
                 [--checkpoint PATH] [--every N] [--budget-ms MS]
-                [--tiers a,b,c] [--queue N] [--wall-clock] [--strict]
-                [--warm-start]
+                [--tiers a,b,c] [--queue-capacity N] [--max-requeue N]
+                [--wall-clock] [--strict] [--warm-start]
                 [--degrade slot:from:to:cap[,..]] [--force-timeout slot[:tier][,..]]
                 [--stop-after-slot K] [--metrics-out PATH]
   resume        --checkpoint PATH [--stop-after-slot K] [--metrics-out PATH]
@@ -379,7 +379,13 @@ fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         Some(spec) => parse_tiers(spec)?,
         None => TierKind::default_chain(),
     };
-    let queue_capacity: usize = args.get_or("queue", 1024)?;
+    // `--queue-capacity` is the documented spelling; `--queue` stays as an
+    // alias from before the queue became a persistent backlog.
+    let queue_capacity: usize = match args.get("queue-capacity") {
+        Some(_) => args.require("queue-capacity")?,
+        None => args.get_or("queue", 1024)?,
+    };
+    let max_requeue_attempts: u32 = args.get_or("max-requeue", 2)?;
     let wall_clock = args.switch("wall-clock");
     let strict_analysis = args.switch("strict");
     let warm_start = args.switch("warm-start");
@@ -402,6 +408,7 @@ fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         checkpoint_every: if checkpoint.is_some() { every } else { 0 },
         checkpoint_path: checkpoint,
         queue_capacity,
+        max_requeue_attempts,
         clock: if wall_clock { ClockKind::Wall } else { ClockKind::Sim },
         strict_analysis,
         warm_start,
@@ -805,6 +812,40 @@ mod tests {
         assert!(out.contains("finished"), "{out}");
         let metrics = std::fs::read_to_string(&metrics_path).unwrap();
         assert!(metrics.contains("warm_start_"), "warm metrics missing: {metrics}");
+    }
+
+    #[test]
+    fn serve_accepts_queue_capacity_and_max_requeue_flags() {
+        let net_path = tmp("queue_net.csv");
+        let trace_path = tmp("queue_trace.csv");
+        run_cli(&["gen-network", "--dcs", "4", "--capacity", "500", "--out", &net_path]).unwrap();
+        run_cli(&["gen-trace", "--dcs", "4", "--slots", "3", "--out", &trace_path]).unwrap();
+        // The documented spelling and the legacy `--queue` alias both work.
+        for capacity_flag in ["--queue-capacity", "--queue"] {
+            let out = run_cli(&[
+                "serve",
+                "--network",
+                &net_path,
+                "--trace",
+                &trace_path,
+                capacity_flag,
+                "16",
+                "--max-requeue",
+                "1",
+            ])
+            .unwrap();
+            assert!(out.contains("finished"), "{out}");
+        }
+        let err = run_cli(&[
+            "serve",
+            "--network",
+            &net_path,
+            "--trace",
+            &trace_path,
+            "--queue-capacity",
+            "a-lot",
+        ]);
+        assert!(matches!(err, Err(CliError::Usage(_))), "{err:?}");
     }
 
     #[test]

@@ -90,6 +90,27 @@ impl TransferRequest {
         self.size_gb / self.deadline_slots as f64
     }
 
+    /// Re-stamps this request as released at `slot`, preserving the absolute
+    /// deadline — the backlog-carrying runtime uses this when a request that
+    /// arrived earlier is finally handed to the controller (which requires
+    /// `release_slot == slot`). Slots already spent waiting shrink
+    /// `deadline_slots` so [`TransferRequest::last_slot`] is unchanged.
+    /// Returns the request untouched when `slot` is not past the release
+    /// slot, and `None` when the deadline has already expired (no slot in
+    /// which the file could still move).
+    pub fn carried_to(&self, slot: u64) -> Option<TransferRequest> {
+        if slot <= self.release_slot {
+            return Some(*self);
+        }
+        if slot > self.last_slot() {
+            return None;
+        }
+        let mut carried = *self;
+        carried.deadline_slots = (self.last_slot() - slot + 1) as usize;
+        carried.release_slot = slot;
+        Some(carried)
+    }
+
     /// Expands a multi-destination transfer into one request per
     /// destination, sharing source, size, deadline, and release slot — the
     /// paper's prescription for files with multiple destinations (Sec. III).
@@ -219,6 +240,26 @@ mod tests {
             && f.size_gb == r.size_gb
             && f.deadline_slots == r.deadline_slots
             && f.release_slot == r.release_slot));
+    }
+
+    #[test]
+    fn carried_to_preserves_absolute_deadline() {
+        let r = req(); // release 10, deadline 3 → last slot 12
+                       // Not yet past release: unchanged.
+        assert_eq!(r.carried_to(10), Some(r));
+        assert_eq!(r.carried_to(3), Some(r));
+        // Carried one slot: window shrinks, absolute deadline holds.
+        let c = r.carried_to(11).unwrap();
+        assert_eq!(c.release_slot, 11);
+        assert_eq!(c.deadline_slots, 2);
+        assert_eq!(c.last_slot(), r.last_slot());
+        assert_eq!((c.id, c.src, c.dst, c.size_gb), (r.id, r.src, r.dst, r.size_gb));
+        // Carried to the last slot: one slot left.
+        let last = r.carried_to(12).unwrap();
+        assert_eq!(last.deadline_slots, 1);
+        assert_eq!(last.last_slot(), 12);
+        // Past the deadline: expired.
+        assert_eq!(r.carried_to(13), None);
     }
 
     #[test]

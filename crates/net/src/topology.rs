@@ -82,7 +82,7 @@ impl Network {
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0`, `price < 0`, or `capacity <= 0`.
+    /// Panics if `n == 0`, `price < 0`, or `capacity` is negative or NaN.
     pub fn complete(n: usize, price: f64, capacity: f64) -> Self {
         let mut b = NetworkBuilder::new(n);
         for i in 0..n {
@@ -186,13 +186,16 @@ impl Network {
         (0..self.n).filter(move |&i| self.links[i * self.n + j].is_some()).map(DcId)
     }
 
-    /// Overwrites the capacity of an existing link.
+    /// Overwrites the capacity of an existing link. A capacity of `0.0` is
+    /// allowed and models a full outage: the link stays in the topology (it
+    /// keeps its price and may be billed for past peaks) but can carry no
+    /// new traffic.
     ///
     /// # Panics
     ///
-    /// Panics if the link does not exist or `capacity <= 0`.
+    /// Panics if the link does not exist or `capacity` is negative or NaN.
     pub fn set_capacity(&mut self, from: DcId, to: DcId, capacity: f64) {
-        assert!(capacity > 0.0, "capacity must be positive");
+        assert!(capacity >= 0.0, "capacity must be non-negative");
         let n = self.n;
         // postcard-analyze: allow(PA102) — documented panic contract (see
         // the `# Panics` section above).
@@ -246,8 +249,8 @@ impl Network {
             if from == to {
                 return Err(err("self-loops are not links"));
             }
-            if !price.is_finite() || price < 0.0 || capacity.is_nan() || capacity <= 0.0 {
-                return Err(err("price must be ≥ 0 and capacity > 0"));
+            if !price.is_finite() || price < 0.0 || capacity.is_nan() || capacity < 0.0 {
+                return Err(err("price must be ≥ 0 and capacity ≥ 0"));
             }
             max_dc = max_dc.max(from).max(to);
             rows.push((from, to, price, capacity));
@@ -282,17 +285,20 @@ impl NetworkBuilder {
         Self { n, names: (0..n).map(|i| format!("D{i}")).collect(), links: vec![None; n * n] }
     }
 
-    /// Adds (or overwrites) the directed link `from → to`.
+    /// Adds (or overwrites) the directed link `from → to`. A capacity of
+    /// `0.0` is allowed (a fully degraded link — see
+    /// [`Network::set_capacity`]) so snapshots of outage-degraded networks
+    /// can be rebuilt.
     ///
     /// # Panics
     ///
     /// Panics on a self-loop, out-of-range id, negative price, or
-    /// non-positive capacity.
+    /// negative/NaN capacity.
     pub fn link(mut self, from: DcId, to: DcId, price: f64, capacity: f64) -> Self {
         assert!(from != to, "self-loops are expressed as storage, not links");
         assert!(from.0 < self.n && to.0 < self.n, "datacenter id out of range");
         assert!(price >= 0.0 && price.is_finite(), "price must be finite and non-negative");
-        assert!(capacity > 0.0, "capacity must be positive");
+        assert!(capacity >= 0.0, "capacity must be non-negative");
         self.links[from.0 * self.n + to.0] = Some(LinkParams { price, capacity });
         self
     }
@@ -377,6 +383,29 @@ mod tests {
         net.set_capacity(DcId(0), DcId(1), 33.0);
         assert_eq!(net.capacity(DcId(0), DcId(1)), Some(33.0));
         assert_eq!(net.capacity(DcId(1), DcId(0)), Some(10.0));
+    }
+
+    #[test]
+    fn zero_capacity_models_full_outage() {
+        // Capacity 0 is legal — the link keeps its price (and, upstream,
+        // its billed past peaks) but can carry no new traffic — so fault
+        // injection can kill a link and a snapshot of the degraded network
+        // can rebuild.
+        let mut net = Network::complete(2, 1.0, 10.0);
+        net.set_capacity(DcId(0), DcId(1), 0.0);
+        assert_eq!(net.capacity(DcId(0), DcId(1)), Some(0.0));
+        assert_eq!(net.price(DcId(0), DcId(1)), Some(1.0));
+        let rebuilt = NetworkBuilder::new(2).link(DcId(0), DcId(1), 1.0, 0.0).build();
+        assert_eq!(rebuilt.capacity(DcId(0), DcId(1)), Some(0.0));
+        let round = Network::from_csv(&rebuilt.to_csv()).unwrap();
+        assert_eq!(round.capacity(DcId(0), DcId(1)), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_capacity_rejected() {
+        let mut net = Network::complete(2, 1.0, 10.0);
+        net.set_capacity(DcId(0), DcId(1), -1.0);
     }
 
     #[test]

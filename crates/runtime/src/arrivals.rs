@@ -32,7 +32,10 @@ impl ArrivalSchedule {
         self.requests.iter().map(|r| r.release_slot + 1).max().unwrap_or(0)
     }
 
-    /// The arrivals released at `slot`, in id order.
+    /// The arrivals released at `slot`, in id order. Slots past the last
+    /// release return an empty batch — requeued backlog can extend the run
+    /// horizon beyond [`ArrivalSchedule::num_slots`], and those extension
+    /// slots simply see no new arrivals.
     pub fn batch(&self, slot: u64) -> Vec<TransferRequest> {
         self.requests.iter().filter(|r| r.release_slot == slot).copied().collect()
     }

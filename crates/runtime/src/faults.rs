@@ -25,7 +25,8 @@ pub struct LinkDegradation {
     pub from: usize,
     /// Link destination.
     pub to: usize,
-    /// New capacity (GB/slot); must be positive.
+    /// New capacity (GB/slot); must be non-negative — 0 models a full
+    /// outage (the link stays known but carries no new traffic).
     pub capacity: f64,
 }
 
@@ -91,8 +92,8 @@ impl FaultPlan {
         let from = parts[1].parse().map_err(|_| format!("bad source dc in `{spec}`"))?;
         let to = parts[2].parse().map_err(|_| format!("bad destination dc in `{spec}`"))?;
         let capacity: f64 = parts[3].parse().map_err(|_| format!("bad capacity in `{spec}`"))?;
-        if capacity.is_nan() || capacity <= 0.0 {
-            return Err(format!("capacity must be positive in `{spec}`"));
+        if capacity.is_nan() || capacity < 0.0 {
+            return Err(format!("capacity must be non-negative in `{spec}`"));
         }
         Ok(LinkDegradation { slot, from, to, capacity })
     }
@@ -136,6 +137,8 @@ mod tests {
         let d = FaultPlan::parse_degradation("5:0:2:12.5").unwrap();
         assert_eq!((d.slot, d.from, d.to), (5, 0, 2));
         assert_eq!(d.capacity, 12.5);
+        // Capacity 0 is a valid full-outage spec.
+        assert_eq!(FaultPlan::parse_degradation("5:0:2:0").unwrap().capacity, 0.0);
         assert!(FaultPlan::parse_degradation("5:0:2").is_err());
         assert!(FaultPlan::parse_degradation("5:0:2:-1").is_err());
         assert!(FaultPlan::parse_degradation("x:0:2:1").is_err());

@@ -22,7 +22,11 @@
 //!
 //! [`Runtime`] drives the slot loop: degrade links, admit arrivals through
 //! a bounded [`AdmissionQueue`], schedule via the chain, record metrics,
-//! checkpoint. The CLI exposes it as `postcard serve` / `postcard resume`.
+//! checkpoint. The queue is a persistent *backlog*: batches a slot could
+//! not schedule are requeued (at most `max_requeue_attempts` times) and
+//! retried in later slots with their absolute deadlines preserved, and the
+//! backlog itself is checkpointed (snapshot v4) so resume is exact even
+//! mid-carry. The CLI exposes it as `postcard serve` / `postcard resume`.
 //!
 //! # Example
 //!
@@ -66,6 +70,6 @@ pub use clock::{Clock, ClockKind, SimClock, WallClock};
 pub use fallback::{AttemptOutcome, AttemptRecord, FallbackChain, TierKind};
 pub use faults::{FaultPlan, ForcedTimeout, LinkDegradation};
 pub use metrics::{HistogramSummary, MetricsRegistry};
-pub use queue::AdmissionQueue;
+pub use queue::{AdmissionQueue, QueuedRequest};
 pub use runtime::{Runtime, RuntimeConfig, RuntimeError, SlotOutcome};
 pub use snapshot::{RuntimeSnapshot, SNAPSHOT_VERSION};

@@ -94,7 +94,18 @@ impl HistogramSummary {
         if self.count == 0 {
             return 0.0;
         }
-        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let q = q.clamp(0.0, 1.0);
+        // The extremes are tracked exactly; answer them directly rather
+        // than from bucket interpolation (which would, e.g., report 0 for
+        // `q = 0` of an all-negative distribution — bucket 0 spans
+        // everything ≤ 0 and its lower edge is 0).
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = q * self.count as f64;
         let mut cum = 0u64;
         for (k, &c) in self.buckets.iter().enumerate() {
             if c == 0 {
@@ -360,5 +371,42 @@ mod tests {
         assert_eq!(h.percentile(0.0).max(h.min), h.percentile(0.0));
         // Empty histogram reports zeros.
         assert_eq!(HistogramSummary::default().p95(), 0.0);
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_zero() {
+        let h = HistogramSummary::default();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.percentile(q), 0.0);
+        }
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn percentile_with_all_mass_in_bucket_zero() {
+        // Values at or below zero all land in bucket 0, whose lower edge is
+        // 0 — interpolation alone would report 0 for every quantile. The
+        // exact min/max endpoints must win.
+        let mut h = HistogramSummary::default();
+        for v in [-4.0, -2.0, -1.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.percentile(0.0), -4.0);
+        assert_eq!(h.percentile(1.0), -1.0);
+        let p50 = h.p50();
+        assert!((-4.0..=-1.0).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn percentile_q1_is_exactly_the_max() {
+        let mut h = HistogramSummary::default();
+        for v in [1.0, 3.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.percentile(1.0), 100.0);
+        assert_eq!(h.percentile(0.0), 1.0);
+        // Out-of-range quantiles clamp to the endpoints.
+        assert_eq!(h.percentile(2.5), 100.0);
+        assert_eq!(h.percentile(-1.0), 1.0);
     }
 }

@@ -1,26 +1,46 @@
-//! Bounded admission queue for arriving transfer requests.
+//! Bounded backlog of admitted transfer requests.
 //!
 //! A real controller service cannot accept unbounded bursts: the slot loop
 //! offers each slot's arrivals to a bounded queue, and arrivals beyond the
-//! capacity are *dropped at the door* (counted, never scheduled). The queue
-//! is drained completely into the controller batch every slot — the online
-//! controller requires `release_slot == slot`, so requests never carry over
-//! to a later slot. That also means checkpoints taken at slot boundaries
-//! never need to persist queue contents, only the cumulative drop counter
-//! (which the metrics registry carries).
+//! capacity are *dropped at the door* (counted, never scheduled). The
+//! capacity bounds the total *queued* work — backlog carried over from
+//! earlier slots eats into the space available for new arrivals, exactly
+//! like a router buffer.
+//!
+//! Unlike a per-slot intake buffer, the queue is a persistent FIFO backlog:
+//! [`AdmissionQueue::take_batch`] hands the runtime everything that is still
+//! schedulable (evicting requests whose deadline has already passed), and
+//! batches the solver could not place this slot come back via
+//! [`AdmissionQueue::requeue`] — at the *front*, so arrival order is
+//! preserved across carries. Each entry remembers how many times it has been
+//! requeued ([`QueuedRequest::attempts`]); the runtime stops retrying past
+//! its `max_requeue_attempts` knob. Because the backlog can be non-empty at
+//! a slot boundary, snapshots persist the queue contents (format v4).
 
 use postcard_net::TransferRequest;
+use serde::{Deserialize, Serialize};
 
-/// A per-slot bounded intake buffer.
+/// One backlog entry: a request plus how many times it has been requeued.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueuedRequest {
+    /// The queued request, with its *original* release slot — re-stamping
+    /// for the controller happens at drain time, so the absolute deadline
+    /// (`request.last_slot()`) stays fixed while the entry waits.
+    pub request: TransferRequest,
+    /// How many times this entry has been requeued after a failed slot.
+    pub attempts: u32,
+}
+
+/// A bounded FIFO backlog of transfer requests.
 #[derive(Debug, Clone)]
 pub struct AdmissionQueue {
     capacity: usize,
-    pending: Vec<TransferRequest>,
+    pending: Vec<QueuedRequest>,
     dropped: u64,
 }
 
 impl AdmissionQueue {
-    /// Creates a queue admitting at most `capacity` requests per slot.
+    /// Creates a queue holding at most `capacity` requests.
     ///
     /// # Panics
     ///
@@ -30,24 +50,55 @@ impl AdmissionQueue {
         Self { capacity, pending: Vec::new(), dropped: 0 }
     }
 
-    /// The per-slot capacity.
+    /// The total backlog capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
     /// Offers one slot's arrivals in order; returns how many were dropped.
+    /// Backlog already queued counts against the capacity, so a slot that
+    /// carried work forward has less room for new arrivals.
     pub fn offer(&mut self, arrivals: &[TransferRequest]) -> usize {
-        let space = self.capacity - self.pending.len();
+        let space = self.capacity.saturating_sub(self.pending.len());
         let taken = arrivals.len().min(space);
-        self.pending.extend_from_slice(&arrivals[..taken]);
+        self.pending.extend(
+            arrivals[..taken].iter().map(|&request| QueuedRequest { request, attempts: 0 }),
+        );
         let dropped = arrivals.len() - taken;
         self.dropped += dropped as u64;
         dropped
     }
 
-    /// Drains the queued batch for scheduling (empties the queue).
-    pub fn drain(&mut self) -> Vec<TransferRequest> {
-        std::mem::take(&mut self.pending)
+    /// Drains the backlog for scheduling at `slot`: returns the still-live
+    /// entries in FIFO order plus the number evicted because their deadline
+    /// (`request.last_slot()`) already passed.
+    pub fn take_batch(&mut self, slot: u64) -> (Vec<QueuedRequest>, usize) {
+        let drained = std::mem::take(&mut self.pending);
+        let before = drained.len();
+        let live: Vec<QueuedRequest> =
+            drained.into_iter().filter(|e| e.request.last_slot() >= slot).collect();
+        let expired = before - live.len();
+        (live, expired)
+    }
+
+    /// Puts entries the slot could not schedule back at the *front* of the
+    /// backlog (they arrived before anything queued since), preserving FIFO
+    /// order across the carry. The caller increments `attempts` and enforces
+    /// its retry budget; requeueing never drops entries even if the backlog
+    /// momentarily exceeds capacity — the bound applies at the door
+    /// ([`AdmissionQueue::offer`]), not to work already admitted.
+    pub fn requeue(&mut self, entries: Vec<QueuedRequest>) {
+        self.pending.splice(0..0, entries);
+    }
+
+    /// The queued entries, front (oldest) first — snapshots persist these.
+    pub fn entries(&self) -> &[QueuedRequest] {
+        &self.pending
+    }
+
+    /// Restores backlog contents from a snapshot, replacing anything queued.
+    pub fn restore(&mut self, entries: Vec<QueuedRequest>) {
+        self.pending = entries;
     }
 
     /// Requests currently queued.
@@ -60,7 +111,7 @@ impl AdmissionQueue {
         self.pending.is_empty()
     }
 
-    /// Total requests dropped since construction.
+    /// Total requests dropped at the door since construction.
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
@@ -75,14 +126,20 @@ mod tests {
         TransferRequest::new(FileId(id), DcId(0), DcId(1), 1.0, 1, 0)
     }
 
+    fn req_at(id: u64, release: u64, deadline: usize) -> TransferRequest {
+        TransferRequest::new(FileId(id), DcId(0), DcId(1), 1.0, deadline, release)
+    }
+
     #[test]
     fn admits_up_to_capacity_in_order() {
         let mut q = AdmissionQueue::new(2);
         let arrivals = [req(1), req(2), req(3)];
         assert_eq!(q.offer(&arrivals), 1);
         assert_eq!(q.dropped(), 1);
-        let batch = q.drain();
-        assert_eq!(batch.iter().map(|r| r.id.0).collect::<Vec<_>>(), vec![1, 2]);
+        let (batch, expired) = q.take_batch(0);
+        assert_eq!(expired, 0);
+        assert_eq!(batch.iter().map(|e| e.request.id.0).collect::<Vec<_>>(), vec![1, 2]);
+        assert!(batch.iter().all(|e| e.attempts == 0));
         assert!(q.is_empty());
     }
 
@@ -90,10 +147,75 @@ mod tests {
     fn drain_resets_capacity_for_next_slot() {
         let mut q = AdmissionQueue::new(2);
         q.offer(&[req(1), req(2)]);
-        q.drain();
+        q.take_batch(0);
         assert_eq!(q.offer(&[req(3)]), 0);
         assert_eq!(q.len(), 1);
         assert_eq!(q.dropped(), 0);
+    }
+
+    #[test]
+    fn offer_with_preloaded_backlog_does_not_underflow() {
+        // Regression: `capacity - pending.len()` used to underflow and panic
+        // the moment the queue was not fully drained. A backlog at (or, via
+        // requeue, past) capacity must simply drop the new arrivals.
+        let mut q = AdmissionQueue::new(2);
+        q.offer(&[req(1), req(2)]);
+        assert_eq!(q.offer(&[req(3), req(4)]), 2);
+        assert_eq!(q.dropped(), 2);
+        assert_eq!(q.len(), 2);
+        // Requeue can push the backlog past capacity; offering then must
+        // still be safe and drop everything new.
+        let (batch, _) = q.take_batch(0);
+        q.requeue(batch);
+        q.requeue(vec![QueuedRequest { request: req(9), attempts: 1 }]);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.offer(&[req(5)]), 1);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn requeue_goes_to_the_front() {
+        let mut q = AdmissionQueue::new(8);
+        q.offer(&[req(1), req(2)]);
+        let (batch, _) = q.take_batch(0);
+        q.offer(&[req(3)]);
+        q.requeue(
+            batch
+                .into_iter()
+                .map(|mut e| {
+                    e.attempts += 1;
+                    e
+                })
+                .collect(),
+        );
+        let (batch, _) = q.take_batch(0);
+        let ids: Vec<u64> = batch.iter().map(|e| e.request.id.0).collect();
+        assert_eq!(ids, vec![1, 2, 3], "carried entries precede newer arrivals");
+        assert_eq!(batch[0].attempts, 1);
+        assert_eq!(batch[2].attempts, 0);
+    }
+
+    #[test]
+    fn take_batch_evicts_expired_entries() {
+        let mut q = AdmissionQueue::new(8);
+        // last slots: 0, 1, 4.
+        q.offer(&[req_at(1, 0, 1), req_at(2, 0, 2), req_at(3, 0, 5)]);
+        let (batch, expired) = q.take_batch(2);
+        assert_eq!(expired, 2);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].request.id, FileId(3));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn restore_round_trips_entries() {
+        let mut q = AdmissionQueue::new(4);
+        q.offer(&[req(1), req(2)]);
+        let saved: Vec<QueuedRequest> = q.entries().to_vec();
+        let mut fresh = AdmissionQueue::new(4);
+        fresh.restore(saved.clone());
+        assert_eq!(fresh.entries(), &saved[..]);
+        assert_eq!(fresh.len(), 2);
     }
 
     #[test]

@@ -1,14 +1,24 @@
 //! The slot-driven controller service.
 //!
 //! [`Runtime`] wires everything together: each slot it (1) applies scheduled
-//! link degradations, (2) offers the slot's arrivals to the bounded
-//! admission queue, (3) arms forced solver timeouts and drives the online
-//! controller through the fallback chain, (4) records metrics, and
-//! (5) checkpoints every `checkpoint_every` slots. A slot is *never* missed:
-//! the chain's final tier always commits, and if even that tier hard-fails
-//! the runtime steps the controller with an empty batch so the cost history
-//! stays slot-aligned (the slot is counted as degraded and its batch as
-//! lost).
+//! link degradations (capacity 0 models a full outage), (2) offers the
+//! slot's arrivals to the bounded admission queue and drains the backlog
+//! that is still within deadline, (3) arms forced solver timeouts and drives
+//! the online controller through the fallback chain, (4) records metrics,
+//! and (5) checkpoints every `checkpoint_every` slots. A slot is *never*
+//! missed: the chain's final tier always commits, and if even that tier
+//! hard-fails the runtime steps the controller with an empty batch so the
+//! cost history stays slot-aligned (the slot is counted as degraded).
+//!
+//! Batches a slot could not schedule — strict analysis rejected them for
+//! transient reasons, or the whole chain hard-failed — are *not* thrown
+//! away: they go back to the front of the backlog and retry in a later slot
+//! (the run horizon extends to give them one), each request at most
+//! [`RuntimeConfig::max_requeue_attempts`] times before it counts as lost.
+//! Requests whose deadline passes while queued are evicted at the next
+//! drain (`backlog_expired`). Carried requests are re-stamped at drain time
+//! so their *absolute* deadline is preserved (see
+//! [`postcard_net::TransferRequest::carried_to`]).
 //!
 //! With [`ClockKind::Sim`] the whole service is deterministic, so killing a
 //! run at any checkpoint and resuming with [`Runtime::resume`] reproduces
@@ -21,13 +31,13 @@ use crate::clock::ClockKind;
 use crate::fallback::{AttemptOutcome, FallbackChain, TierKind};
 use crate::faults::FaultPlan;
 use crate::metrics::MetricsRegistry;
-use crate::queue::AdmissionQueue;
+use crate::queue::{AdmissionQueue, QueuedRequest};
 use crate::snapshot::{RuntimeSnapshot, SNAPSHOT_VERSION};
 use postcard_analyze::check_problem;
 use postcard_core::{
     build_postcard_problem, OnlineController, PostcardConfig, PostcardError, StepReport,
 };
-use postcard_net::{DcId, Network};
+use postcard_net::{DcId, Network, TransferRequest};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -43,8 +53,13 @@ pub struct RuntimeConfig {
     pub checkpoint_every: u64,
     /// Where checkpoints are written (required when `checkpoint_every > 0`).
     pub checkpoint_path: Option<String>,
-    /// Admission queue capacity (requests per slot).
+    /// Admission queue capacity: bounds the total *queued* backlog, not
+    /// per-slot arrivals — carried-over work eats into the room for new
+    /// arrivals.
     pub queue_capacity: usize,
+    /// How many times an unscheduled batch entry is requeued before it
+    /// counts as lost (0 restores drop-on-failure behavior).
+    pub max_requeue_attempts: u32,
     /// Which clock measures the solve budget.
     pub clock: ClockKind,
     /// Run `postcard-analyze`'s structural checks on every slot's problem
@@ -67,6 +82,7 @@ impl Default for RuntimeConfig {
             checkpoint_every: 0,
             checkpoint_path: None,
             queue_capacity: 1024,
+            max_requeue_attempts: 2,
             clock: ClockKind::Sim,
             strict_analysis: false,
             warm_start: false,
@@ -211,9 +227,11 @@ impl Runtime {
             snap.config.clock.build(),
             snap.config.warm_start,
         );
+        let mut queue = AdmissionQueue::new(snap.config.queue_capacity);
+        queue.restore(snap.queue);
         Ok(Self {
             controller: OnlineController::from_state(network, chain, snap.controller),
-            queue: AdmissionQueue::new(snap.config.queue_capacity),
+            queue,
             config: snap.config,
             arrivals: snap.arrivals,
             faults: snap.faults,
@@ -223,8 +241,9 @@ impl Runtime {
         })
     }
 
-    /// Snapshots the current state (taken at a slot boundary, so the
-    /// admission queue is empty by construction).
+    /// Snapshots the current state. Snapshots are taken at slot boundaries,
+    /// but the backlog can be non-empty there (requeued batches carry over),
+    /// so the queue contents are persisted too (snapshot format v4).
     pub fn snapshot(&self) -> RuntimeSnapshot {
         RuntimeSnapshot {
             version: SNAPSHOT_VERSION,
@@ -233,6 +252,7 @@ impl Runtime {
             links: RuntimeSnapshot::links_of(self.controller.network()),
             arrivals: self.arrivals.clone(),
             faults: self.faults.clone(),
+            queue: self.queue.entries().to_vec(),
             controller: self.controller.export_state(),
             metrics: self.metrics.clone(),
             next_slot: self.next_slot,
@@ -249,6 +269,34 @@ impl Runtime {
         self.snapshot().save(path).map_err(RuntimeError::Snapshot)
     }
 
+    /// Sends a batch the slot could not schedule back to the backlog:
+    /// entries still inside their retry budget go to the front of the queue
+    /// with `attempts` bumped, the rest count as lost. `kind` selects the
+    /// metric family (`files_requeued_analysis` / `files_lost_analysis` or
+    /// the `_degraded` pair). When anything was requeued the run horizon
+    /// extends so the carried work gets at least one more slot.
+    fn requeue_unscheduled(&mut self, entries: Vec<QueuedRequest>, slot: u64, kind: &str) {
+        let mut retry = Vec::new();
+        let mut lost = 0u64;
+        for mut e in entries {
+            if e.attempts < self.config.max_requeue_attempts {
+                e.attempts += 1;
+                retry.push(e);
+            } else {
+                lost += 1;
+            }
+        }
+        if lost > 0 {
+            self.metrics.inc(&format!("files_lost_{kind}"), lost);
+        }
+        if !retry.is_empty() {
+            self.metrics.inc(&format!("files_requeued_{kind}"), retry.len() as u64);
+            self.metrics.inc("requeued_total", retry.len() as u64);
+            self.queue.requeue(retry);
+            self.num_slots = self.num_slots.max(slot + 2);
+        }
+    }
+
     /// Runs one slot; `Ok(None)` once the run is complete.
     ///
     /// # Errors
@@ -262,9 +310,12 @@ impl Runtime {
         let slot = self.next_slot;
 
         // (1) Faults first: degradations apply at the slot boundary.
+        // Capacity 0 is a *valid* full-outage degradation (the formulation
+        // simply gets no variables on the dead link); only unknown links and
+        // negative/NaN capacities are skipped.
         for d in self.faults.degradations_at(slot).copied().collect::<Vec<_>>() {
             let (from, to) = (DcId(d.from), DcId(d.to));
-            if self.controller.network().capacity(from, to).is_some() && d.capacity > 0.0 {
+            if self.controller.network().capacity(from, to).is_some() && d.capacity >= 0.0 {
                 self.controller.network_mut().set_capacity(from, to, d.capacity);
                 self.metrics.inc("degradations_applied", 1);
             } else {
@@ -272,13 +323,22 @@ impl Runtime {
             }
         }
 
-        // (2) Bounded admission.
+        // (2) Bounded admission, then drain the backlog. Entries whose
+        // deadline passed while they waited are evicted here; the rest are
+        // re-stamped to this slot (preserving their absolute deadline) so
+        // the controller's `release_slot == slot` invariant holds.
         let arrivals = self.arrivals.batch(slot);
         let dropped = self.queue.offer(&arrivals);
         if dropped > 0 {
             self.metrics.inc("queue_dropped", dropped as u64);
         }
-        let mut batch = self.queue.drain();
+        self.metrics.observe("queue_depth", self.queue.len() as f64);
+        let (mut entries, expired) = self.queue.take_batch(slot);
+        if expired > 0 {
+            self.metrics.inc("backlog_expired", expired as u64);
+        }
+        let mut batch: Vec<TransferRequest> =
+            entries.iter().filter_map(|e| e.request.carried_to(slot)).collect();
 
         // (2b) Strict pre-solve analysis: assemble the slot's problem
         // without solving and reject the batch on structural errors
@@ -292,16 +352,19 @@ impl Runtime {
                 self.controller.ledger(),
                 &PostcardConfig::default(),
             );
+            // Analysis findings are *transient* (they depend on the slot's
+            // network and ledger state, which change) → the batch retries
+            // from the backlog. A construction failure is *permanent* (the
+            // same batch fails identically every slot) → the batch is lost.
             let rejected = match verdict {
                 Ok(problem) => {
                     let report = check_problem(&problem);
-                    report.has_errors().then(|| report.render_text())
+                    report.has_errors().then(|| (report.render_text(), true))
                 }
-                Err(e) => Some(format!("problem construction failed: {e}\n")),
+                Err(e) => Some((format!("problem construction failed: {e}\n"), false)),
             };
-            if let Some(findings) = rejected {
+            if let Some((findings, transient)) = rejected {
                 self.metrics.inc("analysis_rejections", 1);
-                self.metrics.inc("files_lost_analysis", batch.len() as u64);
                 // Distribution of rejected-batch sizes, so operators can see
                 // whether strict mode is dropping single stragglers or whole
                 // waves (exported with p50/p95/p99 like the latency series).
@@ -311,6 +374,12 @@ impl Runtime {
                     batch.len()
                 );
                 batch.clear();
+                let unscheduled = std::mem::take(&mut entries);
+                if transient {
+                    self.requeue_unscheduled(unscheduled, slot, "analysis");
+                } else {
+                    self.metrics.inc("files_lost_analysis", unscheduled.len() as u64);
+                }
             }
         }
 
@@ -320,10 +389,12 @@ impl Runtime {
         let (report, degraded) = match self.controller.step(slot, &batch) {
             Ok(report) => (report, false),
             Err(_) => {
-                // The whole chain hard-failed. Keep the slot: re-arm the
-                // chain and step with an empty batch (trivially feasible) so
-                // cost_history stays slot-aligned; the batch is lost.
-                self.metrics.inc("files_lost_degraded", batch.len() as u64);
+                // The whole chain hard-failed. Keep the slot: send the batch
+                // back to the backlog (bounded by `max_requeue_attempts`),
+                // then re-arm the chain and step with an empty batch
+                // (trivially feasible) so cost_history stays slot-aligned.
+                let unscheduled = std::mem::take(&mut entries);
+                self.requeue_unscheduled(unscheduled, slot, "degraded");
                 self.controller.scheduler_mut().begin_slot(slot, self.faults.timeouts_at(slot));
                 let report = self.controller.step(slot, &[]).map_err(RuntimeError::Scheduler)?;
                 (report, true)
@@ -595,11 +666,105 @@ mod tests {
                 .unwrap();
         let outcomes = rt.run_to_end().unwrap();
         assert_eq!(rt.metrics().counter("analysis_rejections"), 1);
+        // Construction failures are permanent: the batch is lost outright,
+        // never requeued (retrying would fail identically every slot).
         assert_eq!(rt.metrics().counter("files_lost_analysis"), 2);
+        assert_eq!(rt.metrics().counter("files_requeued_analysis"), 0);
+        assert_eq!(rt.metrics().counter("requeued_total"), 0);
         assert_eq!(rt.metrics().counter("files_accepted"), 0);
         // The slot still ran (empty batch) and was not counted as degraded.
         assert_eq!(outcomes.len(), 2);
         assert!(!outcomes[0].degraded);
+    }
+
+    #[test]
+    fn degraded_slot_requeues_batch_until_attempts_exhausted() {
+        // A single-tier chain with an out-of-range datacenter and strict
+        // mode off: the chain hard-fails deterministically every slot, so
+        // the batch is requeued `max_requeue_attempts` times, then lost.
+        let reqs = vec![TransferRequest::new(FileId(1), DcId(7), d(2), 4.0, 10, 0)];
+        let config = RuntimeConfig { tiers: vec![TierKind::Postcard], ..Default::default() };
+        let mut rt =
+            Runtime::new(net(), ArrivalSchedule::from_requests(reqs), FaultPlan::none(), 1, config)
+                .unwrap();
+        let outcomes = rt.run_to_end().unwrap();
+        // Slot 0 fails → requeue (attempt 1) and extend the horizon; slot 1
+        // fails → requeue (attempt 2); slot 2 fails → budget exhausted.
+        assert_eq!(outcomes.len(), 3, "requeues extend the run horizon");
+        assert!(outcomes.iter().all(|o| o.degraded));
+        assert_eq!(rt.metrics().counter("files_requeued_degraded"), 2);
+        assert_eq!(rt.metrics().counter("requeued_total"), 2);
+        assert_eq!(rt.metrics().counter("files_lost_degraded"), 1);
+        assert_eq!(rt.metrics().counter("degraded_slots"), 3);
+        assert!(rt.is_finished());
+    }
+
+    #[test]
+    fn requeued_request_expires_from_backlog_past_its_deadline() {
+        // Deadline of 1 slot: the request can only run at slot 0. The chain
+        // hard-fails there, the entry is requeued, and the next drain evicts
+        // it as expired instead of handing the controller a dead request.
+        let reqs = vec![TransferRequest::new(FileId(1), DcId(7), d(2), 4.0, 1, 0)];
+        let config = RuntimeConfig { tiers: vec![TierKind::Postcard], ..Default::default() };
+        let mut rt =
+            Runtime::new(net(), ArrivalSchedule::from_requests(reqs), FaultPlan::none(), 1, config)
+                .unwrap();
+        rt.run_to_end().unwrap();
+        assert_eq!(rt.metrics().counter("files_requeued_degraded"), 1);
+        assert_eq!(rt.metrics().counter("backlog_expired"), 1);
+        assert_eq!(rt.metrics().counter("files_lost_degraded"), 0);
+        assert_eq!(rt.metrics().counter("degraded_slots"), 1);
+    }
+
+    #[test]
+    fn requeued_request_is_rescheduled_with_absolute_deadline() {
+        // A *valid* request rides along with one that breaks the chain: both
+        // requeue at slot 0, and at slot 1 the backlog (valid request
+        // re-stamped to release_slot 1) schedules normally.
+        let reqs = vec![
+            TransferRequest::new(FileId(1), d(1), d(2), 6.0, 4, 0),
+            TransferRequest::new(FileId(2), DcId(7), d(2), 4.0, 2, 0),
+        ];
+        let config = RuntimeConfig { tiers: vec![TierKind::Postcard], ..Default::default() };
+        let mut rt =
+            Runtime::new(net(), ArrivalSchedule::from_requests(reqs), FaultPlan::none(), 1, config)
+                .unwrap();
+        let first = rt.run_slot().unwrap().unwrap();
+        assert!(first.degraded);
+        assert_eq!(rt.metrics().counter("files_requeued_degraded"), 2);
+        let second = rt.run_slot().unwrap().unwrap();
+        // Still degraded (the bad request is back too), the valid file keeps
+        // retrying until its retry budget runs out — it is never silently
+        // dropped while schedulable.
+        assert!(second.degraded);
+        assert_eq!(rt.metrics().counter("files_requeued_degraded"), 4);
+    }
+
+    #[test]
+    fn zero_capacity_degradation_is_applied_not_skipped() {
+        // A dead link (capacity 0) is a valid full outage; only negative
+        // capacities and unknown links are skipped.
+        let faults = FaultPlan::none()
+            .degrade(0, d(1), d(2), 0.0)
+            .degrade(0, d(0), d(2), -5.0)
+            .degrade(0, d(2), d(0), 7.0); // link does not exist
+        let mut rt = Runtime::new(net(), arrivals(), faults, 3, RuntimeConfig::default()).unwrap();
+        rt.run_slot().unwrap();
+        assert_eq!(rt.controller().network().capacity(d(1), d(2)), Some(0.0));
+        assert_eq!(rt.controller().network().capacity(d(0), d(2)), Some(100.0));
+        assert_eq!(rt.metrics().counter("degradations_applied"), 1);
+        assert_eq!(rt.metrics().counter("degradations_skipped"), 2);
+    }
+
+    #[test]
+    fn queue_depth_is_observed_every_slot() {
+        let mut rt =
+            Runtime::new(net(), arrivals(), FaultPlan::none(), 4, RuntimeConfig::default())
+                .unwrap();
+        rt.run_to_end().unwrap();
+        let depth = rt.metrics().histogram("queue_depth").unwrap();
+        assert_eq!(depth.count, 4, "one observation per slot");
+        assert_eq!(depth.max, 1.0, "at most one request queued at once");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use crate::arrivals::ArrivalSchedule;
 use crate::faults::FaultPlan;
 use crate::metrics::MetricsRegistry;
+use crate::queue::QueuedRequest;
 use crate::runtime::RuntimeConfig;
 use postcard_core::ControllerState;
 use postcard_net::{DcId, Network, NetworkBuilder};
@@ -25,8 +26,11 @@ use std::path::Path;
 /// History: v1 — initial format; v2 — `RuntimeConfig` gained
 /// `strict_analysis` (the vendored serde shim treats missing fields as
 /// errors, so the addition is a format break); v3 — `RuntimeConfig` gained
-/// `warm_start` and `HistogramSummary` gained percentile buckets.
-pub const SNAPSHOT_VERSION: u32 = 3;
+/// `warm_start` and `HistogramSummary` gained percentile buckets; v4 — the
+/// snapshot carries the admission-queue backlog (requests plus requeue
+/// counts) and `RuntimeConfig` gained `max_requeue_attempts`, so a run
+/// killed with a non-empty backlog resumes bit-identically.
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// One directed link, flattened for serialization.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -57,6 +61,10 @@ pub struct RuntimeSnapshot {
     pub arrivals: ArrivalSchedule,
     /// The fault plan (past and future slots).
     pub faults: FaultPlan,
+    /// The admission-queue backlog at the snapshot boundary, oldest first
+    /// (requests keep their original release slots; re-stamping happens at
+    /// drain time).
+    pub queue: Vec<QueuedRequest>,
     /// The online controller's mutable state.
     pub controller: ControllerState,
     /// Metrics accumulated so far.
@@ -98,18 +106,28 @@ impl RuntimeSnapshot {
 
     /// Parses and version-checks a snapshot.
     ///
+    /// The version is probed from the raw JSON *before* the typed decode:
+    /// older formats are missing fields the current struct requires, and a
+    /// "missing field" error would hide the real problem. This is what makes
+    /// the documented "unsupported version" error reachable for v1–v3 files.
+    ///
     /// # Errors
     ///
     /// Reports malformed JSON or an unsupported version.
     pub fn from_json(text: &str) -> Result<Self, String> {
-        let snap: RuntimeSnapshot =
-            serde::json::from_str(text).map_err(|e| format!("malformed snapshot: {e}"))?;
-        if snap.version != SNAPSHOT_VERSION {
+        let value = serde::json::parse(text).map_err(|e| format!("malformed snapshot: {e}"))?;
+        let map = value.as_map().ok_or("malformed snapshot: not a JSON object")?;
+        let version_value =
+            serde::field(map, "version", "RuntimeSnapshot").map_err(|e| format!("{e}"))?;
+        let version =
+            u32::deserialize(version_value).map_err(|e| format!("malformed snapshot: {e}"))?;
+        if version != SNAPSHOT_VERSION {
             return Err(format!(
-                "snapshot version {} unsupported (expected {SNAPSHOT_VERSION})",
-                snap.version
+                "snapshot version {version} unsupported (expected {SNAPSHOT_VERSION})"
             ));
         }
+        let snap: RuntimeSnapshot =
+            RuntimeSnapshot::deserialize(&value).map_err(|e| format!("malformed snapshot: {e}"))?;
         Ok(snap)
     }
 
@@ -156,6 +174,17 @@ mod tests {
             links: RuntimeSnapshot::links_of(&network),
             arrivals: ArrivalSchedule::default(),
             faults: FaultPlan::none(),
+            queue: vec![QueuedRequest {
+                request: postcard_net::TransferRequest::new(
+                    postcard_net::FileId(9),
+                    DcId(1),
+                    DcId(2),
+                    4.5,
+                    3,
+                    1,
+                ),
+                attempts: 1,
+            }],
             controller: ControllerState {
                 ledger: TrafficLedger::new(3),
                 cost_history: vec![0.1 + 0.2, 1.0 / 3.0],
@@ -196,6 +225,21 @@ mod tests {
         snap.version = 99;
         let err = RuntimeSnapshot::from_json(&snap.to_json()).unwrap_err();
         assert!(err.contains("version 99"), "{err}");
+    }
+
+    #[test]
+    fn old_versions_fail_with_version_error_not_missing_field() {
+        // A v3 file lacks the `queue` field (and `max_requeue_attempts` in
+        // the config). The version must be probed *before* the typed decode,
+        // so the user sees the real problem, not a decoding artifact.
+        let err = RuntimeSnapshot::from_json(r#"{"version": 3}"#).unwrap_err();
+        assert!(err.contains("snapshot version 3 unsupported"), "{err}");
+        assert!(!err.contains("missing field"), "{err}");
+        // Non-object and version-less documents still report clearly.
+        let err = RuntimeSnapshot::from_json("[1, 2]").unwrap_err();
+        assert!(err.contains("not a JSON object"), "{err}");
+        let err = RuntimeSnapshot::from_json("{}").unwrap_err();
+        assert!(err.contains("missing field `version`"), "{err}");
     }
 
     #[test]

@@ -128,6 +128,23 @@ mod tests {
     }
 
     #[test]
+    fn zero_capacity_outage_is_applied_and_service_keeps_running() {
+        // A dead link (capacity 0) mid-run is a real outage, not a skipped
+        // fault: the degradation applies and every slot still completes
+        // (files that needed the link are rejected or routed around, never
+        // crash the service).
+        let (network, trace, num_slots) = paired_instance();
+        let link = network.links().next().unwrap();
+        let faults = FaultPlan::none().degrade(1, link.from, link.to, 0.0);
+        let service =
+            run_trace_service(&network, &trace, num_slots, faults, RuntimeConfig::default(), 0)
+                .unwrap();
+        assert_eq!(service.metrics.counter("degradations_applied"), 1);
+        assert_eq!(service.metrics.counter("degradations_skipped"), 0);
+        assert_eq!(service.metrics.counter("slots_total"), num_slots);
+    }
+
+    #[test]
     fn forced_timeouts_change_tier_but_never_miss_slots() {
         let (network, trace, num_slots) = paired_instance();
         let faults = FaultPlan::none().force_timeout(0, TierKind::Postcard);

@@ -13,8 +13,12 @@
 //! delivery-by-deadline) is enforced by the controller's debug assertions,
 //! which are active in these test builds: any committed plan that missed a
 //! deadline would abort the test.
+//!
+//! Since snapshot v4 the crash-safety property also covers the admission
+//! backlog: a run killed while carrying requeued work resumes bit-identically
+//! because the queue contents (and requeue counts) travel in the checkpoint.
 
-use postcard::net::Network;
+use postcard::net::{DcId, FileId, Network, TransferRequest};
 use postcard::runtime::{
     ArrivalSchedule, FaultPlan, Runtime, RuntimeConfig, RuntimeSnapshot, TierKind,
 };
@@ -106,6 +110,124 @@ fn kill_at_any_slot_and_resume_matches_uninterrupted_run() {
             "kill at {kill_at}: controller state diverged"
         );
     }
+}
+
+#[test]
+fn kill_with_non_empty_backlog_resumes_bit_identically() {
+    // A request naming an out-of-range datacenter makes the single-tier
+    // chain hard-fail at slot 1 (problem construction errors, which is not
+    // a per-file infeasibility), so the whole slot-1 batch is requeued and
+    // the backlog is non-empty at the very boundary where the checkpoint is
+    // written. Resume must carry that backlog — snapshot v4 — to stay
+    // bit-identical to the uninterrupted run.
+    const SLOTS: u64 = 6;
+    let (network, arrivals) = instance(31, SLOTS);
+    let mut requests = arrivals.requests().to_vec();
+    requests.push(TransferRequest::new(FileId(9_999), DcId(7), DcId(0), 4.0, 4, 1));
+    let arrivals = ArrivalSchedule::from_requests(requests);
+    let tiers = vec![TierKind::Postcard];
+
+    // Reference run checkpoints on the same cadence (to its own file) so
+    // every metric, `checkpoints_written` included, is comparable.
+    let full_path = ckpt_path("backlog_full.json");
+    let full_config = RuntimeConfig {
+        tiers: tiers.clone(),
+        checkpoint_every: 1,
+        checkpoint_path: Some(full_path.to_string_lossy().into_owned()),
+        ..Default::default()
+    };
+    let mut full =
+        Runtime::new(network.clone(), arrivals.clone(), FaultPlan::none(), SLOTS, full_config)
+            .unwrap();
+    full.run_to_end().unwrap();
+    std::fs::remove_file(&full_path).ok();
+    assert!(
+        full.metrics().counter("requeued_total") > 0,
+        "the scenario must actually exercise the backlog"
+    );
+
+    let path = ckpt_path("backlog_kill.json");
+    let config = RuntimeConfig {
+        tiers,
+        checkpoint_every: 1,
+        checkpoint_path: Some(path.to_string_lossy().into_owned()),
+        ..Default::default()
+    };
+    let mut victim = Runtime::new(network, arrivals, FaultPlan::none(), SLOTS, config).unwrap();
+    for _ in 0..2 {
+        victim.run_slot().unwrap().expect("slot within the run");
+    }
+    drop(victim); // crash right after the degraded slot requeued its batch
+
+    let snap = RuntimeSnapshot::load(&path).unwrap();
+    assert!(!snap.queue.is_empty(), "killed with a non-empty backlog");
+    assert!(snap.queue.iter().any(|e| e.attempts > 0), "requeue counts travel in the snapshot");
+
+    let mut resumed = Runtime::resume(&path).unwrap();
+    assert_eq!(resumed.next_slot(), 2);
+    resumed.run_to_end().unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(resumed.cost_history().len(), full.cost_history().len());
+    for (slot, (a, b)) in resumed.cost_history().iter().zip(full.cost_history()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "cost diverged at slot {slot} ({a} vs {b})");
+    }
+    assert_eq!(resumed.controller().export_state(), full.controller().export_state());
+    assert_eq!(resumed.metrics(), full.metrics());
+}
+
+#[test]
+fn zero_capacity_outage_removes_link_from_the_slot_schedule() {
+    const SLOTS: u64 = 6;
+    const OUTAGE_SLOT: u64 = 2;
+    let (network, arrivals) = instance(17, SLOTS);
+    let (from, to) = (DcId(0), DcId(1));
+
+    // Baseline without the fault: the link carries traffic at or after the
+    // outage slot (otherwise the scenario would prove nothing).
+    let mut baseline = Runtime::new(
+        network.clone(),
+        arrivals.clone(),
+        FaultPlan::none(),
+        SLOTS,
+        RuntimeConfig::default(),
+    )
+    .unwrap();
+    baseline.run_to_end().unwrap();
+    let baseline_used: f64 =
+        (OUTAGE_SLOT..SLOTS).map(|s| baseline.controller().ledger().volume(from, to, s)).sum();
+    assert!(baseline_used > 0.0, "pick a seed where the link matters after slot {OUTAGE_SLOT}");
+
+    let faults = FaultPlan::none().degrade(OUTAGE_SLOT, from, to, 0.0);
+    let mut rt = Runtime::new(network, arrivals, faults, SLOTS, RuntimeConfig::default()).unwrap();
+    rt.run_to_end().unwrap();
+
+    assert_eq!(rt.metrics().counter("degradations_applied"), 1);
+    assert_eq!(rt.metrics().counter("degradations_skipped"), 0);
+    assert_eq!(rt.controller().network().capacity(from, to), Some(0.0));
+    // The dead link carries exactly zero traffic from the outage slot on.
+    for slot in OUTAGE_SLOT..SLOTS {
+        let volume = rt.controller().ledger().volume(from, to, slot);
+        assert_eq!(volume.to_bits(), 0.0f64.to_bits(), "dead link used at slot {slot}: {volume}");
+    }
+}
+
+#[test]
+fn committed_v3_snapshot_fixture_fails_with_version_error() {
+    // The committed fixture freezes the previous format's framing. Only the
+    // `version` field matters: the probe must reject it *before* the typed
+    // decode, with the documented error, instead of a confusing
+    // missing-field message about fields v3 never had.
+    let path = std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/snapshot_v3.json"
+    ));
+    let err = RuntimeSnapshot::load(path).unwrap_err();
+    assert!(err.contains("snapshot version 3 unsupported (expected 4)"), "{err}");
+    assert!(!err.contains("missing field"), "{err}");
+    // The operator-facing entry point surfaces the same diagnosis.
+    let err = Runtime::resume(path).unwrap_err();
+    assert!(err.to_string().contains("snapshot version 3 unsupported"), "{err}");
 }
 
 #[test]
