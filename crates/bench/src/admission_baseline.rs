@@ -1,0 +1,304 @@
+//! ALAP fast-path admission vs per-request LP solve baseline.
+//!
+//! Replays a single-slot burst of 10³–10⁵ transfer requests through the
+//! ALAP admission path (`postcard_flow::AlapScheduler`), timing every
+//! admit/reject decision, and — on a deterministic sample of the same
+//! requests against the *same* residual state — times the full Postcard LP
+//! solving each request as a single-file problem. The output
+//! (`BENCH_admission.json`) records per-request latency summaries for both
+//! paths plus the admit/reject counts, which are deterministic; CI gates on
+//! the ALAP-vs-LP speedup (≥10× at the 10⁴-request preset) and on the
+//! counts, ignoring absolute machine-dependent timings.
+//!
+//! The LP side is *sampled*, not exhaustive — solving 10⁴ single-file LPs
+//! per preset would dominate CI for no extra information. The sample size
+//! is recorded in the report and printed by the `admission-baseline` bin,
+//! so the extrapolation is never silent.
+
+use postcard_core::{solve_postcard_with, PostcardConfig};
+use postcard_flow::AlapScheduler;
+use postcard_net::{DcId, FileId, Network, TrafficLedger, TransferRequest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One benchmark preset: a network plus a single-slot request burst.
+#[derive(Debug, Clone)]
+pub struct PresetSpec {
+    /// Preset name (stable across runs; used as the JSON key).
+    pub name: &'static str,
+    /// Number of datacenters in the complete network.
+    pub num_dcs: usize,
+    /// Requests released in the slot-0 burst.
+    pub requests: usize,
+    /// Largest per-request deadline window (slots).
+    pub max_deadline: usize,
+    /// Per-link capacity (GB/slot), sized so the burst produces a mix of
+    /// admissions and rejections rather than all of either.
+    pub capacity: f64,
+    /// Requests on which the LP comparison path is actually solved.
+    pub lp_sample: usize,
+    /// Seed for the network prices and the request stream.
+    pub seed: u64,
+}
+
+/// The presets: 10³, 10⁴, and (full runs only) 10⁵ requests per slot.
+/// `--quick` keeps 10³ and 10⁴ — the 10⁴ preset carries the CI gate.
+pub fn presets(quick: bool) -> Vec<PresetSpec> {
+    let mut out = vec![
+        PresetSpec {
+            name: "n3_1k",
+            num_dcs: 5,
+            requests: 1_000,
+            max_deadline: 4,
+            capacity: 100.0,
+            lp_sample: 50,
+            seed: 103,
+        },
+        PresetSpec {
+            name: "n4_10k",
+            num_dcs: 5,
+            requests: 10_000,
+            max_deadline: 4,
+            capacity: 1_000.0,
+            lp_sample: 50,
+            seed: 104,
+        },
+    ];
+    if !quick {
+        out.push(PresetSpec {
+            name: "n5_100k",
+            num_dcs: 5,
+            requests: 100_000,
+            max_deadline: 4,
+            capacity: 10_000.0,
+            lp_sample: 50,
+            seed: 105,
+        });
+    }
+    out
+}
+
+/// Per-request latency summary of one admission path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathLatency {
+    /// Requests actually measured on this path.
+    pub measured: usize,
+    /// Mean per-request latency in microseconds (machine-dependent).
+    pub mean_us: f64,
+    /// Median per-request latency in microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile per-request latency in microseconds.
+    pub p95_us: f64,
+}
+
+/// Result of one preset's burst.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PresetResult {
+    /// Preset name.
+    pub name: String,
+    /// Burst size (requests offered).
+    pub requests: usize,
+    /// Requests the ALAP path admitted (deterministic).
+    pub admits: u64,
+    /// Requests the ALAP path rejected (deterministic).
+    pub rejects: u64,
+    /// The ALAP path, measured on every request.
+    pub alap: PathLatency,
+    /// The LP path, measured on the recorded sample of requests against
+    /// the same residual state the ALAP decision saw.
+    pub lp: PathLatency,
+    /// `lp.mean_us / alap.mean_us` — the headline speedup.
+    pub speedup: f64,
+}
+
+/// The whole benchmark report (`BENCH_admission.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// One entry per preset.
+    pub presets: Vec<PresetResult>,
+}
+
+fn summarize(times_us: &mut [f64]) -> PathLatency {
+    times_us.sort_by(f64::total_cmp);
+    let n = times_us.len();
+    let mean = if n == 0 { 0.0 } else { times_us.iter().sum::<f64>() / n as f64 };
+    let pick = |q: f64| {
+        if n == 0 {
+            0.0
+        } else {
+            times_us[(((n as f64) * q) as usize).min(n - 1)]
+        }
+    };
+    PathLatency { measured: n, mean_us: mean, p50_us: pick(0.50), p95_us: pick(0.95) }
+}
+
+/// Runs one preset's burst and summarizes both admission paths.
+pub fn run_preset(spec: &PresetSpec) -> PresetResult {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut price_rng = StdRng::seed_from_u64(spec.seed ^ 0xA1A9);
+    let network = Network::complete_with_prices(spec.num_dcs, spec.capacity, |_, _| {
+        price_rng.gen_range(1.0..=10.0)
+    });
+    let files: Vec<TransferRequest> = (0..spec.requests)
+        .map(|k| {
+            let src = rng.gen_range(0..spec.num_dcs);
+            let dst = (src + rng.gen_range(1..spec.num_dcs)) % spec.num_dcs;
+            TransferRequest::new(
+                FileId(k as u64),
+                DcId(src),
+                DcId(dst),
+                rng.gen_range(1.0..=10.0),
+                rng.gen_range(1..=spec.max_deadline),
+                0,
+            )
+        })
+        .collect();
+
+    // The LP is solved on every `stride`-th request, against the exact
+    // residual state (mirrored in `ledger`) the ALAP decision saw.
+    let stride = (spec.requests / spec.lp_sample.max(1)).max(1);
+    let config = PostcardConfig::default();
+    let mut alap = AlapScheduler::new(&network);
+    let mut ledger = TrafficLedger::new(spec.num_dcs);
+    let (mut admits, mut rejects) = (0u64, 0u64);
+    let mut alap_us = Vec::with_capacity(spec.requests);
+    let mut lp_us = Vec::with_capacity(spec.lp_sample);
+
+    for (k, f) in files.iter().enumerate() {
+        if k % stride == 0 {
+            let t0 = Instant::now();
+            // Timed whether it places the file or proves it infeasible —
+            // both are admission decisions the LP path would have to make.
+            let _ = solve_postcard_with(&network, std::slice::from_ref(f), &ledger, &config);
+            lp_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        }
+        let t0 = Instant::now();
+        let decision = alap.admit(&network, f);
+        alap_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        match decision {
+            Ok(plan) => {
+                admits += 1;
+                plan.apply_to_ledger(&mut ledger);
+            }
+            Err(_) => rejects += 1,
+        }
+    }
+
+    let alap_summary = summarize(&mut alap_us);
+    let lp_summary = summarize(&mut lp_us);
+    let speedup =
+        if alap_summary.mean_us > 0.0 { lp_summary.mean_us / alap_summary.mean_us } else { 0.0 };
+    PresetResult {
+        name: spec.name.to_string(),
+        requests: spec.requests,
+        admits,
+        rejects,
+        alap: alap_summary,
+        lp: lp_summary,
+        speedup,
+    }
+}
+
+/// Runs every preset.
+pub fn run_all(quick: bool) -> BenchReport {
+    BenchReport { presets: presets(quick).iter().map(run_preset).collect() }
+}
+
+/// Checks a fresh report against the committed baseline: the 10⁴-request
+/// preset must keep its ≥10× ALAP-over-LP speedup, every preset must admit
+/// at least one and reject at least one request (the scenario must stay
+/// discriminating), and admit/reject counts — which are deterministic —
+/// must match the baseline exactly. Returns the failures (empty = pass).
+pub fn check(current: &BenchReport, baseline: &BenchReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    for cur in &current.presets {
+        if cur.requests == 10_000 && cur.speedup < 10.0 {
+            failures.push(format!(
+                "{}: ALAP speedup {:.1}x below the 10x gate (alap {:.2}us vs lp {:.2}us)",
+                cur.name, cur.speedup, cur.alap.mean_us, cur.lp.mean_us
+            ));
+        }
+        if cur.admits == 0 || cur.rejects == 0 {
+            failures.push(format!(
+                "{}: degenerate scenario ({} admits, {} rejects)",
+                cur.name, cur.admits, cur.rejects
+            ));
+        }
+        if let Some(base) = baseline.presets.iter().find(|p| p.name == cur.name) {
+            if (cur.admits, cur.rejects) != (base.admits, base.rejects) {
+                failures.push(format!(
+                    "{}: admit/reject counts diverged from baseline ({}/{} -> {}/{})",
+                    cur.name, base.admits, base.rejects, cur.admits, cur.rejects
+                ));
+            }
+        } else {
+            failures.push(format!("{}: preset missing from baseline", cur.name));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> PresetSpec {
+        PresetSpec {
+            name: "tiny",
+            num_dcs: 4,
+            requests: 200,
+            max_deadline: 3,
+            capacity: 25.0,
+            lp_sample: 10,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn preset_run_is_deterministic_in_admission_counts() {
+        let a = run_preset(&tiny());
+        let b = run_preset(&tiny());
+        assert_eq!((a.admits, a.rejects), (b.admits, b.rejects));
+        assert!(a.admits > 0 && a.rejects > 0, "{}/{}", a.admits, a.rejects);
+        assert_eq!(a.alap.measured, 200);
+        assert_eq!(a.lp.measured, 10);
+    }
+
+    #[test]
+    fn check_catches_slow_alap_and_count_divergence() {
+        let good = run_preset(&tiny());
+        let report = BenchReport { presets: vec![good.clone()] };
+        assert!(check(&report, &report).is_empty(), "{:?}", check(&report, &report));
+
+        // A 10k-request preset whose speedup fell under the gate.
+        let mut slow = good.clone();
+        slow.requests = 10_000;
+        slow.speedup = 3.0;
+        let slow_report = BenchReport { presets: vec![slow] };
+        let mut slow_base = good.clone();
+        slow_base.requests = 10_000;
+        let failures = check(&slow_report, &BenchReport { presets: vec![slow_base] });
+        assert!(failures.iter().any(|f| f.contains("below the 10x gate")), "{failures:?}");
+
+        // Diverged deterministic counts.
+        let mut diverged = report.clone();
+        diverged.presets[0].admits += 1;
+        let failures = check(&diverged, &report);
+        assert!(failures.iter().any(|f| f.contains("diverged")), "{failures:?}");
+
+        // Unknown preset.
+        let unknown =
+            BenchReport { presets: vec![PresetResult { name: "other".into(), ..good.clone() }] };
+        assert!(!check(&unknown, &report).is_empty());
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = BenchReport { presets: vec![run_preset(&tiny())] };
+        let json = serde::json::to_string_pretty(&report);
+        let back: BenchReport = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -1,0 +1,93 @@
+//! `admission-baseline` — ALAP fast-path vs per-request LP admission timings.
+//!
+//! ```text
+//! admission-baseline [--quick] [--out PATH] [--check PATH]
+//! ```
+//!
+//! Runs the burst presets (see `postcard_bench::admission_baseline`), prints
+//! a summary table, and optionally writes the JSON report (`--out`) or gates
+//! against a committed baseline (`--check`): the 10⁴-request preset must
+//! keep its ≥10× ALAP-over-LP speedup and the deterministic admit/reject
+//! counts must match the baseline. The LP path is sampled — the sample size
+//! is printed per preset so the extrapolation is never silent.
+
+use postcard_bench::admission_baseline::{check, run_all, BenchReport};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = argv.next(),
+            "--check" => check_path = argv.next(),
+            "--help" | "-h" => {
+                println!("usage: admission-baseline [--quick] [--out PATH] [--check PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("admission-baseline: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = run_all(quick);
+    println!(
+        "{:<10} {:>9} {:>8} {:>8} {:>12} {:>12} {:>10} {:>9}",
+        "preset", "requests", "admits", "rejects", "alap us", "lp us", "lp sample", "speedup"
+    );
+    for p in &report.presets {
+        println!(
+            "{:<10} {:>9} {:>8} {:>8} {:>12.2} {:>12.2} {:>10} {:>8.1}x",
+            p.name,
+            p.requests,
+            p.admits,
+            p.rejects,
+            p.alap.mean_us,
+            p.lp.mean_us,
+            p.lp.measured,
+            p.speedup
+        );
+    }
+
+    if let Some(path) = out {
+        let json = serde::json::to_string_pretty(&report);
+        if let Err(e) = std::fs::write(&path, json + "\n") {
+            eprintln!("admission-baseline: failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = check_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("admission-baseline: failed to read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline: BenchReport = match serde::json::from_str(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("admission-baseline: malformed baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let failures = check(&report, &baseline);
+        if failures.is_empty() {
+            println!("check against {path}: OK");
+        } else {
+            for f in &failures {
+                eprintln!("admission-baseline: FAIL: {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+
+    ExitCode::SUCCESS
+}

@@ -5,6 +5,7 @@
 //! Criterion micro-benchmark of the per-slot solver kernel that dominates
 //! the simulation's cost.
 
+pub mod admission_baseline;
 pub mod solver_baseline;
 
 use postcard_net::{DcId, FileId, Network, TransferRequest};

@@ -1,0 +1,507 @@
+//! As-Late-As-Possible admission against a residual time-expanded grid.
+//!
+//! Every slot of the online pipeline normally pays a full LP solve before a
+//! single file is admitted, coupling admission latency to solve cost.
+//! DCRoute (and DDCCast's admission rung) shows the alternative: keep a
+//! *residual* view of the time-expanded capacity — per link, per slot, how
+//! much room is left after everything already committed — and admit or
+//! reject each arrival by allocating it As-Late-As-Possible before its
+//! deadline on cheapest residual paths. No LP model is built; a decision
+//! costs `O(links × horizon)` and an optimizer can re-plan periodically in
+//! the background.
+//!
+//! [`AlapScheduler`] implements that policy over [`ResidualGrid`]:
+//!
+//! * candidate paths come from [`postcard_net::paths::k_cheapest_paths`] (price
+//!   order, deterministic);
+//! * a chunk placed on an `L`-hop path starting at slot `n` crosses hop `h`
+//!   during slot `n + h` — one hop per slot, matching the time-expanded
+//!   conservation rule of [`TransferPlan::validate`] — and must finish by
+//!   the file's last slot;
+//! * finish slots are tried latest-first, paths cheapest-first, so early
+//!   capacity stays free for tighter future deadlines;
+//! * volume not yet departed waits at the source as explicit holdover
+//!   entries, so every admission is a *feasible* [`TransferPlan`] — a
+//!   constructive witness that the full LP on the same residual state would
+//!   also be feasible.
+//!
+//! Admission mutates the grid (the placement is reserved); rejection rolls
+//! every trial reservation back. The grid is *derived* state — capacity
+//! minus the committed ledger — so a crashed-and-resumed service rebuilds
+//! it deterministically with [`AlapScheduler::rebase`] instead of
+//! snapshotting it.
+
+use postcard_net::paths::{k_cheapest_paths, PricedPath};
+use postcard_net::{DcId, Network, TrafficLedger, TransferPlan, TransferRequest};
+use std::collections::BTreeMap;
+
+/// Volume below which a remainder counts as fully placed. Well under
+/// [`postcard_net::VOLUME_TOL`], so plans that strand this much at the
+/// source still validate.
+const ALAP_TOL: f64 = 1e-9;
+
+/// How many candidate paths per (src, dst) pair the allocator considers.
+const DEFAULT_MAX_PATHS: usize = 4;
+
+/// Residual per-link, per-slot capacity of the time-expanded network.
+///
+/// `residual(from, to, slot) = capacity(from, to) − reserved(from, to,
+/// slot)`. Slots never written are implicitly at full capacity, so the grid
+/// extends to any horizon without reallocation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResidualGrid {
+    /// Link capacity at the last rebase, `(from, to) → GB/slot`.
+    capacities: BTreeMap<(usize, usize), f64>,
+    /// Reserved volume, `(from, to) → per-slot GB` (index = slot).
+    reserved: BTreeMap<(usize, usize), Vec<f64>>,
+}
+
+impl ResidualGrid {
+    /// An empty grid over `network`'s links with nothing reserved.
+    pub fn from_network(network: &Network) -> Self {
+        let mut grid = Self::default();
+        grid.rebase(network, &TrafficLedger::new(network.num_dcs()));
+        grid
+    }
+
+    /// Rebuilds the grid from scratch: capacities from `network` (so link
+    /// degradations are picked up) and reservations from the committed
+    /// volumes in `ledger`. After a rebase the grid exactly mirrors
+    /// "capacity minus committed traffic" — the canonical residual state.
+    pub fn rebase(&mut self, network: &Network, ledger: &TrafficLedger) {
+        self.capacities.clear();
+        self.reserved.clear();
+        for l in network.links() {
+            self.capacities.insert((l.from.0, l.to.0), l.capacity);
+            let series = ledger.series(l.from, l.to).to_vec();
+            if !series.is_empty() {
+                self.reserved.insert((l.from.0, l.to.0), series);
+            }
+        }
+    }
+
+    /// Remaining capacity on `from → to` during `slot` (0 for unknown
+    /// links; never negative).
+    pub fn residual(&self, from: DcId, to: DcId, slot: u64) -> f64 {
+        let Some(&cap) = self.capacities.get(&(from.0, to.0)) else {
+            return 0.0;
+        };
+        let used = self
+            .reserved
+            .get(&(from.0, to.0))
+            .and_then(|s| s.get(slot as usize))
+            .copied()
+            .unwrap_or(0.0);
+        (cap - used).max(0.0)
+    }
+
+    /// Reserves `volume` on `from → to` during `slot`.
+    fn reserve(&mut self, from: DcId, to: DcId, slot: u64, volume: f64) {
+        let series = self.reserved.entry((from.0, to.0)).or_default();
+        if series.len() <= slot as usize {
+            series.resize(slot as usize + 1, 0.0);
+        }
+        series[slot as usize] += volume;
+    }
+
+    /// Releases a reservation made by [`ResidualGrid::reserve`] (rollback).
+    /// Prunes zeroed tails so a fully rolled-back grid compares equal to the
+    /// grid before the attempt.
+    fn release(&mut self, from: DcId, to: DcId, slot: u64, volume: f64) {
+        if let Some(series) = self.reserved.get_mut(&(from.0, to.0)) {
+            if let Some(v) = series.get_mut(slot as usize) {
+                *v -= volume;
+            }
+            while series.last().is_some_and(|v| v.abs() < 1e-12) {
+                series.pop();
+            }
+            if series.is_empty() {
+                self.reserved.remove(&(from.0, to.0));
+            }
+        }
+    }
+}
+
+/// Why [`AlapScheduler::admit`] rejected a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlapRejection {
+    /// No path from source to destination exists in the network at all.
+    NoPath,
+    /// Paths exist, but the residual capacity inside the deadline window
+    /// cannot carry the full file size.
+    InsufficientResidual,
+}
+
+impl std::fmt::Display for AlapRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlapRejection::NoPath => f.write_str("no path from source to destination"),
+            AlapRejection::InsufficientResidual => {
+                f.write_str("insufficient residual capacity before the deadline")
+            }
+        }
+    }
+}
+
+/// One reservation made while placing a file (kept for rollback).
+#[derive(Debug, Clone, Copy)]
+struct Reservation {
+    from: DcId,
+    to: DcId,
+    slot: u64,
+    volume: f64,
+}
+
+/// Deadline-guaranteed ALAP admission over a persistent [`ResidualGrid`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlapScheduler {
+    grid: ResidualGrid,
+    max_paths: usize,
+}
+
+impl Default for AlapScheduler {
+    /// An empty-grid scheduler; call [`AlapScheduler::rebase`] before the
+    /// first admission (an empty grid has no capacity anywhere).
+    fn default() -> Self {
+        Self { grid: ResidualGrid::default(), max_paths: DEFAULT_MAX_PATHS }
+    }
+}
+
+impl AlapScheduler {
+    /// A scheduler whose grid starts at `network`'s full capacity.
+    pub fn new(network: &Network) -> Self {
+        Self { grid: ResidualGrid::from_network(network), max_paths: DEFAULT_MAX_PATHS }
+    }
+
+    /// Rebuilds the residual grid from the current network capacities and
+    /// the committed ledger (see [`ResidualGrid::rebase`]). Call after the
+    /// periodic re-optimization pass commits an LP schedule, after link
+    /// degradations, and on resume from a snapshot.
+    pub fn rebase(&mut self, network: &Network, ledger: &TrafficLedger) {
+        self.grid.rebase(network, ledger);
+    }
+
+    /// The residual grid (read-only; tests and the runtime's metrics peek
+    /// at it).
+    pub fn grid(&self) -> &ResidualGrid {
+        &self.grid
+    }
+
+    /// Admits `file` by ALAP allocation, or rejects it leaving the grid
+    /// untouched.
+    ///
+    /// On success the returned [`TransferPlan`] fully serves the file (one
+    /// hop per slot, holdovers at the source) and its transit volumes are
+    /// already reserved in the grid — commit the plan to the ledger to keep
+    /// the two views consistent.
+    ///
+    /// # Errors
+    ///
+    /// [`AlapRejection`] when the file cannot be placed; no reservation
+    /// survives a rejection.
+    pub fn admit(
+        &mut self,
+        network: &Network,
+        file: &TransferRequest,
+    ) -> Result<TransferPlan, AlapRejection> {
+        let mut reservations = Vec::new();
+        match self.place(network, file, &mut reservations) {
+            Ok(plan) => Ok(plan),
+            Err(reject) => {
+                self.rollback(&reservations);
+                Err(reject)
+            }
+        }
+    }
+
+    /// Admits a whole batch all-or-nothing: either every file is placed
+    /// (merged plan returned, reservations kept) or the grid is left
+    /// exactly as before.
+    ///
+    /// # Errors
+    ///
+    /// The first file's [`AlapRejection`] that made the batch fail.
+    pub fn admit_batch(
+        &mut self,
+        network: &Network,
+        files: &[TransferRequest],
+    ) -> Result<TransferPlan, AlapRejection> {
+        let mut reservations = Vec::new();
+        let mut merged = TransferPlan::new();
+        for file in files {
+            match self.place(network, file, &mut reservations) {
+                Ok(plan) => merged.merge(&plan),
+                Err(reject) => {
+                    self.rollback(&reservations);
+                    return Err(reject);
+                }
+            }
+        }
+        Ok(merged)
+    }
+
+    fn rollback(&mut self, reservations: &[Reservation]) {
+        for r in reservations {
+            self.grid.release(r.from, r.to, r.slot, r.volume);
+        }
+    }
+
+    /// Places one file, appending every grid reservation to `reservations`
+    /// (the caller rolls back on failure).
+    fn place(
+        &mut self,
+        network: &Network,
+        file: &TransferRequest,
+        reservations: &mut Vec<Reservation>,
+    ) -> Result<TransferPlan, AlapRejection> {
+        // A request naming a datacenter outside the topology must be an
+        // instant rejection, not an out-of-bounds panic inside Dijkstra.
+        if file.src.0 >= network.num_dcs() || file.dst.0 >= network.num_dcs() {
+            return Err(AlapRejection::NoPath);
+        }
+        let paths = k_cheapest_paths(network, file.src, file.dst, self.max_paths);
+        if paths.is_empty() {
+            return Err(AlapRejection::NoPath);
+        }
+        let (first, last) = (file.first_slot(), file.last_slot());
+        let mut remaining = file.size_gb;
+        // Chunks as `(start_slot, path index, volume)`.
+        let mut chunks: Vec<(u64, usize, f64)> = Vec::new();
+
+        // Latest finish slot first; within a finish slot, cheapest path
+        // first. A chunk on an `L`-hop path finishing at `finish` starts at
+        // `finish − (L − 1)`, which must stay inside the release window.
+        'fill: for finish in (first..=last).rev() {
+            for (pi, path) in paths.iter().enumerate() {
+                let hops = path.len() as u64;
+                if finish < first + (hops - 1) {
+                    continue; // path too long to finish here
+                }
+                let start = finish - (hops - 1);
+                let volume = remaining.min(self.bottleneck(path, start));
+                if volume <= 0.0 {
+                    continue;
+                }
+                for (h, &(u, v)) in path.hops.iter().enumerate() {
+                    let slot = start + h as u64;
+                    self.grid.reserve(u, v, slot, volume);
+                    reservations.push(Reservation { from: u, to: v, slot, volume });
+                }
+                chunks.push((start, pi, volume));
+                remaining -= volume;
+                if remaining <= ALAP_TOL {
+                    break 'fill;
+                }
+            }
+        }
+        if remaining > ALAP_TOL {
+            return Err(AlapRejection::InsufficientResidual);
+        }
+
+        // Materialize the plan: transit entries one hop per slot, plus
+        // holdovers at the source for volume that departs later.
+        let mut plan = TransferPlan::new();
+        for &(start, pi, volume) in &chunks {
+            for (h, &(u, v)) in paths[pi].hops.iter().enumerate() {
+                plan.add(file.id, start + h as u64, u, v, volume);
+            }
+        }
+        for slot in first..=last {
+            let waiting: f64 =
+                chunks.iter().filter(|&&(start, _, _)| start > slot).map(|&(_, _, v)| v).sum();
+            if waiting > 0.0 {
+                plan.add(file.id, slot, file.src, file.src, waiting);
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The most volume a chunk departing at `start` can carry along `path`
+    /// (minimum residual over the hops at their respective slots).
+    fn bottleneck(&self, path: &PricedPath, start: u64) -> f64 {
+        let mut limit = f64::INFINITY;
+        for (h, &(u, v)) in path.hops.iter().enumerate() {
+            limit = limit.min(self.grid.residual(u, v, start + h as u64));
+        }
+        limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use postcard_net::{FileId, NetworkBuilder};
+
+    fn d(i: usize) -> DcId {
+        DcId(i)
+    }
+
+    /// The Fig. 1 network: D2 →(10) D3 direct, D2 →(1) D1 →(3) D3 relay.
+    fn fig1_net() -> Network {
+        NetworkBuilder::new(3)
+            .link(d(1), d(2), 10.0, 1000.0)
+            .link(d(1), d(0), 1.0, 1000.0)
+            .link(d(0), d(2), 3.0, 1000.0)
+            .build()
+    }
+
+    #[test]
+    fn admits_on_the_cheap_relay_and_plans_validly() {
+        let net = fig1_net();
+        let mut alap = AlapScheduler::new(&net);
+        let f = TransferRequest::new(FileId(1), d(1), d(2), 6.0, 3, 0);
+        let plan = alap.admit(&net, &f).unwrap();
+        let v = plan.validate(&net, &[f], |_, _, _| 0.0);
+        assert!(v.is_empty(), "violations: {v:?}");
+        // The relay (price 4) beats the direct link (price 10): everything
+        // rides D2→D1→D3.
+        assert!(plan.link_peak(d(1), d(2)) <= 1e-12, "direct link unused");
+        assert!(plan.link_peak(d(1), d(0)) > 0.0);
+    }
+
+    #[test]
+    fn placement_is_as_late_as_possible() {
+        let net = fig1_net();
+        let mut alap = AlapScheduler::new(&net);
+        let f = TransferRequest::new(FileId(1), d(1), d(2), 6.0, 3, 0);
+        let plan = alap.admit(&net, &f).unwrap();
+        // A 2-hop chunk finishing at the deadline (slot 2) starts at 1; no
+        // transit should happen in slot 0 when capacity allows waiting.
+        assert_eq!(plan.link_slot_total(d(1), d(0), 0), 0.0);
+        assert!(plan.link_slot_total(d(1), d(0), 1) > 0.0);
+        assert!(plan.holdover(FileId(1), d(1), 0) > 0.0, "waits at the source");
+    }
+
+    #[test]
+    fn grid_reservation_matches_committed_plan() {
+        let net = fig1_net();
+        let mut alap = AlapScheduler::new(&net);
+        let f = TransferRequest::new(FileId(1), d(1), d(2), 6.0, 3, 0);
+        let plan = alap.admit(&net, &f).unwrap();
+        let mut ledger = TrafficLedger::new(3);
+        plan.apply_to_ledger(&mut ledger);
+        for l in net.links() {
+            for slot in 0..3 {
+                let expect = (l.capacity - ledger.volume(l.from, l.to, slot)).max(0.0);
+                let got = alap.grid().residual(l.from, l.to, slot);
+                assert!(
+                    (expect - got).abs() < 1e-9,
+                    "residual mismatch on {:?}→{:?} slot {slot}: {expect} vs {got}",
+                    l.from,
+                    l.to
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_file_and_leaves_grid_untouched() {
+        let net = NetworkBuilder::new(2).link(d(0), d(1), 1.0, 2.0).build();
+        let mut alap = AlapScheduler::new(&net);
+        let before = alap.grid().clone();
+        let f = TransferRequest::new(FileId(1), d(0), d(1), 10.0, 1, 0);
+        assert_eq!(alap.admit(&net, &f).unwrap_err(), AlapRejection::InsufficientResidual);
+        assert_eq!(*alap.grid(), before, "rejection must roll back");
+    }
+
+    #[test]
+    fn rejects_unreachable_destination() {
+        let net = NetworkBuilder::new(3).link(d(0), d(1), 1.0, 10.0).build();
+        let mut alap = AlapScheduler::new(&net);
+        let f = TransferRequest::new(FileId(1), d(0), d(2), 1.0, 2, 0);
+        assert_eq!(alap.admit(&net, &f).unwrap_err(), AlapRejection::NoPath);
+    }
+
+    #[test]
+    fn rejects_out_of_range_datacenters_without_panicking() {
+        let net = fig1_net();
+        let mut alap = AlapScheduler::new(&net);
+        let bad_src = TransferRequest::new(FileId(1), d(7), d(0), 1.0, 2, 0);
+        assert_eq!(alap.admit(&net, &bad_src).unwrap_err(), AlapRejection::NoPath);
+        let bad_dst = TransferRequest::new(FileId(2), d(0), d(9), 1.0, 2, 0);
+        assert_eq!(alap.admit(&net, &bad_dst).unwrap_err(), AlapRejection::NoPath);
+    }
+
+    #[test]
+    fn spreads_across_slots_when_one_is_not_enough() {
+        // Capacity 2/slot, 6 GB over 3 slots: all three slots must carry.
+        let net = NetworkBuilder::new(2).link(d(0), d(1), 1.0, 2.0).build();
+        let mut alap = AlapScheduler::new(&net);
+        let f = TransferRequest::new(FileId(1), d(0), d(1), 6.0, 3, 0);
+        let plan = alap.admit(&net, &f).unwrap();
+        assert!(plan.is_valid(&net, &[f], |_, _, _| 0.0));
+        for slot in 0..3 {
+            assert!((plan.link_slot_total(d(0), d(1), slot) - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn second_admission_sees_the_first_ones_reservations() {
+        let net = NetworkBuilder::new(2).link(d(0), d(1), 1.0, 2.0).build();
+        let mut alap = AlapScheduler::new(&net);
+        let a = TransferRequest::new(FileId(1), d(0), d(1), 4.0, 2, 0);
+        let b = TransferRequest::new(FileId(2), d(0), d(1), 1.0, 2, 0);
+        assert!(alap.admit(&net, &a).is_ok(), "4 GB fills both slots");
+        assert_eq!(alap.admit(&net, &b).unwrap_err(), AlapRejection::InsufficientResidual);
+    }
+
+    #[test]
+    fn batch_admission_is_all_or_nothing() {
+        let net = NetworkBuilder::new(2).link(d(0), d(1), 1.0, 2.0).build();
+        let mut alap = AlapScheduler::new(&net);
+        let before = alap.grid().clone();
+        let a = TransferRequest::new(FileId(1), d(0), d(1), 3.0, 2, 0);
+        let b = TransferRequest::new(FileId(2), d(0), d(1), 3.0, 2, 0);
+        assert!(alap.admit_batch(&net, &[a, b]).is_err(), "6 GB > 4 GB window");
+        assert_eq!(*alap.grid(), before);
+        let ok = alap.admit_batch(&net, &[a]).unwrap();
+        assert!(ok.is_valid(&net, &[a], |_, _, _| 0.0));
+    }
+
+    #[test]
+    fn rebase_restores_capacity_freed_by_an_external_replan() {
+        let net = NetworkBuilder::new(2).link(d(0), d(1), 1.0, 2.0).build();
+        let mut alap = AlapScheduler::new(&net);
+        let a = TransferRequest::new(FileId(1), d(0), d(1), 4.0, 2, 0);
+        alap.admit(&net, &a).unwrap();
+        // An external optimizer re-planned everything away: the ledger is
+        // empty, so a rebase must free the grid again.
+        alap.rebase(&net, &TrafficLedger::new(2));
+        let b = TransferRequest::new(FileId(2), d(0), d(1), 4.0, 2, 0);
+        assert!(alap.admit(&net, &b).is_ok());
+    }
+
+    #[test]
+    fn rebase_picks_up_degraded_capacity() {
+        let mut net = NetworkBuilder::new(2).link(d(0), d(1), 1.0, 10.0).build();
+        let mut alap = AlapScheduler::new(&net);
+        net.set_capacity(d(0), d(1), 1.0);
+        alap.rebase(&net, &TrafficLedger::new(2));
+        let f = TransferRequest::new(FileId(1), d(0), d(1), 5.0, 2, 0);
+        assert_eq!(alap.admit(&net, &f).unwrap_err(), AlapRejection::InsufficientResidual);
+    }
+
+    #[test]
+    fn deadline_one_slot_uses_only_the_direct_link() {
+        let net = fig1_net();
+        let mut alap = AlapScheduler::new(&net);
+        let f = TransferRequest::new(FileId(1), d(1), d(2), 5.0, 1, 2);
+        let plan = alap.admit(&net, &f).unwrap();
+        assert!(plan.is_valid(&net, &[f], |_, _, _| 0.0));
+        // Only the 1-hop path fits a 1-slot window.
+        assert!((plan.link_slot_total(d(1), d(2), 2) - 5.0).abs() < 1e-9);
+        assert_eq!(plan.link_slot_total(d(1), d(0), 2), 0.0);
+    }
+
+    #[test]
+    fn release_slot_offsets_are_respected() {
+        let net = fig1_net();
+        let mut alap = AlapScheduler::new(&net);
+        let f = TransferRequest::new(FileId(1), d(1), d(2), 6.0, 2, 5);
+        let plan = alap.admit(&net, &f).unwrap();
+        assert!(plan.is_valid(&net, &[f], |_, _, _| 0.0));
+        for e in plan.iter() {
+            assert!((5..=6).contains(&e.slot), "entry outside window: {e:?}");
+        }
+    }
+}

@@ -21,7 +21,10 @@
 //! * [`unified_flow_lp`] — the strongest storage-free baseline: one LP in
 //!   the exact percentile cost model (used for the figure reproductions);
 //! * [`greedy_cheapest_path`] — the cheapest-available-path allocator
-//!   narrated around the paper's Fig. 3.
+//!   narrated around the paper's Fig. 3;
+//! * [`AlapScheduler`] — deadline-guaranteed As-Late-As-Possible admission
+//!   against a persistent [`ResidualGrid`], the DCRoute-style fast path
+//!   that decides admit/reject without building an LP.
 //!
 //! # Example
 //!
@@ -47,6 +50,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod alap;
 mod assignment;
 mod baseline;
 mod decompose;
@@ -56,6 +60,7 @@ mod lp_flows;
 mod maxflow;
 mod mincost;
 
+pub use alap::{AlapRejection, AlapScheduler, ResidualGrid};
 pub use assignment::{FlowAssignment, FlowViolation};
 pub use baseline::{
     two_phase_baseline, unified_flow_lp, unified_flow_lp_warm, BaselineError, FlowBaselineOutcome,

@@ -32,6 +32,14 @@ impl ArrivalSchedule {
         self.requests.iter().map(|r| r.release_slot + 1).max().unwrap_or(0)
     }
 
+    /// One slot past the last *deadline* over all arrivals — the horizon a
+    /// run must cover so every request gets its full deadline window. A
+    /// request released near the end with a multi-slot window pushes this
+    /// past [`ArrivalSchedule::num_slots`], which only counts releases.
+    pub fn horizon_slots(&self) -> u64 {
+        self.requests.iter().map(|r| r.last_slot() + 1).max().unwrap_or(0)
+    }
+
     /// The arrivals released at `slot`, in id order. Slots past the last
     /// release return an empty batch — requeued backlog can extend the run
     /// horizon beyond [`ArrivalSchedule::num_slots`], and those extension
@@ -77,6 +85,11 @@ impl ArrivalSchedule {
             let size: f64 = parts[3].trim().parse().map_err(|_| err("bad size"))?;
             let deadline: usize = parts[4].trim().parse().map_err(|_| err("bad deadline"))?;
             let release: u64 = parts[5].trim().parse().map_err(|_| err("bad release slot"))?;
+            if !size.is_finite() {
+                // `size <= 0.0` is false for NaN, so non-finite sizes need
+                // their own check or they flow straight into the solver.
+                return Err(err("size must be finite"));
+            }
             if src == dst || size <= 0.0 || deadline == 0 {
                 return Err(err("inconsistent request fields"));
             }
@@ -108,6 +121,9 @@ mod tests {
     fn batches_partition_by_release_slot() {
         let s = sched();
         assert_eq!(s.num_slots(), 2);
+        // file 1: release 0, deadline 3 → last slot 2; file 2: release 1,
+        // deadline 2 → last slot 2. Horizon covers the full windows.
+        assert_eq!(s.horizon_slots(), 3);
         assert_eq!(s.batch(0).len(), 1);
         assert_eq!(s.batch(0)[0].id, FileId(1));
         assert_eq!(s.batch(1).len(), 1);
@@ -128,6 +144,16 @@ mod tests {
         assert!(e.contains("line 2"), "{e}");
         let e = ArrivalSchedule::from_csv("0,1,1,5.0,2,0\n").unwrap_err();
         assert!(e.contains("inconsistent"), "{e}");
+    }
+
+    #[test]
+    fn csv_rejects_non_finite_sizes() {
+        // Regression: `size <= 0.0` is false for NaN, so a NaN size used to
+        // pass validation and panic deep inside request construction.
+        for bad in ["NaN", "inf", "-inf"] {
+            let e = ArrivalSchedule::from_csv(&format!("1,0,1,{bad},2,0\n")).unwrap_err();
+            assert!(e.contains("line 1") && e.contains("finite"), "{bad}: {e}");
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! The solver fallback chain: Postcard LP, then the storage-free flow LP,
-//! then the greedy allocator — so a slot is never missed.
+//! The solver fallback chain: optionally the ALAP fast path, then the
+//! Postcard LP, then the storage-free flow LP, then the greedy allocator —
+//! so a slot is never missed.
 //!
 //! Tier order follows the feasible-set nesting of the underlying models
 //! (Postcard ⊇ flow LP ⊇ greedy): every lower tier is cheaper to solve but
@@ -19,19 +20,33 @@
 //! nesting above, a batch infeasible for Postcard is infeasible for every
 //! lower tier, so it propagates immediately and the online controller's
 //! per-file admission takes over.
+//!
+//! The [`TierKind::Alap`] rung sits *outside* that nesting: it is a
+//! constructive admission test (DCRoute-style As-Late-As-Possible placement
+//! against residual capacity), so its commits are feasible by construction,
+//! but its rejections are heuristic — the LP might still have placed the
+//! file. The runtime accepts that trade-off for O(links × horizon)
+//! admission latency, and demotes the LP to a periodic re-optimization
+//! pass: on such slots the chain *skips* the ALAP rung
+//! ([`AttemptOutcome::Skipped`], armed via [`FallbackChain::set_skip_alap`])
+//! and lets the LP re-plan, after which the runtime rebases the residual
+//! grid from the committed ledger ([`FallbackChain::mark_alap_dirty`]).
 
 use crate::clock::Clock;
 use postcard_core::{
     Decision, FlowLpScheduler, GreedyScheduler, PostcardConfig, PostcardError, PostcardScheduler,
     Scheduler, SolveStats,
 };
-use postcard_net::{Network, TrafficLedger, TransferRequest};
+use postcard_flow::AlapScheduler;
+use postcard_net::{Network, TrafficLedger, TransferPlan, TransferRequest};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// One tier of the fallback chain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TierKind {
+    /// The ALAP fast-path admission rung (no LP solve).
+    Alap,
     /// The paper's store-and-forward LP.
     Postcard,
     /// The storage-free flow LP.
@@ -44,6 +59,7 @@ impl TierKind {
     /// Stable name used in metrics, CLI flags, and snapshots.
     pub fn name(&self) -> &'static str {
         match self {
+            TierKind::Alap => "alap",
             TierKind::Postcard => "postcard",
             TierKind::FlowLp => "flow-lp",
             TierKind::Greedy => "flow-greedy",
@@ -60,6 +76,7 @@ impl TierKind {
     /// the flag).
     pub fn build_with(&self, warm_start: bool) -> Box<dyn Scheduler> {
         match self {
+            TierKind::Alap => Box::new(AlapTier::new()),
             TierKind::Postcard => Box::new(PostcardScheduler::with_config(PostcardConfig {
                 warm_start,
                 ..PostcardConfig::default()
@@ -90,6 +107,7 @@ impl std::str::FromStr for TierKind {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
+            "alap" => Ok(TierKind::Alap),
             "postcard" => Ok(TierKind::Postcard),
             "flow-lp" => Ok(TierKind::FlowLp),
             "flow-greedy" | "greedy" => Ok(TierKind::Greedy),
@@ -113,6 +131,80 @@ pub enum AttemptOutcome {
     Failed,
     /// The batch is infeasible (propagated, ends the chain).
     Infeasible,
+    /// The ALAP rung was deliberately skipped on a scheduled
+    /// re-optimization slot so the LP re-plans the batch. Not a failure:
+    /// distinct from [`AttemptOutcome::ForcedTimeout`] so skipped slots do
+    /// not pollute fallback-activation metrics.
+    Skipped,
+}
+
+/// The [`TierKind::Alap`] rung: wraps [`AlapScheduler`] as a chain tier.
+///
+/// The residual grid is *derived* state (link capacity minus the committed
+/// ledger plus this slot's own reservations). Whenever the ledger changes
+/// behind its back — an LP tier committed a re-optimization, a fault
+/// degraded a link, or the runtime resumed from a snapshot — the runtime
+/// marks the tier dirty and the next schedule call rebases the grid from
+/// the ledger before admitting. That is what makes killed-and-resumed runs
+/// bit-identical without persisting the grid.
+#[derive(Debug)]
+pub struct AlapTier {
+    scheduler: AlapScheduler,
+    dirty: bool,
+}
+
+impl AlapTier {
+    /// A tier whose grid will be rebased from the ledger on first use.
+    pub fn new() -> Self {
+        Self { scheduler: AlapScheduler::default(), dirty: true }
+    }
+
+    /// Marks the residual grid stale; the next schedule call rebases it
+    /// from the network and ledger it is handed.
+    pub fn mark_dirty(&mut self) {
+        self.dirty = true;
+    }
+}
+
+impl Default for AlapTier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for AlapTier {
+    fn name(&self) -> &'static str {
+        "alap"
+    }
+
+    fn schedule(
+        &mut self,
+        network: &Network,
+        files: &[TransferRequest],
+        ledger: &TrafficLedger,
+    ) -> Result<Decision, PostcardError> {
+        if files.is_empty() {
+            // Nothing to admit: commit an empty plan without touching the
+            // grid, so empty slots skip the LP entirely.
+            return Ok(Decision::Plan(TransferPlan::new()));
+        }
+        if self.dirty {
+            self.scheduler.rebase(network, ledger);
+            self.dirty = false;
+        }
+        match self.scheduler.admit_batch(network, files) {
+            Ok(plan) => Ok(Decision::Plan(plan)),
+            // A rejection is *this rung's* admission verdict, not a solver
+            // breakdown: report the batch infeasible so the controller's
+            // per-file admission retries each file (instant per-file
+            // admit/reject, still no LP).
+            Err(_) => Err(PostcardError::Infeasible),
+        }
+    }
+
+    fn last_stats(&self) -> SolveStats {
+        SolveStats::default()
+    }
 }
 
 /// One tier attempt within a slot.
@@ -130,9 +222,32 @@ pub struct AttemptRecord {
     pub warm_started: bool,
 }
 
+/// A tier's scheduler. The ALAP rung keeps its concrete type so the chain
+/// can reach [`AlapTier::mark_dirty`]; every other tier is a trait object.
+enum TierScheduler {
+    Alap(AlapTier),
+    Dyn(Box<dyn Scheduler>),
+}
+
+impl TierScheduler {
+    fn as_scheduler_mut(&mut self) -> &mut dyn Scheduler {
+        match self {
+            TierScheduler::Alap(t) => t,
+            TierScheduler::Dyn(b) => b.as_mut(),
+        }
+    }
+
+    fn last_stats(&self) -> SolveStats {
+        match self {
+            TierScheduler::Alap(t) => t.last_stats(),
+            TierScheduler::Dyn(b) => b.last_stats(),
+        }
+    }
+}
+
 struct Tier {
     kind: TierKind,
-    scheduler: Box<dyn Scheduler>,
+    scheduler: TierScheduler,
 }
 
 /// A [`Scheduler`] that tries tiers in order until one commits.
@@ -141,6 +256,7 @@ pub struct FallbackChain {
     clock: Box<dyn Clock>,
     slot_budget: Duration,
     forced_now: Vec<TierKind>,
+    skip_alap: bool,
     records: Vec<AttemptRecord>,
     last_stats: SolveStats,
 }
@@ -182,22 +298,50 @@ impl FallbackChain {
         Self {
             tiers: tiers
                 .iter()
-                .map(|&kind| Tier { kind, scheduler: kind.build_with(warm_start) })
+                .map(|&kind| Tier {
+                    kind,
+                    scheduler: match kind {
+                        TierKind::Alap => TierScheduler::Alap(AlapTier::new()),
+                        _ => TierScheduler::Dyn(kind.build_with(warm_start)),
+                    },
+                })
                 .collect(),
             clock,
             slot_budget,
             forced_now: Vec::new(),
+            skip_alap: false,
             records: Vec::new(),
             last_stats: SolveStats::default(),
         }
     }
 
-    /// Starts a slot: resets the stopwatch and attempt log, and arms the
-    /// forced timeouts scheduled for this slot.
+    /// Starts a slot: resets the stopwatch, attempt log, and reopt skip,
+    /// and arms the forced timeouts scheduled for this slot.
     pub fn begin_slot(&mut self, slot: u64, forced: Vec<TierKind>) {
         self.clock.start_slot(slot);
         self.forced_now = forced;
+        self.skip_alap = false;
         self.records.clear();
+    }
+
+    /// Arms (or disarms) the re-optimization skip for the current slot:
+    /// while set, the ALAP rung records [`AttemptOutcome::Skipped`] and the
+    /// chain falls through to the LP tiers, which re-plan the batch. Reset
+    /// by [`FallbackChain::begin_slot`]. No-op for the last tier — a
+    /// one-tier `alap` chain must still commit every slot.
+    pub fn set_skip_alap(&mut self, skip: bool) {
+        self.skip_alap = skip;
+    }
+
+    /// Marks every ALAP rung's residual grid stale (see
+    /// [`AlapTier::mark_dirty`]): call after any ledger change the grid did
+    /// not make itself — an LP tier's commit, a link degradation, a resume.
+    pub fn mark_alap_dirty(&mut self) {
+        for tier in &mut self.tiers {
+            if let TierScheduler::Alap(t) = &mut tier.scheduler {
+                t.mark_dirty();
+            }
+        }
     }
 
     /// Simulated clock access (used by tests and fault drivers to consume
@@ -250,6 +394,11 @@ impl Scheduler for FallbackChain {
             let kind = self.tiers[i].kind;
             let is_last = i + 1 == num_tiers;
 
+            if kind == TierKind::Alap && self.skip_alap && !is_last {
+                self.record(kind, AttemptOutcome::Skipped, SolveStats::default());
+                continue;
+            }
+
             if self.forced_now.contains(&kind) && !is_last {
                 self.record(kind, AttemptOutcome::ForcedTimeout, SolveStats::default());
                 continue;
@@ -257,7 +406,7 @@ impl Scheduler for FallbackChain {
 
             let mut retried = false;
             let result = loop {
-                match self.tiers[i].scheduler.schedule(network, files, ledger) {
+                match self.tiers[i].scheduler.as_scheduler_mut().schedule(network, files, ledger) {
                     Ok(d) => break Ok(d),
                     Err(PostcardError::Infeasible) => break Err(PostcardError::Infeasible),
                     Err(e) if !retried => {
@@ -398,6 +547,67 @@ mod tests {
             assert_eq!(t.name().parse::<TierKind>().unwrap(), t);
         }
         assert_eq!("greedy".parse::<TierKind>().unwrap(), TierKind::Greedy);
+        assert_eq!("alap".parse::<TierKind>().unwrap(), TierKind::Alap);
+        assert_eq!(TierKind::Alap.name().parse::<TierKind>().unwrap(), TierKind::Alap);
         assert!("quantum".parse::<TierKind>().is_err());
+    }
+
+    fn alap_chain() -> FallbackChain {
+        FallbackChain::new(
+            &[TierKind::Alap, TierKind::Postcard],
+            Duration::from_millis(100),
+            Box::new(SimClock::new()),
+        )
+    }
+
+    #[test]
+    fn alap_rung_commits_without_lp_iterations() {
+        let mut c = alap_chain();
+        c.begin_slot(0, vec![]);
+        let d = c.schedule(&net(), &[file()], &TrafficLedger::new(3)).unwrap();
+        assert!(matches!(d, Decision::Plan(_)));
+        assert_eq!(c.chosen_tier(), Some(TierKind::Alap));
+        assert_eq!(c.last_stats().lp_iterations, 0, "no LP was built");
+    }
+
+    #[test]
+    fn reopt_skip_falls_through_to_the_lp() {
+        let mut c = alap_chain();
+        c.begin_slot(2, vec![]);
+        c.set_skip_alap(true);
+        let d = c.schedule(&net(), &[file()], &TrafficLedger::new(3)).unwrap();
+        assert!(matches!(d, Decision::Plan(_)));
+        assert_eq!(c.chosen_tier(), Some(TierKind::Postcard));
+        assert_eq!(c.records()[0].outcome, AttemptOutcome::Skipped);
+        // The next slot re-arms: begin_slot clears the skip.
+        c.begin_slot(3, vec![]);
+        c.schedule(&net(), &[file()], &TrafficLedger::new(3)).unwrap();
+        assert_eq!(c.chosen_tier(), Some(TierKind::Alap));
+    }
+
+    #[test]
+    fn skip_is_ignored_when_alap_is_the_only_tier() {
+        let mut c = FallbackChain::new(
+            &[TierKind::Alap],
+            Duration::from_millis(100),
+            Box::new(SimClock::new()),
+        );
+        c.begin_slot(2, vec![]);
+        c.set_skip_alap(true);
+        let d = c.schedule(&net(), &[file()], &TrafficLedger::new(3)).unwrap();
+        assert!(matches!(d, Decision::Plan(_)), "a one-tier chain must still commit");
+        assert_eq!(c.chosen_tier(), Some(TierKind::Alap));
+    }
+
+    #[test]
+    fn alap_rejection_propagates_as_infeasible() {
+        let net = NetworkBuilder::new(2).link(d(0), d(1), 1.0, 2.0).build();
+        let f = TransferRequest::new(FileId(1), d(0), d(1), 10.0, 1, 0);
+        let mut c = alap_chain();
+        c.begin_slot(0, vec![]);
+        let err = c.schedule(&net, &[f], &TrafficLedger::new(2)).unwrap_err();
+        assert_eq!(err, PostcardError::Infeasible);
+        assert_eq!(c.records().len(), 1, "no LP attempt followed the rejection");
+        assert_eq!(c.records()[0].tier, TierKind::Alap);
     }
 }

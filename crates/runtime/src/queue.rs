@@ -15,7 +15,8 @@
 //! preserved across carries. Each entry remembers how many times it has been
 //! requeued ([`QueuedRequest::attempts`]); the runtime stops retrying past
 //! its `max_requeue_attempts` knob. Because the backlog can be non-empty at
-//! a slot boundary, snapshots persist the queue contents (format v4).
+//! a slot boundary, snapshots persist the queue contents (format v4) and the
+//! dropped-at-the-door counter (format v5).
 
 use postcard_net::TransferRequest;
 use serde::{Deserialize, Serialize};
@@ -96,9 +97,13 @@ impl AdmissionQueue {
         &self.pending
     }
 
-    /// Restores backlog contents from a snapshot, replacing anything queued.
-    pub fn restore(&mut self, entries: Vec<QueuedRequest>) {
+    /// Restores backlog contents *and* the dropped counter from a snapshot,
+    /// replacing anything queued. Restoring the counter too keeps
+    /// `queue_dropped` accounting identical between a killed-and-resumed run
+    /// and the uninterrupted one (snapshot format v5).
+    pub fn restore(&mut self, entries: Vec<QueuedRequest>, dropped: u64) {
         self.pending = entries;
+        self.dropped = dropped;
     }
 
     /// Requests currently queued.
@@ -208,14 +213,18 @@ mod tests {
     }
 
     #[test]
-    fn restore_round_trips_entries() {
-        let mut q = AdmissionQueue::new(4);
-        q.offer(&[req(1), req(2)]);
+    fn restore_round_trips_entries_and_dropped_counter() {
+        let mut q = AdmissionQueue::new(2);
+        q.offer(&[req(1), req(2), req(3)]);
+        assert_eq!(q.dropped(), 1);
         let saved: Vec<QueuedRequest> = q.entries().to_vec();
-        let mut fresh = AdmissionQueue::new(4);
-        fresh.restore(saved.clone());
+        let mut fresh = AdmissionQueue::new(2);
+        fresh.restore(saved.clone(), q.dropped());
         assert_eq!(fresh.entries(), &saved[..]);
         assert_eq!(fresh.len(), 2);
+        // Regression: restore used to leave `dropped` at 0, so a resumed
+        // run's overload accounting diverged from the uninterrupted run.
+        assert_eq!(fresh.dropped(), 1);
     }
 
     #[test]

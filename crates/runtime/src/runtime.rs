@@ -72,6 +72,16 @@ pub struct RuntimeConfig {
     /// results are identical either way (stale bases degrade to cold
     /// solves), only solve effort changes.
     pub warm_start: bool,
+    /// Put the ALAP fast-path admission rung ahead of the LP tiers:
+    /// [`Runtime::new`] prepends [`TierKind::Alap`] to `tiers` (idempotent
+    /// if it is already listed). Each request is then admitted or rejected
+    /// in O(links × horizon) against the residual grid, with no LP solve.
+    pub alap: bool,
+    /// With the ALAP rung enabled, run the full LP re-optimization pass
+    /// every this many slots (the ALAP rung is skipped there and the
+    /// residual grid rebased from the LP's committed schedule). 0 disables
+    /// periodic re-optimization.
+    pub reopt_every: u64,
 }
 
 impl Default for RuntimeConfig {
@@ -86,6 +96,8 @@ impl Default for RuntimeConfig {
             clock: ClockKind::Sim,
             strict_analysis: false,
             warm_start: false,
+            alap: false,
+            reopt_every: 0,
         }
     }
 }
@@ -161,8 +173,15 @@ impl Runtime {
         arrivals: ArrivalSchedule,
         faults: FaultPlan,
         num_slots: u64,
-        config: RuntimeConfig,
+        mut config: RuntimeConfig,
     ) -> Result<Self, RuntimeError> {
+        // `--alap` is sugar for "alap leads the tier list". Normalizing here
+        // (idempotently) means snapshots store the effective chain and the
+        // rest of the runtime can key off `tiers.first()` alone.
+        if config.alap && config.tiers.first() != Some(&TierKind::Alap) {
+            config.tiers.retain(|t| *t != TierKind::Alap);
+            config.tiers.insert(0, TierKind::Alap);
+        }
         Self::validate(&config)?;
         let chain = FallbackChain::with_warm_start(
             &config.tiers,
@@ -170,7 +189,10 @@ impl Runtime {
             config.clock.build(),
             config.warm_start,
         );
-        let num_slots = num_slots.max(arrivals.num_slots());
+        // The horizon must cover every arrival's full deadline *window*, not
+        // just its release slot — a late release with a multi-slot window
+        // used to get its tail slots only via the requeue extension.
+        let num_slots = num_slots.max(arrivals.horizon_slots());
         Ok(Self {
             controller: OnlineController::new(network, chain),
             queue: AdmissionQueue::new(config.queue_capacity),
@@ -220,7 +242,10 @@ impl Runtime {
         let network = snap.rebuild_network();
         // Warm-start state (the previous optimal basis) is deliberately not
         // snapshotted: a resumed run cold-solves its first slot, which only
-        // costs pivots — committed results are unaffected.
+        // costs pivots — committed results are unaffected. The ALAP residual
+        // grid is likewise not snapshotted: a fresh `AlapTier` starts dirty
+        // and deterministically rebuilds the grid from the restored ledger
+        // on first use, so resumed runs stay bit-identical.
         let chain = FallbackChain::with_warm_start(
             &snap.config.tiers,
             snap.config.slot_budget(),
@@ -228,7 +253,7 @@ impl Runtime {
             snap.config.warm_start,
         );
         let mut queue = AdmissionQueue::new(snap.config.queue_capacity);
-        queue.restore(snap.queue);
+        queue.restore(snap.queue, snap.queue_dropped);
         Ok(Self {
             controller: OnlineController::from_state(network, chain, snap.controller),
             queue,
@@ -253,6 +278,7 @@ impl Runtime {
             arrivals: self.arrivals.clone(),
             faults: self.faults.clone(),
             queue: self.queue.entries().to_vec(),
+            queue_dropped: self.queue.dropped(),
             controller: self.controller.export_state(),
             metrics: self.metrics.clone(),
             next_slot: self.next_slot,
@@ -313,14 +339,21 @@ impl Runtime {
         // Capacity 0 is a *valid* full-outage degradation (the formulation
         // simply gets no variables on the dead link); only unknown links and
         // negative/NaN capacities are skipped.
+        let mut capacities_changed = false;
         for d in self.faults.degradations_at(slot).copied().collect::<Vec<_>>() {
             let (from, to) = (DcId(d.from), DcId(d.to));
             if self.controller.network().capacity(from, to).is_some() && d.capacity >= 0.0 {
                 self.controller.network_mut().set_capacity(from, to, d.capacity);
                 self.metrics.inc("degradations_applied", 1);
+                capacities_changed = true;
             } else {
                 self.metrics.inc("degradations_skipped", 1);
             }
+        }
+        if capacities_changed {
+            // The ALAP residual grid caches link capacities; degradations
+            // invalidate it (no-op without an ALAP rung).
+            self.controller.scheduler_mut().mark_alap_dirty();
         }
 
         // (2) Bounded admission, then drain the backlog. Entries whose
@@ -383,9 +416,17 @@ impl Runtime {
             }
         }
 
-        // (3) Schedule through the fallback chain.
+        // (3) Schedule through the fallback chain. On a scheduled
+        // re-optimization slot the ALAP rung is skipped, so the full LP
+        // re-plans the batch; the residual grid is rebased afterwards.
+        let alap_first = self.config.tiers.first() == Some(&TierKind::Alap);
+        let reopt_now = alap_first
+            && self.config.reopt_every > 0
+            && slot > 0
+            && slot.is_multiple_of(self.config.reopt_every);
         let forced = self.faults.timeouts_at(slot);
         self.controller.scheduler_mut().begin_slot(slot, forced);
+        self.controller.scheduler_mut().set_skip_alap(reopt_now);
         let (report, degraded) = match self.controller.step(slot, &batch) {
             Ok(report) => (report, false),
             Err(_) => {
@@ -416,7 +457,9 @@ impl Runtime {
             if batch.is_empty() { None } else { self.controller.scheduler().chosen_tier() };
         if let Some(tier) = chosen_tier {
             self.metrics.inc(&format!("tier_chosen_{}", tier.name()), 1);
-            if tier != self.config.tiers[0] {
+            // A scheduled re-optimization deliberately lands on an LP tier;
+            // that is the design working, not a fallback.
+            if tier != self.config.tiers[0] && !reopt_now {
                 self.metrics.inc("slots_on_fallback_tier", 1);
             }
         }
@@ -425,6 +468,29 @@ impl Runtime {
         } else {
             self.controller.scheduler().records().to_vec()
         };
+        if reopt_now && !batch.is_empty() {
+            self.metrics.inc("lp_reoptimizations", 1);
+        }
+        // The ALAP rung's admission verdicts, from the step report: it
+        // decided the slot when it committed or (per-file) rejected, and no
+        // other tier committed over its head.
+        let alap_decided = records.iter().any(|r| {
+            r.tier == TierKind::Alap
+                && matches!(
+                    r.outcome,
+                    AttemptOutcome::Committed
+                        | AttemptOutcome::CommittedAfterRetry
+                        | AttemptOutcome::Infeasible
+                )
+        });
+        if alap_decided && chosen_tier.is_none_or(|t| t == TierKind::Alap) {
+            if !report.accepted.is_empty() {
+                self.metrics.inc("alap_admits", report.accepted.len() as u64);
+            }
+            if !report.rejected.is_empty() {
+                self.metrics.inc("alap_rejects", report.rejected.len() as u64);
+            }
+        }
         for rec in records {
             match rec.outcome {
                 AttemptOutcome::Committed | AttemptOutcome::CommittedAfterRetry => {
@@ -433,7 +499,16 @@ impl Runtime {
                         rec.elapsed.as_secs_f64(),
                     );
                     self.metrics.observe("lp_iterations", rec.lp_iterations as f64);
-                    if self.config.warm_start && rec.tier != TierKind::Greedy {
+                    if rec.tier == TierKind::Alap {
+                        self.metrics
+                            .observe("admission_latency_seconds", rec.elapsed.as_secs_f64());
+                    }
+                    // Warm starts only exist on the LP tiers; counting the
+                    // combinatorial or ALAP rungs here would report their
+                    // cold solves as basis misses.
+                    if self.config.warm_start
+                        && matches!(rec.tier, TierKind::Postcard | TierKind::FlowLp)
+                    {
                         if rec.warm_started {
                             self.metrics.inc("warm_start_hits", 1);
                         } else {
@@ -452,9 +527,25 @@ impl Runtime {
                 }
                 AttemptOutcome::Infeasible => {
                     // Handled by per-file admission; rejections are counted
-                    // from the step report instead.
+                    // from the step report (and `alap_rejects` above)
+                    // instead.
+                    if rec.tier == TierKind::Alap {
+                        self.metrics
+                            .observe("admission_latency_seconds", rec.elapsed.as_secs_f64());
+                    }
+                }
+                AttemptOutcome::Skipped => {
+                    // A scheduled re-optimization skip, not a failure.
                 }
             }
+        }
+        // Any committed decision the ALAP rung did not make itself (an LP
+        // re-optimization, a forced fallback) changes the ledger behind the
+        // residual grid's back: rebase before the next admission.
+        if (degraded || chosen_tier.is_some_and(|t| t != TierKind::Alap))
+            && self.config.tiers.contains(&TierKind::Alap)
+        {
+            self.controller.scheduler_mut().mark_alap_dirty();
         }
 
         // (5) Advance and checkpoint.
@@ -617,7 +708,31 @@ mod tests {
     fn run_extends_to_cover_all_arrivals() {
         let rt = Runtime::new(net(), arrivals(), FaultPlan::none(), 1, RuntimeConfig::default())
             .unwrap();
-        assert_eq!(rt.num_slots(), 3, "arrival at slot 2 extends the horizon");
+        // File 2 releases at slot 2 with a 2-slot deadline window: the
+        // horizon covers the *window* (slots 2..=3), not just the release.
+        assert_eq!(rt.num_slots(), 4, "deadline window extends the horizon");
+    }
+
+    #[test]
+    fn horizon_covers_full_deadline_window_of_late_releases() {
+        // Regression: the horizon used to come from `num_slots()` (last
+        // release + 1), so this request's 5-slot window was truncated to
+        // its release slot and only requeue churn could extend the run.
+        let reqs = vec![TransferRequest::new(FileId(1), d(1), d(2), 400.0, 5, 3)];
+        let mut rt = Runtime::new(
+            net(),
+            ArrivalSchedule::from_requests(reqs),
+            FaultPlan::none(),
+            0,
+            RuntimeConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(rt.num_slots(), 8, "slots 3..=7 belong to the window");
+        // 400 GB over capacity-100 links needs several slots: without the
+        // full window the file would be rejected outright.
+        rt.run_to_end().unwrap();
+        assert_eq!(rt.metrics().counter("files_accepted"), 1);
+        assert_eq!(rt.metrics().counter("requeued_total"), 0, "no requeue churn");
     }
 
     #[test]
@@ -673,7 +788,8 @@ mod tests {
         assert_eq!(rt.metrics().counter("requeued_total"), 0);
         assert_eq!(rt.metrics().counter("files_accepted"), 0);
         // The slot still ran (empty batch) and was not counted as degraded.
-        assert_eq!(outcomes.len(), 2);
+        // (Three slots: file 1's deadline window reaches slot 2.)
+        assert_eq!(outcomes.len(), 3);
         assert!(!outcomes[0].degraded);
     }
 
@@ -688,10 +804,12 @@ mod tests {
             Runtime::new(net(), ArrivalSchedule::from_requests(reqs), FaultPlan::none(), 1, config)
                 .unwrap();
         let outcomes = rt.run_to_end().unwrap();
-        // Slot 0 fails → requeue (attempt 1) and extend the horizon; slot 1
-        // fails → requeue (attempt 2); slot 2 fails → budget exhausted.
-        assert_eq!(outcomes.len(), 3, "requeues extend the run horizon");
-        assert!(outcomes.iter().all(|o| o.degraded));
+        // Slot 0 fails → requeue (attempt 1); slot 1 fails → requeue
+        // (attempt 2); slot 2 fails → budget exhausted. The run then idles
+        // out the request's 10-slot deadline window (horizon 10).
+        assert_eq!(outcomes.len(), 10, "horizon covers the deadline window");
+        assert!(outcomes.iter().take(3).all(|o| o.degraded));
+        assert!(outcomes.iter().skip(3).all(|o| !o.degraded));
         assert_eq!(rt.metrics().counter("files_requeued_degraded"), 2);
         assert_eq!(rt.metrics().counter("requeued_total"), 2);
         assert_eq!(rt.metrics().counter("files_lost_degraded"), 1);
@@ -806,6 +924,102 @@ mod tests {
         resumed.run_to_end().unwrap();
 
         assert_eq!(resumed.cost_history().len(), full.cost_history().len());
+        for (a, b) in resumed.cost_history().iter().zip(full.cost_history()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "bit-identical continuation");
+        }
+        assert_eq!(resumed.metrics(), full.metrics());
+    }
+
+    #[test]
+    fn alap_flag_prepends_the_rung_idempotently() {
+        let config = RuntimeConfig { alap: true, ..Default::default() };
+        let rt = Runtime::new(net(), arrivals(), FaultPlan::none(), 4, config).unwrap();
+        assert_eq!(
+            rt.config().tiers,
+            vec![TierKind::Alap, TierKind::Postcard, TierKind::FlowLp, TierKind::Greedy]
+        );
+        // Already-listed rungs are not duplicated, wherever they appear.
+        let config = RuntimeConfig {
+            alap: true,
+            tiers: vec![TierKind::Postcard, TierKind::Alap],
+            ..Default::default()
+        };
+        let rt = Runtime::new(net(), arrivals(), FaultPlan::none(), 4, config).unwrap();
+        assert_eq!(rt.config().tiers, vec![TierKind::Alap, TierKind::Postcard]);
+    }
+
+    #[test]
+    fn alap_rung_admits_every_request_without_an_lp_solve() {
+        let config = RuntimeConfig { alap: true, ..Default::default() };
+        let mut rt = Runtime::new(net(), arrivals(), FaultPlan::none(), 4, config).unwrap();
+        let outcomes = rt.run_to_end().unwrap();
+        assert_eq!(rt.metrics().counter("files_accepted"), 2);
+        assert_eq!(rt.metrics().counter("alap_admits"), 2);
+        assert_eq!(rt.metrics().counter("alap_rejects"), 0);
+        assert_eq!(rt.metrics().counter("tier_chosen_alap"), 2);
+        assert_eq!(rt.metrics().counter("tier_chosen_postcard"), 0);
+        assert_eq!(rt.metrics().counter("slots_on_fallback_tier"), 0);
+        // Every non-empty slot was decided by the ALAP rung, LP never ran.
+        for o in &outcomes {
+            assert!(o.chosen_tier.is_none() || o.chosen_tier == Some(TierKind::Alap));
+        }
+        let lat = rt.metrics().histogram("admission_latency_seconds").unwrap();
+        assert_eq!(lat.count, 2, "one admission decision per file");
+    }
+
+    #[test]
+    fn alap_rung_rejects_infeasible_requests_instantly() {
+        // 500 GB with a 1-slot deadline over capacity-100 links: nothing can
+        // place it; a feasible rider shares the batch and still gets in.
+        let reqs = vec![
+            TransferRequest::new(FileId(1), d(1), d(2), 500.0, 1, 0),
+            TransferRequest::new(FileId(2), d(1), d(2), 6.0, 3, 0),
+        ];
+        let config = RuntimeConfig { alap: true, ..Default::default() };
+        let mut rt =
+            Runtime::new(net(), ArrivalSchedule::from_requests(reqs), FaultPlan::none(), 0, config)
+                .unwrap();
+        rt.run_to_end().unwrap();
+        assert_eq!(rt.metrics().counter("alap_admits"), 1);
+        assert_eq!(rt.metrics().counter("alap_rejects"), 1);
+        assert_eq!(rt.metrics().counter("files_rejected"), 1);
+        assert_eq!(rt.metrics().counter("files_accepted"), 1);
+        // Rejections are final (loss accounting), not requeued.
+        assert_eq!(rt.metrics().counter("requeued_total"), 0);
+    }
+
+    #[test]
+    fn reopt_slots_run_the_lp_and_rebase_the_grid() {
+        let config = RuntimeConfig { alap: true, reopt_every: 2, ..Default::default() };
+        let mut rt = Runtime::new(net(), arrivals(), FaultPlan::none(), 4, config).unwrap();
+        let outcomes = rt.run_to_end().unwrap();
+        // Slot 0 (non-empty): ALAP admits. Slot 2 (non-empty, 2 % 2 == 0):
+        // the rung is skipped and the Postcard LP re-plans.
+        assert_eq!(outcomes[0].chosen_tier, Some(TierKind::Alap));
+        assert_eq!(outcomes[2].chosen_tier, Some(TierKind::Postcard));
+        assert_eq!(rt.metrics().counter("lp_reoptimizations"), 1);
+        assert_eq!(rt.metrics().counter("alap_admits"), 1);
+        // A scheduled re-optimization is not a fallback event.
+        assert_eq!(rt.metrics().counter("fallback_activations"), 0);
+        assert_eq!(rt.metrics().counter("slots_on_fallback_tier"), 0);
+        assert_eq!(rt.metrics().counter("files_accepted"), 2);
+    }
+
+    #[test]
+    fn alap_run_resumes_bit_identically_with_backlog() {
+        let faults = FaultPlan::none().degrade(1, d(0), d(2), 50.0);
+        let config = RuntimeConfig { alap: true, reopt_every: 2, ..Default::default() };
+        let mut full = Runtime::new(net(), arrivals(), faults.clone(), 4, config.clone()).unwrap();
+        full.run_to_end().unwrap();
+
+        let mut half = Runtime::new(net(), arrivals(), faults, 4, config).unwrap();
+        half.run_slot().unwrap();
+        half.run_slot().unwrap();
+        let snap = half.snapshot();
+        drop(half); // "crash" — the residual grid dies with the process
+        let mut resumed = Runtime::from_snapshot(snap).unwrap();
+        resumed.run_to_end().unwrap();
+
         for (a, b) in resumed.cost_history().iter().zip(full.cost_history()) {
             assert_eq!(a.to_bits(), b.to_bits(), "bit-identical continuation");
         }

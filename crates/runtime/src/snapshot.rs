@@ -29,8 +29,10 @@ use std::path::Path;
 /// `warm_start` and `HistogramSummary` gained percentile buckets; v4 — the
 /// snapshot carries the admission-queue backlog (requests plus requeue
 /// counts) and `RuntimeConfig` gained `max_requeue_attempts`, so a run
-/// killed with a non-empty backlog resumes bit-identically.
-pub const SNAPSHOT_VERSION: u32 = 4;
+/// killed with a non-empty backlog resumes bit-identically; v5 — the
+/// snapshot carries the queue's dropped-at-the-door counter (previously
+/// lost on resume) and `RuntimeConfig` gained `alap` and `reopt_every`.
+pub const SNAPSHOT_VERSION: u32 = 5;
 
 /// One directed link, flattened for serialization.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -65,6 +67,9 @@ pub struct RuntimeSnapshot {
     /// (requests keep their original release slots; re-stamping happens at
     /// drain time).
     pub queue: Vec<QueuedRequest>,
+    /// Total requests dropped at the admission-queue door so far. Restored
+    /// on resume so overload accounting matches the uninterrupted run.
+    pub queue_dropped: u64,
     /// The online controller's mutable state.
     pub controller: ControllerState,
     /// Metrics accumulated so far.
@@ -185,6 +190,7 @@ mod tests {
                 ),
                 attempts: 1,
             }],
+            queue_dropped: 3,
             controller: ControllerState {
                 ledger: TrafficLedger::new(3),
                 cost_history: vec![0.1 + 0.2, 1.0 / 3.0],
@@ -229,12 +235,15 @@ mod tests {
 
     #[test]
     fn old_versions_fail_with_version_error_not_missing_field() {
-        // A v3 file lacks the `queue` field (and `max_requeue_attempts` in
-        // the config). The version must be probed *before* the typed decode,
-        // so the user sees the real problem, not a decoding artifact.
-        let err = RuntimeSnapshot::from_json(r#"{"version": 3}"#).unwrap_err();
-        assert!(err.contains("snapshot version 3 unsupported"), "{err}");
-        assert!(!err.contains("missing field"), "{err}");
+        // A v4 file lacks the `queue_dropped` field (and `alap` /
+        // `reopt_every` in the config). The version must be probed *before*
+        // the typed decode, so the user sees the real problem, not a
+        // decoding artifact.
+        for old in [3, 4] {
+            let err = RuntimeSnapshot::from_json(&format!(r#"{{"version": {old}}}"#)).unwrap_err();
+            assert!(err.contains(&format!("snapshot version {old} unsupported")), "{err}");
+            assert!(!err.contains("missing field"), "{err}");
+        }
         // Non-object and version-less documents still report clearly.
         let err = RuntimeSnapshot::from_json("[1, 2]").unwrap_err();
         assert!(err.contains("not a JSON object"), "{err}");

@@ -94,7 +94,11 @@ mod tests {
         let network = s.network(42);
         let mut workload = s.workload(42 ^ 0xDEAD_BEEF);
         let trace = Trace::generate(&mut workload, s.num_slots);
-        (network, trace, s.num_slots)
+        // The runtime extends the horizon so late releases keep their full
+        // deadline windows; drive the plain controller over the same span
+        // so the two paths stay number-for-number comparable.
+        let horizon = trace_to_arrivals(&trace).horizon_slots().max(s.num_slots);
+        (network, trace, horizon)
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Property tests for the ALAP fast-path admission rung.
+//!
+//! Two invariants, checked over randomized networks and request streams:
+//!
+//! 1. **Feasibility** — every plan the ALAP scheduler admits replays
+//!    cleanly through [`postcard::net::TransferPlan::validate`] against the
+//!    traffic already committed to the ledger, and after committing it the
+//!    ledger never exceeds any link's capacity. ALAP admission is a promise
+//!    the network can keep.
+//! 2. **LP consistency** — ALAP never admits a request that the full
+//!    Postcard LP would prove infeasible on the same residual state. The
+//!    fast path is allowed to be *conservative* (reject what the LP could
+//!    place), never *optimistic*.
+
+use postcard::core::{PostcardScheduler, Scheduler};
+use postcard::flow::AlapScheduler;
+use postcard::net::{DcId, FileId, Network, TrafficLedger, TransferRequest, VOLUME_TOL};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NUM_DCS: usize = 4;
+
+/// A tight complete network: capacities small enough that admissions
+/// actually compete for residual bandwidth, prices seed-determined.
+fn network(rng: &mut StdRng) -> Network {
+    let capacity = rng.gen_range(20.0..=60.0);
+    let mut price_rng = StdRng::seed_from_u64(rng.gen());
+    Network::complete_with_prices(NUM_DCS, capacity, |_, _| price_rng.gen_range(1.0..=10.0))
+}
+
+/// A randomized request; sizes range up to well above a single link-slot so
+/// both multi-slot placements and rejections occur.
+fn request(rng: &mut StdRng, id: u64) -> TransferRequest {
+    let src = rng.gen_range(0..NUM_DCS);
+    let dst = (src + rng.gen_range(1..NUM_DCS)) % NUM_DCS;
+    TransferRequest::new(
+        FileId(id),
+        DcId(src),
+        DcId(dst),
+        rng.gen_range(1.0..=80.0),
+        rng.gen_range(1..=4),
+        rng.gen_range(0..4),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every ALAP-admitted plan validates against the committed ledger and
+    /// never pushes any link past capacity; and on the exact residual state
+    /// where ALAP said yes, the full Postcard LP also finds a placement.
+    #[test]
+    fn admitted_plans_are_feasible_and_lp_agrees(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = network(&mut rng);
+        let mut alap = AlapScheduler::new(&net);
+        let mut ledger = TrafficLedger::new(NUM_DCS);
+        let mut admits = 0u32;
+
+        for id in 0..12 {
+            let f = request(&mut rng, id);
+            // Snapshot the residual state *before* the admission decision:
+            // the LP-consistency check must run against exactly this ledger.
+            let before = ledger.clone();
+            let Ok(plan) = alap.admit(&net, &f) else { continue };
+            admits += 1;
+
+            // (1) The plan is valid on top of everything committed so far:
+            // capacity, per-slot conservation at relays, release/deadline
+            // windows, and full delivery.
+            let violations =
+                plan.validate(&net, &[f], |from, to, slot| before.volume(from, to, slot));
+            prop_assert!(
+                violations.is_empty(),
+                "seed {seed}, file {id}: ALAP plan invalid: {violations:?}"
+            );
+
+            // (2) The LP can also place this file on the same residuals —
+            // ALAP admission implies LP feasibility.
+            let mut lp = PostcardScheduler::new();
+            let lp_result = lp.schedule(&net, &[f], &before);
+            prop_assert!(
+                lp_result.is_ok(),
+                "seed {seed}, file {id}: ALAP admitted a request the LP proves infeasible: {:?}",
+                lp_result.err()
+            );
+
+            plan.apply_to_ledger(&mut ledger);
+        }
+
+        // The committed ledger never exceeds capacity on any link at any
+        // slot the stream could have touched.
+        for l in net.links() {
+            for slot in 0..16 {
+                let used = ledger.volume(l.from, l.to, slot);
+                prop_assert!(
+                    used <= l.capacity + VOLUME_TOL,
+                    "seed {seed}: link {:?}->{:?} over capacity at slot {slot}: {used} > {}",
+                    l.from, l.to, l.capacity
+                );
+            }
+        }
+
+        // The generator must actually exercise admissions (not vacuous).
+        prop_assert!(admits > 0, "seed {seed}: no admissions — scenario too tight");
+    }
+
+    /// Batch admission is exactly as feasible as its parts: an admitted
+    /// batch replays through the ledger without exceeding capacity, and a
+    /// rejected batch leaves the residual grid byte-identical (rollback).
+    #[test]
+    fn admitted_batches_replay_within_capacity(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = network(&mut rng);
+        let mut alap = AlapScheduler::new(&net);
+        let mut ledger = TrafficLedger::new(NUM_DCS);
+
+        for batch_no in 0..4u64 {
+            let batch: Vec<TransferRequest> =
+                (0..3).map(|i| request(&mut rng, batch_no * 3 + i)).collect();
+            let grid_before = alap.grid().clone();
+            match alap.admit_batch(&net, &batch) {
+                Ok(plan) => {
+                    let violations = plan.validate(&net, &batch, |from, to, slot| {
+                        ledger.volume(from, to, slot)
+                    });
+                    prop_assert!(
+                        violations.is_empty(),
+                        "seed {seed}, batch {batch_no}: invalid batch plan: {violations:?}"
+                    );
+                    plan.apply_to_ledger(&mut ledger);
+                }
+                Err(_) => {
+                    prop_assert!(
+                        *alap.grid() == grid_before,
+                        "seed {seed}, batch {batch_no}: rejection must roll back the grid"
+                    );
+                }
+            }
+        }
+
+        for l in net.links() {
+            for slot in 0..16 {
+                let used = ledger.volume(l.from, l.to, slot);
+                prop_assert!(
+                    used <= l.capacity + VOLUME_TOL,
+                    "seed {seed}: link {:?}->{:?} over capacity at slot {slot}: {used} > {}",
+                    l.from, l.to, l.capacity
+                );
+            }
+        }
+    }
+}

@@ -17,6 +17,8 @@
 //! Since snapshot v4 the crash-safety property also covers the admission
 //! backlog: a run killed while carrying requeued work resumes bit-identically
 //! because the queue contents (and requeue counts) travel in the checkpoint.
+//! Snapshot v5 extends that to the queue's overflow accounting
+//! (`queue_dropped`) and to runs with the ALAP fast-path rung enabled.
 
 use postcard::net::{DcId, FileId, Network, TransferRequest};
 use postcard::runtime::{
@@ -66,7 +68,9 @@ fn kill_at_any_slot_and_resume_matches_uninterrupted_run() {
     )
     .unwrap();
     full.run_to_end().unwrap();
-    assert_eq!(full.cost_history().len() as u64, SLOTS);
+    // The horizon extends past `SLOTS` so files released near the end keep
+    // their full deadline windows.
+    assert!(full.cost_history().len() as u64 >= SLOTS);
 
     for kill_at in [1, 3, 5, 7] {
         let path = ckpt_path(&format!("kill_at_{kill_at}.json"));
@@ -177,6 +181,78 @@ fn kill_with_non_empty_backlog_resumes_bit_identically() {
 }
 
 #[test]
+fn kill_with_alap_and_backlog_resumes_bit_identically_including_drops() {
+    // The v5 acceptance scenario: ALAP fast-path admission enabled, a
+    // non-empty requeue backlog at the kill boundary, *and* overflow drops
+    // at the admission-queue door before the kill. Resume must reproduce
+    // the uninterrupted run bit for bit — the restored `dropped` counter
+    // included, which only the snapshot (not the metrics export) carries
+    // into the continuation's own later checkpoints.
+    const SLOTS: u64 = 6;
+    let (network, arrivals) = instance(31, SLOTS);
+    let mut requests = arrivals.requests().to_vec();
+    // Overflow the admission queue at slot 0: more arrivals than capacity.
+    for i in 0..10 {
+        requests.push(TransferRequest::new(FileId(9_000 + i), DcId(0), DcId(3), 5.0, 3, 0));
+    }
+    // A request naming an out-of-range datacenter. With the ALAP rung
+    // force-timed-out at slot 1, the LP tier hard-fails on it (problem
+    // construction, not per-file infeasibility) and the whole slot-1 batch
+    // is requeued — a non-empty backlog at the checkpoint boundary.
+    requests.push(TransferRequest::new(FileId(9_999), DcId(7), DcId(0), 4.0, 4, 1));
+    let arrivals = ArrivalSchedule::from_requests(requests);
+    let faults = FaultPlan::none().force_timeout(1, TierKind::Alap);
+    let config = |path: &std::path::Path| RuntimeConfig {
+        tiers: vec![TierKind::Postcard],
+        alap: true,
+        reopt_every: 2,
+        queue_capacity: 6,
+        checkpoint_every: 1,
+        checkpoint_path: Some(path.to_string_lossy().into_owned()),
+        ..Default::default()
+    };
+
+    let full_path = ckpt_path("alap_backlog_full.json");
+    let mut full =
+        Runtime::new(network.clone(), arrivals.clone(), faults.clone(), SLOTS, config(&full_path))
+            .unwrap();
+    full.run_to_end().unwrap();
+    std::fs::remove_file(&full_path).ok();
+    assert!(full.metrics().counter("alap_admits") > 0, "ALAP must admit in this scenario");
+    assert!(full.metrics().counter("requeued_total") > 0, "the backlog must be exercised");
+    assert!(full.metrics().counter("queue_dropped") > 0, "overflow drops must occur");
+
+    let path = ckpt_path("alap_backlog_kill.json");
+    let mut victim = Runtime::new(network, arrivals, faults, SLOTS, config(&path)).unwrap();
+    for _ in 0..2 {
+        victim.run_slot().unwrap().expect("slot within the run");
+    }
+    drop(victim); // crash right after the degraded slot requeued its batch
+
+    let snap = RuntimeSnapshot::load(&path).unwrap();
+    assert_eq!(snap.config.tiers.first(), Some(&TierKind::Alap), "--alap normalized into tiers");
+    assert!(!snap.queue.is_empty(), "killed with a non-empty backlog");
+    assert!(snap.queue_dropped > 0, "overflow drops happened before the kill");
+
+    let mut resumed = Runtime::resume(&path).unwrap();
+    assert_eq!(resumed.next_slot(), 2);
+    resumed.run_to_end().unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(resumed.cost_history().len(), full.cost_history().len());
+    for (slot, (a, b)) in resumed.cost_history().iter().zip(full.cost_history()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "cost diverged at slot {slot} ({a} vs {b})");
+    }
+    assert_eq!(resumed.controller().export_state(), full.controller().export_state());
+    assert_eq!(resumed.metrics(), full.metrics());
+    // The restored dropped counter flows into the continuation's own
+    // snapshots — the exact divergence the v5 `restore` fix closes.
+    let (a, b) = (resumed.snapshot(), full.snapshot());
+    assert!(a.queue_dropped > 0, "dropped counter restored across the kill");
+    assert_eq!(a.queue_dropped, b.queue_dropped);
+}
+
+#[test]
 fn zero_capacity_outage_removes_link_from_the_slot_schedule() {
     const SLOTS: u64 = 6;
     const OUTAGE_SLOT: u64 = 2;
@@ -223,11 +299,27 @@ fn committed_v3_snapshot_fixture_fails_with_version_error() {
         "/tests/fixtures/snapshot_v3.json"
     ));
     let err = RuntimeSnapshot::load(path).unwrap_err();
-    assert!(err.contains("snapshot version 3 unsupported (expected 4)"), "{err}");
+    assert!(err.contains("snapshot version 3 unsupported (expected 5)"), "{err}");
     assert!(!err.contains("missing field"), "{err}");
     // The operator-facing entry point surfaces the same diagnosis.
     let err = Runtime::resume(path).unwrap_err();
     assert!(err.to_string().contains("snapshot version 3 unsupported"), "{err}");
+}
+
+#[test]
+fn committed_v4_snapshot_fixture_fails_with_version_error() {
+    // v4 carried the queue contents but not the `queue_dropped` counter
+    // (or the ALAP config knobs). Like v3, it must be rejected by the
+    // version probe — before the typed decode trips over absent fields.
+    let path = std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/snapshot_v4.json"
+    ));
+    let err = RuntimeSnapshot::load(path).unwrap_err();
+    assert!(err.contains("snapshot version 4 unsupported (expected 5)"), "{err}");
+    assert!(!err.contains("missing field"), "{err}");
+    let err = Runtime::resume(path).unwrap_err();
+    assert!(err.to_string().contains("snapshot version 4 unsupported"), "{err}");
 }
 
 #[test]
@@ -288,8 +380,9 @@ fn forced_timeouts_never_miss_a_slot_and_are_all_recorded() {
     let outcomes = rt.run_to_end().unwrap();
 
     // Every slot committed a decision (validated by debug assertions,
-    // including delivery by deadline), nothing was rejected or lost.
-    assert_eq!(outcomes.len() as u64, SLOTS);
+    // including delivery by deadline), nothing was rejected or lost. The
+    // horizon may extend past `SLOTS` to cover late deadline windows.
+    assert!(outcomes.len() as u64 >= SLOTS);
     assert!(outcomes.iter().all(|o| !o.degraded));
     let (_, rejected) = rt.controller().admission_counts();
     assert_eq!(rejected, 0, "ample capacity: the fault must not cost admissions");
