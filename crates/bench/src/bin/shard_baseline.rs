@@ -1,0 +1,106 @@
+//! `shard-baseline` — sharded vs single-shard service-runtime replay.
+//!
+//! ```text
+//! shard-baseline [--quick] [--out PATH] [--check PATH]
+//! ```
+//!
+//! Replays the multi-tenant presets (see `postcard_bench::shard_baseline`)
+//! through the service runtime unsharded and with one shard per tenant,
+//! prints a summary table, and optionally writes the JSON report (`--out`)
+//! or gates against a committed baseline (`--check`): the reconciled
+//! sharded bill must match the unsharded bill with zero conflicts, the
+//! deterministic accept/reject counts must match the baseline, and — on
+//! hosts reporting ≥ 4 worker threads — the four-tenant preset must keep a
+//! ≥2× wall-clock speedup.
+
+use postcard_bench::shard_baseline::{check, run_all, BenchReport};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = argv.next(),
+            "--check" => check_path = argv.next(),
+            "--help" | "-h" => {
+                println!("usage: shard-baseline [--quick] [--out PATH] [--check PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("shard-baseline: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = run_all(quick);
+    println!(
+        "{:<12} {:>7} {:>9} {:>9} {:>9} {:>11} {:>10} {:>10} {:>8} {:>8}",
+        "preset",
+        "tenants",
+        "requests",
+        "accepted",
+        "rejected",
+        "cost/slot",
+        "1-shard s",
+        "N-shard s",
+        "speedup",
+        "threads"
+    );
+    for p in &report.presets {
+        println!(
+            "{:<12} {:>7} {:>9} {:>9} {:>9} {:>11.2} {:>10.3} {:>10.3} {:>7.2}x {:>8}",
+            p.name,
+            p.tenants,
+            p.requests,
+            p.accepted,
+            p.rejected,
+            p.sharded_cost_per_slot,
+            p.unsharded_wall_s,
+            p.sharded_wall_s,
+            p.speedup,
+            p.threads_available
+        );
+    }
+
+    if let Some(path) = out {
+        let json = serde::json::to_string_pretty(&report);
+        if let Err(e) = std::fs::write(&path, json + "\n") {
+            eprintln!("shard-baseline: failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = check_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("shard-baseline: failed to read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline: BenchReport = match serde::json::from_str(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("shard-baseline: malformed baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let failures = check(&report, &baseline);
+        if failures.is_empty() {
+            println!("check against {path}: OK");
+        } else {
+            for f in &failures {
+                eprintln!("shard-baseline: FAIL: {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+
+    ExitCode::SUCCESS
+}

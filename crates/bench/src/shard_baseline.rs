@@ -1,0 +1,299 @@
+//! Sharded vs single-shard service-runtime baseline.
+//!
+//! Replays a block-diagonal multi-tenant trace
+//! ([`postcard_sim::TenantScenario`]) through the crash-safe runtime twice:
+//! once unsharded, once with one shard per tenant (`--shard-by tenant`
+//! semantics). On tenant-disjoint instances the reconciled sharded run must
+//! reproduce the unsharded admissions and bill exactly (up to float
+//! round-off), with zero shard conflicts — those fields are deterministic
+//! and CI gates on them against the committed baseline
+//! (`BENCH_shard.json`). Wall-clock speedup is machine-dependent: the ≥2×
+//! parallel-speedup gate only arms when the host actually has ≥ 4 worker
+//! threads available (the CI containers often expose a single core, where
+//! sharding cannot beat the thread-spawn overhead).
+
+use postcard_runtime::{RuntimeConfig, ShardBy};
+use postcard_sim::{run_trace_service, trace_to_arrivals, TenantScenario};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One benchmark preset: a multi-tenant scenario replayed both ways.
+#[derive(Debug, Clone)]
+pub struct PresetSpec {
+    /// Preset name (stable across runs; used as the JSON key).
+    pub name: &'static str,
+    /// Tenants (= shard count in the sharded run).
+    pub tenants: usize,
+    /// Datacenters per tenant cluster.
+    pub dcs_per_tenant: usize,
+    /// Batch-size range per tenant per slot.
+    pub files_per_tenant_slot: (usize, usize),
+    /// Slots per run.
+    pub num_slots: u64,
+    /// Seed for the network prices and the trace.
+    pub seed: u64,
+}
+
+impl PresetSpec {
+    fn scenario(&self) -> TenantScenario {
+        TenantScenario {
+            name: self.name.into(),
+            tenants: self.tenants,
+            dcs_per_tenant: self.dcs_per_tenant,
+            files_per_tenant_slot: self.files_per_tenant_slot,
+            num_slots: self.num_slots,
+            ..TenantScenario::quad()
+        }
+    }
+}
+
+/// The presets: a small four-tenant run (carries the CI gates) and, on full
+/// runs, a heavier one where the parallel speedup is actually visible.
+pub fn presets(quick: bool) -> Vec<PresetSpec> {
+    let mut out = vec![PresetSpec {
+        name: "quad_small",
+        tenants: 4,
+        dcs_per_tenant: 3,
+        files_per_tenant_slot: (1, 2),
+        num_slots: 8,
+        seed: 71,
+    }];
+    if !quick {
+        out.push(PresetSpec {
+            name: "quad_heavy",
+            tenants: 4,
+            dcs_per_tenant: 4,
+            files_per_tenant_slot: (3, 6),
+            num_slots: 16,
+            seed: 72,
+        });
+    }
+    out
+}
+
+/// Result of one preset's paired replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PresetResult {
+    /// Preset name.
+    pub name: String,
+    /// Tenants (= shards in the sharded run).
+    pub tenants: usize,
+    /// Requests in the trace.
+    pub requests: usize,
+    /// Files accepted (identical in both runs — gated).
+    pub accepted: usize,
+    /// Files rejected (identical in both runs — gated).
+    pub rejected: usize,
+    /// Final bill per slot of the unsharded run.
+    pub unsharded_cost_per_slot: f64,
+    /// Final bill per slot of the sharded run.
+    pub sharded_cost_per_slot: f64,
+    /// `|sharded - unsharded| / unsharded` — must stay ≈ 0 (gated).
+    pub cost_rel_delta: f64,
+    /// Shard conflicts during reconciliation — must be 0 on disjoint
+    /// tenants (gated).
+    pub shard_conflicts: u64,
+    /// Unsharded run wall time (machine-dependent).
+    pub unsharded_wall_s: f64,
+    /// Sharded run wall time (machine-dependent).
+    pub sharded_wall_s: f64,
+    /// `unsharded_wall_s / sharded_wall_s`.
+    pub speedup: f64,
+    /// Worker threads the host reported at run time; the ≥2× speedup gate
+    /// only arms at ≥ 4.
+    pub threads_available: usize,
+}
+
+/// Runs one preset: the same trace through the unsharded and the
+/// one-shard-per-tenant runtime.
+///
+/// # Panics
+///
+/// Panics if either service run fails — the presets are feasible by
+/// construction, so a failure is a harness bug.
+pub fn run_preset(spec: &PresetSpec) -> PresetResult {
+    let s = spec.scenario();
+    let network = s.network(spec.seed);
+    let trace = s.trace(spec.seed ^ 0xDEAD_BEEF);
+    let slots = trace_to_arrivals(&trace).horizon_slots().max(s.num_slots);
+
+    let t0 = Instant::now();
+    let unsharded = run_trace_service(
+        &network,
+        &trace,
+        slots,
+        postcard_runtime::FaultPlan::none(),
+        RuntimeConfig::default(),
+        0,
+    )
+    .expect("unsharded service run");
+    let unsharded_wall_s = t0.elapsed().as_secs_f64();
+
+    let config = RuntimeConfig {
+        shards: spec.tenants,
+        shard_by: ShardBy::Tenant,
+        ..RuntimeConfig::default()
+    };
+    let t0 = Instant::now();
+    let sharded =
+        run_trace_service(&network, &trace, slots, postcard_runtime::FaultPlan::none(), config, 0)
+            .expect("sharded service run");
+    let sharded_wall_s = t0.elapsed().as_secs_f64();
+
+    let u = unsharded.result.final_cost_per_slot;
+    let h = sharded.result.final_cost_per_slot;
+    PresetResult {
+        name: spec.name.to_string(),
+        tenants: spec.tenants,
+        requests: trace.len(),
+        accepted: sharded.result.accepted,
+        rejected: sharded.result.rejected,
+        unsharded_cost_per_slot: u,
+        sharded_cost_per_slot: h,
+        cost_rel_delta: (h - u).abs() / u.abs().max(1e-12),
+        shard_conflicts: sharded.metrics.counter("shard_conflicts"),
+        unsharded_wall_s,
+        sharded_wall_s,
+        speedup: if sharded_wall_s > 0.0 { unsharded_wall_s / sharded_wall_s } else { 0.0 },
+        threads_available: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+/// The whole benchmark report (`BENCH_shard.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// One entry per preset.
+    pub presets: Vec<PresetResult>,
+}
+
+/// Runs every preset.
+pub fn run_all(quick: bool) -> BenchReport {
+    BenchReport { presets: presets(quick).iter().map(run_preset).collect() }
+}
+
+/// Checks a fresh report against the committed baseline. Deterministic
+/// fields gate unconditionally: the sharded bill must match the unsharded
+/// bill (identical reconciled cost), reconciliation must report zero
+/// conflicts on the disjoint tenants, and the accepted/rejected counts must
+/// match the baseline exactly. The ≥2× parallel-speedup gate arms only when
+/// the host reports ≥ 4 worker threads. Returns the failures (empty =
+/// pass).
+pub fn check(current: &BenchReport, baseline: &BenchReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    for cur in &current.presets {
+        if cur.cost_rel_delta > 1e-6 {
+            failures.push(format!(
+                "{}: sharded bill {} diverged from unsharded {} (rel {:.3e})",
+                cur.name,
+                cur.sharded_cost_per_slot,
+                cur.unsharded_cost_per_slot,
+                cur.cost_rel_delta
+            ));
+        }
+        if cur.shard_conflicts != 0 {
+            failures.push(format!(
+                "{}: {} shard conflict(s) on a tenant-disjoint workload",
+                cur.name, cur.shard_conflicts
+            ));
+        }
+        if cur.threads_available >= 4 && cur.tenants >= 4 && cur.speedup < 2.0 {
+            failures.push(format!(
+                "{}: sharded speedup {:.2}x below the 2x gate on {} threads \
+                 (unsharded {:.3}s vs sharded {:.3}s)",
+                cur.name,
+                cur.speedup,
+                cur.threads_available,
+                cur.unsharded_wall_s,
+                cur.sharded_wall_s
+            ));
+        }
+        if let Some(base) = baseline.presets.iter().find(|p| p.name == cur.name) {
+            if (cur.accepted, cur.rejected) != (base.accepted, base.rejected) {
+                failures.push(format!(
+                    "{}: accept/reject counts diverged from baseline ({}/{} -> {}/{})",
+                    cur.name, base.accepted, base.rejected, cur.accepted, cur.rejected
+                ));
+            }
+        } else {
+            failures.push(format!("{}: preset missing from baseline", cur.name));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> PresetSpec {
+        PresetSpec {
+            name: "tiny",
+            tenants: 2,
+            dcs_per_tenant: 2,
+            files_per_tenant_slot: (1, 1),
+            num_slots: 3,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn preset_run_is_deterministic_and_cost_equal() {
+        let a = run_preset(&tiny());
+        let b = run_preset(&tiny());
+        assert_eq!((a.accepted, a.rejected), (b.accepted, b.rejected));
+        assert!(a.requests > 0);
+        assert!(a.cost_rel_delta < 1e-6, "rel delta {}", a.cost_rel_delta);
+        assert_eq!(a.shard_conflicts, 0);
+    }
+
+    #[test]
+    fn check_catches_cost_divergence_conflicts_and_count_drift() {
+        let good = run_preset(&tiny());
+        let report = BenchReport { presets: vec![good.clone()] };
+        assert!(check(&report, &report).is_empty(), "{:?}", check(&report, &report));
+
+        let mut skewed = good.clone();
+        skewed.cost_rel_delta = 0.5;
+        let failures = check(&BenchReport { presets: vec![skewed] }, &report);
+        assert!(failures.iter().any(|f| f.contains("diverged from unsharded")), "{failures:?}");
+
+        let mut conflicted = good.clone();
+        conflicted.shard_conflicts = 2;
+        let failures = check(&BenchReport { presets: vec![conflicted] }, &report);
+        assert!(failures.iter().any(|f| f.contains("conflict")), "{failures:?}");
+
+        // The speedup gate arms only on ≥4 threads and ≥4 tenants.
+        let mut slow = good.clone();
+        slow.tenants = 4;
+        slow.threads_available = 8;
+        slow.speedup = 1.1;
+        let mut slow_base = good.clone();
+        slow_base.tenants = 4;
+        let failures = check(
+            &BenchReport { presets: vec![slow.clone()] },
+            &BenchReport { presets: vec![slow_base.clone()] },
+        );
+        assert!(failures.iter().any(|f| f.contains("below the 2x gate")), "{failures:?}");
+        slow.threads_available = 1;
+        let failures =
+            check(&BenchReport { presets: vec![slow] }, &BenchReport { presets: vec![slow_base] });
+        assert!(failures.is_empty(), "single-core hosts must not gate speedup: {failures:?}");
+
+        let mut drifted = report.clone();
+        drifted.presets[0].accepted += 1;
+        let failures = check(&drifted, &report);
+        assert!(failures.iter().any(|f| f.contains("counts diverged")), "{failures:?}");
+
+        let unknown =
+            BenchReport { presets: vec![PresetResult { name: "other".into(), ..good.clone() }] };
+        assert!(!check(&unknown, &report).is_empty());
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = BenchReport { presets: vec![run_preset(&tiny())] };
+        let json = serde::json::to_string_pretty(&report);
+        let back: BenchReport = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

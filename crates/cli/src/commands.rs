@@ -3,9 +3,12 @@
 use crate::args::{parse_range_f64, parse_range_usize, ArgError, Args};
 use postcard_core::{Decision, OnlineController};
 use postcard_net::{Network, TransferPlan};
-use postcard_runtime::{ArrivalSchedule, ClockKind, FaultPlan, Runtime, RuntimeConfig, TierKind};
+use postcard_runtime::{
+    ArrivalSchedule, ClockKind, FaultPlan, Runtime, RuntimeConfig, ShardBy, TierKind,
+};
 use postcard_sim::{
-    report, run_scenario, Approach, Scenario, Trace, UniformWorkload, WorkloadConfig,
+    report, run_scenario, run_scenario_service, Approach, Scenario, Trace, UniformWorkload,
+    WorkloadConfig,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -58,14 +61,18 @@ commands:
                 [--plan-out PATH] [--costs-out PATH]
   simulate      [--setting fig4|fig5|fig6|fig7|all] [--paper-scale]
                 [--runs N] [--slots N] [--seed S] [--all-approaches]
+                [--service] [--shards N] [--shard-by tenant|region]
   serve         --network PATH --trace PATH [--slots N]
                 [--checkpoint PATH] [--every N] [--budget-ms MS]
                 [--tiers a,b,c] [--queue-capacity N] [--max-requeue N]
                 [--wall-clock] [--strict] [--warm-start]
                 [--alap] [--reopt-every N]
+                [--shards N] [--shard-by tenant|region]
                 [--degrade slot:from:to:cap[,..]] [--force-timeout slot[:tier][,..]]
                 [--stop-after-slot K] [--metrics-out PATH]
+                [--wall-metrics-out PATH]
   resume        --checkpoint PATH [--stop-after-slot K] [--metrics-out PATH]
+                [--wall-metrics-out PATH]
   analyze src   [--root PATH] [--deny] [--json]
   analyze model --network PATH --trace PATH [--json] | --fixtures
   help
@@ -90,6 +97,18 @@ admission path (metrics: alap_admits / alap_rejects /
 admission_latency_seconds). --reopt-every N additionally re-plans with the
 full LP every N slots and rebases the residual grid from its schedule
 (metric: lp_reoptimizations); 0 (default) disables re-optimization.
+With --shards N each slot's batch is partitioned by --shard-by (tenant: the
+FileId's high bits; region: the source datacenter), every shard solves in
+parallel on its own worker thread, and a deterministic reconciliation pass
+merges the plans into the one billing ledger (metric: shard_conflicts).
+Checkpoints become a manifest plus per-shard snapshot files next to it.
+Real per-slot solve wall time is kept out of the (deterministic) snapshotted
+metrics; export it with --wall-metrics-out (solve_wall_seconds, plus
+solve_wall_seconds_shard<i> per shard).
+
+`simulate --service` routes the figure presets through this same service
+runtime (postcard / flow-lp / flow-greedy approaches only) instead of the
+bare controller; --shards / --shard-by apply as in `serve`.
 
 `analyze` runs postcard-analyze (codes in crates/analyze/LINTS.md):
 `src` lints the workspace sources (--deny exits nonzero on findings);
@@ -253,10 +272,12 @@ fn schedule(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 fn simulate(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    let args = Args::parse(argv, &["paper-scale", "all-approaches"])?;
+    let args = Args::parse(argv, &["paper-scale", "all-approaches", "service"])?;
     let setting = args.get("setting").unwrap_or("fig6").to_string();
     let paper_scale = args.switch("paper-scale");
     let all_approaches = args.switch("all-approaches");
+    let service = args.switch("service");
+    let (shards, shard_by) = parse_shard_flags(&args)?;
     let seed: u64 = args.get_or("seed", 1)?;
     let runs_override: Option<usize> = args
         .get("runs")
@@ -279,6 +300,13 @@ fn simulate(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         other => return Err(CliError::Usage(format!("unknown setting `{other}`"))),
     };
     let approaches = if all_approaches {
+        if service {
+            return Err(CliError::Usage(
+                "--all-approaches and --service are incompatible: the service \
+                 runtime only tiers postcard, flow-lp, and flow-greedy"
+                    .into(),
+            ));
+        }
         vec![
             Approach::Postcard,
             Approach::FlowLp,
@@ -289,6 +317,9 @@ fn simulate(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     } else {
         Approach::paper_pair()
     };
+    if !service && shards != 1 {
+        return Err(CliError::Usage("--shards needs --service".into()));
+    }
     for base in bases {
         let mut scenario = if paper_scale { base } else { base.scaled_down() };
         if let Some(r) = runs_override {
@@ -297,13 +328,31 @@ fn simulate(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         if let Some(s) = slots_override {
             scenario.num_slots = s;
         }
-        let summaries =
-            run_scenario(&scenario, &approaches, seed).map_err(|e| CliError::Run(e.to_string()))?;
+        let summaries = if service {
+            let template = RuntimeConfig { shards, shard_by, ..Default::default() };
+            run_scenario_service(&scenario, &approaches, seed, &template)
+                .map_err(|e| CliError::Run(e.to_string()))?
+        } else {
+            run_scenario(&scenario, &approaches, seed).map_err(|e| CliError::Run(e.to_string()))?
+        };
         writeln!(out, "{}", report::render_table(&scenario, &summaries))?;
         writeln!(out, "{}", report::render_verdict(&summaries))?;
         writeln!(out)?;
     }
     Ok(())
+}
+
+/// Parses the shared `--shards` / `--shard-by` flags (defaults: 1, tenant).
+fn parse_shard_flags(args: &Args) -> Result<(usize, ShardBy), CliError> {
+    let shards: usize = args.get_or("shards", 1)?;
+    if shards == 0 {
+        return Err(CliError::Usage("--shards must be at least 1".into()));
+    }
+    let shard_by = match args.get("shard-by") {
+        Some(spec) => spec.parse().map_err(CliError::Usage)?,
+        None => ShardBy::Tenant,
+    };
+    Ok((shards, shard_by))
 }
 
 /// Parses a comma-separated tier list (e.g. `postcard,flow-lp`).
@@ -337,6 +386,7 @@ fn drive_service(
     mut rt: Runtime,
     stop_after_slot: Option<u64>,
     metrics_out: Option<&str>,
+    wall_metrics_out: Option<&str>,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
     let stop = stop_after_slot.unwrap_or(u64::MAX);
@@ -382,6 +432,12 @@ fn drive_service(
         std::fs::write(path, content)?;
         writeln!(out, "wrote {path}")?;
     }
+    if let Some(path) = wall_metrics_out {
+        let wall = rt.wall_metrics();
+        let content = if path.ends_with(".csv") { wall.to_csv() } else { wall.to_json() };
+        std::fs::write(path, content)?;
+        writeln!(out, "wrote {path}")?;
+    }
     Ok(())
 }
 
@@ -409,6 +465,7 @@ fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let warm_start = args.switch("warm-start");
     let alap = args.switch("alap");
     let reopt_every: u64 = args.get_or("reopt-every", 0)?;
+    let (shards, shard_by) = parse_shard_flags(&args)?;
     let faults = parse_faults(args.get("degrade"), args.get("force-timeout"))?;
     let stop_after_slot: Option<u64> = args
         .get("stop-after-slot")
@@ -416,6 +473,7 @@ fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         .transpose()
         .map_err(|_| CliError::Usage("--stop-after-slot: bad value".into()))?;
     let metrics_out = args.get("metrics-out").map(str::to_string);
+    let wall_metrics_out = args.get("wall-metrics-out").map(str::to_string);
     args.reject_unknown()?;
 
     let network =
@@ -434,10 +492,12 @@ fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         warm_start,
         alap,
         reopt_every,
+        shards,
+        shard_by,
     };
     let rt = Runtime::new(network, arrivals, faults, slots, config)
         .map_err(|e| CliError::Usage(e.to_string()))?;
-    drive_service(rt, stop_after_slot, metrics_out.as_deref(), out)
+    drive_service(rt, stop_after_slot, metrics_out.as_deref(), wall_metrics_out.as_deref(), out)
 }
 
 fn resume(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
@@ -449,12 +509,13 @@ fn resume(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         .transpose()
         .map_err(|_| CliError::Usage("--stop-after-slot: bad value".into()))?;
     let metrics_out = args.get("metrics-out").map(str::to_string);
+    let wall_metrics_out = args.get("wall-metrics-out").map(str::to_string);
     args.reject_unknown()?;
 
     let rt = Runtime::resume(std::path::Path::new(&checkpoint))
         .map_err(|e| CliError::Run(e.to_string()))?;
     writeln!(out, "resumed from {checkpoint} at slot {}", rt.next_slot())?;
-    drive_service(rt, stop_after_slot, metrics_out.as_deref(), out)
+    drive_service(rt, stop_after_slot, metrics_out.as_deref(), wall_metrics_out.as_deref(), out)
 }
 
 /// `postcard analyze <src|model> …` — both fronts of `postcard-analyze`.
@@ -751,6 +812,131 @@ mod tests {
                 .expect("bill gauge present")
         };
         assert_eq!(gauge(&full), gauge(&resumed));
+    }
+
+    #[test]
+    fn simulate_service_tiny_run() {
+        let out = run_cli(&[
+            "simulate",
+            "--setting",
+            "fig6",
+            "--service",
+            "--runs",
+            "1",
+            "--slots",
+            "4",
+            "--seed",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("postcard"));
+        assert!(out.contains("flow-lp"));
+        assert!(out.contains("winner:"));
+    }
+
+    #[test]
+    fn simulate_shards_require_service() {
+        let err = run_cli(&["simulate", "--shards", "2", "--runs", "1", "--slots", "2"]);
+        assert!(matches!(err, Err(CliError::Usage(ref m)) if m.contains("--service")), "{err:?}");
+        let err = run_cli(&["simulate", "--service", "--all-approaches"]);
+        assert!(matches!(err, Err(CliError::Usage(_))), "{err:?}");
+    }
+
+    #[test]
+    fn serve_rejects_bad_shard_flags() {
+        let err = run_cli(&["serve", "--network", "x", "--trace", "y", "--shards", "0"]);
+        assert!(matches!(err, Err(CliError::Usage(ref m)) if m.contains("shard")), "{err:?}");
+        let err = run_cli(&["serve", "--network", "x", "--trace", "y", "--shard-by", "rack"]);
+        assert!(matches!(err, Err(CliError::Usage(ref m)) if m.contains("rack")), "{err:?}");
+    }
+
+    #[test]
+    fn serve_single_shard_reproduces_unsharded_outputs() {
+        let net_path = tmp("shard1_net.csv");
+        let trace_path = tmp("shard1_trace.csv");
+        let m_plain = tmp("shard1_plain.json");
+        let m_one = tmp("shard1_one.json");
+        run_cli(&["gen-network", "--dcs", "4", "--capacity", "500", "--out", &net_path]).unwrap();
+        run_cli(&["gen-trace", "--dcs", "4", "--slots", "5", "--out", &trace_path]).unwrap();
+        let base = ["serve", "--network", &net_path, "--trace", &trace_path];
+        let mut plain = base.to_vec();
+        plain.extend_from_slice(&["--metrics-out", &m_plain]);
+        let out_plain = run_cli(&plain).unwrap();
+        let mut one = base.to_vec();
+        one.extend_from_slice(&["--shards", "1", "--metrics-out", &m_one]);
+        let out_one = run_cli(&one).unwrap();
+        assert_eq!(
+            out_plain.replace(&m_plain, ""),
+            out_one.replace(&m_one, ""),
+            "--shards 1 must reproduce the unsharded run exactly"
+        );
+        assert_eq!(
+            std::fs::read_to_string(&m_plain).unwrap(),
+            std::fs::read_to_string(&m_one).unwrap()
+        );
+    }
+
+    #[test]
+    fn sharded_serve_crash_then_resume_matches_uninterrupted_run() {
+        let net_path = tmp("shard_crash_net.csv");
+        let trace_path = tmp("shard_crash_trace.csv");
+        let dir = tmp("shard_crash_ckpts");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = format!("{dir}/shard.ckpt.json");
+        let m_full = tmp("shard_crash_full.json");
+        let m_resumed = tmp("shard_crash_resumed.json");
+        let wall = tmp("shard_crash_wall.csv");
+        run_cli(&["gen-network", "--dcs", "4", "--capacity", "500", "--out", &net_path]).unwrap();
+        run_cli(&[
+            "gen-trace",
+            "--dcs",
+            "4",
+            "--slots",
+            "6",
+            "--files",
+            "1..2",
+            "--out",
+            &trace_path,
+        ])
+        .unwrap();
+        let sharded = |extra: &[&str]| {
+            let mut argv = vec![
+                "serve",
+                "--network",
+                &net_path,
+                "--trace",
+                &trace_path,
+                "--shards",
+                "2",
+                "--shard-by",
+                "region",
+            ];
+            argv.extend_from_slice(extra);
+            run_cli(&argv).unwrap()
+        };
+        // Uninterrupted sharded reference run (with wall metrics exported).
+        sharded(&["--metrics-out", &m_full, "--wall-metrics-out", &wall]);
+        let wall_csv = std::fs::read_to_string(&wall).unwrap();
+        assert!(wall_csv.contains("solve_wall_seconds"), "{wall_csv}");
+        // Crash after slot 3, then resume from the manifest.
+        sharded(&["--checkpoint", &ckpt, "--stop-after-slot", "3"]);
+        // The checkpoint wrote per-shard snapshot files next to the manifest.
+        let shard_files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".shard"))
+            .collect();
+        assert!(!shard_files.is_empty(), "no shard snapshot files in {dir}");
+        let out = run_cli(&["resume", "--checkpoint", &ckpt, "--metrics-out", &m_resumed]).unwrap();
+        assert!(out.contains("finished"), "{out}");
+        let full = std::fs::read_to_string(&m_full).unwrap();
+        let resumed = std::fs::read_to_string(&m_resumed).unwrap();
+        let line = |s: &str, key: &str| {
+            s.lines().find(|l| l.contains(key)).map(str::to_string).unwrap_or_default()
+        };
+        assert_eq!(line(&full, "\"bill_per_slot\""), line(&resumed, "\"bill_per_slot\""));
+        assert_eq!(line(&full, "\"files_accepted\""), line(&resumed, "\"files_accepted\""));
     }
 
     #[test]

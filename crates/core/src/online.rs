@@ -249,6 +249,45 @@ impl<S: Scheduler> OnlineController<S> {
         Ok(StepReport { slot, accepted, rejected, cost_per_slot: cost })
     }
 
+    /// Commits externally reconciled per-shard decisions as this slot's
+    /// single controller step.
+    ///
+    /// The sharded runtime solves per-shard subproblems in parallel and
+    /// merges them *outside* the controller (validating each decision
+    /// against the growing central ledger); this entry point applies the
+    /// merged result — decisions in their fixed reconciliation order — and
+    /// updates the cost history and admission accounting exactly like
+    /// [`OnlineController::step`] does, so a sharded slot and an unsharded
+    /// slot leave identical controller state shapes behind.
+    ///
+    /// Every decision is debug-validated against the ledger state in front
+    /// of it, which re-checks the reconciler's ordering: a decision that
+    /// over-commits a link on top of an earlier shard's traffic fails the
+    /// assertion in debug builds.
+    pub fn commit_reconciled(
+        &mut self,
+        slot: u64,
+        commits: &[(Vec<TransferRequest>, Decision)],
+        accepted: Vec<FileId>,
+        rejected: Vec<FileId>,
+        accepted_volume: f64,
+        rejected_volume: f64,
+    ) -> StepReport {
+        for (files, decision) in commits {
+            self.commit(decision, files);
+            if self.keep_decisions {
+                self.decisions.push((slot, decision.clone()));
+            }
+        }
+        self.total_accepted += accepted.len();
+        self.total_rejected += rejected.len();
+        self.accepted_volume += accepted_volume;
+        self.rejected_volume += rejected_volume;
+        let cost = self.ledger.cost_per_slot(&self.network);
+        self.cost_history.push(cost);
+        StepReport { slot, accepted, rejected, cost_per_slot: cost }
+    }
+
     fn commit(&mut self, decision: &Decision, files: &[TransferRequest]) {
         match decision {
             Decision::Plan(plan) => {
@@ -356,6 +395,25 @@ mod tests {
         let mut ctl = OnlineController::new(net(), DirectScheduler);
         let f = TransferRequest::new(FileId(1), d(1), d(2), 6.0, 3, 0);
         let _ = ctl.step(3, &[f]);
+    }
+
+    #[test]
+    fn commit_reconciled_matches_a_plain_step() {
+        // A reconciled commit of the same decision the scheduler would make
+        // must leave the controller in exactly the state step() produces.
+        let f = TransferRequest::new(FileId(1), d(1), d(2), 6.0, 3, 0);
+        let mut stepped = OnlineController::new(net(), PostcardScheduler::new());
+        let report = stepped.step(0, &[f]).unwrap();
+
+        let mut scheduler = PostcardScheduler::new();
+        let decision = scheduler.schedule(&net(), &[f], &TrafficLedger::new(3)).expect("feasible");
+        let mut merged = OnlineController::new(net(), PostcardScheduler::new());
+        let merged_report =
+            merged.commit_reconciled(0, &[(vec![f], decision)], vec![f.id], vec![], f.size_gb, 0.0);
+
+        assert_eq!(merged_report.accepted, report.accepted);
+        assert_eq!(merged_report.cost_per_slot.to_bits(), report.cost_per_slot.to_bits());
+        assert_eq!(merged.export_state(), stepped.export_state());
     }
 
     #[test]

@@ -38,7 +38,12 @@ pub struct SolveStats {
 
 /// A routing/scheduling policy for one batch of simultaneously released
 /// files.
-pub trait Scheduler {
+///
+/// `Send` is a supertrait so schedulers (and chains of them) can be moved
+/// into worker threads — the sharded runtime solves per-shard subproblems on
+/// a `std::thread` pool. Every scheduler here is plain data, so the bound
+/// costs nothing.
+pub trait Scheduler: Send {
     /// Short human-readable name (used in reports and benchmarks).
     fn name(&self) -> &'static str;
 

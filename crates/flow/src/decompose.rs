@@ -27,6 +27,11 @@ impl PathShare {
     pub fn hops(&self) -> usize {
         self.nodes.len().saturating_sub(1)
     }
+
+    /// `true` if this path traverses the directed link `from → to`.
+    pub fn crosses(&self, from: DcId, to: DcId) -> bool {
+        self.nodes.windows(2).any(|w| w[0] == from && w[1] == to)
+    }
 }
 
 /// The decomposition of one file's flow.
@@ -49,6 +54,31 @@ impl Decomposition {
     /// The longest path's hop count (the file's worst-case path length).
     pub fn max_hops(&self) -> usize {
         self.paths.iter().map(PathShare::hops).max().unwrap_or(0)
+    }
+
+    /// Total rate this decomposition sends over the directed link
+    /// `from → to`.
+    ///
+    /// The sharded runtime's reconciler uses this to *attribute* shared-link
+    /// over-commitment: when two shards' plans collide on a link, the
+    /// conflicted shard's flow is decomposed and the paths crossing the hot
+    /// link identify exactly which transfers are contending.
+    pub fn rate_over(&self, from: DcId, to: DcId) -> f64 {
+        self.paths.iter().filter(|p| p.crosses(from, to)).map(|p| p.rate).sum()
+    }
+
+    /// The distinct directed links used by any extracted path, in
+    /// first-traversal order.
+    pub fn links(&self) -> Vec<(DcId, DcId)> {
+        let mut seen = Vec::new();
+        for p in &self.paths {
+            for w in p.nodes.windows(2) {
+                if !seen.contains(&(w[0], w[1])) {
+                    seen.push((w[0], w[1]));
+                }
+            }
+        }
+        seen
     }
 }
 
@@ -157,6 +187,23 @@ mod tests {
         assert_eq!(dec.paths.len(), 2);
         assert!((dec.total_rate() - 2.0).abs() < 1e-12);
         assert!(dec.residual_rate < 1e-12);
+    }
+
+    #[test]
+    fn link_attribution_finds_the_crossing_paths() {
+        let mut a = FlowAssignment::new();
+        a.add_rate(FileId(1), d(0), d(1), 1.5);
+        a.add_rate(FileId(1), d(1), d(3), 1.5);
+        a.add_rate(FileId(1), d(0), d(3), 0.5);
+        let dec = decompose_flow(&a, &file(2.0, 3), 4);
+        // Only the relayed share crosses 0→1; everything crosses into 3.
+        assert!((dec.rate_over(d(0), d(1)) - 1.5).abs() < 1e-12);
+        assert!((dec.rate_over(d(0), d(3)) - 0.5).abs() < 1e-12);
+        assert_eq!(dec.rate_over(d(2), d(3)), 0.0);
+        let links = dec.links();
+        assert!(links.contains(&(d(0), d(1))) && links.contains(&(d(1), d(3))));
+        assert!(!links.contains(&(d(2), d(3))));
+        assert!(dec.paths.iter().any(|p| p.crosses(d(0), d(3))));
     }
 
     #[test]

@@ -15,6 +15,39 @@ use std::fmt;
 )]
 pub struct FileId(pub u64);
 
+/// Bits of a [`FileId`] reserved for the owning tenant (the high bits).
+pub const TENANT_BITS: u32 = 16;
+const TENANT_SHIFT: u32 = 64 - TENANT_BITS;
+const SEQ_MASK: u64 = (1 << TENANT_SHIFT) - 1;
+
+impl FileId {
+    /// Builds an id owned by `tenant` with per-tenant sequence number `seq`.
+    ///
+    /// Multi-tenant workloads encode the tenant in the id's high
+    /// [`TENANT_BITS`] bits so requests stay [`TransferRequest`]-shaped —
+    /// no schema change — while the sharded runtime can still partition a
+    /// batch by owner. Single-tenant workloads (plain `FileId(n)` with
+    /// `n < 2^48`) are tenant 0 by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` overflows into the tenant bits.
+    pub fn for_tenant(tenant: u16, seq: u64) -> FileId {
+        assert!(seq <= SEQ_MASK, "sequence {seq} overflows the tenant bits");
+        FileId(((tenant as u64) << TENANT_SHIFT) | seq)
+    }
+
+    /// The owning tenant (high [`TENANT_BITS`] bits; 0 for plain ids).
+    pub fn tenant(&self) -> u16 {
+        (self.0 >> TENANT_SHIFT) as u16
+    }
+
+    /// The per-tenant sequence number (low bits).
+    pub fn seq(&self) -> u64 {
+        self.0 & SEQ_MASK
+    }
+}
+
 impl fmt::Display for FileId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "file#{}", self.0)
@@ -260,6 +293,26 @@ mod tests {
         assert_eq!(last.last_slot(), 12);
         // Past the deadline: expired.
         assert_eq!(r.carried_to(13), None);
+    }
+
+    #[test]
+    fn tenant_ids_round_trip_and_plain_ids_are_tenant_zero() {
+        let id = FileId::for_tenant(7, 42);
+        assert_eq!(id.tenant(), 7);
+        assert_eq!(id.seq(), 42);
+        let plain = FileId(123_456);
+        assert_eq!(plain.tenant(), 0);
+        assert_eq!(plain.seq(), 123_456);
+        // Distinct tenants with the same sequence number never collide.
+        assert_ne!(FileId::for_tenant(1, 5), FileId::for_tenant(2, 5));
+        // Tenant ids keep the FileId ordering within a tenant.
+        assert!(FileId::for_tenant(3, 1) < FileId::for_tenant(3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the tenant bits")]
+    fn tenant_sequence_overflow_is_rejected() {
+        FileId::for_tenant(1, 1 << 60);
     }
 
     #[test]

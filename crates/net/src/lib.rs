@@ -56,7 +56,7 @@ mod timeexp;
 mod topology;
 
 pub use charging::{CostFunction, LinearCost, PercentileScheme, PiecewiseLinearCost};
-pub use file::{FileId, TransferRequest};
+pub use file::{FileId, TransferRequest, TENANT_BITS};
 pub use ledger::TrafficLedger;
 pub use plan::{PlanEntry, PlanViolation, TransferPlan};
 pub use timeexp::{Arc, ArcId, ArcKind, TimeExpandedGraph, TimeNode};

@@ -11,7 +11,10 @@
 use std::time::{Duration, Instant};
 
 /// A per-slot stopwatch.
-pub trait Clock: std::fmt::Debug {
+///
+/// `Send` is a supertrait so a clock-owning fallback chain can be moved into
+/// a shard worker thread; both clocks here are plain data.
+pub trait Clock: std::fmt::Debug + Send {
     /// Resets the stopwatch at the start of a slot.
     fn start_slot(&mut self, slot: u64);
     /// Time spent in the current slot so far.

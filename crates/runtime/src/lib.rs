@@ -18,7 +18,12 @@
 //!   as JSON or CSV;
 //! * [`faults`] — deterministic fault injection ([`FaultPlan`]): scheduled
 //!   link degradations and forced solver timeouts, replayed identically by
-//!   resumed runs.
+//!   resumed runs;
+//! * [`shard`] — the sharded multi-tenant engine ([`ShardEngine`]): each
+//!   slot's batch partitioned by tenant or source region, per-shard solves
+//!   run in parallel on worker threads, merged deterministically into the
+//!   one billing ledger, and checkpointed as per-shard snapshot files
+//!   behind a manifest (`serve --shards N --shard-by tenant|region`).
 //!
 //! [`Runtime`] drives the slot loop: degrade links, admit arrivals through
 //! a bounded [`AdmissionQueue`], schedule via the chain, record metrics,
@@ -63,6 +68,7 @@ pub mod faults;
 pub mod metrics;
 pub mod queue;
 mod runtime;
+pub mod shard;
 pub mod snapshot;
 
 pub use arrivals::ArrivalSchedule;
@@ -72,4 +78,5 @@ pub use faults::{FaultPlan, ForcedTimeout, LinkDegradation};
 pub use metrics::{HistogramSummary, MetricsRegistry};
 pub use queue::{AdmissionQueue, QueuedRequest};
 pub use runtime::{Runtime, RuntimeConfig, RuntimeError, SlotOutcome};
+pub use shard::{ShardBy, ShardEngine, ShardPlanner, ShardRef, ShardSnapshot, ShardState};
 pub use snapshot::{RuntimeSnapshot, SNAPSHOT_VERSION};

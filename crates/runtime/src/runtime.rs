@@ -28,10 +28,11 @@
 
 use crate::arrivals::ArrivalSchedule;
 use crate::clock::ClockKind;
-use crate::fallback::{AttemptOutcome, FallbackChain, TierKind};
+use crate::fallback::{AttemptOutcome, AttemptRecord, FallbackChain, TierKind};
 use crate::faults::FaultPlan;
 use crate::metrics::MetricsRegistry;
 use crate::queue::{AdmissionQueue, QueuedRequest};
+use crate::shard::{manifest, ShardBy, ShardEngine, ShardState};
 use crate::snapshot::{RuntimeSnapshot, SNAPSHOT_VERSION};
 use postcard_analyze::check_problem;
 use postcard_core::{
@@ -40,7 +41,7 @@ use postcard_core::{
 use postcard_net::{DcId, Network, TransferRequest};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`Runtime`] (serialized into snapshots).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -82,6 +83,13 @@ pub struct RuntimeConfig {
     /// residual grid rebased from the LP's committed schedule). 0 disables
     /// periodic re-optimization.
     pub reopt_every: u64,
+    /// Number of shards. 1 (the default) runs the classic single-solver
+    /// path; above 1 each slot's batch is partitioned by [`Self::shard_by`]
+    /// and the shards solve in parallel, merged deterministically by the
+    /// reconciler (see [`crate::shard`]).
+    pub shards: usize,
+    /// The partition key for sharded runs (ignored when `shards == 1`).
+    pub shard_by: ShardBy,
 }
 
 impl Default for RuntimeConfig {
@@ -98,6 +106,8 @@ impl Default for RuntimeConfig {
             warm_start: false,
             alap: false,
             reopt_every: 0,
+            shards: 1,
+            shard_by: ShardBy::Tenant,
         }
     }
 }
@@ -157,6 +167,12 @@ pub struct Runtime {
     faults: FaultPlan,
     queue: AdmissionQueue,
     metrics: MetricsRegistry,
+    /// `Some` iff `config.shards > 1`.
+    engine: Option<ShardEngine>,
+    /// Real wall-clock solve-time histograms. Deliberately a *separate*
+    /// registry: wall times differ run to run, and folding them into the
+    /// snapshotted metrics would break bit-identical resume.
+    wall_metrics: MetricsRegistry,
     next_slot: u64,
     num_slots: u64,
 }
@@ -193,6 +209,7 @@ impl Runtime {
         // just its release slot — a late release with a multi-slot window
         // used to get its tail slots only via the requeue extension.
         let num_slots = num_slots.max(arrivals.horizon_slots());
+        let engine = (config.shards > 1).then(|| ShardEngine::new(&config, network.num_dcs()));
         Ok(Self {
             controller: OnlineController::new(network, chain),
             queue: AdmissionQueue::new(config.queue_capacity),
@@ -200,6 +217,8 @@ impl Runtime {
             arrivals,
             faults,
             metrics: MetricsRegistry::new(),
+            engine,
+            wall_metrics: MetricsRegistry::new(),
             next_slot: 0,
             num_slots,
         })
@@ -217,6 +236,9 @@ impl Runtime {
                 "checkpoint_every > 0 requires a checkpoint path".into(),
             ));
         }
+        if config.shards == 0 {
+            return Err(RuntimeError::Config("shard count must be at least 1".into()));
+        }
         Ok(())
     }
 
@@ -228,7 +250,23 @@ impl Runtime {
     /// Reports unreadable/malformed snapshots or an invalid stored config.
     pub fn resume(path: &Path) -> Result<Self, RuntimeError> {
         let snap = RuntimeSnapshot::load(path).map_err(RuntimeError::Snapshot)?;
-        Self::from_snapshot(snap)
+        // For a sharded checkpoint the file is the manifest: restore the
+        // per-shard billing-attribution states from the files it references
+        // before the engine is rebuilt.
+        let states = if snap.config.shards > 1 && !snap.shard_refs.is_empty() {
+            Some(
+                manifest::load_shard_states(path, &snap.shard_refs, snap.config.shards)
+                    .map_err(RuntimeError::Snapshot)?,
+            )
+        } else {
+            None
+        };
+        let mut rt = Self::from_snapshot(snap)?;
+        if let Some(states) = states {
+            let engine = ShardEngine::with_states(&rt.config, states);
+            rt.engine = Some(engine);
+        }
+        Ok(rt)
     }
 
     /// Rebuilds a service from an in-memory snapshot (see
@@ -254,6 +292,13 @@ impl Runtime {
         );
         let mut queue = AdmissionQueue::new(snap.config.queue_capacity);
         queue.restore(snap.queue, snap.queue_dropped);
+        // In-memory resume gets fresh (zeroed) shard states: the global
+        // controller state above is complete, so *decisions* are unaffected;
+        // only per-shard billing attribution restarts from zero. The
+        // file-based [`Runtime::resume`] restores attribution too, from the
+        // manifest's shard files.
+        let engine =
+            (snap.config.shards > 1).then(|| ShardEngine::new(&snap.config, network.num_dcs()));
         Ok(Self {
             controller: OnlineController::from_state(network, chain, snap.controller),
             queue,
@@ -261,6 +306,8 @@ impl Runtime {
             arrivals: snap.arrivals,
             faults: snap.faults,
             metrics: snap.metrics,
+            engine,
+            wall_metrics: MetricsRegistry::new(),
             next_slot: snap.next_slot,
             num_slots: snap.num_slots,
         })
@@ -281,18 +328,32 @@ impl Runtime {
             queue_dropped: self.queue.dropped(),
             controller: self.controller.export_state(),
             metrics: self.metrics.clone(),
+            // Filled by `manifest::save_sharded` at write time (the refs
+            // name the stamped files that actually land on disk).
+            shard_refs: Vec::new(),
             next_slot: self.next_slot,
             num_slots: self.num_slots,
         }
     }
 
     /// Writes a snapshot to `path` (atomic; see [`RuntimeSnapshot::save`]).
+    /// Sharded runtimes write the manifest protocol instead: per-shard
+    /// snapshot files first (unchanged shards skipped), then the manifest,
+    /// then an orphan sweep (see [`manifest::save_sharded`]).
     ///
     /// # Errors
     ///
     /// Propagates I/O failures.
-    pub fn checkpoint(&self, path: &Path) -> Result<(), RuntimeError> {
-        self.snapshot().save(path).map_err(RuntimeError::Snapshot)
+    pub fn checkpoint(&mut self, path: &Path) -> Result<(), RuntimeError> {
+        let snap = self.snapshot();
+        match self.engine.as_mut() {
+            Some(engine) => {
+                let states = engine.states().to_vec();
+                manifest::save_sharded(path, snap, &states, engine.saved_stamps_mut())
+                    .map_err(RuntimeError::Snapshot)
+            }
+            None => snap.save(path).map_err(RuntimeError::Snapshot),
+        }
     }
 
     /// Sends a batch the slot could not schedule back to the backlog:
@@ -416,18 +477,59 @@ impl Runtime {
             }
         }
 
-        // (3) Schedule through the fallback chain. On a scheduled
-        // re-optimization slot the ALAP rung is skipped, so the full LP
-        // re-plans the batch; the residual grid is rebased afterwards.
+        // (3) + (4): schedule and record metrics, on the single-solver or
+        // the sharded path. On a scheduled re-optimization slot the ALAP
+        // rung is skipped, so the full LP re-plans the batch; the residual
+        // grid is rebased afterwards.
         let alap_first = self.config.tiers.first() == Some(&TierKind::Alap);
         let reopt_now = alap_first
             && self.config.reopt_every > 0
             && slot > 0
             && slot.is_multiple_of(self.config.reopt_every);
+        let (report, chosen_tier, degraded) = if self.engine.is_some() {
+            self.step_sharded(slot, entries, &batch, reopt_now)?
+        } else {
+            self.step_unsharded(slot, entries, &batch, reopt_now)?
+        };
+
+        // (5) Advance and checkpoint.
+        self.next_slot = slot + 1;
+        let due = self.config.checkpoint_every > 0
+            && self.next_slot.is_multiple_of(self.config.checkpoint_every)
+            && !self.is_finished();
+        let checkpointed = if due {
+            let path = PathBuf::from(
+                // postcard-analyze: allow(PA102) — `checkpoint_every > 0`
+                // implies a path; Runtime::new rejects the combination.
+                self.config.checkpoint_path.as_deref().expect("validated at construction"),
+            );
+            // Count before saving so the snapshot includes its own write —
+            // otherwise a resumed run would undercount checkpoints relative
+            // to an uninterrupted one.
+            self.metrics.inc("checkpoints_written", 1);
+            self.checkpoint(&path)?;
+            true
+        } else {
+            false
+        };
+
+        Ok(Some(SlotOutcome { report, chosen_tier, degraded, checkpointed }))
+    }
+
+    /// Steps (3)+(4) of a classic single-solver slot: drive the controller
+    /// through the fallback chain, then record metrics.
+    fn step_unsharded(
+        &mut self,
+        slot: u64,
+        mut entries: Vec<QueuedRequest>,
+        batch: &[TransferRequest],
+        reopt_now: bool,
+    ) -> Result<(StepReport, Option<TierKind>, bool), RuntimeError> {
         let forced = self.faults.timeouts_at(slot);
         self.controller.scheduler_mut().begin_slot(slot, forced);
         self.controller.scheduler_mut().set_skip_alap(reopt_now);
-        let (report, degraded) = match self.controller.step(slot, &batch) {
+        let solve_started = (!batch.is_empty()).then(Instant::now);
+        let (report, degraded) = match self.controller.step(slot, batch) {
             Ok(report) => (report, false),
             Err(_) => {
                 // The whole chain hard-failed. Keep the slot: send the batch
@@ -441,6 +543,9 @@ impl Runtime {
                 (report, true)
             }
         };
+        if let Some(started) = solve_started {
+            self.wall_metrics.observe("solve_wall_seconds", started.elapsed().as_secs_f64());
+        }
 
         // (4) Metrics.
         self.metrics.inc("slots_total", 1);
@@ -491,6 +596,21 @@ impl Runtime {
                 self.metrics.inc("alap_rejects", report.rejected.len() as u64);
             }
         }
+        self.record_attempt_metrics(&records);
+        // Any committed decision the ALAP rung did not make itself (an LP
+        // re-optimization, a forced fallback) changes the ledger behind the
+        // residual grid's back: rebase before the next admission.
+        if (degraded || chosen_tier.is_some_and(|t| t != TierKind::Alap))
+            && self.config.tiers.contains(&TierKind::Alap)
+        {
+            self.controller.scheduler_mut().mark_alap_dirty();
+        }
+        Ok((report, chosen_tier, degraded))
+    }
+
+    /// Folds one slot's tier-attempt records into the metrics registry
+    /// (shared by the unsharded path and every shard of a sharded slot).
+    fn record_attempt_metrics(&mut self, records: &[AttemptRecord]) {
         for rec in records {
             match rec.outcome {
                 AttemptOutcome::Committed | AttemptOutcome::CommittedAfterRetry => {
@@ -539,37 +659,123 @@ impl Runtime {
                 }
             }
         }
-        // Any committed decision the ALAP rung did not make itself (an LP
-        // re-optimization, a forced fallback) changes the ledger behind the
-        // residual grid's back: rebase before the next admission.
-        if (degraded || chosen_tier.is_some_and(|t| t != TierKind::Alap))
-            && self.config.tiers.contains(&TierKind::Alap)
-        {
-            self.controller.scheduler_mut().mark_alap_dirty();
+    }
+
+    /// Steps (3)+(4) of a sharded slot: partition the batch, run every
+    /// shard's optimistic solve in parallel, merge in fixed shard order
+    /// (re-solving conflicted shards serially), commit the merged result to
+    /// the central ledger, and record metrics.
+    fn step_sharded(
+        &mut self,
+        slot: u64,
+        entries: Vec<QueuedRequest>,
+        batch: &[TransferRequest],
+        reopt_now: bool,
+    ) -> Result<(StepReport, Option<TierKind>, bool), RuntimeError> {
+        let forced = self.faults.timeouts_at(slot);
+        // postcard-analyze: allow(PA102) — run_slot only dispatches here
+        // when `shards > 1`, and Runtime construction builds the engine for
+        // every such config.
+        let engine = self.engine.as_mut().expect("sharded step requires an engine");
+        let planner = *engine.planner();
+        let batches = planner.partition(batch);
+        let started = Instant::now();
+        let result = engine.run_slot(
+            self.controller.network(),
+            self.controller.ledger(),
+            &batches,
+            slot,
+            &forced,
+            reopt_now,
+        );
+        let total_wall = started.elapsed().as_secs_f64();
+
+        // A hard-failed shard degrades only itself: its entries go back to
+        // the backlog, every other shard's merged result stands.
+        let degraded = !result.degraded_shards.is_empty();
+        if degraded {
+            let requeue: Vec<QueuedRequest> = entries
+                .into_iter()
+                .filter(|e| {
+                    e.request
+                        .carried_to(slot)
+                        .is_some_and(|r| result.degraded_shards.contains(&planner.shard_of(&r)))
+                })
+                .collect();
+            self.requeue_unscheduled(requeue, slot, "degraded");
         }
 
-        // (5) Advance and checkpoint.
-        self.next_slot = slot + 1;
-        let due = self.config.checkpoint_every > 0
-            && self.next_slot.is_multiple_of(self.config.checkpoint_every)
-            && !self.is_finished();
-        let checkpointed = if due {
-            let path = PathBuf::from(
-                // postcard-analyze: allow(PA102) — `checkpoint_every > 0`
-                // implies a path; Runtime::new rejects the combination.
-                self.config.checkpoint_path.as_deref().expect("validated at construction"),
-            );
-            // Count before saving so the snapshot includes its own write —
-            // otherwise a resumed run would undercount checkpoints relative
-            // to an uninterrupted one.
-            self.metrics.inc("checkpoints_written", 1);
-            self.checkpoint(&path)?;
-            true
-        } else {
-            false
-        };
+        // One central commit for the whole merged slot: the per-shard
+        // decisions land on the single billing ledger in shard order, and
+        // the cost history stays slot-aligned.
+        let report = self.controller.commit_reconciled(
+            slot,
+            &result.commits,
+            result.accepted,
+            result.rejected,
+            result.accepted_volume,
+            result.rejected_volume,
+        );
 
-        Ok(Some(SlotOutcome { report, chosen_tier, degraded, checkpointed }))
+        // (4) Metrics — the same families as the unsharded path, plus the
+        // shard-specific counters.
+        self.metrics.inc("slots_total", 1);
+        if degraded {
+            self.metrics.inc("degraded_slots", 1);
+            self.metrics.inc("degraded_shards", result.degraded_shards.len() as u64);
+        }
+        self.metrics.inc("files_accepted", report.accepted.len() as u64);
+        self.metrics.inc("files_rejected", report.rejected.len() as u64);
+        self.metrics.set_gauge("bill_per_slot", report.cost_per_slot);
+        self.metrics.observe("bill_per_slot_history", report.cost_per_slot);
+        if result.conflicts > 0 {
+            self.metrics.inc("shard_conflicts", result.conflicts);
+        }
+        if reopt_now && !batch.is_empty() {
+            self.metrics.inc("lp_reoptimizations", 1);
+        }
+        // The slot's representative tier is the first non-empty shard's —
+        // the same "first decision" rule the unsharded path applies.
+        let chosen_tier =
+            result.resolutions.iter().find(|s| s.batch_len > 0).and_then(|s| s.chosen_tier);
+        if let Some(tier) = chosen_tier {
+            self.metrics.inc(&format!("tier_chosen_{}", tier.name()), 1);
+            if tier != self.config.tiers[0] && !reopt_now {
+                self.metrics.inc("slots_on_fallback_tier", 1);
+            }
+        }
+        if !batch.is_empty() {
+            self.wall_metrics.observe("solve_wall_seconds", total_wall);
+        }
+        for solve in &result.resolutions {
+            if solve.batch_len == 0 {
+                continue;
+            }
+            self.wall_metrics
+                .observe(&format!("solve_wall_seconds_shard{}", solve.shard), solve.wall_seconds);
+            for line in &solve.diagnostics {
+                eprintln!("slot {slot}: {line}");
+            }
+            let alap_decided = solve.records.iter().any(|r| {
+                r.tier == TierKind::Alap
+                    && matches!(
+                        r.outcome,
+                        AttemptOutcome::Committed
+                            | AttemptOutcome::CommittedAfterRetry
+                            | AttemptOutcome::Infeasible
+                    )
+            });
+            if alap_decided && solve.chosen_tier.is_none_or(|t| t == TierKind::Alap) {
+                if !solve.accepted.is_empty() {
+                    self.metrics.inc("alap_admits", solve.accepted.len() as u64);
+                }
+                if !solve.rejected.is_empty() {
+                    self.metrics.inc("alap_rejects", solve.rejected.len() as u64);
+                }
+            }
+            self.record_attempt_metrics(&solve.records);
+        }
+        Ok((report, chosen_tier, degraded))
     }
 
     /// Runs every remaining slot.
@@ -608,6 +814,20 @@ impl Runtime {
     /// Metrics accumulated so far.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// Real wall-clock solve-time histograms (`solve_wall_seconds` for the
+    /// whole slot, `solve_wall_seconds_shard{i}` per shard). Kept out of
+    /// [`Runtime::metrics`] and out of snapshots: wall times vary run to
+    /// run, and snapshotting them would break bit-identical resume.
+    pub fn wall_metrics(&self) -> &MetricsRegistry {
+        &self.wall_metrics
+    }
+
+    /// Per-shard billing-attribution states, `None` on an unsharded
+    /// runtime.
+    pub fn shard_states(&self) -> Option<&[ShardState]> {
+        self.engine.as_ref().map(|e| e.states())
     }
 
     /// The runtime configuration.

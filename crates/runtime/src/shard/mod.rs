@@ -1,0 +1,231 @@
+//! The sharded multi-tenant runtime: parallel per-shard solves, one central
+//! ledger.
+//!
+//! A production inter-datacenter controller serves many tenants whose
+//! transfers share link capacity but decompose almost cleanly by owner.
+//! This module exploits that structure: each slot's admitted batch is
+//! partitioned by tenant or source region ([`ShardPlanner`]), every shard's
+//! subproblem runs the full solver fallback chain on its own worker thread
+//! against a snapshot of the central ledger ([`pool`]), and a deterministic
+//! [`reconcile`] pass merges the shard plans back into the single
+//! percentile-billing ledger — validating each shard's decisions against
+//! the traffic already merged ahead of it and re-solving any shard whose
+//! optimistic plan over-committed a shared link.
+//!
+//! Determinism is the design constraint that shapes everything here: shard
+//! results are collected in shard-index order, the merge order is fixed,
+//! and conflict re-solves run serially in that same order, so an N-shard
+//! run produces byte-identical ledgers, metrics, and snapshots on every
+//! execution regardless of thread scheduling. Wall-clock solve times are
+//! the one unavoidably non-deterministic observable; they are exported
+//! through a separate, never-snapshotted metrics registry (see
+//! [`crate::Runtime::wall_metrics`]).
+//!
+//! Checkpointing is a manifest plus per-shard snapshot files
+//! ([`manifest`]): the manifest carries the full global state verbatim (so
+//! resume is bit-identical by construction), shard files carry each shard's
+//! billing-attribution state and rewrite only when the shard committed
+//! something since the last checkpoint.
+
+pub mod manifest;
+pub mod planner;
+pub mod pool;
+pub mod reconcile;
+
+pub use manifest::{ShardRef, ShardSnapshot, ShardState};
+pub use planner::ShardPlanner;
+pub use pool::ShardSolve;
+
+use crate::fallback::{FallbackChain, TierKind};
+use crate::runtime::RuntimeConfig;
+use postcard_core::Decision;
+use postcard_net::{FileId, Network, TrafficLedger, TransferRequest};
+use serde::{Deserialize, Serialize};
+
+/// How a batch is partitioned into shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardBy {
+    /// By the owning tenant encoded in the high bits of each
+    /// [`postcard_net::FileId`] (see [`postcard_net::FileId::for_tenant`]).
+    Tenant,
+    /// By the source datacenter (region) of each request.
+    Region,
+}
+
+impl ShardBy {
+    /// Stable name used in CLI flags and snapshots.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShardBy::Tenant => "tenant",
+            ShardBy::Region => "region",
+        }
+    }
+}
+
+impl std::fmt::Display for ShardBy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for ShardBy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "tenant" => Ok(ShardBy::Tenant),
+            "region" => Ok(ShardBy::Region),
+            other => Err(format!("unknown shard key `{other}` (expected tenant|region)")),
+        }
+    }
+}
+
+/// The merged result of one sharded slot, in deterministic shard order.
+#[derive(Debug)]
+pub struct ShardSlotResult {
+    /// Per-shard resolutions (index = shard), after reconciliation.
+    pub resolutions: Vec<ShardSolve>,
+    /// Every commit to apply, flattened in shard order.
+    pub commits: Vec<(Vec<TransferRequest>, Decision)>,
+    /// Accepted files across shards, in shard order then batch order.
+    pub accepted: Vec<FileId>,
+    /// Rejected files across shards, in shard order then batch order.
+    pub rejected: Vec<FileId>,
+    /// Total accepted volume (GB).
+    pub accepted_volume: f64,
+    /// Total rejected volume (GB).
+    pub rejected_volume: f64,
+    /// Shards whose optimistic solve over-committed a shared link and were
+    /// re-solved serially.
+    pub conflicts: u64,
+    /// Shards whose chain hard-failed (their entries should be requeued).
+    pub degraded_shards: Vec<usize>,
+}
+
+/// Owns the per-shard fallback chains and billing-attribution states and
+/// orchestrates one slot: partition → parallel solve → reconcile.
+#[derive(Debug)]
+pub struct ShardEngine {
+    planner: ShardPlanner,
+    chains: Vec<FallbackChain>,
+    states: Vec<ShardState>,
+    /// Per-shard stamp of the last checkpointed state, used to skip
+    /// rewriting unchanged shard snapshot files.
+    saved_stamps: Vec<Option<u64>>,
+}
+
+impl ShardEngine {
+    /// Builds an engine with fresh (zeroed) shard states from a validated
+    /// sharded config.
+    pub fn new(config: &RuntimeConfig, num_dcs: usize) -> Self {
+        let states = (0..config.shards).map(|_| ShardState::new(num_dcs)).collect();
+        Self::with_states(config, states)
+    }
+
+    /// Builds an engine over restored shard states (resume path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != config.shards` — the manifest loader
+    /// checks this before calling.
+    pub fn with_states(config: &RuntimeConfig, states: Vec<ShardState>) -> Self {
+        assert_eq!(states.len(), config.shards, "one state per shard");
+        let chains = (0..config.shards)
+            .map(|_| {
+                FallbackChain::with_warm_start(
+                    &config.tiers,
+                    config.slot_budget(),
+                    config.clock.build(),
+                    config.warm_start,
+                )
+            })
+            .collect();
+        Self {
+            planner: ShardPlanner::new(config.shard_by, config.shards),
+            chains,
+            states,
+            saved_stamps: vec![None; config.shards],
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// The partitioner.
+    pub fn planner(&self) -> &ShardPlanner {
+        &self.planner
+    }
+
+    /// Per-shard billing-attribution states (index = shard).
+    pub fn states(&self) -> &[ShardState] {
+        &self.states
+    }
+
+    /// Per-shard saved-stamp bookkeeping for checkpoint writes (index =
+    /// shard; `None` forces a rewrite at the next checkpoint).
+    pub fn saved_stamps_mut(&mut self) -> &mut Vec<Option<u64>> {
+        &mut self.saved_stamps
+    }
+
+    /// Runs one slot over pre-partitioned batches: parallel optimistic
+    /// solves, then the deterministic ordered merge with serial conflict
+    /// re-solves, then shard-state (billing attribution) updates.
+    ///
+    /// `base` is the central committed ledger *before* this slot; the
+    /// caller applies the returned commits to it afterwards (through
+    /// [`postcard_core::OnlineController::commit_reconciled`]).
+    pub fn run_slot(
+        &mut self,
+        network: &Network,
+        base: &TrafficLedger,
+        batches: &[Vec<TransferRequest>],
+        slot: u64,
+        forced: &[TierKind],
+        skip_alap: bool,
+    ) -> ShardSlotResult {
+        let directives = pool::SlotDirectives { slot, forced: forced.to_vec(), skip_alap };
+        let solves = pool::solve_parallel(&mut self.chains, network, base, batches, &directives);
+        let resolutions =
+            reconcile::reconcile(network, base, solves, &mut self.chains, batches, &directives);
+
+        let mut result = ShardSlotResult {
+            commits: Vec::new(),
+            accepted: Vec::new(),
+            rejected: Vec::new(),
+            accepted_volume: 0.0,
+            rejected_volume: 0.0,
+            conflicts: 0,
+            degraded_shards: Vec::new(),
+            resolutions: Vec::new(),
+        };
+        for solve in &resolutions {
+            if solve.conflicted {
+                result.conflicts += 1;
+            }
+            if solve.degraded {
+                result.degraded_shards.push(solve.shard);
+                continue;
+            }
+            let state = &mut self.states[solve.shard];
+            for (files, decision) in &solve.commits {
+                state.apply(decision, files, slot);
+            }
+            state.note_admission(
+                solve.accepted.len() as u64,
+                solve.rejected.len() as u64,
+                solve.accepted_volume,
+                solve.rejected_volume,
+                slot,
+            );
+            result.commits.extend(solve.commits.iter().cloned());
+            result.accepted.extend(solve.accepted.iter().copied());
+            result.rejected.extend(solve.rejected.iter().copied());
+            result.accepted_volume += solve.accepted_volume;
+            result.rejected_volume += solve.rejected_volume;
+        }
+        result.resolutions = resolutions;
+        result
+    }
+}

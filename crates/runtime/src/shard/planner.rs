@@ -1,0 +1,113 @@
+//! Partitioning a slot's batch into per-shard subproblems.
+//!
+//! The mapping from request to shard must be a pure function of the
+//! request — never of arrival order or thread timing — so that the same
+//! workload always produces the same partition. Two keys are supported:
+//! the owning tenant (encoded in the high bits of the
+//! [`postcard_net::FileId`]) and the source region. Both are stable under
+//! backlog carry-over: re-stamping a queued request to a later slot changes
+//! neither its id nor its source.
+
+use super::ShardBy;
+use postcard_net::TransferRequest;
+
+/// Maps requests to shards and partitions batches.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardPlanner {
+    shard_by: ShardBy,
+    shards: usize,
+}
+
+impl ShardPlanner {
+    /// A planner over `shards` shards keyed by `shard_by`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(shard_by: ShardBy, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        Self { shard_by, shards }
+    }
+
+    /// The partition key in use.
+    pub fn shard_by(&self) -> ShardBy {
+        self.shard_by
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard that owns `request`.
+    ///
+    /// Tenants (or regions) beyond the shard count wrap around, so a
+    /// 16-tenant workload on 4 shards still spreads evenly — tenants 0, 4,
+    /// 8, 12 share shard 0.
+    pub fn shard_of(&self, request: &TransferRequest) -> usize {
+        match self.shard_by {
+            ShardBy::Tenant => request.id.tenant() as usize % self.shards,
+            ShardBy::Region => request.src.0 % self.shards,
+        }
+    }
+
+    /// Splits `batch` into per-shard batches (index = shard), preserving
+    /// batch order within each shard.
+    pub fn partition(&self, batch: &[TransferRequest]) -> Vec<Vec<TransferRequest>> {
+        let mut out = vec![Vec::new(); self.shards];
+        for f in batch {
+            out[self.shard_of(f)].push(*f);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use postcard_net::{DcId, FileId};
+
+    fn req(id: FileId, src: usize) -> TransferRequest {
+        TransferRequest::new(id, DcId(src), DcId(src + 1), 1.0, 2, 0)
+    }
+
+    #[test]
+    fn tenant_partition_groups_by_id_high_bits() {
+        let p = ShardPlanner::new(ShardBy::Tenant, 4);
+        let batch = vec![
+            req(FileId::for_tenant(0, 0), 0),
+            req(FileId::for_tenant(1, 0), 2),
+            req(FileId::for_tenant(2, 0), 4),
+            req(FileId::for_tenant(5, 0), 6), // wraps onto shard 1
+            req(FileId(7), 0),                // plain id = tenant 0
+        ];
+        let parts = p.partition(&batch);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[0].len(), 2, "tenant 0 and the plain id");
+        assert_eq!(parts[1].len(), 2, "tenant 1 and tenant 5");
+        assert_eq!(parts[2].len(), 1);
+        assert!(parts[3].is_empty());
+        // Batch order is preserved within a shard.
+        assert_eq!(parts[0][0].id, FileId::for_tenant(0, 0));
+        assert_eq!(parts[0][1].id, FileId(7));
+    }
+
+    #[test]
+    fn region_partition_groups_by_source() {
+        let p = ShardPlanner::new(ShardBy::Region, 2);
+        let batch = vec![req(FileId(1), 0), req(FileId(2), 1), req(FileId(3), 2)];
+        let parts = p.partition(&batch);
+        assert_eq!(parts[0].iter().map(|f| f.id.0).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(parts[1].iter().map(|f| f.id.0).collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn shard_key_is_stable_under_carry_over() {
+        let p = ShardPlanner::new(ShardBy::Tenant, 4);
+        let r = TransferRequest::new(FileId::for_tenant(3, 9), DcId(0), DcId(1), 1.0, 5, 0);
+        let carried = r.carried_to(2).unwrap();
+        assert_eq!(p.shard_of(&r), p.shard_of(&carried));
+        let p = ShardPlanner::new(ShardBy::Region, 4);
+        assert_eq!(p.shard_of(&r), p.shard_of(&carried));
+    }
+}

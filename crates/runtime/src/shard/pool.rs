@@ -1,0 +1,319 @@
+//! The `std::thread` worker pool running per-shard solves in parallel.
+//!
+//! Each shard's worker replays the online controller's step semantics —
+//! whole-batch solve, then per-file admission in arrival order on
+//! infeasibility — against an *overlay* ledger: a clone of the central
+//! ledger that accumulates only this shard's own tentative commits. The
+//! central ledger is never touched from a worker thread; the reconciler
+//! merges tentative results afterwards in fixed shard order.
+//!
+//! Workers are scoped threads spawned fresh each slot
+//! ([`std::thread::scope`]): the per-shard [`FallbackChain`]s live on the
+//! engine and are lent to the workers as `&mut`, so LP warm-start bases
+//! carry across slots without any channel plumbing. Results are collected
+//! by joining handles in shard-index order — thread *scheduling* affects
+//! only wall-clock time, never the merged outcome.
+
+use crate::fallback::{AttemptRecord, FallbackChain, TierKind};
+use postcard_core::{Decision, PostcardError, Scheduler};
+use postcard_net::{FileId, Network, TrafficLedger, TransferRequest};
+use std::time::Instant;
+
+/// Per-slot solve directives shared by every shard of a slot: which slot
+/// is being solved and the fault/re-optimization state that must apply
+/// identically to the parallel solves and any serial conflict re-solve.
+#[derive(Debug, Clone, Default)]
+pub struct SlotDirectives {
+    /// The slot being solved.
+    pub slot: u64,
+    /// Tiers fault injection forces to time out this slot.
+    pub forced: Vec<TierKind>,
+    /// Whether the ALAP fast-path rung is skipped (LP re-optimization slot).
+    pub skip_alap: bool,
+}
+
+impl SlotDirectives {
+    /// Directives for an unforced, fast-path-enabled slot.
+    pub fn plain(slot: u64) -> Self {
+        Self { slot, ..Self::default() }
+    }
+}
+
+/// One shard's tentative (pre-reconciliation) slot result.
+#[derive(Debug, Clone)]
+pub struct ShardSolve {
+    /// The shard index.
+    pub shard: usize,
+    /// Size of the shard's batch this slot.
+    pub batch_len: usize,
+    /// Tentative commits: each decision with the files it serves, in
+    /// commit order.
+    pub commits: Vec<(Vec<TransferRequest>, Decision)>,
+    /// Files admitted, in batch order.
+    pub accepted: Vec<FileId>,
+    /// Files rejected, in batch order.
+    pub rejected: Vec<FileId>,
+    /// Admitted volume (GB).
+    pub accepted_volume: f64,
+    /// Rejected volume (GB).
+    pub rejected_volume: f64,
+    /// Tier attempts recorded while solving this shard (re-solve attempts
+    /// are appended by the reconciler).
+    pub records: Vec<AttemptRecord>,
+    /// The tier that committed the shard's first decision.
+    pub chosen_tier: Option<TierKind>,
+    /// The chain hard-failed; the shard committed nothing and its entries
+    /// should be requeued.
+    pub degraded: bool,
+    /// Set by the reconciler when the optimistic solve over-committed a
+    /// shared link and the shard was re-solved serially.
+    pub conflicted: bool,
+    /// Human-readable conflict attribution (reconciler-filled).
+    pub diagnostics: Vec<String>,
+    /// Real wall-clock seconds this shard's solve took (non-deterministic;
+    /// exported only through the wall-metrics registry).
+    pub wall_seconds: f64,
+}
+
+impl ShardSolve {
+    fn empty(shard: usize) -> Self {
+        Self {
+            shard,
+            batch_len: 0,
+            commits: Vec::new(),
+            accepted: Vec::new(),
+            rejected: Vec::new(),
+            accepted_volume: 0.0,
+            rejected_volume: 0.0,
+            records: Vec::new(),
+            chosen_tier: None,
+            degraded: false,
+            conflicted: false,
+            diagnostics: Vec::new(),
+            wall_seconds: 0.0,
+        }
+    }
+}
+
+/// Applies a tentative decision to the overlay ledger.
+fn apply_overlay(decision: &Decision, files: &[TransferRequest], overlay: &mut TrafficLedger) {
+    match decision {
+        Decision::Plan(plan) => plan.apply_to_ledger(overlay),
+        Decision::Rates(rates) => rates.apply_to_ledger(files, overlay),
+    }
+}
+
+/// Solves one shard's batch against `base`, mirroring
+/// [`postcard_core::OnlineController::step`]'s admission semantics on an
+/// overlay ledger.
+///
+/// On a non-infeasible scheduler error the shard is marked degraded and
+/// commits nothing — unlike the unsharded step, no partial per-file commits
+/// survive, because the overlay is scratch state. The runtime requeues the
+/// whole shard batch, exactly as it requeues a degraded unsharded slot.
+pub fn solve_shard(
+    chain: &mut FallbackChain,
+    shard: usize,
+    network: &Network,
+    base: &TrafficLedger,
+    batch: &[TransferRequest],
+    directives: &SlotDirectives,
+) -> ShardSolve {
+    let mut solve = ShardSolve::empty(shard);
+    solve.batch_len = batch.len();
+    if batch.is_empty() {
+        return solve;
+    }
+    let started = Instant::now();
+    // Other shards (and the reconciler) commit to the central ledger behind
+    // this chain's ALAP residual grid; rebase it from `base` every slot.
+    chain.mark_alap_dirty();
+    chain.begin_slot(directives.slot, directives.forced.clone());
+    chain.set_skip_alap(directives.skip_alap);
+
+    let mut overlay = base.clone();
+    match chain.schedule(network, batch, &overlay) {
+        Ok(decision) => {
+            apply_overlay(&decision, batch, &mut overlay);
+            solve.accepted.extend(batch.iter().map(|f| f.id));
+            solve.accepted_volume = batch.iter().map(|f| f.size_gb).sum();
+            solve.commits.push((batch.to_vec(), decision));
+        }
+        Err(PostcardError::Infeasible) => {
+            // Per-file admission in arrival order, each success committed to
+            // the overlay before the next attempt — the controller's exact
+            // semantics.
+            for f in batch {
+                let single = [*f];
+                match chain.schedule(network, &single, &overlay) {
+                    Ok(decision) => {
+                        apply_overlay(&decision, &single, &mut overlay);
+                        solve.accepted.push(f.id);
+                        solve.accepted_volume += f.size_gb;
+                        solve.commits.push((single.to_vec(), decision));
+                    }
+                    Err(PostcardError::Infeasible) => {
+                        solve.rejected.push(f.id);
+                        solve.rejected_volume += f.size_gb;
+                    }
+                    Err(_) => {
+                        solve.degraded = true;
+                        break;
+                    }
+                }
+            }
+        }
+        Err(_) => solve.degraded = true,
+    }
+    if solve.degraded {
+        // Tentative state is scratch: a degraded shard contributes nothing.
+        solve.commits.clear();
+        solve.accepted.clear();
+        solve.rejected.clear();
+        solve.accepted_volume = 0.0;
+        solve.rejected_volume = 0.0;
+    }
+    solve.records = chain.records().to_vec();
+    solve.chosen_tier = chain.chosen_tier();
+    solve.wall_seconds = started.elapsed().as_secs_f64();
+    solve
+}
+
+/// Runs every non-empty shard's solve on its own scoped thread and returns
+/// the results in shard-index order.
+pub fn solve_parallel(
+    chains: &mut [FallbackChain],
+    network: &Network,
+    base: &TrafficLedger,
+    batches: &[Vec<TransferRequest>],
+    directives: &SlotDirectives,
+) -> Vec<ShardSolve> {
+    assert_eq!(chains.len(), batches.len(), "one batch per shard");
+    std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            chains
+                .iter_mut()
+                .zip(batches)
+                .enumerate()
+                .map(|(shard, (chain, batch))| {
+                    if batch.is_empty() {
+                        // Nothing to solve: skip the spawn, keep the slot cheap.
+                        None
+                    } else {
+                        Some(scope.spawn(move || {
+                            solve_shard(chain, shard, network, base, batch, directives)
+                        }))
+                    }
+                })
+                .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(shard, handle)| match handle {
+                // postcard-analyze: allow(PA102) — a panicked worker already
+                // poisoned the slot; re-raising on the runtime thread is the
+                // only sound continuation (no partial merge).
+                Some(h) => h.join().expect("shard worker panicked"),
+                None => ShardSolve::empty(shard),
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+    use postcard_net::{DcId, NetworkBuilder};
+    use std::time::Duration;
+
+    fn d(i: usize) -> DcId {
+        DcId(i)
+    }
+
+    /// Two disjoint 2-DC clusters.
+    fn net() -> Network {
+        NetworkBuilder::new(4).link(d(0), d(1), 2.0, 100.0).link(d(2), d(3), 3.0, 100.0).build()
+    }
+
+    fn chain() -> FallbackChain {
+        FallbackChain::new(
+            &TierKind::default_chain(),
+            Duration::from_millis(250),
+            Box::new(SimClock::new()),
+        )
+    }
+
+    #[test]
+    fn parallel_solves_match_sequential_solves_bit_for_bit() {
+        let net = net();
+        let base = TrafficLedger::new(4);
+        let batches = vec![
+            vec![TransferRequest::new(FileId(1), d(0), d(1), 6.0, 3, 0)],
+            vec![TransferRequest::new(FileId(2), d(2), d(3), 9.0, 3, 0)],
+        ];
+        let mut chains_a = vec![chain(), chain()];
+        let mut chains_b = [chain(), chain()];
+        let par = solve_parallel(&mut chains_a, &net, &base, &batches, &SlotDirectives::plain(0));
+        let seq: Vec<_> = chains_b
+            .iter_mut()
+            .zip(&batches)
+            .enumerate()
+            .map(|(i, (c, b))| solve_shard(c, i, &net, &base, b, &SlotDirectives::plain(0)))
+            .collect();
+        assert_eq!(par.len(), 2);
+        for (p, s) in par.iter().zip(&seq) {
+            assert_eq!(p.accepted, s.accepted);
+            assert_eq!(p.rejected, s.rejected);
+            assert_eq!(p.commits.len(), s.commits.len());
+            for ((pf, pd), (sf, sd)) in p.commits.iter().zip(&s.commits) {
+                assert_eq!(pf, sf);
+                assert_eq!(pd, sd, "decisions must be bit-identical");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_shard_batches_skip_the_spawn() {
+        let net = net();
+        let base = TrafficLedger::new(4);
+        let batches = vec![Vec::new(), Vec::new()];
+        let mut chains = vec![chain(), chain()];
+        let solves = solve_parallel(&mut chains, &net, &base, &batches, &SlotDirectives::plain(0));
+        assert!(solves.iter().all(|s| s.commits.is_empty() && s.records.is_empty()));
+        assert!(solves.iter().all(|s| !s.degraded));
+    }
+
+    #[test]
+    fn per_file_admission_rejects_only_the_oversized_file() {
+        let net = NetworkBuilder::new(2).link(d(0), d(1), 1.0, 2.0).build();
+        let base = TrafficLedger::new(2);
+        let batch = vec![
+            TransferRequest::new(FileId(1), d(0), d(1), 10.0, 1, 0), // can never fit
+            TransferRequest::new(FileId(2), d(0), d(1), 2.0, 1, 0),
+        ];
+        let mut c = chain();
+        let solve = solve_shard(&mut c, 0, &net, &base, &batch, &SlotDirectives::plain(0));
+        assert_eq!(solve.rejected, vec![FileId(1)]);
+        assert_eq!(solve.accepted, vec![FileId(2)]);
+        assert_eq!(solve.accepted_volume, 2.0);
+        assert_eq!(solve.rejected_volume, 10.0);
+        assert!(!solve.degraded);
+    }
+
+    #[test]
+    fn hard_failure_degrades_the_shard_and_commits_nothing() {
+        // Datacenter 7 does not exist: the postcard-only chain hard-fails.
+        let net = net();
+        let base = TrafficLedger::new(4);
+        let batch = vec![TransferRequest::new(FileId(1), DcId(7), d(1), 1.0, 2, 0)];
+        let mut c = FallbackChain::new(
+            &[TierKind::Postcard],
+            Duration::from_millis(250),
+            Box::new(SimClock::new()),
+        );
+        let solve = solve_shard(&mut c, 0, &net, &base, &batch, &SlotDirectives::plain(0));
+        assert!(solve.degraded);
+        assert!(solve.commits.is_empty() && solve.accepted.is_empty());
+    }
+}

@@ -1,0 +1,276 @@
+//! Deterministic merge of per-shard plans into the central ledger view.
+//!
+//! Shards solve *optimistically*: each worker sees the full residual
+//! capacity of every link (a static capacity split would forfeit work
+//! conservation even on disjoint workloads). The price of optimism is that
+//! two shards can together over-commit a link both plans touch. The
+//! reconciler resolves that deterministically:
+//!
+//! 1. Shards are visited in **fixed index order** (the seeded shard
+//!    ordering — shard indices are assigned by the pure partition key, so
+//!    the order is a property of the workload, not of thread timing).
+//! 2. Each shard's tentative decisions are validated against a working
+//!    ledger that already contains every earlier shard's merged traffic
+//!    (capacity, conservation, delivery — the full Eq. 7–10 check).
+//! 3. A shard whose tentative plan no longer validates is **re-solved
+//!    serially** against the working ledger, so it sees exactly what
+//!    earlier shards committed. Its re-solve is final: by construction it
+//!    validates against the state it solved on.
+//!
+//! On tenant-disjoint workloads no link is shared, step 2 never fails, and
+//! the merge is a pure concatenation — full parallel speedup, and the
+//! merged objective matches the unsharded LP (the property tests assert
+//! this). Conflict attribution reuses the flow crate's path decomposition:
+//! for a rates decision that over-committed `i → j`, the decomposed paths
+//! crossing `i → j` name the contending transfers.
+
+use super::pool::{self, ShardSolve};
+use crate::fallback::FallbackChain;
+use postcard_core::Decision;
+use postcard_flow::decompose_flow;
+use postcard_flow::FlowViolation;
+use postcard_net::{Network, PlanViolation, TrafficLedger, TransferRequest};
+
+/// Validates one tentative decision against the working ledger; on failure
+/// returns attribution lines naming the over-committed links and the
+/// contending transfers.
+fn validate_decision(
+    network: &Network,
+    working: &TrafficLedger,
+    files: &[TransferRequest],
+    decision: &Decision,
+    shard: usize,
+) -> Result<(), Vec<String>> {
+    match decision {
+        Decision::Plan(plan) => {
+            let violations = plan.validate(network, files, |i, j, s| working.volume(i, j, s));
+            if violations.is_empty() {
+                return Ok(());
+            }
+            Err(violations
+                .iter()
+                .map(|v| match v {
+                    PlanViolation::Capacity { from, to, slot, used, available } => format!(
+                        "shard {shard}: link {from}->{to} over-committed at slot {slot} \
+                         ({used:.3} GB planned, {available:.3} GB available)"
+                    ),
+                    other => format!("shard {shard}: {other:?}"),
+                })
+                .collect())
+        }
+        Decision::Rates(rates) => {
+            let violations = rates.validate(network, files, |i, j, s| working.volume(i, j, s));
+            if violations.is_empty() {
+                return Ok(());
+            }
+            let mut lines = Vec::new();
+            for v in &violations {
+                match v {
+                    FlowViolation::Capacity { from, to, slot, used, available } => {
+                        lines.push(format!(
+                            "shard {shard}: link {from}->{to} over-committed at slot {slot} \
+                             ({used:.3} GB/slot of {available:.3} available)"
+                        ));
+                        // Attribute the hot link to paths: decompose each
+                        // file's flow and name the shares crossing it.
+                        for f in files {
+                            let dec = decompose_flow(rates, f, network.num_dcs());
+                            let rate = dec.rate_over(*from, *to);
+                            if rate > 0.0 {
+                                lines.push(format!(
+                                    "shard {shard}:   {} sends {rate:.3} GB/slot over \
+                                     {from}->{to}",
+                                    f.id
+                                ));
+                            }
+                        }
+                    }
+                    other => lines.push(format!("shard {shard}: {other:?}")),
+                }
+            }
+            Err(lines)
+        }
+    }
+}
+
+fn apply_working(decision: &Decision, files: &[TransferRequest], working: &mut TrafficLedger) {
+    match decision {
+        Decision::Plan(plan) => plan.apply_to_ledger(working),
+        Decision::Rates(rates) => rates.apply_to_ledger(files, working),
+    }
+}
+
+/// Merges tentative shard solves in fixed shard order, re-solving shards
+/// whose optimistic plans over-committed shared links. Returns the final
+/// per-shard resolutions (same order); the caller applies the surviving
+/// commits to the real ledger.
+pub fn reconcile(
+    network: &Network,
+    base: &TrafficLedger,
+    solves: Vec<ShardSolve>,
+    chains: &mut [FallbackChain],
+    batches: &[Vec<TransferRequest>],
+    directives: &pool::SlotDirectives,
+) -> Vec<ShardSolve> {
+    let mut working = base.clone();
+    let mut resolved = Vec::with_capacity(solves.len());
+    for mut solve in solves {
+        if solve.degraded {
+            resolved.push(solve);
+            continue;
+        }
+        let mut diagnostics = Vec::new();
+        let valid = solve.commits.iter().all(|(files, decision)| {
+            match validate_decision(network, &working, files, decision, solve.shard) {
+                Ok(()) => true,
+                Err(mut lines) => {
+                    diagnostics.append(&mut lines);
+                    false
+                }
+            }
+        });
+        if valid {
+            for (files, decision) in &solve.commits {
+                apply_working(decision, files, &mut working);
+            }
+            resolved.push(solve);
+            continue;
+        }
+
+        // Conflict: this shard's optimism lost. Re-solve it serially against
+        // the working ledger (which contains every earlier shard's merged
+        // traffic); the re-solve is deterministic — same chain, same batch,
+        // fixed position in the merge order.
+        let shard = solve.shard;
+        let resolve = pool::solve_shard(
+            &mut chains[shard],
+            shard,
+            network,
+            &working,
+            &batches[shard],
+            directives,
+        );
+        debug_assert!(
+            resolve.degraded
+                || resolve.commits.iter().all(|(files, decision)| validate_decision(
+                    network, &working, files, decision, shard
+                )
+                .is_ok()),
+            "a re-solve against the working ledger must validate against it"
+        );
+        for (files, decision) in &resolve.commits {
+            apply_working(decision, files, &mut working);
+        }
+        solve.commits = resolve.commits;
+        solve.accepted = resolve.accepted;
+        solve.rejected = resolve.rejected;
+        solve.accepted_volume = resolve.accepted_volume;
+        solve.rejected_volume = resolve.rejected_volume;
+        solve.records = resolve.records;
+        solve.chosen_tier = resolve.chosen_tier;
+        solve.degraded = resolve.degraded;
+        solve.wall_seconds += resolve.wall_seconds;
+        solve.conflicted = true;
+        solve.diagnostics = diagnostics;
+        resolved.push(solve);
+    }
+    resolved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+    use crate::fallback::TierKind;
+    use crate::shard::pool::solve_parallel;
+    use postcard_net::{DcId, FileId, NetworkBuilder};
+    use std::time::Duration;
+
+    fn d(i: usize) -> DcId {
+        DcId(i)
+    }
+
+    fn chain(tiers: &[TierKind]) -> FallbackChain {
+        FallbackChain::new(tiers, Duration::from_millis(250), Box::new(SimClock::new()))
+    }
+
+    #[test]
+    fn disjoint_shards_merge_without_conflicts() {
+        let net = NetworkBuilder::new(4)
+            .link(d(0), d(1), 2.0, 100.0)
+            .link(d(2), d(3), 3.0, 100.0)
+            .build();
+        let base = TrafficLedger::new(4);
+        let batches = vec![
+            vec![TransferRequest::new(FileId(1), d(0), d(1), 6.0, 3, 0)],
+            vec![TransferRequest::new(FileId(2), d(2), d(3), 9.0, 3, 0)],
+        ];
+        let mut chains = vec![chain(&TierKind::default_chain()), chain(&TierKind::default_chain())];
+        let solves =
+            solve_parallel(&mut chains, &net, &base, &batches, &pool::SlotDirectives::plain(0));
+        let resolved =
+            reconcile(&net, &base, solves, &mut chains, &batches, &pool::SlotDirectives::plain(0));
+        assert!(resolved.iter().all(|s| !s.conflicted && !s.degraded));
+        assert_eq!(resolved[0].accepted, vec![FileId(1)]);
+        assert_eq!(resolved[1].accepted, vec![FileId(2)]);
+    }
+
+    #[test]
+    fn shared_link_over_commit_is_detected_and_resolved() {
+        // One capacity-10 link; each shard alone would claim all of it.
+        let net = NetworkBuilder::new(2).link(d(0), d(1), 1.0, 10.0).build();
+        let base = TrafficLedger::new(2);
+        let batches = vec![
+            vec![TransferRequest::new(FileId(1), d(0), d(1), 10.0, 1, 0)],
+            vec![TransferRequest::new(FileId(2), d(0), d(1), 10.0, 1, 0)],
+        ];
+        let mut chains = vec![chain(&TierKind::default_chain()), chain(&TierKind::default_chain())];
+        let solves =
+            solve_parallel(&mut chains, &net, &base, &batches, &pool::SlotDirectives::plain(0));
+        // Both optimistic solves admit their file (each saw an empty link).
+        assert_eq!(solves[0].accepted, vec![FileId(1)]);
+        assert_eq!(solves[1].accepted, vec![FileId(2)]);
+        let resolved =
+            reconcile(&net, &base, solves, &mut chains, &batches, &pool::SlotDirectives::plain(0));
+        // Shard 0 keeps its plan; shard 1's re-solve finds no room and
+        // rejects — the merged view never over-commits the link.
+        assert!(!resolved[0].conflicted);
+        assert!(resolved[1].conflicted);
+        assert_eq!(resolved[0].accepted, vec![FileId(1)]);
+        assert_eq!(resolved[1].rejected, vec![FileId(2)]);
+        assert!(resolved[1].commits.is_empty());
+        assert!(
+            resolved[1].diagnostics.iter().any(|l| l.contains("over-committed")),
+            "{:?}",
+            resolved[1].diagnostics
+        );
+        // Replay the merged commits: capacity is respected.
+        let mut ledger = base.clone();
+        for s in &resolved {
+            for (files, decision) in &s.commits {
+                apply_working(decision, files, &mut ledger);
+            }
+        }
+        assert!(ledger.volume(d(0), d(1), 0) <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn partial_shared_capacity_is_split_across_the_merge_order() {
+        // Capacity 10, two 6-GB single-slot files from different shards:
+        // shard 0 wins, shard 1's re-solve must reject (only 4 GB left).
+        let net = NetworkBuilder::new(2).link(d(0), d(1), 1.0, 10.0).build();
+        let base = TrafficLedger::new(2);
+        let batches = vec![
+            vec![TransferRequest::new(FileId(1), d(0), d(1), 6.0, 1, 0)],
+            vec![TransferRequest::new(FileId(2), d(0), d(1), 6.0, 1, 0)],
+        ];
+        let mut chains = vec![chain(&TierKind::default_chain()), chain(&TierKind::default_chain())];
+        let solves =
+            solve_parallel(&mut chains, &net, &base, &batches, &pool::SlotDirectives::plain(0));
+        let resolved =
+            reconcile(&net, &base, solves, &mut chains, &batches, &pool::SlotDirectives::plain(0));
+        assert_eq!(resolved[0].accepted, vec![FileId(1)]);
+        assert!(resolved[1].conflicted);
+        assert_eq!(resolved[1].rejected, vec![FileId(2)]);
+    }
+}

@@ -31,8 +31,11 @@ use std::path::Path;
 /// counts) and `RuntimeConfig` gained `max_requeue_attempts`, so a run
 /// killed with a non-empty backlog resumes bit-identically; v5 — the
 /// snapshot carries the queue's dropped-at-the-door counter (previously
-/// lost on resume) and `RuntimeConfig` gained `alap` and `reopt_every`.
-pub const SNAPSHOT_VERSION: u32 = 5;
+/// lost on resume) and `RuntimeConfig` gained `alap` and `reopt_every`;
+/// v6 — sharded checkpoints: the snapshot doubles as the manifest over
+/// per-shard snapshot files (`shard_refs`) and `RuntimeConfig` gained
+/// `shards` and `shard_by`.
+pub const SNAPSHOT_VERSION: u32 = 6;
 
 /// One directed link, flattened for serialization.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -74,6 +77,11 @@ pub struct RuntimeSnapshot {
     pub controller: ControllerState,
     /// Metrics accumulated so far.
     pub metrics: MetricsRegistry,
+    /// Manifest entries for per-shard snapshot files (empty for unsharded
+    /// runs). The manifest still carries the full global state above, so a
+    /// resumed run's *decisions* never depend on the shard files; the refs
+    /// restore per-shard billing attribution.
+    pub shard_refs: Vec<crate::shard::ShardRef>,
     /// The first slot the continuation must run.
     pub next_slot: u64,
     /// One past the last slot of the run.
@@ -200,6 +208,7 @@ mod tests {
                 rejected_volume: 100.0,
             },
             metrics: MetricsRegistry::new(),
+            shard_refs: Vec::new(),
             next_slot: 2,
             num_slots: 10,
         }
@@ -235,11 +244,11 @@ mod tests {
 
     #[test]
     fn old_versions_fail_with_version_error_not_missing_field() {
-        // A v4 file lacks the `queue_dropped` field (and `alap` /
-        // `reopt_every` in the config). The version must be probed *before*
+        // A v5 file lacks the `shard_refs` field (and `shards` /
+        // `shard_by` in the config). The version must be probed *before*
         // the typed decode, so the user sees the real problem, not a
         // decoding artifact.
-        for old in [3, 4] {
+        for old in [3, 4, 5] {
             let err = RuntimeSnapshot::from_json(&format!(r#"{{"version": {old}}}"#)).unwrap_err();
             assert!(err.contains(&format!("snapshot version {old} unsupported")), "{err}");
             assert!(!err.contains("missing field"), "{err}");

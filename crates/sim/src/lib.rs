@@ -15,6 +15,10 @@
 //! * [`Approach`] — the schedulers under comparison;
 //! * [`run_scenario`] — the multi-run driver producing
 //!   [`ApproachSummary`] statistics (mean cost per slot ± 95 % CI);
+//! * [`run_scenario_service`] — the same driver routed through the
+//!   crash-safe service runtime (optionally sharded), and
+//!   [`TenantScenario`] — block-diagonal multi-tenant instances for the
+//!   sharded runtime's equivalence tests and benches;
 //! * [`report`] — plain-text tables in the shape of the paper's figures.
 //!
 //! # Example
@@ -41,14 +45,16 @@ mod runner;
 mod scenario;
 mod service;
 mod stats;
+mod tenant;
 mod workload;
 
 pub use runner::{
     run_scenario, run_trace, Approach, ApproachSummary, ParseApproachError, RunResult,
 };
 pub use scenario::Scenario;
-pub use service::{run_trace_service, trace_to_arrivals, ServiceRunResult};
+pub use service::{run_scenario_service, run_trace_service, trace_to_arrivals, ServiceRunResult};
 pub use stats::{mean, sample_stddev, ConfidenceInterval, Summary};
+pub use tenant::TenantScenario;
 pub use workload::{
     DiurnalWorkload, PoissonWorkload, Trace, TraceParseError, UniformWorkload, Workload,
     WorkloadConfig,

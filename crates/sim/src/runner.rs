@@ -237,7 +237,7 @@ pub fn run_scenario(
         .collect())
 }
 
-fn summarize(approach: Approach, runs: Vec<RunResult>) -> ApproachSummary {
+pub(crate) fn summarize(approach: Approach, runs: Vec<RunResult>) -> ApproachSummary {
     let avg: Vec<f64> = runs.iter().map(|r| r.avg_cost_per_slot).collect();
     let fin: Vec<f64> = runs.iter().map(|r| r.final_cost_per_slot).collect();
     let cpg: Vec<f64> = runs.iter().map(RunResult::cost_per_gb).filter(|c| c.is_finite()).collect();

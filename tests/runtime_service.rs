@@ -19,6 +19,9 @@
 //! because the queue contents (and requeue counts) travel in the checkpoint.
 //! Snapshot v5 extends that to the queue's overflow accounting
 //! (`queue_dropped`) and to runs with the ALAP fast-path rung enabled.
+//! Snapshot v6 adds the shard manifest (`shard_refs` plus the `shards` /
+//! `shard_by` config fields), so v5 and older snapshots are rejected by the
+//! version probe; sharded crash/resume is exercised in `tests/shard.rs`.
 
 use postcard::net::{DcId, FileId, Network, TransferRequest};
 use postcard::runtime::{
@@ -299,7 +302,7 @@ fn committed_v3_snapshot_fixture_fails_with_version_error() {
         "/tests/fixtures/snapshot_v3.json"
     ));
     let err = RuntimeSnapshot::load(path).unwrap_err();
-    assert!(err.contains("snapshot version 3 unsupported (expected 5)"), "{err}");
+    assert!(err.contains("snapshot version 3 unsupported (expected 6)"), "{err}");
     assert!(!err.contains("missing field"), "{err}");
     // The operator-facing entry point surfaces the same diagnosis.
     let err = Runtime::resume(path).unwrap_err();
@@ -316,10 +319,27 @@ fn committed_v4_snapshot_fixture_fails_with_version_error() {
         "/tests/fixtures/snapshot_v4.json"
     ));
     let err = RuntimeSnapshot::load(path).unwrap_err();
-    assert!(err.contains("snapshot version 4 unsupported (expected 5)"), "{err}");
+    assert!(err.contains("snapshot version 4 unsupported (expected 6)"), "{err}");
     assert!(!err.contains("missing field"), "{err}");
     let err = Runtime::resume(path).unwrap_err();
     assert!(err.to_string().contains("snapshot version 4 unsupported"), "{err}");
+}
+
+#[test]
+fn committed_v5_snapshot_fixture_fails_with_version_error() {
+    // v5 predates the shard manifest: it has no `shard_refs` field and its
+    // config lacks `shards` / `shard_by`. Like v3 and v4, the version probe
+    // must reject it with the documented error before the typed decode
+    // trips over the absent fields.
+    let path = std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/snapshot_v5.json"
+    ));
+    let err = RuntimeSnapshot::load(path).unwrap_err();
+    assert!(err.contains("snapshot version 5 unsupported (expected 6)"), "{err}");
+    assert!(!err.contains("missing field"), "{err}");
+    let err = Runtime::resume(path).unwrap_err();
+    assert!(err.to_string().contains("snapshot version 5 unsupported"), "{err}");
 }
 
 #[test]
