@@ -1,0 +1,407 @@
+//! Token trees, items, and suppression tables over the [`crate::lexer`]
+//! stream.
+//!
+//! The analyzer does not build a real AST — the lints need far less:
+//!
+//! * **bracket structure**: every `(`/`[`/`{` code token knows its partner
+//!   and every code token knows its nesting depth, which is what operand
+//!   scans and statement-boundary walks actually consume;
+//! * **items**: the `fn` items of a file with their body token ranges, so
+//!   passes can attribute findings to an enclosing function and the call
+//!   graph can collect callees per function;
+//! * **`#[cfg(test)]` regions**: line ranges the source lints skip,
+//!   mirroring the PA1xx contract that test code may unwrap/panic freely;
+//! * **suppressions**: `// postcard-analyze: allow(PAxxx)` (same or next
+//!   code line) and `allow-file(PAxxx)` directives, parsed from comment
+//!   tokens with the exact semantics the PA1xx front has always had.
+
+use crate::lexer::{lex, TokKind, Token};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One `fn` item of a parsed file.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// The function's simple name (no path or `impl` qualification).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Body token range `[start, end)` as positions into
+    /// [`ParsedFile::code`] (the tokens strictly inside the braces).
+    /// `None` for bodyless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// The function sits inside a `#[cfg(test)]` region.
+    pub is_test: bool,
+}
+
+/// A lexed and structured source file, the input to every source lint.
+#[derive(Debug, Clone)]
+pub struct ParsedFile {
+    /// Diagnostic label (workspace-relative path).
+    pub label: String,
+    /// The crate the file belongs to (selects which lints apply).
+    pub crate_name: String,
+    /// The full token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into [`Self::tokens`] of the non-comment tokens.
+    pub code: Vec<usize>,
+    /// For code position `k` holding a bracket, the code position of its
+    /// partner bracket. Parallel to [`Self::code`].
+    pub partner: Vec<Option<usize>>,
+    /// Nesting depth of each code position (brackets carry the depth of
+    /// the context they sit in). Parallel to [`Self::code`].
+    pub depth: Vec<usize>,
+    /// The file's `fn` items in source order.
+    pub fns: Vec<FnInfo>,
+    /// `#[cfg(test)]` line ranges (inclusive).
+    test_ranges: Vec<(usize, usize)>,
+    /// Suppression directives.
+    suppress: Suppressions,
+}
+
+impl ParsedFile {
+    /// Lexes and structures one source file.
+    pub fn parse(label: &str, content: &str, crate_name: &str) -> Self {
+        let tokens = lex(content);
+        let code: Vec<usize> =
+            (0..tokens.len()).filter(|&i| tokens[i].kind != TokKind::Comment).collect();
+        let (partner, depth) = match_brackets(&tokens, &code);
+        let mut pf = Self {
+            label: label.to_string(),
+            crate_name: crate_name.to_string(),
+            tokens,
+            code,
+            partner,
+            depth,
+            fns: Vec::new(),
+            test_ranges: Vec::new(),
+            suppress: Suppressions::default(),
+        };
+        pf.test_ranges = find_test_ranges(&pf);
+        pf.fns = find_fns(&pf);
+        pf.suppress = Suppressions::build(&pf);
+        pf
+    }
+
+    /// The code token at code position `k`.
+    pub fn ct(&self, k: usize) -> &Token {
+        &self.tokens[self.code[k]]
+    }
+
+    /// Number of code tokens.
+    pub fn code_len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// `true` when `line` sits inside a `#[cfg(test)]` region.
+    pub fn in_test(&self, line: usize) -> bool {
+        self.test_ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// `true` when a suppression covers `code` at `line`.
+    pub fn allowed(&self, line: usize, code: &str) -> bool {
+        self.suppress.allowed(line, code)
+    }
+
+    /// The innermost function whose body contains code position `k`.
+    pub fn enclosing_fn(&self, k: usize) -> Option<&FnInfo> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(s, e)| (s..e).contains(&k)))
+            .min_by_key(|f| f.body.map_or(usize::MAX, |(s, e)| e - s))
+    }
+}
+
+/// Computes bracket partners and nesting depths over the code positions.
+fn match_brackets(tokens: &[Token], code: &[usize]) -> (Vec<Option<usize>>, Vec<usize>) {
+    let mut partner = vec![None; code.len()];
+    let mut depth = vec![0usize; code.len()];
+    let mut stack: Vec<(char, usize)> = Vec::new();
+    for (k, &ti) in code.iter().enumerate() {
+        let t = &tokens[ti];
+        if t.kind != TokKind::Punct || t.text.len() != 1 {
+            depth[k] = stack.len();
+            continue;
+        }
+        match t.text.as_bytes()[0] {
+            b'(' | b'[' | b'{' => {
+                depth[k] = stack.len();
+                stack.push((t.text.as_bytes()[0] as char, k));
+            }
+            b')' | b']' | b'}' => {
+                let open = match t.text.as_bytes()[0] {
+                    b')' => '(',
+                    b']' => '[',
+                    _ => '{',
+                };
+                if stack.last().is_some_and(|&(c, _)| c == open) {
+                    // postcard-analyze: allow(PA102) — guarded by the
+                    // `is_some_and` just above.
+                    let (_, ok) = stack.pop().expect("non-empty checked");
+                    partner[k] = Some(ok);
+                    partner[ok] = Some(k);
+                }
+                depth[k] = stack.len();
+            }
+            _ => depth[k] = stack.len(),
+        }
+    }
+    (partner, depth)
+}
+
+/// Finds `#[cfg(test)]` attribute regions as inclusive line ranges: from
+/// the attribute through the close of the brace block (or the `;`) of the
+/// item that follows it.
+fn find_test_ranges(pf: &ParsedFile) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let n = pf.code_len();
+    for k in 0..n {
+        if !pf.ct(k).is_punct("#") || k + 1 >= n || !pf.ct(k + 1).is_punct("[") {
+            continue;
+        }
+        let Some(close) = pf.partner[k + 1] else {
+            continue;
+        };
+        // The attribute must be exactly `cfg(test)`.
+        let inner: Vec<&Token> = (k + 2..close).map(|j| pf.ct(j)).collect();
+        let is_cfg_test = inner.len() == 4
+            && inner[0].is_ident("cfg")
+            && inner[1].is_punct("(")
+            && inner[2].is_ident("test")
+            && inner[3].is_punct(")");
+        if !is_cfg_test {
+            continue;
+        }
+        let start_line = pf.ct(k).line;
+        let base = pf.depth[k];
+        // Scan forward for the item's body braces (or a `;` for an
+        // item-less form) at the attribute's depth.
+        let mut j = close + 1;
+        let mut end_line = pf.ct(close).line;
+        while j < n {
+            let t = pf.ct(j);
+            if pf.depth[j] == base && t.is_punct("{") {
+                if let Some(p) = pf.partner[j] {
+                    end_line = pf.ct(p).line;
+                }
+                break;
+            }
+            if pf.depth[j] == base && t.is_punct(";") {
+                end_line = t.line;
+                break;
+            }
+            j += 1;
+        }
+        ranges.push((start_line, end_line));
+    }
+    ranges
+}
+
+/// Finds the file's `fn` items.
+fn find_fns(pf: &ParsedFile) -> Vec<FnInfo> {
+    let mut fns = Vec::new();
+    let n = pf.code_len();
+    for k in 0..n {
+        if !pf.ct(k).is_ident("fn") || k + 1 >= n || pf.ct(k + 1).kind != TokKind::Ident {
+            continue;
+        }
+        let name = pf.ct(k + 1).text.clone();
+        let line = pf.ct(k).line;
+        let base = pf.depth[k];
+        let mut body = None;
+        let mut j = k + 2;
+        while j < n {
+            let t = pf.ct(j);
+            if pf.depth[j] == base {
+                if t.is_punct("{") {
+                    if let Some(p) = pf.partner[j] {
+                        body = Some((j + 1, p));
+                    }
+                    break;
+                }
+                if t.is_punct(";") {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        fns.push(FnInfo { name, line, body, is_test: pf.in_test(line) });
+    }
+    fns
+}
+
+/// Parsed `postcard-analyze:` suppression directives.
+#[derive(Debug, Clone, Default)]
+struct Suppressions {
+    file_allows: BTreeSet<String>,
+    line_allows: BTreeMap<usize, BTreeSet<String>>,
+}
+
+impl Suppressions {
+    /// `true` when `code` is allowed at `line`.
+    fn allowed(&self, line: usize, code: &str) -> bool {
+        self.file_allows.contains(code)
+            || self.line_allows.get(&line).is_some_and(|s| s.contains(code))
+    }
+
+    /// Builds the tables from a file's comment tokens. A trailing comment
+    /// covers its own line; a standalone comment covers the next line of
+    /// code, skipping the rest of a multi-line justification comment (but
+    /// stopping at a fully blank line).
+    fn build(pf: &ParsedFile) -> Self {
+        let mut lines_with_code: BTreeSet<usize> = BTreeSet::new();
+        for &i in &pf.code {
+            lines_with_code.insert(pf.tokens[i].line);
+        }
+        let mut comment_lines: BTreeSet<usize> = BTreeSet::new();
+        for t in &pf.tokens {
+            if t.kind == TokKind::Comment {
+                for off in 0..=t.text.matches('\n').count() {
+                    comment_lines.insert(t.line + off);
+                }
+            }
+        }
+        let mut s = Self::default();
+        for t in &pf.tokens {
+            if t.kind != TokKind::Comment {
+                continue;
+            }
+            for (off, piece) in t.text.split('\n').enumerate() {
+                let at = t.line + off;
+                for code in parse_directive(piece, "allow-file(") {
+                    s.file_allows.insert(code);
+                }
+                let codes = parse_directive(piece, "allow(");
+                if codes.is_empty() {
+                    continue;
+                }
+                let mut target = at;
+                if !lines_with_code.contains(&target) {
+                    target += 1;
+                    while !lines_with_code.contains(&target) && comment_lines.contains(&target) {
+                        target += 1;
+                    }
+                }
+                s.line_allows.entry(target).or_default().extend(codes);
+            }
+        }
+        s
+    }
+}
+
+/// Extracts the comma-separated codes of a `postcard-analyze: <kind>...)`
+/// directive from one comment line (empty when absent).
+pub fn parse_directive(comment: &str, kind: &str) -> Vec<String> {
+    let Some(pos) = comment.find("postcard-analyze:") else {
+        return Vec::new();
+    };
+    let rest = comment[pos + "postcard-analyze:".len()..].trim_start();
+    let Some(args) = rest.strip_prefix(kind) else {
+        return Vec::new();
+    };
+    let Some(end) = args.find(')') else {
+        return Vec::new();
+    };
+    args[..end].split(',').map(|c| c.trim().to_string()).filter(|c| !c.is_empty()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> ParsedFile {
+        ParsedFile::parse("t.rs", src, "lp")
+    }
+
+    #[test]
+    fn brackets_match_and_depths_nest() {
+        let pf = parse("fn f(a: u8) { g(h(a)); }\n");
+        // `{` partners with `}`.
+        let open = (0..pf.code_len()).find(|&k| pf.ct(k).is_punct("{")).unwrap();
+        let close = pf.partner[open].unwrap();
+        assert!(pf.ct(close).is_punct("}"));
+        assert_eq!(pf.depth[open], pf.depth[close]);
+        // h's args are two levels inside the body.
+        let a_inner = (0..pf.code_len()).filter(|&k| pf.ct(k).is_ident("a")).max().unwrap();
+        assert!(pf.depth[a_inner] > pf.depth[open]);
+    }
+
+    #[test]
+    fn fns_discovered_with_bodies() {
+        let src = "impl T {\n    fn one(&self) -> u8 { 1 }\n}\npub fn two() {}\ntrait Q { fn decl(&self); }\n";
+        let pf = parse(src);
+        let names: Vec<&str> = pf.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["one", "two", "decl"]);
+        assert!(pf.fns[0].body.is_some());
+        assert!(pf.fns[1].body.is_some());
+        assert!(pf.fns[2].body.is_none());
+    }
+
+    #[test]
+    fn enclosing_fn_picks_innermost() {
+        let src = "fn outer() {\n    fn inner() { mark(); }\n}\n";
+        let pf = parse(src);
+        let mark = (0..pf.code_len()).find(|&k| pf.ct(k).is_ident("mark")).unwrap();
+        assert_eq!(pf.enclosing_fn(mark).unwrap().name, "inner");
+    }
+
+    #[test]
+    fn cfg_test_ranges_cover_the_block() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() {}\n}\nfn h() {}\n";
+        let pf = parse(src);
+        assert!(!pf.in_test(1));
+        assert!(pf.in_test(2));
+        assert!(pf.in_test(4));
+        assert!(pf.in_test(5));
+        assert!(!pf.in_test(6));
+        assert!(pf.fns.iter().find(|f| f.name == "g").unwrap().is_test);
+        assert!(!pf.fns.iter().find(|f| f.name == "h").unwrap().is_test);
+    }
+
+    #[test]
+    fn other_cfg_attrs_are_not_test_ranges() {
+        let pf = parse("#[cfg(feature = \"x\")]\nfn f() {}\n#[cfg(all(test, unix))]\nfn g() {}\n");
+        assert!(!pf.in_test(2));
+        // `cfg(all(test, …))` is not the literal `cfg(test)` — documented
+        // blind spot, matching the historical line scanner.
+        assert!(!pf.in_test(4));
+    }
+
+    #[test]
+    fn suppressions_cover_same_and_next_line() {
+        let src = "// postcard-analyze: allow(PA101)\nlet a = 1;\nlet b = 2; // postcard-analyze: allow(PA102)\nlet c = 3;\n";
+        let pf = parse(src);
+        assert!(pf.allowed(2, "PA101"));
+        assert!(!pf.allowed(3, "PA101"));
+        assert!(pf.allowed(3, "PA102"));
+        assert!(!pf.allowed(4, "PA102"));
+    }
+
+    #[test]
+    fn standalone_suppression_skips_multiline_justification() {
+        let src = "// postcard-analyze: allow(PA103) — because\n// of reasons spanning\n// three lines\npanic!(\"x\");\n";
+        let pf = parse(src);
+        assert!(pf.allowed(4, "PA103"));
+    }
+
+    #[test]
+    fn file_suppression_is_global() {
+        let src = "// postcard-analyze: allow-file(PA101)\nlet a = 1;\nlet b = 2;\n";
+        let pf = parse(src);
+        assert!(pf.allowed(2, "PA101") && pf.allowed(3, "PA101"));
+        assert!(!pf.allowed(2, "PA102"));
+    }
+
+    #[test]
+    fn directive_parsing() {
+        assert_eq!(
+            parse_directive("// postcard-analyze: allow(PA101, PA102)", "allow("),
+            vec!["PA101", "PA102"]
+        );
+        assert!(parse_directive("// postcard-analyze: allow-file(PA101)", "allow(").is_empty());
+        assert_eq!(
+            parse_directive("// postcard-analyze: allow-file(PA101)", "allow-file("),
+            vec!["PA101"]
+        );
+        assert!(parse_directive("// nothing here", "allow(").is_empty());
+    }
+}

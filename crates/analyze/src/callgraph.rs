@@ -1,0 +1,112 @@
+//! A lightweight call graph over the parsed workspace.
+//!
+//! Resolution is *by simple name*: a call site `foo(…)` / `x.foo(…)` /
+//! `Path::foo(…)` is an edge to every workspace function named `foo`.
+//! That over-approximates (two crates may each define a `merge`) and
+//! under-approximates (closures, function pointers, and trait dispatch are
+//! invisible), which is exactly the right trade for a lint: the taint pass
+//! (PA207) walks only one hop and reports at warning level, so an
+//! ambiguous edge costs a reviewer a glance, not a broken build. The blind
+//! spots are documented in DESIGN's static-analysis section.
+
+use crate::ast::{FnInfo, ParsedFile};
+use std::collections::BTreeMap;
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// The callee's simple name.
+    pub callee: String,
+    /// 1-based line of the call.
+    pub line: usize,
+}
+
+/// Identifiers that look like calls but are control flow or bindings.
+const NON_CALLEES: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "fn", "let", "move", "in", "as", "where",
+    "unsafe", "else",
+];
+
+/// Collects the call sites of `f` (identifier directly followed by `(`,
+/// excluding macro invocations `name!(…)` and control-flow keywords).
+pub fn callees(pf: &ParsedFile, f: &FnInfo) -> Vec<CallSite> {
+    let Some((start, end)) = f.body else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for k in start..end {
+        let t = pf.ct(k);
+        if t.kind != crate::lexer::TokKind::Ident || NON_CALLEES.contains(&t.text.as_str()) {
+            continue;
+        }
+        if k + 1 >= end || !pf.ct(k + 1).is_punct("(") {
+            continue;
+        }
+        // `name!(…)` is a macro; the bang sits between name and parens, so
+        // `k + 1` being `(` already excludes it — but exclude `name!(` with
+        // the bang adjacent on the *left* of `(` anyway for clarity.
+        out.push(CallSite { callee: t.text.clone(), line: t.line });
+    }
+    out
+}
+
+/// The workspace call graph: every named function, with by-name resolution.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// `(file index, fn index)` for every function, in scan order.
+    pub fns: Vec<(usize, usize)>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph over a set of parsed files.
+    pub fn build(files: &[ParsedFile]) -> Self {
+        let mut fns = Vec::new();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (fi, pf) in files.iter().enumerate() {
+            for (gi, f) in pf.fns.iter().enumerate() {
+                by_name.entry(f.name.clone()).or_default().push(fns.len());
+                fns.push((fi, gi));
+            }
+        }
+        Self { fns, by_name }
+    }
+
+    /// Graph node ids of every function with this simple name.
+    pub fn resolve(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn callees_skip_keywords_and_macros() {
+        let pf = ParsedFile::parse(
+            "t.rs",
+            "fn f() {\n    if cond() { helper(x); }\n    for i in items(0) {}\n    write!(w, \"x\");\n    s.method(1);\n}\n",
+            "runtime",
+        );
+        let sites = callees(&pf, &pf.fns[0]);
+        let names: Vec<&str> = sites.iter().map(|c| c.callee.as_str()).collect();
+        assert!(names.contains(&"cond"));
+        assert!(names.contains(&"helper"));
+        assert!(names.contains(&"items"));
+        assert!(names.contains(&"method"));
+        assert!(!names.contains(&"write"));
+        assert!(!names.contains(&"if"));
+        assert!(!names.contains(&"for"));
+    }
+
+    #[test]
+    fn graph_resolves_by_simple_name_across_files() {
+        let a = ParsedFile::parse("a.rs", "fn shared() {}\nfn only_a() {}\n", "runtime");
+        let b = ParsedFile::parse("b.rs", "fn shared() {}\n", "net");
+        let g = CallGraph::build(&[a, b]);
+        assert_eq!(g.resolve("shared").len(), 2);
+        assert_eq!(g.resolve("only_a").len(), 1);
+        assert!(g.resolve("absent").is_empty());
+    }
+}

@@ -1,0 +1,469 @@
+//! A hand-rolled Rust lexer for the source front.
+//!
+//! The offline build container rules out `syn`/`proc-macro2`, so the
+//! analyzer lexes the workspace's own `.rs` files with `std` alone. The
+//! output is a flat, line-stamped token stream that the [`crate::ast`]
+//! layer turns into token trees, items, and suppression tables.
+//!
+//! Fidelity targets (everything the lints need, nothing more):
+//!
+//! * comments survive as [`TokKind::Comment`] tokens (suppression
+//!   directives live there); string/char literal *contents* are dropped so
+//!   no lint can ever fire on text inside a literal;
+//! * multi-char operators (`==`, `::`, `->`, `+=`, …) are glued into one
+//!   punct token so downstream pattern matching is unambiguous;
+//! * numeric literals are classified `Int` vs `Float` with rustc's rules
+//!   for the awkward cases (`1.max(2)` is an int method call, `pair.0` is
+//!   tuple indexing, `0x1e` is hex, `1e9` and `2.` and `1_000.5f32` are
+//!   floats, a `f32`/`f64` suffix floats an otherwise-integer literal);
+//! * lifetimes are distinguished from char literals with lookahead.
+//!
+//! The lexer is total: bytes it does not understand become one-char punct
+//! tokens, so a pathological file degrades to weaker linting, never a
+//! panic.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `r#match` → `match`).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — text excludes the quote.
+    Lifetime,
+    /// An integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// A float literal (`1.0`, `2.`, `1e-9`, `3f64`).
+    Float,
+    /// A string literal (`"…"`, `r#"…"#`, `b"…"`); contents blanked.
+    Str,
+    /// A char or byte literal (`'x'`, `b'\n'`); contents blanked.
+    Char,
+    /// Punctuation; multi-char operators are glued (`==`, `::`, `=>` …).
+    Punct,
+    /// A `//…` or `/*…*/` comment, full text preserved.
+    Comment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what is preserved vs blanked).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+impl Token {
+    /// `true` when this is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// `true` when this is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == text
+    }
+}
+
+/// Multi-char operators, longest first so gluing is greedy.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "->", "=>", "::", "..", "+=",
+    "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>",
+];
+
+/// Lexes `src` into a token stream. Never fails; see the module docs for
+/// the degradation contract.
+pub fn lex(src: &str) -> Vec<Token> {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1usize;
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Comment,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1u32;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            toks.push(Token {
+                kind: TokKind::Comment,
+                text: chars[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Raw strings r"…" / r#"…"# and raw byte strings br#"…"#.
+        if (c == 'r' || (c == 'b' && chars.get(i + 1) == Some(&'r')))
+            && raw_string_open(&chars, i + usize::from(c == 'b'))
+        {
+            let probe = i + usize::from(c == 'b') + 1;
+            let mut hashes = 0usize;
+            let mut j = probe;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            // `raw_string_open` guaranteed a quote here.
+            j += 1;
+            // Scan to the closing quote followed by `hashes` hashes.
+            let start_line = line;
+            while j < n {
+                if chars[j] == '\n' {
+                    line += 1;
+                } else if chars[j] == '"' && (0..hashes).all(|k| chars.get(j + 1 + k) == Some(&'#'))
+                {
+                    j += 1 + hashes;
+                    break;
+                }
+                j += 1;
+            }
+            toks.push(Token { kind: TokKind::Str, text: String::new(), line: start_line });
+            i = j;
+            continue;
+        }
+        // Plain and byte strings.
+        if c == '"' || (c == 'b' && chars.get(i + 1) == Some(&'"')) {
+            let start_line = line;
+            let mut j = i + if c == 'b' { 2 } else { 1 };
+            while j < n {
+                match chars[j] {
+                    '\\' => j += 2,
+                    '"' => {
+                        j += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        j += 1;
+                    }
+                    _ => j += 1,
+                }
+            }
+            toks.push(Token { kind: TokKind::Str, text: String::new(), line: start_line });
+            i = j;
+            continue;
+        }
+        // Char literal vs lifetime (also byte chars b'x').
+        if c == '\'' || (c == 'b' && chars.get(i + 1) == Some(&'\'')) {
+            let q = if c == 'b' { i + 1 } else { i };
+            match char_literal_end(&chars, q) {
+                Some(end) => {
+                    toks.push(Token { kind: TokKind::Char, text: String::new(), line });
+                    i = end;
+                    continue;
+                }
+                None if c == '\'' => {
+                    // A lifetime: consume the identifier after the quote.
+                    let mut j = i + 1;
+                    while j < n && is_ident_cont(chars[j]) {
+                        j += 1;
+                    }
+                    toks.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: chars[i + 1..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                    continue;
+                }
+                None => {
+                    // `b` not followed by a valid byte char: fall through to
+                    // the identifier path below.
+                }
+            }
+        }
+        // Identifiers / keywords (including raw identifiers r#name).
+        if is_ident_start(c) {
+            let mut j = i;
+            if c == 'r'
+                && chars.get(i + 1) == Some(&'#')
+                && chars.get(i + 2).is_some_and(|&c| is_ident_start(c))
+            {
+                j = i + 2;
+            }
+            let word_start = j;
+            while j < n && is_ident_cont(chars[j]) {
+                j += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Ident,
+                text: chars[word_start..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Numeric literals.
+        if c.is_ascii_digit() {
+            let (tok, next) = lex_number(&chars, i, line);
+            toks.push(tok);
+            i = next;
+            continue;
+        }
+        // Punctuation: glue multi-char operators greedily.
+        let mut glued = false;
+        for op in MULTI_PUNCT {
+            let oc: Vec<char> = op.chars().collect();
+            if chars[i..].starts_with(&oc) {
+                toks.push(Token { kind: TokKind::Punct, text: (*op).to_string(), line });
+                i += oc.len();
+                glued = true;
+                break;
+            }
+        }
+        if !glued {
+            toks.push(Token { kind: TokKind::Punct, text: c.to_string(), line });
+            i += 1;
+        }
+    }
+    toks
+}
+
+/// `true` when `chars[i]` begins `r"…"` / `r#"…"#` (with `i` at the `r`).
+fn raw_string_open(chars: &[char], i: usize) -> bool {
+    if chars.get(i) != Some(&'r') {
+        return false;
+    }
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    j > i && chars.get(j) == Some(&'"')
+}
+
+/// If `chars[q]` opens a char/byte literal, returns the index one past its
+/// closing quote; `None` means it is a lifetime (or stray quote).
+fn char_literal_end(chars: &[char], q: usize) -> Option<usize> {
+    match chars.get(q + 1) {
+        Some('\\') => {
+            // Escaped char: scan (bounded) for the closing quote.
+            let mut j = q + 2;
+            let limit = (q + 12).min(chars.len());
+            while j < limit {
+                if chars[j] == '\'' {
+                    return Some(j + 1);
+                }
+                j += 1;
+            }
+            None
+        }
+        Some(c) if *c != '\'' => {
+            if chars.get(q + 2) == Some(&'\'') {
+                Some(q + 3)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Lexes the numeric literal starting at `chars[i]` (an ASCII digit).
+fn lex_number(chars: &[char], i: usize, line: usize) -> (Token, usize) {
+    let n = chars.len();
+    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+    let start = i;
+    let mut j = i;
+    // Hex / octal / binary: always integers.
+    if chars[i] == '0' && matches!(chars.get(i + 1), Some('x' | 'o' | 'b' | 'X' | 'O' | 'B')) {
+        j = i + 2;
+        while j < n && is_ident_cont(chars[j]) {
+            j += 1;
+        }
+        return (Token { kind: TokKind::Int, text: chars[start..j].iter().collect(), line }, j);
+    }
+    let mut float = false;
+    while j < n && (chars[j].is_ascii_digit() || chars[j] == '_') {
+        j += 1;
+    }
+    // Fractional part: a dot NOT followed by an identifier character or a
+    // second dot — `1.max(2)` and `pair.0` and `0..n` stay integers.
+    if j < n && chars[j] == '.' {
+        let after = chars.get(j + 1).copied();
+        let is_frac = match after {
+            Some(c) if c.is_ascii_digit() => true,
+            Some(c) if c.is_alphabetic() || c == '_' || c == '.' => false,
+            _ => true, // trailing-dot float like `2.`
+        };
+        if is_frac {
+            float = true;
+            j += 1;
+            while j < n && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                j += 1;
+            }
+        }
+    }
+    // Exponent.
+    if j < n && (chars[j] == 'e' || chars[j] == 'E') {
+        let mut k = j + 1;
+        if matches!(chars.get(k), Some('+' | '-')) {
+            k += 1;
+        }
+        let digits_start = k;
+        while k < n && chars[k].is_ascii_digit() {
+            k += 1;
+        }
+        if k > digits_start
+            && !chars.get(k).copied().is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            float = true;
+            j = k;
+        }
+    }
+    // Type suffix (`u64`, `f32` …): an `f` suffix floats the literal.
+    if j < n && chars[j].is_alphabetic() {
+        let suffix_start = j;
+        while j < n && is_ident_cont(chars[j]) {
+            j += 1;
+        }
+        if chars[suffix_start] == 'f' {
+            float = true;
+        }
+    }
+    let kind = if float { TokKind::Float } else { TokKind::Int };
+    (Token { kind, text: chars[start..j].iter().collect(), line }, j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn numbers_classify_like_rustc() {
+        assert_eq!(kinds("1.0")[0].0, TokKind::Float);
+        assert_eq!(kinds("2.")[0].0, TokKind::Float);
+        assert_eq!(kinds("1e-9")[0].0, TokKind::Float);
+        assert_eq!(kinds("3f64")[0].0, TokKind::Float);
+        assert_eq!(kinds("1_000.5f32")[0].0, TokKind::Float);
+        assert_eq!(kinds("42")[0].0, TokKind::Int);
+        assert_eq!(kinds("0x1e")[0].0, TokKind::Int);
+        assert_eq!(kinds("7u64")[0].0, TokKind::Int);
+        // `1.max(2)` — integer, dot, method.
+        let t = kinds("1.max(2)");
+        assert_eq!(t[0], (TokKind::Int, "1".into()));
+        assert_eq!(t[1], (TokKind::Punct, ".".into()));
+        assert_eq!(t[2], (TokKind::Ident, "max".into()));
+        // Tuple indexing keeps the field an Int.
+        let t = kinds("pair.0");
+        assert_eq!(t[2], (TokKind::Int, "0".into()));
+        // Ranges stay integers.
+        let t = kinds("0..n");
+        assert_eq!(t[0], (TokKind::Int, "0".into()));
+        assert_eq!(t[1], (TokKind::Punct, "..".into()));
+    }
+
+    #[test]
+    fn strings_and_chars_blank_contents() {
+        let t = kinds("let s = \"x == 1.0 .unwrap()\";");
+        assert!(t.iter().all(|(k, _)| *k != TokKind::Float));
+        assert!(t.iter().any(|(k, _)| *k == TokKind::Str));
+        let t = kinds("let c = '\"'; let l: &'a str = s;");
+        assert!(t.iter().any(|(k, _)| *k == TokKind::Char));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Lifetime && s == "a"));
+        let t = kinds("r#\"a == 1.0\"# b\"bytes\" b'x'");
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Str).count(), 2);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn multiline_strings_track_lines() {
+        let toks = lex("let a = \"line\none\";\nlet b = 1;\n");
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn comments_preserved_with_lines() {
+        let toks =
+            lex("let a = 1; // postcard-analyze: allow(PA101)\n/* block\nspan */ let b = 2;\n");
+        let comments: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Comment).collect();
+        assert_eq!(comments.len(), 2);
+        assert!(comments[0].text.contains("allow(PA101)"));
+        assert_eq!(comments[0].line, 1);
+        assert_eq!(comments[1].line, 2);
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner */ still */ let x = 1;\n");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Comment).count(), 1);
+        assert!(toks.iter().any(|t| t.is_ident("x")));
+    }
+
+    #[test]
+    fn operators_glue() {
+        let t = kinds("a == b != c :: d -> e => f += 1 ..= 2");
+        let puncts: Vec<&str> =
+            t.iter().filter(|(k, _)| *k == TokKind::Punct).map(|(_, s)| s.as_str()).collect();
+        assert_eq!(puncts, vec!["==", "!=", "::", "->", "=>", "+=", "..="]);
+    }
+
+    #[test]
+    fn raw_identifiers_and_keywords() {
+        let t = kinds("r#match fn r#fn");
+        assert_eq!(t[0], (TokKind::Ident, "match".into()));
+        assert_eq!(t[1], (TokKind::Ident, "fn".into()));
+        assert_eq!(t[2], (TokKind::Ident, "fn".into()));
+    }
+
+    #[test]
+    fn lifetimes_in_generics_are_not_chars() {
+        let t = kinds("fn f<'a, 'b>(x: &'a str, y: &'b u8) {}");
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(), 4);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Char).count(), 0);
+    }
+
+    #[test]
+    fn lexer_is_total_on_garbage() {
+        // Unknown bytes degrade to one-char puncts, never a panic.
+        let toks = lex("§ @ ` \u{3bb} #!/bin/sh");
+        assert!(!toks.is_empty());
+    }
+}

@@ -7,9 +7,13 @@
 //!   that catch malformed formulations *without solving*: deadline-window
 //!   violations (PA001), broken graph structure (PA002/PA003), degenerate
 //!   rows and columns (PA004–PA008), and poor conditioning (PA009).
-//! * **Source lint** ([`srclint`]) — a self-contained scanner over the
-//!   workspace's own `.rs` files enforcing numerics and error-handling
-//!   hygiene (PA101–PA105).
+//! * **Source lint** ([`srclint`]) — a self-contained analyzer over the
+//!   workspace's own `.rs` files, built on a hand-rolled lexer ([`lexer`]),
+//!   bracket-matched token trees with per-file item tables ([`ast`]), and a
+//!   simple-name call graph ([`callgraph`]). It enforces numerics and
+//!   error-handling hygiene (PA101–PA105) plus the determinism &
+//!   concurrency family ([`determinism`], PA201–PA208) guarding PR 7's
+//!   byte-identical sharded-reconciliation invariant.
 //!
 //! Every code is documented in `crates/analyze/LINTS.md`. The `postcard
 //! analyze` CLI subcommand and the `postcard-analyze` binary expose both
@@ -19,11 +23,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod ast;
+pub mod callgraph;
+pub mod determinism;
 pub mod diag;
 pub mod fixtures;
+pub mod lexer;
 pub mod model;
 pub mod srclint;
 
 pub use diag::{Diagnostic, Level, Report};
 pub use model::{check_graph, check_model, check_problem, CONDITIONING_RATIO_LIMIT};
-pub use srclint::{check_source, check_workspace};
+pub use srclint::{check_source, check_workspace, check_workspace_with_stats};

@@ -11,9 +11,10 @@
 //! builder-produced problem passes.
 
 use postcard_analyze::fixtures::run_fixtures;
-use postcard_analyze::srclint::check_workspace;
+use postcard_analyze::srclint::check_workspace_with_stats;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,7 +28,10 @@ fn main() -> ExitCode {
                 .find(|a| !a.starts_with("--"))
                 .map(PathBuf::from)
                 .unwrap_or_else(|| PathBuf::from("."));
-            let report = check_workspace(&root);
+            let started = Instant::now();
+            let (report, files) = check_workspace_with_stats(&root);
+            let elapsed = started.elapsed();
+            eprintln!("postcard-analyze: scanned {files} file(s) in {}ms", elapsed.as_millis());
             if flag("--json") {
                 print!("{}", report.render_json());
             } else {

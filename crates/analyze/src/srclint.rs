@@ -1,28 +1,32 @@
-//! Front 2 — a self-contained source lint pass over the workspace's own
-//! `.rs` files.
+//! Front 2 — the source lints over the workspace's own `.rs` files.
 //!
-//! The offline build container rules out external lint frameworks, so this
-//! is a line/token-level scanner built on `std` alone. It scrubs comments
-//! and string literals, skips `#[cfg(test)]` blocks, honors
-//! `// postcard-analyze: allow(<code>)` suppressions (same or next line;
-//! `allow-file(<code>)` for a whole file), and enforces:
+//! Since PR 8 the pass runs on the [`crate::lexer`]/[`crate::ast`] token
+//! layer instead of per-line regex-ish scans: string literals, comments,
+//! and multi-line expressions can no longer produce false positives,
+//! because the lints see tokens (a `Float` literal token, an `Ident`
+//! exactly equal to `f64`) rather than substrings. Diagnostics, codes, and
+//! the `// postcard-analyze: allow(<code>)` suppression syntax are
+//! unchanged.
 //!
-//! * **PA101** — no `==`/`!=` where either operand is obviously a float
-//!   (float literal, `f64`/`f32` mention). Token-level: float-typed
-//!   variables compared without such a hint are not caught.
-//! * **PA102** — no `.unwrap()` / `.expect(` in non-test code of the
-//!   library crates (`lp`, `flow`, `core`, `net`, `runtime`).
-//! * **PA103** — no `panic!` in the same crates' non-test code.
-//! * **PA104** — no `todo!` / `unimplemented!` anywhere in non-test code.
-//! * **PA105** — solver-result types must carry `#[must_use]`.
+//! Two families run here:
+//!
+//! * **PA101–PA105** (this module) — numerics and error-handling hygiene:
+//!   float `==`/`!=`, `unwrap`/`expect`/`panic!` in library crates,
+//!   `todo!`/`unimplemented!`, missing `#[must_use]` on solver results.
+//! * **PA201–PA208** ([`crate::determinism`]) — the determinism &
+//!   concurrency family guarding byte-identical sharded solves; wired in
+//!   through [`check_source`] / [`check_workspace`] below.
 
+use crate::ast::ParsedFile;
+use crate::determinism;
 use crate::diag::{Diagnostic, Report};
-use std::collections::{BTreeMap, BTreeSet};
+use crate::lexer::TokKind;
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Crates whose non-test code must not unwrap/expect/panic (PA102, PA103).
-const NO_PANIC_CRATES: &[&str] = &["lp", "flow", "core", "net", "runtime"];
+pub(crate) const NO_PANIC_CRATES: &[&str] = &["lp", "flow", "core", "net", "runtime"];
 
 /// `(crate, type)` pairs that must carry `#[must_use]` (PA105).
 const MUST_USE_TYPES: &[(&str, &str)] =
@@ -30,8 +34,15 @@ const MUST_USE_TYPES: &[(&str, &str)] =
 
 /// Scans the workspace rooted at `root`: the root package's `src/` plus
 /// every `crates/<name>/src/` except the vendored `crates/compat` shims.
-/// Test/bench/example directories are not scanned (they may unwrap freely).
+/// Test/bench/example directories are not scanned (they may unwrap freely),
+/// though the PA208 fixture-coverage check reads `tests/fixtures` metadata.
 pub fn check_workspace(root: &Path) -> Report {
+    check_workspace_with_stats(root).0
+}
+
+/// [`check_workspace`], also returning the number of files scanned (for CI
+/// timing lines).
+pub fn check_workspace_with_stats(root: &Path) -> (Report, usize) {
     let mut files: Vec<(String, PathBuf)> = Vec::new();
     collect_rs_files(&root.join("src"), &mut |p| files.push(("postcard".to_string(), p)));
     if let Ok(entries) = fs::read_dir(root.join("crates")) {
@@ -47,15 +58,22 @@ pub fn check_workspace(root: &Path) -> Report {
             collect_rs_files(&dir.join("src"), &mut |p| files.push((name.clone(), p)));
         }
     }
-    let mut report = Report::new();
-    for (crate_name, path) in files {
-        let Ok(content) = fs::read_to_string(&path) else {
+    let mut parsed = Vec::new();
+    for (crate_name, path) in &files {
+        let Ok(content) = fs::read_to_string(path) else {
             continue;
         };
-        let label = path.strip_prefix(root).unwrap_or(&path).display().to_string();
-        report.merge(check_source(&label, &content, &crate_name));
+        let label = path.strip_prefix(root).unwrap_or(path).display().to_string();
+        parsed.push(ParsedFile::parse(&label, &content, crate_name));
     }
-    report
+    let mut report = Report::new();
+    for pf in &parsed {
+        report.merge(check_parsed(pf));
+        report.merge(determinism::check_file(pf));
+    }
+    report.merge(determinism::check_taint(&parsed));
+    report.merge(determinism::check_fixture_coverage(root));
+    (report, parsed.len())
 }
 
 /// Recursively collects `.rs` files under `dir` in sorted order.
@@ -74,81 +92,42 @@ fn collect_rs_files(dir: &Path, sink: &mut impl FnMut(PathBuf)) {
     }
 }
 
-/// Lints one source file. `label` is used in diagnostics; `crate_name`
-/// selects which rules apply (see the module docs).
+/// Lints one source file with both the PA1xx and the per-file PA2xx
+/// passes. `label` is used in diagnostics (and selects PA2xx sanctioned
+/// files by path); `crate_name` selects which rules apply.
 pub fn check_source(label: &str, content: &str, crate_name: &str) -> Report {
+    let pf = ParsedFile::parse(label, content, crate_name);
+    let mut report = check_parsed(&pf);
+    report.merge(determinism::check_file(&pf));
+    report.merge(determinism::check_taint(std::slice::from_ref(&pf)));
+    report
+}
+
+/// The PA101–PA105 pass over one parsed file.
+pub(crate) fn check_parsed(pf: &ParsedFile) -> Report {
     let mut report = Report::new();
-    let (code_lines, comment_lines) = scrub(content);
-    let n = code_lines.len();
+    let deny_panics = NO_PANIC_CRATES.contains(&pf.crate_name.as_str());
+    let n = pf.code_len();
+    // Dedupe by (code, line) so several hits on one line report once, as
+    // the historical line scanner did.
+    let mut seen: BTreeSet<(&str, usize)> = BTreeSet::new();
 
-    // Suppressions.
-    let mut file_allows: BTreeSet<String> = BTreeSet::new();
-    let mut line_allows: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
-    for (idx, comment) in comment_lines.iter().enumerate() {
-        for code in parse_directive(comment, "allow-file(") {
-            file_allows.insert(code);
-        }
-        let codes = parse_directive(comment, "allow(");
-        if !codes.is_empty() {
-            // A trailing comment covers its own line; a standalone comment
-            // covers the next line of code, skipping the rest of a
-            // multi-line justification comment.
-            let mut target = idx;
-            if code_lines[idx].trim().is_empty() {
-                target += 1;
-                while target < n
-                    && code_lines[target].trim().is_empty()
-                    && !comment_lines[target].trim().is_empty()
-                {
-                    target += 1;
-                }
-            }
-            line_allows.entry(target).or_default().extend(codes);
-        }
-    }
-    let allowed = |idx: usize, code: &str| {
-        file_allows.contains(code) || line_allows.get(&idx).is_some_and(|s| s.contains(code))
-    };
-
-    // `#[cfg(test)]` regions: from the attribute to the close of the brace
-    // block that follows it.
-    let mut skip = vec![false; n];
-    let mut in_test = false;
-    let mut seen_open = false;
-    let mut depth: i64 = 0;
-    for (idx, line) in code_lines.iter().enumerate() {
-        if !in_test {
-            if !line.contains("#[cfg(test)]") {
-                continue;
-            }
-            in_test = true;
-            seen_open = false;
-            depth = 0;
-        }
-        skip[idx] = true;
-        for ch in line.chars() {
-            match ch {
-                '{' => {
-                    depth += 1;
-                    seen_open = true;
-                }
-                '}' => depth -= 1,
-                _ => {}
-            }
-        }
-        if seen_open && depth <= 0 {
-            in_test = false;
-        }
-    }
-
-    let deny_panics = NO_PANIC_CRATES.contains(&crate_name);
-    for (idx, line) in code_lines.iter().enumerate() {
-        if skip[idx] {
+    for k in 0..n {
+        let tok = pf.ct(k);
+        let line = tok.line;
+        if pf.in_test(line) {
             continue;
         }
-        let lineno = idx + 1;
-        let loc = format!("{label}:{lineno}");
-        if !find_float_comparisons(line).is_empty() && !allowed(idx, "PA101") {
+        let loc = format!("{}:{line}", pf.label);
+
+        // PA101 — float equality.
+        if tok.kind == TokKind::Punct
+            && (tok.text == "==" || tok.text == "!=")
+            && (operand_has_float_hint(pf, k, Side::Left)
+                || operand_has_float_hint(pf, k, Side::Right))
+            && !pf.allowed(line, "PA101")
+            && seen.insert(("PA101", line))
+        {
             report.push(
                 Diagnostic::warning(
                     "PA101",
@@ -161,8 +140,24 @@ pub fn check_source(label: &str, content: &str, crate_name: &str) -> Report {
                 ),
             );
         }
+
         if deny_panics {
-            if (line.contains(".unwrap()") || line.contains(".expect(")) && !allowed(idx, "PA102") {
+            // PA102 — `.unwrap()` / `.expect(…)`.
+            let is_unwrap = k >= 1
+                && tok.is_ident("unwrap")
+                && pf.ct(k - 1).is_punct(".")
+                && k + 2 < n
+                && pf.ct(k + 1).is_punct("(")
+                && pf.ct(k + 2).is_punct(")");
+            let is_expect = k >= 1
+                && tok.is_ident("expect")
+                && pf.ct(k - 1).is_punct(".")
+                && k + 1 < n
+                && pf.ct(k + 1).is_punct("(");
+            if (is_unwrap || is_expect)
+                && !pf.allowed(line, "PA102")
+                && seen.insert(("PA102", line))
+            {
                 report.push(
                     Diagnostic::error(
                         "PA102",
@@ -172,7 +167,13 @@ pub fn check_source(label: &str, content: &str, crate_name: &str) -> Report {
                     .with_help("propagate a proper error (LpError/PostcardError) instead"),
                 );
             }
-            if contains_macro(line, "panic") && !allowed(idx, "PA103") {
+            // PA103 — `panic!`.
+            if tok.is_ident("panic")
+                && k + 1 < n
+                && pf.ct(k + 1).is_punct("!")
+                && !pf.allowed(line, "PA103")
+                && seen.insert(("PA103", line))
+            {
                 report.push(
                     Diagnostic::error(
                         "PA103",
@@ -183,8 +184,13 @@ pub fn check_source(label: &str, content: &str, crate_name: &str) -> Report {
                 );
             }
         }
-        if (contains_macro(line, "todo") || contains_macro(line, "unimplemented"))
-            && !allowed(idx, "PA104")
+
+        // PA104 — `todo!` / `unimplemented!`, any crate.
+        if (tok.is_ident("todo") || tok.is_ident("unimplemented"))
+            && k + 1 < n
+            && pf.ct(k + 1).is_punct("!")
+            && !pf.allowed(line, "PA104")
+            && seen.insert(("PA104", line))
         {
             report.push(
                 Diagnostic::error(
@@ -197,34 +203,28 @@ pub fn check_source(label: &str, content: &str, crate_name: &str) -> Report {
         }
     }
 
-    // PA105: `#[must_use]` presence on designated solver-result types.
+    // PA105 — `#[must_use]` presence on designated solver-result types.
     for &(krate, type_name) in MUST_USE_TYPES {
-        if krate != crate_name {
+        if krate != pf.crate_name {
             continue;
         }
-        for idx in 0..n {
-            if skip[idx] || !declares_type(&code_lines[idx], type_name) {
+        for k in 0..n {
+            if !pf.ct(k).is_ident("pub")
+                || k + 2 >= n
+                || !(pf.ct(k + 1).is_ident("struct") || pf.ct(k + 1).is_ident("enum"))
+                || !pf.ct(k + 2).is_ident(type_name)
+            {
                 continue;
             }
-            let mut found = false;
-            let mut back = idx;
-            while back > 0 {
-                back -= 1;
-                let t = code_lines[back].trim();
-                let is_attr_or_doc = t.starts_with('#') || t.starts_with('/') || t.ends_with(']');
-                if !is_attr_or_doc && !comment_lines[back].trim().starts_with('/') {
-                    break;
-                }
-                if t.contains("#[must_use") {
-                    found = true;
-                    break;
-                }
+            let line = pf.ct(k).line;
+            if pf.in_test(line) {
+                continue;
             }
-            if !found && !allowed(idx, "PA105") {
+            if !preceding_attrs_contain(pf, k, "must_use") && !pf.allowed(line, "PA105") {
                 report.push(
                     Diagnostic::warning(
                         "PA105",
-                        format!("{label}:{}", idx + 1),
+                        format!("{}:{line}", pf.label),
                         format!("solver-result type `{type_name}` is missing `#[must_use]`"),
                     )
                     .with_help("a silently dropped result hides infeasible/unbounded outcomes"),
@@ -235,375 +235,156 @@ pub fn check_source(label: &str, content: &str, crate_name: &str) -> Report {
     report
 }
 
-/// `true` if `line` declares `pub struct <name>` / `pub enum <name>` with a
-/// word boundary after the name.
-fn declares_type(line: &str, name: &str) -> bool {
-    for kw in ["pub struct ", "pub enum "] {
-        if let Some(pos) = line.find(kw) {
-            let rest = &line[pos + kw.len()..];
-            if let Some(stripped) = rest.strip_prefix(name) {
-                let boundary =
-                    stripped.chars().next().is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
-                if boundary {
+/// Which side of a comparison operator to scan.
+enum Side {
+    Left,
+    Right,
+}
+
+/// `true` when the operand on `side` of the comparison at code position
+/// `cmp` contains an obvious float hint: a float literal token or an
+/// identifier token exactly `f64`/`f32`. The scan walks sibling tokens at
+/// the comparison's nesting level, descending into bracketed groups it
+/// passes, and stops at expression boundaries (`,` `;` `=` logical ops,
+/// unmatched brackets, statement keywords).
+fn operand_has_float_hint(pf: &ParsedFile, cmp: usize, side: Side) -> bool {
+    let boundary_punct = |t: &str| {
+        matches!(
+            t,
+            ";" | ","
+                | "="
+                | "=="
+                | "!="
+                | "&&"
+                | "||"
+                | "=>"
+                | "->"
+                | "<"
+                | ">"
+                | "<="
+                | ">="
+                | "+="
+                | "-="
+                | "*="
+                | "/="
+                | "%="
+                | "&="
+                | "|="
+                | "^="
+                | "<<="
+                | ">>="
+                | "{"
+                | "}"
+                | "#"
+        )
+    };
+    let boundary_ident =
+        |t: &str| matches!(t, "return" | "if" | "else" | "while" | "match" | "in" | "let" | "for");
+    let hint = |k: usize| -> bool {
+        let t = pf.ct(k);
+        t.kind == TokKind::Float || t.is_ident("f64") || t.is_ident("f32")
+    };
+    match side {
+        Side::Left => {
+            let mut k = cmp;
+            while k > 0 {
+                k -= 1;
+                let t = pf.ct(k);
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        ")" | "]" => {
+                            // An operand sub-group: scan its contents, then
+                            // jump over it.
+                            let Some(open) = pf.partner[k] else {
+                                return false;
+                            };
+                            if (open..=k).any(hint) {
+                                return true;
+                            }
+                            k = open;
+                            continue;
+                        }
+                        "(" | "[" => return false, // enclosing group edge
+                        t if boundary_punct(t) => return false,
+                        _ => continue,
+                    }
+                }
+                if t.kind == TokKind::Ident && boundary_ident(&t.text) {
+                    return false;
+                }
+                if hint(k) {
                     return true;
                 }
             }
+            false
         }
+        Side::Right => {
+            let mut k = cmp + 1;
+            while k < pf.code_len() {
+                let t = pf.ct(k);
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" => {
+                            let Some(close) = pf.partner[k] else {
+                                return false;
+                            };
+                            if (k..=close).any(hint) {
+                                return true;
+                            }
+                            k = close + 1;
+                            continue;
+                        }
+                        ")" | "]" => return false, // enclosing group edge
+                        t if boundary_punct(t) => return false,
+                        _ => {
+                            k += 1;
+                            continue;
+                        }
+                    }
+                }
+                if t.kind == TokKind::Ident && boundary_ident(&t.text) {
+                    return false;
+                }
+                if hint(k) {
+                    return true;
+                }
+                k += 1;
+            }
+            false
+        }
+    }
+}
+
+/// `true` when the attributes directly preceding the item at code position
+/// `k` (walking back over `#[…]` groups) contain the identifier `needle`.
+fn preceding_attrs_contain(pf: &ParsedFile, k: usize, needle: &str) -> bool {
+    let mut j = k;
+    while j > 0 {
+        j -= 1;
+        let t = pf.ct(j);
+        if t.is_punct("]") {
+            let Some(open) = pf.partner[j] else {
+                return false;
+            };
+            if (open..j).any(|p| pf.ct(p).is_ident(needle)) {
+                return true;
+            }
+            // Jump over the attr body, then the `#` (and optional `!`).
+            j = open;
+            if j > 0 && pf.ct(j - 1).is_punct("!") {
+                j -= 1;
+            }
+            if j > 0 && pf.ct(j - 1).is_punct("#") {
+                j -= 1;
+                continue;
+            }
+            return false;
+        }
+        // `pub struct` may also directly follow another modifier of its own
+        // item; anything else ends the attribute run.
+        return false;
     }
     false
-}
-
-/// Extracts the comma-separated codes of a `postcard-analyze: <kind>...)`
-/// directive from a comment line (empty when absent).
-fn parse_directive(comment: &str, kind: &str) -> Vec<String> {
-    let Some(pos) = comment.find("postcard-analyze:") else {
-        return Vec::new();
-    };
-    let rest = &comment[pos + "postcard-analyze:".len()..];
-    let rest = rest.trim_start();
-    let Some(args) = rest.strip_prefix(kind) else {
-        return Vec::new();
-    };
-    let Some(end) = args.find(')') else {
-        return Vec::new();
-    };
-    args[..end].split(',').map(|c| c.trim().to_string()).filter(|c| !c.is_empty()).collect()
-}
-
-/// `true` if the scrubbed line invokes `name!` as a macro token.
-fn contains_macro(line: &str, name: &str) -> bool {
-    let needle = format!("{name}!");
-    let mut start = 0;
-    while let Some(pos) = line[start..].find(&needle) {
-        let abs = start + pos;
-        let preceded_by_ident = abs > 0
-            && line[..abs].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if !preceded_by_ident {
-            return true;
-        }
-        start = abs + needle.len();
-    }
-    false
-}
-
-/// Byte offsets of `==`/`!=` comparisons on a scrubbed line where either
-/// operand is obviously floating-point.
-fn find_float_comparisons(line: &str) -> Vec<usize> {
-    let b = line.as_bytes();
-    let mut hits = Vec::new();
-    let mut i = 0;
-    while i + 1 < b.len() {
-        let is_cmp = (b[i] == b'=' || b[i] == b'!') && b[i + 1] == b'=';
-        let clean_before = i == 0
-            || !matches!(
-                b[i - 1],
-                b'<' | b'>' | b'=' | b'!' | b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'^'
-            );
-        let clean_after = i + 2 >= b.len() || b[i + 2] != b'=';
-        if is_cmp && clean_before && clean_after {
-            let left = operand_left(line, i);
-            let right = operand_right(line, i + 2);
-            if has_float_hint(left) || has_float_hint(right) {
-                hits.push(i);
-            }
-            i += 2;
-            continue;
-        }
-        i += 1;
-    }
-    hits
-}
-
-/// The text of the operand ending just before byte `end` (exclusive).
-fn operand_left(line: &str, end: usize) -> &str {
-    let b = line.as_bytes();
-    let mut paren = 0i32;
-    let mut bracket = 0i32;
-    let mut i = end;
-    while i > 0 {
-        let c = b[i - 1];
-        match c {
-            b')' => paren += 1,
-            b'(' => {
-                if paren == 0 {
-                    break;
-                }
-                paren -= 1;
-            }
-            b']' => bracket += 1,
-            b'[' => {
-                if bracket == 0 {
-                    break;
-                }
-                bracket -= 1;
-            }
-            b',' | b';' | b'{' | b'}' | b'=' | b'<' | b'>' | b'!' | b'&' | b'|'
-                if paren == 0 && bracket == 0 =>
-            {
-                break;
-            }
-            _ => {}
-        }
-        i -= 1;
-    }
-    &line[i..end]
-}
-
-/// The text of the operand starting at byte `start`.
-fn operand_right(line: &str, start: usize) -> &str {
-    let b = line.as_bytes();
-    let mut paren = 0i32;
-    let mut bracket = 0i32;
-    let mut i = start;
-    while i < b.len() {
-        let c = b[i];
-        match c {
-            b'(' => paren += 1,
-            b')' => {
-                if paren == 0 {
-                    break;
-                }
-                paren -= 1;
-            }
-            b'[' => bracket += 1,
-            b']' => {
-                if bracket == 0 {
-                    break;
-                }
-                bracket -= 1;
-            }
-            b',' | b';' | b'{' | b'}' | b'=' | b'<' | b'>' | b'!' | b'&' | b'|'
-                if paren == 0 && bracket == 0 =>
-            {
-                break;
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    &line[start..i]
-}
-
-/// `true` when the operand text is obviously floating-point.
-fn has_float_hint(s: &str) -> bool {
-    contains_float_literal(s) || s.contains("f64") || s.contains("f32")
-}
-
-/// Detects a float literal (`1.0`, `2.`, `.5` is not valid Rust, `1e-9`)
-/// while rejecting tuple indexing (`pair.0`), integer method calls
-/// (`1.max(x)`), hex literals, and identifier-embedded digits.
-fn contains_float_literal(s: &str) -> bool {
-    let b = s.as_bytes();
-    let n = b.len();
-    let is_ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
-    let mut i = 0;
-    while i < n {
-        if !b[i].is_ascii_digit() {
-            i += 1;
-            continue;
-        }
-        // A digit run must not continue an identifier, a decimal tail, or a
-        // hex literal.
-        if i > 0 && (is_ident(b[i - 1]) || b[i - 1] == b'.') {
-            while i < n && is_ident(b[i]) {
-                i += 1;
-            }
-            continue;
-        }
-        while i < n && (b[i].is_ascii_digit() || b[i] == b'_') {
-            i += 1;
-        }
-        if i < n && b[i] == b'.' {
-            if i + 1 < n && b[i + 1].is_ascii_digit() {
-                return true; // 1.0
-            }
-            if i + 1 >= n || (!is_ident(b[i + 1]) && b[i + 1] != b'.') {
-                return true; // trailing-dot float like `1.`
-            }
-            // `1.max(x)`: an integer method call, not a float.
-        }
-        if i < n && (b[i] == b'e' || b[i] == b'E') {
-            let mut j = i + 1;
-            if j < n && (b[j] == b'+' || b[j] == b'-') {
-                j += 1;
-            }
-            let exp_start = j;
-            while j < n && b[j].is_ascii_digit() {
-                j += 1;
-            }
-            if j > exp_start && (j >= n || !is_ident(b[j])) {
-                return true; // 1e9 / 1e-9
-            }
-        }
-    }
-    false
-}
-
-/// Splits a source file into per-line `(code, comments)` where `code` has
-/// comments and string/char literals blanked out and `comments` has
-/// everything *except* comment text blanked out. Handles line comments,
-/// nested block comments, string escapes, raw strings, char literals, and
-/// lifetimes.
-fn scrub(content: &str) -> (Vec<String>, Vec<String>) {
-    #[derive(PartialEq)]
-    enum S {
-        Code,
-        Line,
-        Block(u32),
-        Str,
-        RawStr(usize),
-    }
-    let chars: Vec<char> = content.chars().collect();
-    let mut code = String::with_capacity(content.len());
-    let mut comment = String::with_capacity(content.len());
-    let mut state = S::Code;
-    let mut i = 0;
-    let push = |code: &mut String, comment: &mut String, c: char, to_code: bool| {
-        if to_code {
-            code.push(c);
-            comment.push(' ');
-        } else {
-            code.push(' ');
-            comment.push(c);
-        }
-    };
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '\n' {
-            code.push('\n');
-            comment.push('\n');
-            if state == S::Line {
-                state = S::Code;
-            }
-            i += 1;
-            continue;
-        }
-        match state {
-            S::Code => {
-                let next = chars.get(i + 1).copied();
-                if c == '/' && next == Some('/') {
-                    state = S::Line;
-                    push(&mut code, &mut comment, '/', false);
-                    push(&mut code, &mut comment, '/', false);
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    state = S::Block(1);
-                    push(&mut code, &mut comment, '/', false);
-                    push(&mut code, &mut comment, '*', false);
-                    i += 2;
-                } else if c == '"' {
-                    state = S::Str;
-                    push(&mut code, &mut comment, ' ', true);
-                    i += 1;
-                } else if c == 'r'
-                    && matches!(next, Some('"') | Some('#'))
-                    && (i == 0 || !chars[i - 1].is_alphanumeric() && chars[i - 1] != '_')
-                {
-                    // Raw string r"..." / r#"..."# — count the hashes.
-                    let mut j = i + 1;
-                    let mut hashes = 0;
-                    while chars.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if chars.get(j) == Some(&'"') {
-                        for _ in i..=j {
-                            push(&mut code, &mut comment, ' ', true);
-                        }
-                        state = S::RawStr(hashes);
-                        i = j + 1;
-                    } else {
-                        push(&mut code, &mut comment, c, true);
-                        i += 1;
-                    }
-                } else if c == '\'' {
-                    // Char literal vs lifetime: 'x' / '\n' are literals,
-                    // 'a (no closing quote nearby) is a lifetime.
-                    let close = (1..=12)
-                        .find(|&k| chars.get(i + k) == Some(&'\'') && k != 1)
-                        .filter(|&k| k <= 2 || chars.get(i + 1) == Some(&'\\') || k == 2);
-                    let is_literal = match chars.get(i + 1) {
-                        Some('\\') => close.is_some(),
-                        Some(ch) if *ch != '\'' => chars.get(i + 2) == Some(&'\''),
-                        _ => false,
-                    };
-                    if is_literal {
-                        let end = if chars.get(i + 1) == Some(&'\\') {
-                            close.map_or(i + 1, |k| i + k)
-                        } else {
-                            i + 2
-                        };
-                        for _ in i..=end.min(chars.len() - 1) {
-                            push(&mut code, &mut comment, ' ', true);
-                        }
-                        i = end + 1;
-                    } else {
-                        push(&mut code, &mut comment, c, true);
-                        i += 1;
-                    }
-                } else {
-                    push(&mut code, &mut comment, c, true);
-                    i += 1;
-                }
-            }
-            S::Line => {
-                push(&mut code, &mut comment, c, false);
-                i += 1;
-            }
-            S::Block(depth) => {
-                let next = chars.get(i + 1).copied();
-                if c == '*' && next == Some('/') {
-                    push(&mut code, &mut comment, '*', false);
-                    push(&mut code, &mut comment, '/', false);
-                    state = if depth == 1 { S::Code } else { S::Block(depth - 1) };
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    push(&mut code, &mut comment, '/', false);
-                    push(&mut code, &mut comment, '*', false);
-                    state = S::Block(depth + 1);
-                    i += 2;
-                } else {
-                    push(&mut code, &mut comment, c, false);
-                    i += 1;
-                }
-            }
-            S::Str => {
-                if c == '\\' {
-                    push(&mut code, &mut comment, ' ', true);
-                    if chars.get(i + 1).is_some_and(|&ch| ch != '\n') {
-                        push(&mut code, &mut comment, ' ', true);
-                        i += 2;
-                    } else {
-                        i += 1;
-                    }
-                } else {
-                    if c == '"' {
-                        state = S::Code;
-                    }
-                    push(&mut code, &mut comment, ' ', true);
-                    i += 1;
-                }
-            }
-            S::RawStr(hashes) => {
-                if c == '"' {
-                    let closed = (0..hashes).all(|k| chars.get(i + 1 + k) == Some(&'#'));
-                    if closed {
-                        for _ in 0..=hashes {
-                            push(&mut code, &mut comment, ' ', true);
-                        }
-                        state = S::Code;
-                        i += 1 + hashes;
-                        continue;
-                    }
-                }
-                push(&mut code, &mut comment, ' ', true);
-                i += 1;
-            }
-        }
-    }
-    let code_lines = code.lines().map(String::from).collect();
-    let comment_lines = comment.lines().map(String::from).collect();
-    (code_lines, comment_lines)
 }
 
 #[cfg(test)]
@@ -614,125 +395,101 @@ mod tests {
         report.iter().map(|d| d.code).collect()
     }
 
-    #[test]
-    fn float_literal_detection() {
-        assert!(contains_float_literal("x == 0.0"));
-        assert!(contains_float_literal("1e-9"));
-        assert!(contains_float_literal("2."));
-        assert!(!contains_float_literal("pair.0"));
-        assert!(!contains_float_literal("self.0"));
-        assert!(!contains_float_literal("x1e")); // identifier
-        assert!(!contains_float_literal("0x1e")); // hex literal
-        assert!(!contains_float_literal("1.max(2)")); // integer method call
-        assert!(!contains_float_literal("i == 0"));
+    fn lint(src: &str, krate: &str) -> Report {
+        check_source("a.rs", src, krate)
     }
 
     #[test]
-    fn comparison_operand_scoping() {
-        // The float literal is in another argument, not an operand of `==`.
-        assert!(find_float_comparisons("assert(x.len() == 2, 3.5)").is_empty());
-        assert!(!find_float_comparisons("if volume == 0.0 {").is_empty());
-        assert!(!find_float_comparisons("a != b * 2.0").is_empty());
-        assert!(!find_float_comparisons("x as f64 == y").is_empty());
-        // <= and >= are not equality comparisons.
-        assert!(find_float_comparisons("a <= 2.0 && b >= 0.5").is_empty());
-        // Integer comparison next to a float in a separate statement.
-        assert!(find_float_comparisons("if i == 0 { x = 1.0 }").is_empty());
+    fn float_equality_flagged_with_literal_or_type_hint() {
+        assert_eq!(codes(&lint("fn f(x: f64) -> bool { x == 0.0 }\n", "net")), vec!["PA101"]);
+        assert_eq!(codes(&lint("fn f() -> bool { a != b * 2.0 }\n", "net")), vec!["PA101"]);
+        assert_eq!(codes(&lint("fn f() -> bool { x as f64 == y }\n", "net")), vec!["PA101"]);
+        // Integer comparisons stay silent.
+        assert!(lint("fn f(i: usize) -> bool { i == 0 }\n", "net").is_empty());
+        // <= / >= are not equality comparisons.
+        assert!(lint("fn f() -> bool { a <= 2.0 && b >= 0.5 }\n", "net").is_empty());
     }
 
     #[test]
-    fn scrubber_blanks_comments_and_strings() {
-        let src = "let a = \"1.0 == 2.0\"; // 3.0 == 4.0\nlet b = 5;\n";
-        let (code, comment) = scrub(src);
-        assert!(!code[0].contains("1.0"));
-        assert!(!code[0].contains("3.0"));
-        assert!(comment[0].contains("3.0 == 4.0"));
-        assert_eq!(code[1], "let b = 5;");
+    fn float_hint_in_another_argument_is_not_an_operand() {
+        assert!(lint("fn f() { assert(x.len() == 2, 3.5); }\n", "net").is_empty());
+        assert!(lint("fn f() { if i == 0 { x = 1.0 } }\n", "net").is_empty());
     }
 
     #[test]
-    fn scrubber_handles_char_literals_and_lifetimes() {
-        let (code, _) = scrub("fn f<'a>(x: &'a str) -> char { '\"' }\n");
-        // The double quote inside the char literal must not open a string.
-        assert!(code[0].contains("fn f<'a>"));
-        assert!(code[0].contains('}'));
+    fn identifiers_embedding_f64_are_not_hints() {
+        // `count_f64s` is one identifier, not the type `f64` — the line
+        // scanner used to false-positive here.
+        assert!(lint("fn f(count_f64s: usize) -> bool { count_f64s == 0 }\n", "net").is_empty());
     }
 
     #[test]
-    fn scrubber_handles_raw_strings() {
-        let (code, _) = scrub("let s = r#\"a == 1.0\"#; let t = 2;\n");
-        assert!(!code[0].contains("1.0"));
-        assert!(code[0].contains("let t = 2;"));
+    fn multiline_comparisons_are_caught() {
+        // Operator and hint on different lines — invisible to a per-line
+        // scanner, visible to the token layer.
+        let report = lint("fn f() -> bool {\n    total ==\n        1.5\n}\n", "net");
+        assert_eq!(codes(&report), vec!["PA101"]);
+        assert!(report.iter().next().is_some_and(|d| d.location.ends_with(":2")));
+    }
+
+    #[test]
+    fn strings_and_comments_never_trip_lints() {
+        let src = "fn f() -> &'static str {\n    // a == 1.0 and x.unwrap() and panic! in prose\n    \"b == 2.0 .unwrap() panic! todo!\"\n}\n";
+        assert!(lint(src, "lp").is_empty());
     }
 
     #[test]
     fn unwrap_flagged_only_in_library_crates() {
         let src = "fn f() { x.unwrap(); }\n";
-        assert_eq!(codes(&check_source("a.rs", src, "lp")), vec!["PA102"]);
-        assert!(check_source("a.rs", src, "cli").is_empty());
-        // unwrap_or is fine.
-        assert!(check_source("a.rs", "fn f() { x.unwrap_or(0); }\n", "lp").is_empty());
+        assert_eq!(codes(&lint(src, "lp")), vec!["PA102"]);
+        assert!(lint(src, "cli").is_empty());
+        // unwrap_or is a different identifier token.
+        assert!(lint("fn f() { x.unwrap_or(0); }\n", "lp").is_empty());
+        assert_eq!(codes(&lint("fn f() { y.expect(\"boom\"); }\n", "flow")), vec!["PA102"]);
     }
 
     #[test]
     fn cfg_test_blocks_are_skipped() {
         let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); let a = b == 1.0; }\n}\nfn h() { y.expect(\"boom\"); }\n";
-        let report = check_source("a.rs", src, "lp");
+        let report = lint(src, "lp");
         assert_eq!(codes(&report), vec!["PA102"]);
         assert!(report.iter().next().is_some_and(|d| d.location.ends_with(":6")));
     }
 
     #[test]
     fn allow_comments_suppress_same_and_next_line() {
-        let src = "// postcard-analyze: allow(PA101)\nlet a = x == 0.0;\nlet b = y == 0.0; // postcard-analyze: allow(PA101)\nlet c = z == 0.0;\n";
-        let report = check_source("a.rs", src, "net");
+        let src = "fn f() {\n// postcard-analyze: allow(PA101)\nlet a = x == 0.0;\nlet b = y == 0.0; // postcard-analyze: allow(PA101)\nlet c = z == 0.0;\n}\n";
+        let report = lint(src, "net");
         assert_eq!(report.len(), 1);
-        assert!(report.iter().next().is_some_and(|d| d.location.ends_with(":4")));
+        assert!(report.iter().next().is_some_and(|d| d.location.ends_with(":5")));
     }
 
     #[test]
     fn allow_file_suppresses_everywhere() {
-        let src = "// postcard-analyze: allow-file(PA101)\nlet a = x == 0.0;\nlet b = y == 1.0;\n";
-        assert!(check_source("a.rs", src, "net").is_empty());
+        let src = "// postcard-analyze: allow-file(PA101)\nfn f() {\nlet a = x == 0.0;\nlet b = y == 1.0;\n}\n";
+        assert!(lint(src, "net").is_empty());
     }
 
     #[test]
     fn panic_todo_unimplemented_flagged() {
-        let report = check_source("a.rs", "fn f() { panic!(\"boom\") }\n", "core");
-        assert_eq!(codes(&report), vec!["PA103"]);
-        // debug_assert! must not trip the panic rule.
-        assert!(check_source("a.rs", "debug_assert!(x > 0);\n", "core").is_empty());
-        let report = check_source("a.rs", "fn f() { todo!() }\n", "cli");
-        assert_eq!(codes(&report), vec!["PA104"]);
-        let report = check_source("a.rs", "fn f() { unimplemented!() }\n", "sim");
-        assert_eq!(codes(&report), vec!["PA104"]);
+        assert_eq!(codes(&lint("fn f() { panic!(\"boom\") }\n", "core")), vec!["PA103"]);
+        // debug_assert! is one identifier; it must not trip the panic rule.
+        assert!(lint("fn f() { debug_assert!(x > 0); }\n", "core").is_empty());
+        assert_eq!(codes(&lint("fn f() { todo!() }\n", "cli")), vec!["PA104"]);
+        assert_eq!(codes(&lint("fn f() { unimplemented!() }\n", "sim")), vec!["PA104"]);
     }
 
     #[test]
     fn must_use_presence_checked() {
         let missing = "/// Docs.\n#[derive(Debug)]\npub struct Solution {\n    x: u8,\n}\n";
-        let report = check_source("s.rs", missing, "lp");
+        let report = lint(missing, "lp");
         assert_eq!(codes(&report), vec!["PA105"]);
         let present =
             "/// Docs.\n#[must_use]\n#[derive(Debug)]\npub struct Solution {\n    x: u8,\n}\n";
-        assert!(check_source("s.rs", present, "lp").is_empty());
+        assert!(lint(present, "lp").is_empty());
         // Other crates' types of the same name are not checked.
-        assert!(check_source("s.rs", missing, "net").is_empty());
-        // Prefix names must not match (word boundary).
-        assert!(check_source("s.rs", "pub struct SolutionMap {}\n", "lp").is_empty());
-    }
-
-    #[test]
-    fn directive_parsing() {
-        assert_eq!(
-            parse_directive("// postcard-analyze: allow(PA101, PA102)", "allow("),
-            vec!["PA101", "PA102"]
-        );
-        assert!(parse_directive("// postcard-analyze: allow-file(PA101)", "allow(").is_empty());
-        assert_eq!(
-            parse_directive("// postcard-analyze: allow-file(PA101)", "allow-file("),
-            vec!["PA101"]
-        );
-        assert!(parse_directive("// nothing here", "allow(").is_empty());
+        assert!(lint(missing, "net").is_empty());
+        // Prefix names must not match (identifier tokens, not substrings).
+        assert!(lint("pub struct SolutionMap {}\n", "lp").is_empty());
     }
 }

@@ -1,0 +1,120 @@
+//! Recall corpus for the PA2xx determinism & concurrency family.
+//!
+//! Each fixture under `tests/fixtures/determinism/` is a deliberately
+//! nondeterministic source that must produce *exactly* its documented
+//! diagnostics — the lines to flag carry a `//~ CODE` marker (the rustc
+//! UI-test idiom), so the expectation lives next to the trigger and the
+//! test cross-checks the multiset of `(code, line)` pairs precisely.
+//! A stray extra finding (precision loss) fails just as hard as a missed
+//! one (recall loss).
+
+use postcard_analyze::determinism::check_fixture_coverage;
+use postcard_analyze::srclint::check_source;
+use std::path::Path;
+
+/// `(code, line)` pairs expected from a fixture, read off its `//~` markers.
+fn expected_from_markers(src: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        if let Some(pos) = line.find("//~") {
+            let code = line[pos + 3..].split_whitespace().next().unwrap_or("");
+            // Prose that merely mentions the marker syntax is not a marker.
+            if code.starts_with("PA") && code[2..].chars().all(|c| c.is_ascii_digit()) {
+                out.push((code.to_string(), i + 1));
+            }
+        }
+    }
+    assert!(!out.is_empty(), "fixture has no //~ markers");
+    out.sort();
+    out
+}
+
+/// Lints `src` and asserts the findings match the fixture's markers exactly.
+fn golden(label: &str, krate: &str, src: &str) {
+    let report = check_source(label, src, krate);
+    let mut got: Vec<(String, usize)> = report
+        .iter()
+        .map(|d| {
+            let line = d
+                .location
+                .rsplit(':')
+                .next()
+                .and_then(|l| l.parse::<usize>().ok())
+                .unwrap_or_else(|| panic!("unparseable location {:?}", d.location));
+            (d.code.to_string(), line)
+        })
+        .collect();
+    got.sort();
+    assert_eq!(got, expected_from_markers(src), "diagnostic mismatch for {label} (crate {krate})");
+}
+
+#[test]
+fn pa201_fixture_exact_diagnostics() {
+    golden("src/dashboard.rs", "runtime", include_str!("fixtures/determinism/pa201.rs"));
+}
+
+#[test]
+fn pa202_fixture_exact_diagnostics() {
+    golden("src/latency.rs", "runtime", include_str!("fixtures/determinism/pa202.rs"));
+}
+
+#[test]
+fn pa203_fixture_exact_diagnostics() {
+    golden("src/worker.rs", "runtime", include_str!("fixtures/determinism/pa203.rs"));
+}
+
+#[test]
+fn pa204_fixture_exact_diagnostics() {
+    golden("src/volumes.rs", "net", include_str!("fixtures/determinism/pa204.rs"));
+}
+
+#[test]
+fn pa205_fixture_exact_diagnostics() {
+    // The ledger filename puts the cast in PA205's billing scope.
+    golden("src/ledger.rs", "net", include_str!("fixtures/determinism/pa205.rs"));
+}
+
+#[test]
+fn pa206_fixture_exact_diagnostics() {
+    golden("src/shard_run.rs", "runtime", include_str!("fixtures/determinism/pa206.rs"));
+}
+
+#[test]
+fn pa207_fixture_exact_diagnostics() {
+    golden("src/snapshot.rs", "runtime", include_str!("fixtures/determinism/pa207.rs"));
+}
+
+#[test]
+fn pa208_fixture_uncovered_version_is_flagged() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/pa208_root");
+    let report = check_fixture_coverage(&root);
+    let codes: Vec<_> = report.iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec!["PA208"], "pa208_root must yield exactly one PA208");
+    let d = report.iter().next().unwrap();
+    assert!(
+        d.location.contains("snapshot_v9"),
+        "PA208 must anchor to the uncovered fixture file, got {:?}",
+        d.location
+    );
+}
+
+#[test]
+fn fixtures_are_silent_outside_determinism_crates() {
+    // The PA2xx family is scoped to the determinism-critical crates: the
+    // same sources lint clean under a bench/tool crate name.
+    for src in [
+        include_str!("fixtures/determinism/pa201.rs"),
+        include_str!("fixtures/determinism/pa202.rs"),
+        include_str!("fixtures/determinism/pa203.rs"),
+        include_str!("fixtures/determinism/pa204.rs"),
+        include_str!("fixtures/determinism/pa206.rs"),
+        include_str!("fixtures/determinism/pa207.rs"),
+    ] {
+        let report = check_source("src/tool.rs", src, "bench");
+        assert!(
+            report.is_empty(),
+            "PA2xx fired outside determinism crates: {}",
+            report.render_text()
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! PA201 recall fixture: HashMap iteration reaches ordered output without
+//! a sort. Deliberately nondeterministic — never compiled, only linted.
+//! Lines carrying a tilde marker must be flagged with exactly that code.
+
+use std::collections::HashMap;
+
+/// Renders per-DC totals for the ops dashboard — ordered output, so the
+/// hash-order iteration makes the rendered bytes differ run-to-run.
+pub fn render_totals(totals: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (dc, total) in totals.iter() { //~ PA201
+        out.push_str(dc);
+        let _ = total;
+    }
+    out
+}

@@ -1,0 +1,11 @@
+//! PA202 recall fixture: wall-clock read outside the sanctioned Clock
+//! seam. Deliberately nondeterministic — never compiled, only linted.
+
+use std::time::Instant;
+
+/// Samples solve latency for an ad-hoc log line — bypassing clock.rs means
+/// a resumed run observes different elapsed times than the original.
+pub fn sample_latency() -> f64 {
+    let started = Instant::now(); //~ PA202
+    started.elapsed().as_secs_f64()
+}

@@ -1,0 +1,16 @@
+//! PA203 recall fixture: ad-hoc thread spawn and a completion-order
+//! channel merge. Deliberately nondeterministic — never compiled, only
+//! linted. Expected: one PA203 at the spawn, one at the receive.
+
+use std::sync::mpsc::Receiver;
+
+/// Accumulates shard results in whatever order they arrive — the result
+/// of the merge depends on thread scheduling.
+pub fn merge_results(rx: Receiver<u64>) -> u64 {
+    std::thread::spawn(|| ()); //~ PA203
+    let mut acc = 0;
+    while let Ok(v) = rx.recv() { //~ PA203
+        acc += v;
+    }
+    acc
+}

@@ -1,0 +1,10 @@
+//! PA204 recall fixture: float reduction over an unordered collection.
+//! Deliberately nondeterministic — never compiled, only linted. Float
+//! addition is not associative, so summing in hash order perturbs low bits.
+
+use std::collections::HashMap;
+
+/// Total billed volume across DCs.
+pub fn total_volume(per_dc: &HashMap<u64, f64>) -> f64 {
+    per_dc.values().sum::<f64>() //~ PA204
+}

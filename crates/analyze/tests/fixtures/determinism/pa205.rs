@@ -1,0 +1,8 @@
+//! PA205 recall fixture: lossy `as` cast in billing arithmetic (linted
+//! under a ledger filename). Deliberately wrong — never compiled, only
+//! linted. Truncating money silently loses fractional cents.
+
+/// Converts a bill in dollars to whole cents.
+pub fn bill_cents(dollars: f64) -> u32 {
+    (dollars * 100.0) as u32 //~ PA205
+}

@@ -1,0 +1,16 @@
+//! PA206 recall fixture: lock guard held across a solve call.
+//! Deliberately wrong — never compiled, only linted. A solve can run for
+//! the whole slot budget; holding the ledger lock across it serializes
+//! every other shard.
+
+use std::sync::Mutex;
+
+/// Runs one shard's solve while (wrongly) holding the ledger lock.
+pub fn run_shard(ledger: &Mutex<u64>, batch: u64) -> u64 {
+    let guard = ledger.lock();
+    solve_shard(batch) //~ PA206
+}
+
+fn solve_shard(batch: u64) -> u64 {
+    batch
+}

@@ -1,0 +1,18 @@
+//! PA207 recall fixture: nondeterminism taint one call-graph hop into a
+//! snapshot writer. Deliberately wrong — never compiled, only linted. The
+//! helper is silent on its own (not an output function), but a
+//! snapshot-writing caller inherits its hash-order dependence.
+
+use std::collections::HashMap;
+
+/// Any key — hash-order dependent.
+fn first_key(m: &HashMap<u64, u64>) -> Option<u64> {
+    m.keys().next().copied()
+}
+
+/// Writes a snapshot header keyed by whatever `first_key` returned.
+pub fn write_snapshot_header(m: &HashMap<u64, u64>, out: &mut String) {
+    if let Some(k) = first_key(m) { //~ PA207
+        out.push_str(&k.to_string());
+    }
+}

@@ -1,0 +1,4 @@
+//! PA208 recall fixture: this mini-workspace's probe tests mention only
+//! version 8 — the committed version-9 snapshot fixture is uncovered.
+
+const PROBED: &str = "snapshot_v8.json";

@@ -1,0 +1,123 @@
+//! Property: a `// postcard-analyze: allow(PAxxx)` comment silences
+//! *exactly* the named lint — PAyyy with `y != x` neither silences the
+//! finding nor conjures new ones.
+//!
+//! Each case is a minimal single-finding source with a `//~` marker on its
+//! trigger line; the property inserts a standalone allow directive for a
+//! (possibly different) randomly chosen code directly above the trigger
+//! and checks the finding survives iff the codes differ. This pins the
+//! suppression plumbing (directive parsing, line attribution, per-code
+//! matching) across both the PA1xx and PA2xx families.
+
+use postcard_analyze::srclint::check_source;
+use proptest::prelude::*;
+
+struct Case {
+    code: &'static str,
+    label: &'static str,
+    krate: &'static str,
+    src: &'static str,
+}
+
+const CASES: &[Case] = &[
+    Case {
+        code: "PA101",
+        label: "src/x.rs",
+        krate: "lp",
+        src: "pub fn near(a: f64) -> bool {\n    a == 0.5 //~\n}\n",
+    },
+    Case {
+        code: "PA102",
+        label: "src/x.rs",
+        krate: "lp",
+        src: "pub fn get(v: Vec<u64>) -> u64 {\n    v.first().copied().unwrap() //~\n}\n",
+    },
+    Case {
+        code: "PA201",
+        label: "src/x.rs",
+        krate: "runtime",
+        src: "use std::collections::HashMap;\npub fn render(m: &HashMap<u64, u64>) -> String {\n    let mut out = String::new();\n    for (_k, _v) in m.iter() {} //~\n    out\n}\n",
+    },
+    Case {
+        code: "PA202",
+        label: "src/x.rs",
+        krate: "runtime",
+        src: "pub fn f() -> u64 {\n    let _t = Instant::now(); //~\n    0\n}\n",
+    },
+    Case {
+        code: "PA203",
+        label: "src/x.rs",
+        krate: "runtime",
+        src: "pub fn f() {\n    std::thread::spawn(|| ()); //~\n}\n",
+    },
+    Case {
+        code: "PA204",
+        label: "src/x.rs",
+        krate: "net",
+        src: "use std::collections::HashMap;\npub fn total(m: &HashMap<u64, f64>) -> f64 {\n    m.values().sum::<f64>() //~\n}\n",
+    },
+    Case {
+        code: "PA205",
+        label: "src/ledger.rs",
+        krate: "net",
+        src: "pub fn cents(d: f64) -> u32 {\n    (d * 100.0) as u32 //~\n}\n",
+    },
+    Case {
+        code: "PA206",
+        label: "src/x.rs",
+        krate: "runtime",
+        src: "pub fn run(m: &std::sync::Mutex<u64>) -> u64 {\n    let _guard = m.lock();\n    solve(3) //~\n}\nfn solve(x: u64) -> u64 { x }\n",
+    },
+    Case {
+        code: "PA207",
+        label: "src/x.rs",
+        krate: "runtime",
+        src: "use std::collections::HashMap;\nfn any_key(m: &HashMap<u64, u64>) -> Option<u64> {\n    m.keys().next().copied()\n}\npub fn write_snapshot(m: &HashMap<u64, u64>) -> Option<u64> {\n    any_key(m) //~\n}\n",
+    },
+];
+
+/// Inserts a standalone allow directive directly above the `//~` line.
+fn with_allow(src: &str, code: &str) -> String {
+    let mut out = String::new();
+    for line in src.lines() {
+        if line.contains("//~") {
+            out.push_str(&format!("    // postcard-analyze: allow({code}) — test\n"));
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn allow_silences_exactly_its_lint(
+        case_idx in 0..CASES.len(),
+        allow_idx in 0..CASES.len(),
+    ) {
+        let case = &CASES[case_idx];
+        let allow_code = CASES[allow_idx].code;
+        let patched = with_allow(case.src, allow_code);
+        let report = check_source(case.label, &patched, case.krate);
+        let still_fires = report.iter().any(|d| d.code == case.code);
+        prop_assert_eq!(
+            still_fires,
+            allow_code != case.code,
+            "case {} with allow({}) — report:\n{}",
+            case.code, allow_code, report.render_text()
+        );
+        // The directive must never introduce findings of other codes.
+        for d in report.iter() {
+            prop_assert_eq!(d.code, case.code, "unexpected {} in case {}", d.code, case.code);
+        }
+    }
+}
+
+#[test]
+fn every_case_fires_unsuppressed() {
+    for case in CASES {
+        let report = check_source(case.label, case.src, case.krate);
+        let codes: Vec<_> = report.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![case.code], "case {} baseline", case.code);
+    }
+}
