@@ -82,6 +82,31 @@ impl Clock for WallClock {
     fn advance(&mut self, _d: Duration) {}
 }
 
+/// The sanctioned seam for *metrics-only* wall-time measurement.
+///
+/// Decision-making code must go through [`Clock`] so simulated runs stay
+/// deterministic — but observability (solve-wall-seconds histograms,
+/// per-shard timing) legitimately wants real elapsed time even under
+/// [`SimClock`]. `WallStopwatch` is the one place outside [`Clock`] allowed
+/// to read `Instant`: the PA202 lint sanctions this file, and everything it
+/// measures must feed metrics, never control flow.
+#[derive(Debug, Clone, Copy)]
+pub struct WallStopwatch {
+    started: Instant,
+}
+
+impl WallStopwatch {
+    /// Starts measuring now.
+    pub fn start() -> Self {
+        Self { started: Instant::now() }
+    }
+
+    /// Seconds elapsed since [`WallStopwatch::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
 /// Which [`Clock`] a runtime uses (serializable for snapshots).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum ClockKind {

@@ -27,7 +27,7 @@
 //! times and resume is best-effort.
 
 use crate::arrivals::ArrivalSchedule;
-use crate::clock::ClockKind;
+use crate::clock::{ClockKind, WallStopwatch};
 use crate::fallback::{AttemptOutcome, AttemptRecord, FallbackChain, TierKind};
 use crate::faults::FaultPlan;
 use crate::metrics::MetricsRegistry;
@@ -41,7 +41,7 @@ use postcard_core::{
 use postcard_net::{DcId, Network, TransferRequest};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration of a [`Runtime`] (serialized into snapshots).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -528,7 +528,7 @@ impl Runtime {
         let forced = self.faults.timeouts_at(slot);
         self.controller.scheduler_mut().begin_slot(slot, forced);
         self.controller.scheduler_mut().set_skip_alap(reopt_now);
-        let solve_started = (!batch.is_empty()).then(Instant::now);
+        let solve_started = (!batch.is_empty()).then(WallStopwatch::start);
         let (report, degraded) = match self.controller.step(slot, batch) {
             Ok(report) => (report, false),
             Err(_) => {
@@ -544,7 +544,7 @@ impl Runtime {
             }
         };
         if let Some(started) = solve_started {
-            self.wall_metrics.observe("solve_wall_seconds", started.elapsed().as_secs_f64());
+            self.wall_metrics.observe("solve_wall_seconds", started.elapsed_secs());
         }
 
         // (4) Metrics.
@@ -679,7 +679,7 @@ impl Runtime {
         let engine = self.engine.as_mut().expect("sharded step requires an engine");
         let planner = *engine.planner();
         let batches = planner.partition(batch);
-        let started = Instant::now();
+        let started = WallStopwatch::start();
         let result = engine.run_slot(
             self.controller.network(),
             self.controller.ledger(),
@@ -688,7 +688,7 @@ impl Runtime {
             &forced,
             reopt_now,
         );
-        let total_wall = started.elapsed().as_secs_f64();
+        let total_wall = started.elapsed_secs();
 
         // A hard-failed shard degrades only itself: its entries go back to
         // the backlog, every other shard's merged result stands.

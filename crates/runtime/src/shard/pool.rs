@@ -14,10 +14,10 @@
 //! by joining handles in shard-index order — thread *scheduling* affects
 //! only wall-clock time, never the merged outcome.
 
+use crate::clock::WallStopwatch;
 use crate::fallback::{AttemptRecord, FallbackChain, TierKind};
 use postcard_core::{Decision, PostcardError, Scheduler};
 use postcard_net::{FileId, Network, TrafficLedger, TransferRequest};
-use std::time::Instant;
 
 /// Per-slot solve directives shared by every shard of a slot: which slot
 /// is being solved and the fault/re-optimization state that must apply
@@ -124,7 +124,7 @@ pub fn solve_shard(
     if batch.is_empty() {
         return solve;
     }
-    let started = Instant::now();
+    let started = WallStopwatch::start();
     // Other shards (and the reconciler) commit to the central ledger behind
     // this chain's ALAP residual grid; rebase it from `base` every slot.
     chain.mark_alap_dirty();
@@ -175,7 +175,7 @@ pub fn solve_shard(
     }
     solve.records = chain.records().to_vec();
     solve.chosen_tier = chain.chosen_tier();
-    solve.wall_seconds = started.elapsed().as_secs_f64();
+    solve.wall_seconds = started.elapsed_secs();
     solve
 }
 
