@@ -142,6 +142,10 @@ impl PercentileScheme {
         }
         let mut sorted = volumes.to_vec();
         sorted.sort_by(|a, b| a.total_cmp(b));
+        // postcard-analyze: allow(PA205) — rank lives in (0, len]: q is
+        // asserted ≤ 100 so the product is ≤ len, ceil of a positive value
+        // is ≥ 1, and the clamp below re-establishes the bound even for
+        // pathological float rounding. The cast picks an index, not money.
         let rank = ((self.q / 100.0) * sorted.len() as f64).ceil() as usize;
         sorted[rank.clamp(1, sorted.len()) - 1]
     }
@@ -160,6 +164,9 @@ impl PercentileScheme {
         if num_slots == 0 {
             return 0;
         }
+        // postcard-analyze: allow(PA205) — same bound as charged_volume:
+        // q ∈ (0, 100] keeps the product in (0, num_slots] and the clamp
+        // makes the truncation harmless; the result is a rank, not a bill.
         (((self.q / 100.0) * num_slots as f64).ceil() as usize).clamp(1, num_slots)
     }
 }
