@@ -13,7 +13,7 @@
 //! hosts reporting ≥ 4 worker threads — the four-tenant preset must keep a
 //! ≥2× wall-clock speedup.
 
-use postcard_bench::shard_baseline::{check, run_all, BenchReport};
+use postcard_bench::shard_baseline::{check, gate_notes, run_all, BenchReport};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -91,6 +91,11 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        // Name every conditional gate that stayed disarmed — a pass must be
+        // distinguishable from a gate that never ran.
+        for note in gate_notes(&report) {
+            println!("shard-baseline: NOTE: {note}");
+        }
         let failures = check(&report, &baseline);
         if failures.is_empty() {
             println!("check against {path}: OK");

@@ -4,12 +4,14 @@
 //! solver-baseline [--quick] [--out PATH] [--check PATH]
 //! ```
 //!
-//! Runs the figure presets (see `postcard_bench::solver_baseline`), prints a
-//! summary table, and optionally writes the JSON report (`--out`) or gates
-//! against a committed baseline (`--check`): cold pivot counts must stay
-//! within 20 % of the baseline, warm must keep its ≥2x aggregate pivot
-//! advantage, and warm/cold objectives must agree to 1e-6 on every preset.
-//! Pivot counts are deterministic; timings are informational only.
+//! Runs the figure presets and the paper-scale incremental sweep (see
+//! `postcard_bench::solver_baseline`), prints summary tables, and optionally
+//! writes the JSON report (`--out`) or gates against a committed baseline
+//! (`--check`): cold pivot counts must stay within 20 % of the baseline,
+//! warm must keep its ≥2x aggregate pivot advantage, warm/cold objectives
+//! must agree to 1e-6 on every preset, and the paper sweep must hold its
+//! ≤1e-9 delta/rebuild equivalence, ≥5× build speedup, and one rebuild per
+//! run. Pivot counts are deterministic; timings are informational only.
 
 use postcard_bench::solver_baseline::{check, run_all, BenchReport};
 use std::process::ExitCode;
@@ -49,6 +51,32 @@ fn main() -> ExitCode {
             p.warm.total_pivots,
             p.cold.mean_ms,
             p.warm.mean_ms,
+            p.max_objective_diff
+        );
+    }
+    println!(
+        "\n{:<14} {:>4} {:>5} {:>6} {:>11} {:>13} {:>9} {:>11} {:>12}",
+        "paper preset",
+        "dcs",
+        "runs",
+        "slots",
+        "delta build",
+        "rebuild build",
+        "speedup",
+        "dual pivots",
+        "max obj diff"
+    );
+    for p in &report.paper {
+        println!(
+            "{:<14} {:>4} {:>5} {:>6} {:>8.3} ms {:>10.3} ms {:>8.1}x {:>11} {:>12.2e}",
+            p.name,
+            p.num_dcs,
+            p.runs,
+            p.num_slots,
+            p.delta_build.mean_ms,
+            p.rebuild_build.mean_ms,
+            p.build_speedup,
+            p.dual_simplex_iters,
             p.max_objective_diff
         );
     }

@@ -171,6 +171,27 @@ pub fn run_all(quick: bool) -> BenchReport {
     BenchReport { presets: presets(quick).iter().map(run_preset).collect() }
 }
 
+/// Explains which conditional gates did **not** arm for this report, so CI
+/// logs say "skipped" out loud instead of passing silently. One note per
+/// preset whose ≥2× speedup gate stayed disarmed, naming the reason.
+pub fn gate_notes(current: &BenchReport) -> Vec<String> {
+    let mut notes = Vec::new();
+    for p in &current.presets {
+        if p.threads_available < 4 {
+            notes.push(format!(
+                "{}: >=2x speedup gate skipped (<4 threads: host reported {})",
+                p.name, p.threads_available
+            ));
+        } else if p.tenants < 4 {
+            notes.push(format!(
+                "{}: >=2x speedup gate skipped (<4 tenants: preset has {})",
+                p.name, p.tenants
+            ));
+        }
+    }
+    notes
+}
+
 /// Checks a fresh report against the committed baseline. Deterministic
 /// fields gate unconditionally: the sharded bill must match the unsharded
 /// bill (identical reconciled cost), reconciliation must report zero
@@ -275,9 +296,15 @@ mod tests {
         );
         assert!(failures.iter().any(|f| f.contains("below the 2x gate")), "{failures:?}");
         slow.threads_available = 1;
-        let failures =
-            check(&BenchReport { presets: vec![slow] }, &BenchReport { presets: vec![slow_base] });
+        let skipped = BenchReport { presets: vec![slow] };
+        let failures = check(&skipped, &BenchReport { presets: vec![slow_base] });
         assert!(failures.is_empty(), "single-core hosts must not gate speedup: {failures:?}");
+        // ...but the skip is loud, not silent.
+        let notes = gate_notes(&skipped);
+        assert!(
+            notes.iter().any(|n| n.contains("speedup gate skipped") && n.contains("<4 threads")),
+            "{notes:?}"
+        );
 
         let mut drifted = report.clone();
         drifted.presets[0].accepted += 1;
@@ -287,6 +314,21 @@ mod tests {
         let unknown =
             BenchReport { presets: vec![PresetResult { name: "other".into(), ..good.clone() }] };
         assert!(!check(&unknown, &report).is_empty());
+    }
+
+    #[test]
+    fn gate_notes_are_empty_when_the_speedup_gate_arms() {
+        let good = run_preset(&tiny());
+        let mut armed = good.clone();
+        armed.tenants = 4;
+        armed.threads_available = 8;
+        assert!(gate_notes(&BenchReport { presets: vec![armed] }).is_empty());
+        // A small-tenant preset on a big host is also named, with the other
+        // reason.
+        let mut small = good;
+        small.threads_available = 8;
+        let notes = gate_notes(&BenchReport { presets: vec![small] });
+        assert!(notes.iter().any(|n| n.contains("<4 tenants")), "{notes:?}");
     }
 
     #[test]

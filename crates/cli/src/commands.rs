@@ -65,7 +65,7 @@ commands:
   serve         --network PATH --trace PATH [--slots N]
                 [--checkpoint PATH] [--every N] [--budget-ms MS]
                 [--tiers a,b,c] [--queue-capacity N] [--max-requeue N]
-                [--wall-clock] [--strict] [--warm-start]
+                [--wall-clock] [--strict] [--warm-start] [--incremental]
                 [--alap] [--reopt-every N]
                 [--shards N] [--shard-by tenant|region]
                 [--degrade slot:from:to:cap[,..]] [--force-timeout slot[:tier][,..]]
@@ -91,6 +91,13 @@ batches with error-level findings are dropped (metric: analysis_rejections).
 With --warm-start the LP tiers carry the optimal simplex basis between slots
 (metrics: warm_start_hits / warm_start_misses); results are unchanged, solves
 are cheaper.
+With --incremental the Postcard tier additionally keeps its LP *model*
+standing between slots: when the batch shape repeats, the time-expanded graph
+is advanced slot-over-slot (expired layer retired, new layer appended) and
+only right-hand sides and bounds are rewritten, then the dual simplex
+re-solves from the inherited basis. A shape change rebuilds from scratch
+(metrics: model_delta_hits / model_rebuilds / dual_simplex_iters); results
+are unchanged, model builds are much cheaper.
 With --alap each request is admitted or rejected instantly by As-Late-As-
 Possible placement against residual link capacity — no LP solve on the
 admission path (metrics: alap_admits / alap_rejects /
@@ -442,7 +449,7 @@ fn drive_service(
 }
 
 fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    let args = Args::parse(argv, &["wall-clock", "strict", "warm-start", "alap"])?;
+    let args = Args::parse(argv, &["wall-clock", "strict", "warm-start", "incremental", "alap"])?;
     let network_path: String = args.require("network")?;
     let trace_path: String = args.require("trace")?;
     let slots: u64 = args.get_or("slots", 0)?;
@@ -463,6 +470,7 @@ fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let wall_clock = args.switch("wall-clock");
     let strict_analysis = args.switch("strict");
     let warm_start = args.switch("warm-start");
+    let incremental = args.switch("incremental");
     let alap = args.switch("alap");
     let reopt_every: u64 = args.get_or("reopt-every", 0)?;
     let (shards, shard_by) = parse_shard_flags(&args)?;
@@ -490,6 +498,7 @@ fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         clock: if wall_clock { ClockKind::Wall } else { ClockKind::Sim },
         strict_analysis,
         warm_start,
+        incremental,
         alap,
         reopt_every,
         shards,
@@ -1020,6 +1029,32 @@ mod tests {
         assert!(out.contains("finished"), "{out}");
         let metrics = std::fs::read_to_string(&metrics_path).unwrap();
         assert!(metrics.contains("warm_start_"), "warm metrics missing: {metrics}");
+    }
+
+    #[test]
+    fn serve_incremental_counts_model_reuse() {
+        let net_path = tmp("inc_net.csv");
+        let trace_path = tmp("inc_trace.csv");
+        let metrics_path = tmp("inc_metrics.csv");
+        run_cli(&["gen-network", "--dcs", "4", "--capacity", "500", "--out", &net_path]).unwrap();
+        run_cli(&["gen-trace", "--dcs", "4", "--slots", "4", "--out", &trace_path]).unwrap();
+        let out = run_cli(&[
+            "serve",
+            "--network",
+            &net_path,
+            "--trace",
+            &trace_path,
+            "--incremental",
+            "--metrics-out",
+            &metrics_path,
+        ])
+        .unwrap();
+        assert!(out.contains("finished"), "{out}");
+        let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(
+            metrics.contains("model_delta_hits") || metrics.contains("model_rebuilds"),
+            "incremental metrics missing: {metrics}"
+        );
     }
 
     #[test]

@@ -1,0 +1,454 @@
+//! Incremental slot-over-slot formulation: the standing Postcard LP.
+//!
+//! The online loop solves a structurally identical LP every slot: recurring
+//! batches have the same shape (per-file source, destination, and deadline
+//! window *relative to the batch release*), the network is fixed, and only
+//! the ledger state — residual capacities, committed volumes, prior peaks —
+//! moves. Rebuilding the model, its standard form, and the solver state
+//! from scratch each slot therefore wastes almost all of its work.
+//!
+//! [`DeltaFormulation`] keeps one *standing* problem alive instead and
+//! advances it slot-over-slot:
+//!
+//! 1. **Retire + append layers by rebasing.** The time-expanded graph's
+//!    layers are homogeneous, so retiring the expired layer and appending
+//!    one new layer is realized as [`postcard_net::TimeExpandedGraph::rebase`]: arc `k`
+//!    keeps its [`postcard_net::ArcId`] and simply *becomes* the same
+//!    relative link-slot of the new window. Variable ids are slot-stable by
+//!    construction, which keeps exported bases valid.
+//! 2. **Rewrite ledger-dependent RHS and bounds only.** The structural
+//!    build ([`crate::build_structural_postcard_problem`]) guarantees the
+//!    row/column layout is ledger-independent and reports which rows carry
+//!    ledger state ([`crate::PostcardRows`]); the advance rewrites exactly
+//!    those (capacity residuals, envelope `−used`, release sizes) plus the
+//!    charged-volume floors, then refreshes the prepared standard form in
+//!    place.
+//! 3. **Re-solve with the dual simplex.** RHS/bound edits leave the
+//!    previous optimal basis dual feasible, so the warm solve resumes with
+//!    dual pivots from the standing basis, in the standing
+//!    [`SolverWorkspace`]'s allocations.
+//!
+//! Any shape change — different batch structure, a bound
+//! reclassification the refresh rejects — falls back to a full rebuild
+//! (counted in [`DeltaFormulation::rebuilds`]), so the fast path is only
+//! ever an accelerator: optima match cold solves to solver tolerance.
+
+use crate::error::PostcardError;
+use crate::formulation::{
+    build_structural_postcard_problem, solve_postcard_with, PostcardConfig, PostcardProblem,
+    PostcardRows, PostcardSolution,
+};
+use postcard_lp::{Basis, PreparedLp, SolverWorkspace};
+use postcard_net::{DcId, Network, TrafficLedger, TransferRequest};
+
+/// The batch/network shape a standing model was built for. Two solves may
+/// share a standing model iff their signatures are equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ShapeSignature {
+    num_dcs: usize,
+    /// Directed links with exact price bits (prices enter the objective,
+    /// which a refresh never rewrites).
+    links: Vec<(usize, usize, u64)>,
+    /// Per file, in batch order: source, destination, window start relative
+    /// to the batch release, window length.
+    files: Vec<(usize, usize, u64, u64)>,
+    allow_relay_storage: bool,
+}
+
+impl ShapeSignature {
+    fn of(network: &Network, files: &[TransferRequest], config: &PostcardConfig) -> Self {
+        let t0 = files.iter().map(|f| f.first_slot()).min().unwrap_or(0);
+        Self {
+            num_dcs: network.num_dcs(),
+            links: network.links().map(|l| (l.from.0, l.to.0, l.price.to_bits())).collect(),
+            files: files
+                .iter()
+                .map(|f| (f.src.0, f.dst.0, f.first_slot() - t0, f.last_slot() - f.first_slot()))
+                .collect(),
+            allow_relay_storage: config.allow_relay_storage,
+        }
+    }
+}
+
+/// Everything that survives from one slot's solve to the next.
+#[derive(Debug, Clone)]
+struct Standing {
+    problem: PostcardProblem,
+    rows: PostcardRows,
+    prepared: PreparedLp,
+    basis: Option<Basis>,
+    signature: ShapeSignature,
+}
+
+/// What [`DeltaFormulation::prepare_slot`] decided to do for the slot —
+/// the model-building phase's outcome, reported so callers (benchmarks,
+/// metrics) can attribute the following solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotPrep {
+    /// Empty batch: nothing was built, the solve is trivial.
+    Trivial,
+    /// The standing model was advanced in place (graph rebased, RHS and
+    /// bounds rewritten); the solve resumes from the inherited basis.
+    Delta,
+    /// The standing model was (re)built from scratch; the solve is cold.
+    Rebuild,
+}
+
+/// A stateful Postcard solver that advances a standing LP slot-over-slot
+/// instead of rebuilding it (see the module docs).
+///
+/// Drive it with [`DeltaFormulation::solve`] once per slot;
+/// [`DeltaFormulation::delta_hits`] / [`DeltaFormulation::rebuilds`] report
+/// how often the fast path applied.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaFormulation {
+    config: PostcardConfig,
+    standing: Option<Standing>,
+    ws: SolverWorkspace,
+    pending: Option<SlotPrep>,
+    delta_hits: u64,
+    rebuilds: u64,
+    last_delta_hit: bool,
+}
+
+impl DeltaFormulation {
+    /// A fresh formulation; the first non-empty solve builds the standing
+    /// model.
+    pub fn new(config: PostcardConfig) -> Self {
+        Self { config, ..Self::default() }
+    }
+
+    /// Solves the Postcard problem for `files`, advancing the standing
+    /// model when the batch shape matches and rebuilding it otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::solve_postcard`].
+    pub fn solve(
+        &mut self,
+        network: &Network,
+        files: &[TransferRequest],
+        ledger: &TrafficLedger,
+    ) -> Result<PostcardSolution, PostcardError> {
+        self.prepare_slot(network, files, ledger)?;
+        self.solve_prepared(network, files, ledger)
+    }
+
+    /// The model-building phase of one slot: advances the standing model in
+    /// place when the batch shape matches (graph rebase, RHS/bound rewrite,
+    /// standard-form refresh), rebuilds it from scratch otherwise, and
+    /// reports which of the two happened. Follow with
+    /// [`DeltaFormulation::solve_prepared`] — the split exists so callers
+    /// can time the two phases separately.
+    ///
+    /// # Errors
+    ///
+    /// Only rebuilds can fail (malformed instances); an advance is
+    /// infallible.
+    pub fn prepare_slot(
+        &mut self,
+        network: &Network,
+        files: &[TransferRequest],
+        ledger: &TrafficLedger,
+    ) -> Result<SlotPrep, PostcardError> {
+        self.last_delta_hit = false;
+        let prep = if files.is_empty() {
+            // Trivial slot: nothing to advance, keep the standing model.
+            SlotPrep::Trivial
+        } else {
+            let signature = ShapeSignature::of(network, files, &self.config);
+            let advanced = match self.standing.as_mut() {
+                Some(standing) if standing.signature == signature => {
+                    let t0 = files.iter().map(|f| f.first_slot()).min().unwrap_or(0);
+                    advance(standing, network, files, ledger, t0);
+                    // A `false` refresh means the mutation reclassified a
+                    // bound (can't happen for peak floors, but stay safe):
+                    // fall through to the rebuild.
+                    standing.prepared.refresh(&standing.problem.model)
+                }
+                _ => false,
+            };
+            if advanced {
+                SlotPrep::Delta
+            } else {
+                self.build(network, files, ledger, signature)?;
+                SlotPrep::Rebuild
+            }
+        };
+        self.pending = Some(prep);
+        Ok(prep)
+    }
+
+    /// The solve phase of one slot: runs the (dual-)simplex on whatever
+    /// [`DeltaFormulation::prepare_slot`] left standing — warm from the
+    /// inherited basis after an advance, cold after a rebuild — and maps
+    /// the solution back to a transfer plan.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::solve_postcard`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding `prepare_slot` for this slot.
+    pub fn solve_prepared(
+        &mut self,
+        network: &Network,
+        files: &[TransferRequest],
+        ledger: &TrafficLedger,
+    ) -> Result<PostcardSolution, PostcardError> {
+        // postcard-analyze: allow(PA102) — calling the solve phase without
+        // the build phase is a caller bug, not a recoverable state.
+        let prep = self.pending.take().expect("prepare_slot must precede solve_prepared");
+        if prep == SlotPrep::Trivial {
+            return solve_postcard_with(network, files, ledger, &self.config);
+        }
+        // postcard-analyze: allow(PA102) — prepare_slot always leaves a
+        // standing model for non-trivial preps.
+        let standing = self.standing.as_mut().expect("prepare_slot left a standing model");
+        let sol = standing.prepared.solve_warm(
+            &standing.problem.model,
+            &self.config.simplex,
+            standing.basis.as_ref(),
+            &mut self.ws,
+        )?;
+        let out = standing.problem.map_solution(&sol)?;
+        if out.basis.is_some() {
+            standing.basis.clone_from(&out.basis);
+        }
+        if prep == SlotPrep::Delta {
+            self.delta_hits += 1;
+            self.last_delta_hit = true;
+        } else {
+            self.rebuilds += 1;
+        }
+        Ok(out)
+    }
+
+    /// Full rebuild of the standing model: structural assembly plus a fresh
+    /// standard form, with no basis (the next solve is cold).
+    fn build(
+        &mut self,
+        network: &Network,
+        files: &[TransferRequest],
+        ledger: &TrafficLedger,
+        signature: ShapeSignature,
+    ) -> Result<(), PostcardError> {
+        self.standing = None;
+        let (problem, rows) =
+            build_structural_postcard_problem(network, files, ledger, &self.config)?;
+        let prepared = problem.model.prepare().map_err(PostcardError::from)?;
+        self.standing = Some(Standing { problem, rows, prepared, basis: None, signature });
+        Ok(())
+    }
+
+    /// Solves that advanced the standing model in place.
+    pub fn delta_hits(&self) -> u64 {
+        self.delta_hits
+    }
+
+    /// Solves that had to (re)build the standing model from scratch.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Whether the most recent [`DeltaFormulation::solve`] took the delta
+    /// path (`false` for rebuilds and trivial empty-batch solves).
+    pub fn last_was_delta(&self) -> bool {
+        self.last_delta_hit
+    }
+
+    /// The standing problem, if one exists (`None` before the first
+    /// non-empty solve). Exposed so tests can check that a chain of slot
+    /// advances leaves the model identical to a from-scratch build.
+    pub fn standing_problem(&self) -> Option<&PostcardProblem> {
+        self.standing.as_ref().map(|s| &s.problem)
+    }
+
+    /// The basis the next solve will warm-start from (the previous slot's
+    /// optimum; `None` before the first successful solve or right after a
+    /// rebuild). Exposed so benchmarks can seed a from-scratch rebuild of
+    /// the same slot with the identical basis and compare the two model
+    /// paths solve-for-solve.
+    pub fn standing_basis(&self) -> Option<&Basis> {
+        self.standing.as_ref().and_then(|s| s.basis.as_ref())
+    }
+
+    /// Seeds the standing model's warm-start basis, as if a previous solve
+    /// had exported it. Returns `false` (and changes nothing) without a
+    /// standing model. The solver validates any seeded basis and falls back
+    /// to a cold solve if it cannot seed the problem, so a wrong basis can
+    /// cost pivots but never correctness.
+    pub fn seed_basis(&mut self, basis: Basis) -> bool {
+        match self.standing.as_mut() {
+            Some(standing) => {
+                standing.basis = Some(basis);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Advances `standing` to the window starting at `t0`: rebases the graph
+/// and rewrites every ledger-dependent RHS and bound. The model is mutated
+/// only through `set_rhs`/`set_bounds`, which is exactly the contract
+/// [`PreparedLp::refresh`] requires.
+fn advance(
+    standing: &mut Standing,
+    network: &Network,
+    files: &[TransferRequest],
+    ledger: &TrafficLedger,
+    t0: u64,
+) {
+    let rows = &standing.rows;
+    let problem = &mut standing.problem;
+    problem.graph.rebase(t0);
+    // The batch identities (file ids, sizes) changed even though the shape
+    // did not; the mapping back to a plan reads them from here.
+    problem.files = files.to_vec();
+    let (model, graph) = (&mut problem.model, &problem.graph);
+    for &(row, arc_id) in &rows.cap_rows {
+        let arc = graph.arc(arc_id);
+        model.set_rhs(row, ledger.residual(network, arc.from, arc.to, arc.slot).max(0.0));
+    }
+    for &(row, arc_id) in &rows.env_rows {
+        let arc = graph.arc(arc_id);
+        model.set_rhs(row, -ledger.volume(arc.from, arc.to, arc.slot));
+    }
+    for &(row, k) in &rows.release_rows {
+        model.set_rhs(row, files[k].size_gb);
+    }
+    for (&(i, j), &x) in &problem.xvars {
+        model.set_bounds(x, ledger.peak(DcId(i), DcId(j)), f64::INFINITY);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formulation::build_postcard_problem;
+    use postcard_net::{FileId, NetworkBuilder};
+
+    fn d(i: usize) -> DcId {
+        DcId(i)
+    }
+
+    /// The paper's Fig. 1 network (see `formulation.rs`).
+    fn fig1_net() -> Network {
+        NetworkBuilder::new(3)
+            .link(d(1), d(2), 10.0, 8.0)
+            .link(d(1), d(0), 1.0, 8.0)
+            .link(d(0), d(2), 3.0, 8.0)
+            .build()
+    }
+
+    fn batch(slot: u64, size: f64) -> Vec<TransferRequest> {
+        vec![TransferRequest::new(FileId(slot), d(1), d(2), size, 3, slot)]
+    }
+
+    #[test]
+    fn structural_build_matches_pruned_build_optimum() {
+        let net = fig1_net();
+        let cfg = PostcardConfig::default();
+        let mut ledger = TrafficLedger::new(8);
+        // Saturate one link-slot so the pruned build actually prunes.
+        ledger.record(d(1), d(2), 0, 8.0);
+        let files = batch(0, 6.0);
+        let pruned = build_postcard_problem(&net, &files, &ledger, &cfg).unwrap();
+        let (structural, rows) =
+            build_structural_postcard_problem(&net, &files, &ledger, &cfg).unwrap();
+        assert!(!rows.cap_rows.is_empty());
+        assert_eq!(rows.release_rows.len(), 1);
+        let a = pruned.solve(&cfg.simplex).unwrap();
+        let b = structural.solve(&cfg.simplex).unwrap();
+        assert!(
+            (a.cost_per_slot - b.cost_per_slot).abs() < 1e-9,
+            "pruned {} vs structural {}",
+            a.cost_per_slot,
+            b.cost_per_slot
+        );
+    }
+
+    #[test]
+    fn delta_advances_match_cold_solves_over_many_slots() {
+        let net = fig1_net();
+        let cfg = PostcardConfig::default();
+        let mut delta = DeltaFormulation::new(cfg.clone());
+        let mut ledger = TrafficLedger::new(64);
+        for slot in 0..12u64 {
+            let files = batch(slot, 4.0 + (slot % 3) as f64);
+            let cold = solve_postcard_with(&net, &files, &ledger, &cfg).unwrap();
+            let inc = delta.solve(&net, &files, &ledger).unwrap();
+            assert!(
+                (inc.cost_per_slot - cold.cost_per_slot).abs() < 1e-9,
+                "slot {slot}: delta {} vs cold {}",
+                inc.cost_per_slot,
+                cold.cost_per_slot
+            );
+            assert!(inc.plan.is_valid(&net, &files, |from, to, s| ledger.volume(from, to, s)));
+            inc.plan.apply_to_ledger(&mut ledger);
+        }
+        assert_eq!(delta.rebuilds(), 1, "one cold build, then deltas");
+        assert_eq!(delta.delta_hits(), 11);
+        assert!(delta.last_was_delta());
+    }
+
+    #[test]
+    fn shape_change_triggers_rebuild_and_recovers() {
+        let net = fig1_net();
+        let cfg = PostcardConfig::default();
+        let mut delta = DeltaFormulation::new(cfg.clone());
+        let ledger = TrafficLedger::new(32);
+        delta.solve(&net, &batch(0, 6.0), &ledger).unwrap();
+        // Two files instead of one: different shape, must rebuild.
+        let two = vec![
+            TransferRequest::new(FileId(10), d(1), d(2), 3.0, 3, 1),
+            TransferRequest::new(FileId(11), d(1), d(2), 3.0, 3, 1),
+        ];
+        let cold = solve_postcard_with(&net, &two, &ledger, &cfg).unwrap();
+        let inc = delta.solve(&net, &two, &ledger).unwrap();
+        assert!((inc.cost_per_slot - cold.cost_per_slot).abs() < 1e-9);
+        assert!(!delta.last_was_delta());
+        assert_eq!(delta.rebuilds(), 2);
+        // The new shape becomes the standing one.
+        let two_later: Vec<TransferRequest> = two
+            .iter()
+            .map(|f| TransferRequest::new(FileId(f.id.0 + 10), f.src, f.dst, f.size_gb, 3, 2))
+            .collect();
+        delta.solve(&net, &two_later, &ledger).unwrap();
+        assert!(delta.last_was_delta());
+    }
+
+    #[test]
+    fn empty_batch_is_trivial_and_keeps_the_standing_model() {
+        let net = fig1_net();
+        let mut delta = DeltaFormulation::new(PostcardConfig::default());
+        let ledger = TrafficLedger::new(32);
+        delta.solve(&net, &batch(0, 6.0), &ledger).unwrap();
+        let sol = delta.solve(&net, &[], &ledger).unwrap();
+        assert!(sol.plan.is_empty());
+        assert!(!delta.last_was_delta());
+        assert_eq!(delta.rebuilds(), 1);
+        // The standing model survives the trivial slot.
+        delta.solve(&net, &batch(1, 6.0), &ledger).unwrap();
+        assert!(delta.last_was_delta());
+    }
+
+    #[test]
+    fn delta_detects_infeasibility_like_cold() {
+        let net = NetworkBuilder::new(2).link(d(0), d(1), 1.0, 2.0).build();
+        let mut delta = DeltaFormulation::new(PostcardConfig::default());
+        let mut ledger = TrafficLedger::new(32);
+        let ok = vec![TransferRequest::new(FileId(0), d(0), d(1), 3.0, 2, 0)];
+        delta.solve(&net, &ok, &ledger).unwrap().plan.apply_to_ledger(&mut ledger);
+        // Same shape, but the residual cannot carry 10 GB in 2 slots.
+        let too_big = vec![TransferRequest::new(FileId(1), d(0), d(1), 10.0, 2, 1)];
+        let err = delta.solve(&net, &too_big, &ledger).unwrap_err();
+        assert_eq!(err, PostcardError::Infeasible);
+        // The standing model is still usable afterwards.
+        let ok2 = vec![TransferRequest::new(FileId(2), d(0), d(1), 2.0, 2, 1)];
+        let sol = delta.solve(&net, &ok2, &ledger).unwrap();
+        assert!(sol.plan.is_valid(&net, &ok2, |from, to, s| ledger.volume(from, to, s)));
+    }
+}

@@ -26,7 +26,7 @@
 //! exist).
 
 use crate::error::PostcardError;
-use postcard_lp::{Basis, LinExpr, Model, Sense, SimplexOptions, Status, Variable};
+use postcard_lp::{Basis, ConstraintId, LinExpr, Model, Sense, SimplexOptions, Status, Variable};
 use postcard_net::{
     ArcId, ArcKind, Network, TimeExpandedGraph, TimeNode, TrafficLedger, TransferPlan,
     TransferRequest,
@@ -48,11 +48,24 @@ pub struct PostcardConfig {
     /// whose dimensions changed fall back to a cold phase-1 automatically, so
     /// this only ever trades time for nothing — it never changes results.
     pub warm_start: bool,
+    /// When `true`, stateful drivers keep a standing
+    /// [`crate::DeltaFormulation`] alive across slots: same-shaped recurring
+    /// batches advance the standing model in place (graph rebase + RHS/bound
+    /// refresh) and re-solve with the dual simplex from the previous basis
+    /// instead of rebuilding the LP from scratch. Shape changes fall back to
+    /// a full rebuild automatically, so results never differ from cold
+    /// solves beyond degenerate-optimum tie-breaking.
+    pub incremental: bool,
 }
 
 impl Default for PostcardConfig {
     fn default() -> Self {
-        Self { allow_relay_storage: true, simplex: SimplexOptions::default(), warm_start: false }
+        Self {
+            allow_relay_storage: true,
+            simplex: SimplexOptions::default(),
+            warm_start: false,
+            incremental: false,
+        }
     }
 }
 
@@ -69,6 +82,9 @@ pub struct PostcardSolution {
     pub charged: BTreeMap<(usize, usize), f64>,
     /// Simplex pivots used.
     pub lp_iterations: usize,
+    /// How many of those pivots were dual-simplex pivots (non-zero only on
+    /// warm re-solves that resumed from a dual-feasible basis).
+    pub dual_iterations: usize,
     /// The optimal basis of the underlying LP, exported so the next solve of
     /// a same-shaped problem can warm-start (`None` for trivial solves).
     pub basis: Option<Basis>,
@@ -110,6 +126,7 @@ pub fn solve_postcard_with(
                 .map(|l| ((l.from.0, l.to.0), ledger.peak(l.from, l.to)))
                 .collect(),
             lp_iterations: 0,
+            dual_iterations: 0,
             basis: None,
         });
     }
@@ -180,6 +197,20 @@ impl PostcardProblem {
         warm: Option<&Basis>,
     ) -> Result<PostcardSolution, PostcardError> {
         let sol = self.model.solve_warm(options, warm)?;
+        self.map_solution(&sol)
+    }
+
+    /// Maps an LP solution of [`PostcardProblem::model`] back to a transfer
+    /// plan. Exposed so drivers that solve the model through another path
+    /// (the standing [`crate::DeltaFormulation`]) share the exact mapping.
+    ///
+    /// # Errors
+    ///
+    /// [`PostcardError::Infeasible`] when the LP was infeasible.
+    pub fn map_solution(
+        &self,
+        sol: &postcard_lp::Solution,
+    ) -> Result<PostcardSolution, PostcardError> {
         match sol.status() {
             Status::Optimal => {
                 let mut plan = TransferPlan::new();
@@ -199,6 +230,7 @@ impl PostcardProblem {
                     cost_per_slot: sol.objective(),
                     charged,
                     lp_iterations: sol.iterations(),
+                    dual_iterations: sol.dual_iterations(),
                     basis: sol.basis().cloned(),
                 })
             }
@@ -206,6 +238,23 @@ impl PostcardProblem {
             Status::Unbounded => unreachable!("objective is bounded below by prior peaks"),
         }
     }
+}
+
+/// Row bookkeeping for a *structurally built* Postcard LP (see
+/// [`build_structural_postcard_problem`]): the constraint ids whose
+/// right-hand sides depend on the ledger, so a standing model can be
+/// advanced to a new slot by rewriting only those RHS values.
+#[derive(Debug, Clone, Default)]
+pub struct PostcardRows {
+    /// Capacity rows (Eq. 7): `(row, arc)` with RHS = clamped residual
+    /// capacity of the arc's link at the arc's slot.
+    pub cap_rows: Vec<(ConstraintId, ArcId)>,
+    /// Charged-volume envelope rows: `(row, arc)` with RHS = `−used`, the
+    /// ledger traffic already committed on the arc's link-slot.
+    pub env_rows: Vec<(ConstraintId, ArcId)>,
+    /// Release rows of conservation (Eq. 8): `(row, file index)` with
+    /// RHS = the file's size. All other conservation RHS are identically 0.
+    pub release_rows: Vec<(ConstraintId, usize)>,
 }
 
 /// Assembles the Postcard LP for `files` against the residual capacities and
@@ -226,6 +275,41 @@ pub fn build_postcard_problem(
     ledger: &TrafficLedger,
     config: &PostcardConfig,
 ) -> Result<PostcardProblem, PostcardError> {
+    assemble(network, files, ledger, config, false).map(|(p, _)| p)
+}
+
+/// Assembles the Postcard LP in *structural* form: the variable and row
+/// layout depends only on the network and the batch **shape** (per-file
+/// source, destination, and window position relative to the batch start) —
+/// never on ledger state. Residual capacities, committed volumes, and prior
+/// peaks enter exclusively through right-hand sides and variable bounds,
+/// reported in the returned [`PostcardRows`].
+///
+/// Compared to [`build_postcard_problem`] this keeps variables on saturated
+/// arcs (their capacity row pins them to 0 instead), so the optimum is
+/// identical while the model shape is stable slot-over-slot: the standing
+/// [`crate::DeltaFormulation`] rebases the graph, rewrites the bookkept RHS,
+/// and re-solves on the previous basis.
+///
+/// # Errors
+///
+/// Same contract as [`build_postcard_problem`].
+pub fn build_structural_postcard_problem(
+    network: &Network,
+    files: &[TransferRequest],
+    ledger: &TrafficLedger,
+    config: &PostcardConfig,
+) -> Result<(PostcardProblem, PostcardRows), PostcardError> {
+    assemble(network, files, ledger, config, true)
+}
+
+fn assemble(
+    network: &Network,
+    files: &[TransferRequest],
+    ledger: &TrafficLedger,
+    config: &PostcardConfig,
+    structural: bool,
+) -> Result<(PostcardProblem, PostcardRows), PostcardError> {
     for f in files {
         for dc in [f.src, f.dst] {
             if dc.index() >= network.num_dcs() {
@@ -239,18 +323,26 @@ pub fn build_postcard_problem(
     let t0 = files.iter().map(|f| f.first_slot()).min().unwrap_or(0);
     let t_end = files.iter().map(|f| f.last_slot()).max().unwrap_or(t0);
     let horizon = (t_end - t0 + 1) as usize;
-    let graph = TimeExpandedGraph::with_residual(network, t0, horizon, |l, slot| {
-        Some(ledger.residual(network, l.from, l.to, slot))
-    });
+    // Structural mode keeps the network's static capacities on the arcs —
+    // residuals reach the LP only through capacity-row RHS — so the graph
+    // (and with it the variable layout) is ledger-independent.
+    let graph = if structural {
+        TimeExpandedGraph::new(network, t0, horizon)
+    } else {
+        TimeExpandedGraph::with_residual(network, t0, horizon, |l, slot| {
+            Some(ledger.residual(network, l.from, l.to, slot))
+        })
+    };
 
     let mut m = Model::new(Sense::Minimize);
+    let mut rows = PostcardRows::default();
 
     // Per-file arc variables, created only where constraint (10) allows.
     let mut mvars: Vec<BTreeMap<ArcId, Variable>> = Vec::with_capacity(files.len());
     for f in files {
         let mut per_arc = BTreeMap::new();
         for (id, arc) in graph.arcs_usable_by(f) {
-            if arc.kind == ArcKind::Transit && arc.capacity <= 0.0 {
+            if !structural && arc.kind == ArcKind::Transit && arc.capacity <= 0.0 {
                 continue; // saturated link-slot: no variable needed
             }
             if arc.slot == f.last_slot() && arc.to != f.dst {
@@ -310,11 +402,21 @@ pub fn build_postcard_problem(
         if load.is_empty() {
             continue;
         }
-        m.leq(load.clone(), arc.capacity);
+        let cap = if structural {
+            // The arc carries the static capacity; the residual is RHS-only
+            // state (clamped like `with_residual` clamps), so a saturated
+            // slot reads `load ≤ 0` instead of having no variables.
+            ledger.residual(network, arc.from, arc.to, arc.slot).max(0.0)
+        } else {
+            arc.capacity
+        };
+        let cap_row = m.leq(load.clone(), cap);
+        rows.cap_rows.push((cap_row, id));
         let used = ledger.volume(arc.from, arc.to, arc.slot);
         let mut env = load;
         env.add_term(xvars[&(arc.from.0, arc.to.0)], -1.0);
-        m.leq(env, -used);
+        let env_row = m.leq(env, -used);
+        rows.env_rows.push((env_row, id));
     }
 
     // Conservation (8), per file per node per window layer.
@@ -335,7 +437,8 @@ pub fn build_postcard_problem(
                         }
                     }
                 }
-                let rhs = if slot == f.first_slot() && dc == f.src { f.size_gb } else { 0.0 };
+                let release = slot == f.first_slot() && dc == f.src;
+                let rhs = if release { f.size_gb } else { 0.0 };
                 if expr.is_empty() {
                     // postcard-analyze: allow(PA101) — rhs is 0.0 or a size.
                     if rhs != 0.0 {
@@ -345,12 +448,15 @@ pub fn build_postcard_problem(
                     }
                     continue;
                 }
-                m.eq(expr, rhs);
+                let row = m.eq(expr, rhs);
+                if release {
+                    rows.release_rows.push((row, k));
+                }
             }
         }
     }
 
-    Ok(PostcardProblem { model: m, graph, files: files.to_vec(), mvars, xvars })
+    Ok((PostcardProblem { model: m, graph, files: files.to_vec(), mvars, xvars }, rows))
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 //! implementations: Postcard, the three storage-free flow baselines, and a
 //! naive direct-path sender.
 
+use crate::delta::DeltaFormulation;
 use crate::error::PostcardError;
 use crate::formulation::{solve_postcard_warm_with, PostcardConfig};
 use postcard_flow::{
@@ -30,10 +31,19 @@ pub struct SolveStats {
     /// Simplex pivots performed by the underlying LP solve (0 for
     /// combinatorial schedulers).
     pub lp_iterations: usize,
+    /// How many of those pivots were dual-simplex pivots (non-zero only on
+    /// warm re-solves resuming from a dual-feasible basis).
+    pub dual_iterations: usize,
     /// Whether the solve was handed a previous basis to warm-start from.
     /// `false` for cold solves, non-LP schedulers, and the first solve of a
     /// warm-starting scheduler.
     pub warm_started: bool,
+    /// Whether the solve advanced a standing [`DeltaFormulation`] in place
+    /// (the incremental fast path).
+    pub delta_hit: bool,
+    /// Whether the solve (re)built a standing [`DeltaFormulation`] from
+    /// scratch. `false` for non-incremental schedulers.
+    pub rebuilt: bool,
 }
 
 /// A routing/scheduling policy for one batch of simultaneously released
@@ -99,12 +109,15 @@ fn map_baseline(e: BaselineError) -> PostcardError {
 #[derive(Debug, Clone, Default)]
 pub struct PostcardScheduler {
     /// Formulation options (relay-storage ablation, simplex tuning, warm
-    /// starts).
+    /// starts, incremental standing model).
     pub config: PostcardConfig,
     last_stats: SolveStats,
     /// The optimal basis of the previous solve, carried across slots when
-    /// `config.warm_start` is set.
+    /// `config.warm_start` is set (the non-incremental warm path).
     last_basis: Option<Basis>,
+    /// The standing incremental formulation, lazily created on the first
+    /// solve when `config.incremental` is set.
+    delta: Option<DeltaFormulation>,
 }
 
 impl PostcardScheduler {
@@ -115,7 +128,13 @@ impl PostcardScheduler {
 
     /// Creates a scheduler with an explicit configuration.
     pub fn with_config(config: PostcardConfig) -> Self {
-        Self { config, last_stats: SolveStats::default(), last_basis: None }
+        Self { config, ..Self::default() }
+    }
+
+    /// The standing delta formulation's hit/rebuild counters, when
+    /// `config.incremental` is active and at least one solve has run.
+    pub fn delta_counters(&self) -> Option<(u64, u64)> {
+        self.delta.as_ref().map(|d| (d.delta_hits(), d.rebuilds()))
     }
 }
 
@@ -134,10 +153,30 @@ impl Scheduler for PostcardScheduler {
         files: &[TransferRequest],
         ledger: &TrafficLedger,
     ) -> Result<Decision, PostcardError> {
+        if self.config.incremental {
+            let delta =
+                self.delta.get_or_insert_with(|| DeltaFormulation::new(self.config.clone()));
+            let sol = delta.solve(network, files, ledger)?;
+            let delta_hit = delta.last_was_delta();
+            self.last_stats = SolveStats {
+                lp_iterations: sol.lp_iterations,
+                dual_iterations: sol.dual_iterations,
+                // The delta path always resumes from the standing basis.
+                warm_started: delta_hit,
+                delta_hit,
+                rebuilt: !delta_hit && !files.is_empty(),
+            };
+            return Ok(Decision::Plan(sol.plan));
+        }
         let warm = if self.config.warm_start { self.last_basis.as_ref() } else { None };
         let warm_started = warm.is_some();
         let sol = solve_postcard_warm_with(network, files, ledger, &self.config, warm)?;
-        self.last_stats = SolveStats { lp_iterations: sol.lp_iterations, warm_started };
+        self.last_stats = SolveStats {
+            lp_iterations: sol.lp_iterations,
+            dual_iterations: sol.dual_iterations,
+            warm_started,
+            ..SolveStats::default()
+        };
         if self.config.warm_start {
             // Keep the previous basis when a trivial (empty-batch) solve
             // exported none — the next real solve can still use it.
@@ -191,7 +230,12 @@ impl Scheduler for FlowLpScheduler {
         let warm = if self.warm_start { self.last_basis.as_ref() } else { None };
         let warm_started = warm.is_some();
         let out = unified_flow_lp_warm(network, files, ledger, warm).map_err(map_baseline)?;
-        self.last_stats = SolveStats { lp_iterations: out.lp_iterations, warm_started };
+        self.last_stats = SolveStats {
+            lp_iterations: out.lp_iterations,
+            dual_iterations: out.dual_iterations,
+            warm_started,
+            ..SolveStats::default()
+        };
         if self.warm_start && out.basis.is_some() {
             self.last_basis = out.basis;
         }

@@ -187,6 +187,9 @@ pub struct UnifiedFlowOutcome {
     pub assignment: FlowAssignment,
     /// Simplex pivots used (0 for an empty batch).
     pub lp_iterations: usize,
+    /// How many of those pivots were dual-simplex pivots (non-zero only on
+    /// warm solves resuming from a dual-feasible basis).
+    pub dual_iterations: usize,
     /// The optimal basis, exportable into the next solve's `warm` argument
     /// (`None` for an empty batch).
     pub basis: Option<Basis>,
@@ -210,6 +213,7 @@ pub fn unified_flow_lp_warm(
         return Ok(UnifiedFlowOutcome {
             assignment: FlowAssignment::new(),
             lp_iterations: 0,
+            dual_iterations: 0,
             basis: None,
         });
     }
@@ -303,6 +307,7 @@ pub fn unified_flow_lp_warm(
             Ok(UnifiedFlowOutcome {
                 assignment: a,
                 lp_iterations: sol.iterations(),
+                dual_iterations: sol.dual_iterations(),
                 basis: sol.basis().cloned(),
             })
         }

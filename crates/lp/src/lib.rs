@@ -60,8 +60,8 @@ pub mod validate;
 pub use dense::{DenseMatrix, LuFactors};
 pub use error::LpError;
 pub use expr::{LinExpr, Variable};
-pub use model::{Constraint, ConstraintId, Model, Relation, Sense};
-pub use simplex::{Basis, SimplexOptions, SimplexSolver};
+pub use model::{Constraint, ConstraintId, Model, PreparedLp, Relation, Sense};
+pub use simplex::{Basis, SimplexOptions, SimplexSolver, SolverWorkspace};
 pub use solution::{Solution, Status};
 pub use sparse::CscMatrix;
 

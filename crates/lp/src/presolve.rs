@@ -78,6 +78,7 @@ impl Presolved {
                 vec![0.0; self.reduced.num_vars()],
                 vec![0.0; self.num_original_rows],
                 0,
+                0,
                 None,
             ));
         }
@@ -94,6 +95,7 @@ impl Presolved {
             sol.values().to_vec(),
             duals,
             sol.iterations(),
+            sol.dual_iterations(),
             None,
         ))
     }

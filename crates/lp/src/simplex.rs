@@ -33,6 +33,47 @@ use crate::factor::BasisFactor;
 use crate::solution::Status;
 use crate::standard::StandardForm;
 
+/// Reusable solver allocations that survive across solves.
+///
+/// Every simplex iteration needs a handful of dense row-length scratch
+/// vectors (duals, pivot columns, rows of `B⁻¹`), refactorization gathers
+/// the basis columns into a per-row jagged buffer, and the product-form
+/// eta file grows to `refactor_every` update vectors between rebuilds.
+/// Allocating those per solve is invisible on one LP but dominates a slot
+/// loop that solves thousands of near-identical LPs; a `SolverWorkspace`
+/// owns them instead, so a persistent caller (one workspace per scheduler)
+/// pays the allocations once and every later solve runs in steady-state
+/// memory. A fresh workspace per solve is always correct — just slower.
+#[derive(Debug, Clone, Default)]
+pub struct SolverWorkspace {
+    /// Stack of row-length dense scratch vectors, recycled LIFO.
+    dense_pool: Vec<Vec<f64>>,
+    /// Basis-column gather buffer reused by refactorization.
+    factor_cols: Vec<Vec<(usize, f64)>>,
+    /// Product-form eta file, cleared (capacity kept) between solves.
+    etas: EtaFile,
+}
+
+impl SolverWorkspace {
+    /// An empty workspace; buffers grow on first use and are kept after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a zeroed length-`m` scratch vector from the pool.
+    fn grab(&mut self, m: usize) -> Vec<f64> {
+        let mut v = self.dense_pool.pop().unwrap_or_default();
+        v.clear();
+        v.resize(m, 0.0);
+        v
+    }
+
+    /// Returns a scratch vector to the pool for reuse.
+    fn stash(&mut self, v: Vec<f64>) {
+        self.dense_pool.push(v);
+    }
+}
+
 /// Tuning knobs for [`SimplexSolver`].
 #[derive(Debug, Clone)]
 pub struct SimplexOptions {
@@ -116,6 +157,8 @@ pub struct RawSolution {
     pub objective: f64,
     /// Total pivots performed.
     pub iterations: usize,
+    /// Pivots performed by the dual simplex (a subset of `iterations`).
+    pub dual_iterations: usize,
     /// The optimal basis, for warm-starting a subsequent solve. `None`
     /// unless the solve terminated optimal.
     pub basis: Option<Basis>,
@@ -140,11 +183,11 @@ impl SimplexSolver {
     /// is supplied and still usable.
     ///
     /// A warm basis left primal-infeasible by a right-hand-side change is
-    /// first repaired with dual-simplex pivots (it stays dual feasible, so
-    /// the repair is usually a handful of pivots). The basis is rejected —
+    /// re-optimized by the dual simplex (it stays dual feasible, so the
+    /// resolve is usually a handful of pivots). The basis is rejected —
     /// silently falling back to the cold two-phase path — when its
     /// dimensions do not match, its factorization is singular, or the dual
-    /// repair stalls. A singular basis encountered *during* the
+    /// simplex stalls. A singular basis encountered *during* the
     /// warm-started iteration also falls back to a full cold solve.
     ///
     /// # Errors
@@ -154,6 +197,7 @@ impl SimplexSolver {
         &self,
         sf: &StandardForm,
         warm: Option<&Basis>,
+        ws: &mut SolverWorkspace,
     ) -> Result<RawSolution, LpError> {
         if sf.trivially_infeasible {
             return Ok(RawSolution {
@@ -162,11 +206,12 @@ impl SimplexSolver {
                 y: vec![0.0; sf.m],
                 objective: f64::NAN,
                 iterations: 0,
+                dual_iterations: 0,
                 basis: None,
             });
         }
         if let Some(basis) = warm {
-            if let Some(mut state) = State::warm(sf, &self.options, basis) {
+            if let Some(mut state) = State::warm(sf, &self.options, basis, ws) {
                 match state.finish_phase2() {
                     Err(LpError::SingularBasis) => {
                         // The inherited basis degraded mid-flight; restart
@@ -176,11 +221,15 @@ impl SimplexSolver {
                 }
             }
         }
-        self.solve_cold(sf)
+        self.solve_cold(sf, ws)
     }
 
-    fn solve_cold(&self, sf: &StandardForm) -> Result<RawSolution, LpError> {
-        let mut state = State::new(sf, &self.options);
+    fn solve_cold(
+        &self,
+        sf: &StandardForm,
+        ws: &mut SolverWorkspace,
+    ) -> Result<RawSolution, LpError> {
+        let mut state = State::new(sf, &self.options, ws);
         match state.run() {
             Err(LpError::SingularBasis) => {
                 // A run of near-zero ratio-test pivots can assemble an
@@ -193,7 +242,7 @@ impl SimplexSolver {
                     refactor_every: self.options.refactor_every.min(32),
                     ..self.options.clone()
                 };
-                let mut retry = State::new(sf, &opts);
+                let mut retry = State::new(sf, &opts, ws);
                 retry.pricing = Pricing::Bland;
                 retry.run()
             }
@@ -212,6 +261,9 @@ enum Pricing {
 struct State<'a> {
     sf: &'a StandardForm,
     opts: &'a SimplexOptions,
+    /// Reusable scratch allocations (dense vectors, factor gather buffers,
+    /// and the eta file live here so they survive across solves).
+    ws: &'a mut SolverWorkspace,
     /// Number of real (structural + slack) columns.
     n: usize,
     m: usize,
@@ -222,13 +274,12 @@ struct State<'a> {
     in_basis: Vec<bool>,
     /// Sparse LU of the basis as of the last refactorization.
     factor: BasisFactor,
-    /// Product-form updates accumulated since the last refactorization.
-    etas: EtaFile,
     /// Current basic values `x_B = B⁻¹ b`.
     xb: Vec<f64>,
     /// Phase-dependent costs for all columns (real + artificial).
     cost: Vec<f64>,
     iterations: usize,
+    dual_iterations: usize,
     degenerate_run: usize,
     pricing: Pricing,
     /// Artificial columns are barred from entering in phase 2.
@@ -236,7 +287,7 @@ struct State<'a> {
 }
 
 impl<'a> State<'a> {
-    fn new(sf: &'a StandardForm, opts: &'a SimplexOptions) -> Self {
+    fn new(sf: &'a StandardForm, opts: &'a SimplexOptions, ws: &'a mut SolverWorkspace) -> Self {
         let n = sf.n_cols;
         let m = sf.m;
         let mut basis = Vec::with_capacity(m);
@@ -266,19 +317,21 @@ impl<'a> State<'a> {
             }
         }
         let xb = sf.b.clone();
+        ws.etas.clear();
         State {
             sf,
             opts,
+            ws,
             n,
             m,
             art_row,
             basis,
             in_basis,
             factor: BasisFactor::identity(m),
-            etas: EtaFile::new(),
             xb,
             cost: vec![0.0; n + n_art],
             iterations: 0,
+            dual_iterations: 0,
             degenerate_run: 0,
             pricing: Pricing::Dantzig,
             allow_artificials: true,
@@ -289,7 +342,12 @@ impl<'a> State<'a> {
     /// `None` when the basis cannot seed this problem (dimension mismatch,
     /// duplicate columns, singular factorization, or primal infeasibility
     /// for the new right-hand side).
-    fn warm(sf: &'a StandardForm, opts: &'a SimplexOptions, warm: &Basis) -> Option<State<'a>> {
+    fn warm(
+        sf: &'a StandardForm,
+        opts: &'a SimplexOptions,
+        warm: &Basis,
+        ws: &'a mut SolverWorkspace,
+    ) -> Option<State<'a>> {
         let n = sf.n_cols;
         let m = sf.m;
         if warm.cols.len() != m || warm.n_cols != n {
@@ -331,19 +389,21 @@ impl<'a> State<'a> {
         }
         let mut cost = sf.c.clone();
         cost.extend(std::iter::repeat_n(0.0, n_art));
+        ws.etas.clear();
         let mut st = State {
             sf,
             opts,
+            ws,
             n,
             m,
             art_row,
             basis,
             in_basis,
             factor: BasisFactor::identity(m),
-            etas: EtaFile::new(),
             xb: vec![0.0; m],
             cost,
             iterations: 0,
+            dual_iterations: 0,
             degenerate_run: 0,
             pricing: Pricing::Dantzig,
             allow_artificials: false,
@@ -362,9 +422,9 @@ impl<'a> State<'a> {
         // The new b may have pushed some basic values negative. The basis
         // is still *dual* feasible (costs did not change since it priced
         // out optimal), which is exactly the dual simplex's starting
-        // condition — repair primal feasibility with dual pivots instead
-        // of throwing the basis away.
-        if !st.repair_primal_feasibility() {
+        // condition — re-optimize with dual pivots instead of throwing the
+        // basis away.
+        if !st.dual_simplex() {
             return None;
         }
         for v in st.xb.iter_mut() {
@@ -375,29 +435,70 @@ impl<'a> State<'a> {
         Some(st)
     }
 
-    /// Dual-simplex repair loop: while some basic value is negative, choose
-    /// the most-negative row as the leaving row and enter the column that
-    /// keeps reduced costs nonnegative (the standard dual ratio test). Ends
-    /// with a primal-feasible basis (true) or gives up (false) when no
-    /// entering column exists, a pivot is numerically unusable, or the
-    /// pivot budget is exhausted — the caller then falls back to a cold
-    /// solve, so this loop never needs its own anti-cycling guarantee.
-    fn repair_primal_feasibility(&mut self) -> bool {
-        let budget = (2 * self.m).max(64);
-        for _ in 0..budget {
+    /// First-class dual simplex over a dual-feasible basis.
+    ///
+    /// While some basic value is negative the basis stays primal
+    /// infeasible but (by the caller's invariant) dual feasible, so each
+    /// iteration picks a leaving row among the infeasible ones and an
+    /// entering column via the **dual ratio test** — the nonbasic column
+    /// minimizing `d_j / -α_j` over columns with `α_j < 0` in the leaving
+    /// row of `B⁻¹A`, which is exactly the largest dual step that keeps
+    /// every reduced cost nonnegative. Leaving-row selection is
+    /// most-negative-value (the dual analogue of Dantzig pricing); after
+    /// [`SimplexOptions::bland_after`] consecutive degenerate steps (dual
+    /// ratio ≈ 0) it switches to the dual form of Bland's rule — leaving
+    /// row with the smallest basic column index, entering column with the
+    /// smallest index among the ratio-test minimizers — whose pivot
+    /// sequence cannot cycle, so termination is guaranteed.
+    ///
+    /// Bounded variables need no dedicated bound-flip handling here: the
+    /// standard-form transform already reduces every finite bound to
+    /// `x ≥ 0` plus an explicit `x ≤ ub − lb` row, so the textbook
+    /// nonnegative-variable ratio test is complete for this form.
+    ///
+    /// Shares the solver-wide pivot budget (`max_iterations`) and the
+    /// periodic refactorization cadence with the primal path. Returns
+    /// `true` on reaching primal feasibility (a primal-and-dual-feasible
+    /// basis, i.e. optimal for the current costs); `false` when no
+    /// entering column exists (primal infeasible or numerics too far
+    /// gone), a pivot is unusable, or the budget is exhausted — the caller
+    /// then falls back to a cold two-phase solve, so a `false` here never
+    /// costs correctness.
+    fn dual_simplex(&mut self) -> bool {
+        let mut bland = self.opts.bland_after == 0;
+        let mut degenerate_run = 0usize;
+        loop {
+            if self.iterations >= self.opts.max_iterations {
+                return false;
+            }
+            if self.ws.etas.len() >= self.opts.refactor_every && self.refactorize().is_err() {
+                return false;
+            }
             let mut r_out = None;
-            let mut worst = -self.opts.feas_tol;
-            for (r, &v) in self.xb.iter().enumerate() {
-                if v < worst {
-                    worst = v;
-                    r_out = Some(r);
+            if bland {
+                // Dual Bland's rule: the infeasible row whose *basic column*
+                // index is smallest.
+                let mut best_col = usize::MAX;
+                for (r, &v) in self.xb.iter().enumerate() {
+                    if v < -self.opts.feas_tol && self.basis[r] < best_col {
+                        best_col = self.basis[r];
+                        r_out = Some(r);
+                    }
+                }
+            } else {
+                let mut worst = -self.opts.feas_tol;
+                for (r, &v) in self.xb.iter().enumerate() {
+                    if v < worst {
+                        worst = v;
+                        r_out = Some(r);
+                    }
                 }
             }
             let Some(r) = r_out else {
                 return true;
             };
             // Row r of B⁻¹A, via ρ = B⁻ᵀ·e_r.
-            let mut rho = vec![0.0; self.m];
+            let mut rho = self.ws.grab(self.m);
             rho[r] = 1.0;
             self.btran(&mut rho);
             let y = self.duals();
@@ -412,25 +513,43 @@ impl<'a> State<'a> {
                     // Clamp tiny negative reduced costs (eta-file drift);
                     // the ratio keeps the duals feasible after the pivot.
                     let ratio = self.reduced_cost(j, &y).max(0.0) / -alpha;
-                    if best.is_none_or(|(_, b)| ratio < b) {
+                    let better = match best {
+                        None => true,
+                        // Bland tie-breaking: strictly better ratio, or a
+                        // smaller column index within the tie tolerance.
+                        Some((bj, br)) if bland => {
+                            ratio < br - 1e-9 || (ratio <= br + 1e-9 && j < bj)
+                        }
+                        Some((_, br)) => ratio < br,
+                    };
+                    if better {
                         best = Some((j, ratio));
                     }
                 }
             }
-            let Some((j_in, _)) = best else {
+            self.ws.stash(rho);
+            self.ws.stash(y);
+            let Some((j_in, ratio)) = best else {
                 return false;
             };
             let w = self.pivot_column(j_in);
             if w[r] >= -self.opts.pivot_tol {
+                self.ws.stash(w);
                 return false;
             }
             let theta = self.xb[r] / w[r];
-            self.pivot_with_theta(j_in, r, &w, theta);
-            if self.etas.len() >= self.opts.refactor_every && self.refactorize().is_err() {
-                return false;
+            if ratio <= 1e-12 {
+                degenerate_run += 1;
+                if degenerate_run > self.opts.bland_after {
+                    bland = true;
+                }
+            } else {
+                degenerate_run = 0;
             }
+            self.pivot_with_theta(j_in, r, &w, theta);
+            self.ws.stash(w);
+            self.dual_iterations += 1;
         }
-        false
     }
 
     fn num_cols(&self) -> usize {
@@ -462,27 +581,29 @@ impl<'a> State<'a> {
     /// Input is row-indexed; output is basis-position-indexed.
     fn ftran(&self, v: &mut [f64]) {
         self.factor.ftran(v);
-        self.etas.apply_ftran(v);
+        self.ws.etas.apply_ftran(v);
     }
 
     /// Transposed solve `Bᵀ·y = c` through the eta file and the LU
     /// factors. Input is basis-position-indexed; output is row-indexed.
     fn btran(&self, v: &mut [f64]) {
-        self.etas.apply_btran(v);
+        self.ws.etas.apply_btran(v);
         self.factor.btran(v);
     }
 
     /// `w = B⁻¹ · A_j`, scattered from the CSC column and solved sparsely.
-    fn pivot_column(&self, j: usize) -> Vec<f64> {
-        let mut w = vec![0.0; self.m];
+    /// The vector comes from the workspace pool; return it with
+    /// [`SolverWorkspace::stash`] once dead.
+    fn pivot_column(&mut self, j: usize) -> Vec<f64> {
+        let mut w = self.ws.grab(self.m);
         self.for_col(j, |r, v| w[r] += v);
         self.ftran(&mut w);
         w
     }
 
-    /// Dual vector `y = B⁻ᵀ c_B`.
-    fn duals(&self) -> Vec<f64> {
-        let mut y = vec![0.0; self.m];
+    /// Dual vector `y = B⁻ᵀ c_B`. Pooled like [`State::pivot_column`].
+    fn duals(&mut self) -> Vec<f64> {
+        let mut y = self.ws.grab(self.m);
         for (pos, &j) in self.basis.iter().enumerate() {
             y[pos] = self.cost[j];
         }
@@ -510,6 +631,7 @@ impl<'a> State<'a> {
                     y: vec![0.0; self.m],
                     objective: f64::NAN,
                     iterations: self.iterations,
+                    dual_iterations: self.dual_iterations,
                     basis: None,
                 });
             }
@@ -536,8 +658,8 @@ impl<'a> State<'a> {
     fn finish_phase2(&mut self) -> Result<RawSolution, LpError> {
         let mut outcome = self.optimize()?;
         if outcome == PhaseOutcome::Optimal
-            && !self.etas.is_empty()
-            && self.etas.len() >= self.opts.refactor_every / 4
+            && !self.ws.etas.is_empty()
+            && self.ws.etas.len() >= self.opts.refactor_every / 4
         {
             // Clean accumulated eta-file drift out of the basis before
             // reporting, and re-verify optimality on the refreshed numbers.
@@ -551,6 +673,7 @@ impl<'a> State<'a> {
                 y: vec![0.0; self.m],
                 objective: f64::NEG_INFINITY,
                 iterations: self.iterations,
+                dual_iterations: self.dual_iterations,
                 basis: None,
             });
         }
@@ -572,6 +695,7 @@ impl<'a> State<'a> {
             y,
             objective,
             iterations: self.iterations,
+            dual_iterations: self.dual_iterations,
             basis: Some(self.export_basis()),
         })
     }
@@ -593,19 +717,22 @@ impl<'a> State<'a> {
             if self.iterations >= self.opts.max_iterations {
                 return Err(LpError::IterationLimit { limit: self.opts.max_iterations });
             }
-            if self.etas.len() >= self.opts.refactor_every {
+            if self.ws.etas.len() >= self.opts.refactor_every {
                 self.refactorize()?;
             }
             let y = self.duals();
             let entering = self.price(&y);
+            self.ws.stash(y);
             let Some(j_in) = entering else {
                 return Ok(PhaseOutcome::Optimal);
             };
             let w = self.pivot_column(j_in);
             let Some(r_out) = self.ratio_test(&w) else {
+                self.ws.stash(w);
                 return Ok(PhaseOutcome::Unbounded);
             };
             self.pivot(j_in, r_out, &w);
+            self.ws.stash(w);
         }
     }
 
@@ -694,7 +821,7 @@ impl<'a> State<'a> {
 
         // Record the product-form update B_new = B_old · E, where E is the
         // identity with column r_out replaced by w.
-        self.etas.push(r_out, w, self.opts.eta_drop_tol);
+        self.ws.etas.push(r_out, w, self.opts.eta_drop_tol);
 
         let j_out = self.basis[r_out];
         self.in_basis[j_out] = false;
@@ -714,7 +841,7 @@ impl<'a> State<'a> {
     /// executable proof that `Optimal` is only ever reported together with a
     /// valid dual certificate.
     #[cfg(debug_assertions)]
-    fn assert_optimality_certificate(&self) {
+    fn assert_optimality_certificate(&mut self) {
         let y = self.duals();
         let limit = if self.allow_artificials { self.num_cols() } else { self.n };
         for j in 0..limit {
@@ -727,6 +854,7 @@ impl<'a> State<'a> {
                 "optimality certificate violated: column {j} has reduced cost {d}"
             );
         }
+        self.ws.stash(y);
     }
 
     /// Pivot zero-level artificials out of the basis where a real column has
@@ -740,7 +868,7 @@ impl<'a> State<'a> {
                 continue;
             }
             // Row r of B⁻¹ is B⁻ᵀ·e_r, a transposed solve away.
-            let mut brow = vec![0.0; self.m];
+            let mut brow = self.ws.grab(self.m);
             brow[r] = 1.0;
             self.btran(&mut brow);
             let mut found = None;
@@ -755,26 +883,35 @@ impl<'a> State<'a> {
                     break;
                 }
             }
+            self.ws.stash(brow);
             if let Some(j) = found {
                 let w = self.pivot_column(j);
                 self.pivot(j, r, &w);
+                self.ws.stash(w);
             }
         }
         Ok(())
     }
 
     /// Rebuilds the sparse LU from the basis columns, clears the eta file,
-    /// and recomputes `x_B`.
+    /// and recomputes `x_B`. The basis-column gather buffer lives in the
+    /// workspace so repeated refactorizations reuse its allocations.
     fn refactorize(&mut self) -> Result<(), LpError> {
-        let mut cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(self.m);
-        for &j in &self.basis {
-            let mut col = Vec::new();
+        let mut cols = std::mem::take(&mut self.ws.factor_cols);
+        cols.truncate(self.m);
+        cols.resize_with(self.m, Vec::new);
+        for (slot, &j) in self.basis.iter().enumerate() {
+            let col = &mut cols[slot];
+            col.clear();
             self.for_col(j, |r, v| col.push((r, v)));
-            cols.push(col);
         }
-        self.factor = BasisFactor::factorize(&cols, 1e-12)?;
-        self.etas.clear();
-        let mut xb = self.sf.b.clone();
+        let factor = BasisFactor::factorize(&cols, 1e-12);
+        self.ws.factor_cols = cols;
+        self.factor = factor?;
+        self.ws.etas.clear();
+        let mut xb = std::mem::take(&mut self.xb);
+        xb.clear();
+        xb.extend_from_slice(&self.sf.b);
         self.factor.ftran(&mut xb);
         for v in xb.iter_mut() {
             if *v < 0.0 && *v > -1e-9 {

@@ -39,6 +39,7 @@ pub struct Solution {
     values: Vec<f64>,
     duals: Vec<f64>,
     iterations: usize,
+    dual_iterations: usize,
     basis: Option<Basis>,
 }
 
@@ -49,9 +50,10 @@ impl Solution {
         values: Vec<f64>,
         duals: Vec<f64>,
         iterations: usize,
+        dual_iterations: usize,
         basis: Option<Basis>,
     ) -> Self {
-        Self { status, objective, values, duals, iterations, basis }
+        Self { status, objective, values, duals, iterations, dual_iterations, basis }
     }
 
     /// Termination status.
@@ -108,6 +110,14 @@ impl Solution {
         self.iterations
     }
 
+    /// Number of dual-simplex pivots (a subset of [`Solution::iterations`]):
+    /// nonzero exactly when a warm basis left primal-infeasible by a
+    /// right-hand-side change was re-optimized in place by the dual simplex
+    /// instead of a cold two-phase restart.
+    pub fn dual_iterations(&self) -> usize {
+        self.dual_iterations
+    }
+
     /// The optimal basis, for warm-starting a later solve of a same-shaped
     /// model via [`crate::Model::solve_warm`]. `None` unless the solve
     /// terminated [`Status::Optimal`].
@@ -129,12 +139,13 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let s = Solution::new(Status::Optimal, 3.5, vec![1.0, 2.0], vec![0.5], 7, None);
+        let s = Solution::new(Status::Optimal, 3.5, vec![1.0, 2.0], vec![0.5], 7, 2, None);
         assert!(s.is_optimal());
         assert_eq!(s.objective(), 3.5);
         assert_eq!(s.values(), &[1.0, 2.0]);
         assert_eq!(s.duals(), &[0.5]);
         assert_eq!(s.iterations(), 7);
+        assert_eq!(s.dual_iterations(), 2);
         assert!(s.basis().is_none());
     }
 }

@@ -4,7 +4,9 @@
 //! optimum) is known by construction, then verify the solver's answer with
 //! the independent checker in `postcard_lp::validate`.
 
-use postcard_lp::{validate, LinExpr, Model, Sense, Status, Variable};
+use postcard_lp::{
+    validate, LinExpr, Model, Sense, SimplexOptions, SolverWorkspace, Status, Variable,
+};
 use proptest::prelude::*;
 
 /// Builds a model with `n` box-bounded variables and `m` "≤" constraints
@@ -157,6 +159,100 @@ proptest! {
         let smin = build(Sense::Minimize, &neg).solve().unwrap();
         prop_assert!((smax.objective() + smin.objective()).abs() < 1e-6,
             "{} vs {}", smax.objective(), -smin.objective());
+    }
+
+    /// After an arbitrary RHS perturbation, the dual-simplex warm re-solve
+    /// through `prepare`/`refresh` must land exactly where a cold two-phase
+    /// solve of the mutated model lands: identical status, objectives within
+    /// 1e-9, and an independently validated feasible point.
+    #[test]
+    fn dual_simplex_resolve_matches_cold_after_rhs_perturbation(
+        costs in prop::collection::vec(-5.0f64..5.0, 2..5),
+        raw_boxes in prop::collection::vec((0.0f64..3.0, 0.5f64..6.0), 2..5),
+        rows in prop::collection::vec(prop::collection::vec(-2.0f64..2.0, 2..5), 1..6),
+        slacks in prop::collection::vec(0.0f64..4.0, 1..6),
+        deltas in prop::collection::vec(-3.0f64..3.0, 1..6),
+    ) {
+        let n = costs.len().min(raw_boxes.len());
+        let m_rows = rows.len().min(slacks.len());
+        let boxes: Vec<(f64, f64)> =
+            raw_boxes[..n].iter().map(|&(lo, w)| (lo, lo + w)).collect();
+        let rows: Vec<Vec<f64>> = rows[..m_rows]
+            .iter()
+            .map(|r| { let mut r = r.clone(); r.resize(n, 0.0); r })
+            .collect();
+        let (mut m, _, _) = feasible_box_lp(n, &costs[..n], &boxes, &rows, &slacks[..m_rows]);
+        let opts = SimplexOptions::default();
+        let mut prepared = m.prepare().unwrap();
+        let mut ws = SolverWorkspace::new();
+        let first = prepared.solve_warm(&m, &opts, None, &mut ws).unwrap();
+        prop_assert_eq!(first.status(), Status::Optimal);
+        let basis = first.basis().cloned();
+
+        // Perturb every row's RHS (possibly making the LP infeasible).
+        let ids: Vec<_> = m.constraints().map(|(id, c)| (id, c.rhs())).collect();
+        for (i, (id, rhs)) in ids.into_iter().enumerate() {
+            m.set_rhs(id, rhs + deltas[i % deltas.len()]);
+        }
+        prop_assert!(prepared.refresh(&m), "rhs edits never change bound structure");
+        let warm = prepared.solve_warm(&m, &opts, basis.as_ref(), &mut ws).unwrap();
+        let cold = m.solve_with(&opts).unwrap();
+        prop_assert_eq!(warm.status(), cold.status());
+        if cold.status() == Status::Optimal {
+            prop_assert!(
+                (warm.objective() - cold.objective()).abs()
+                    < 1e-9 * (1.0 + cold.objective().abs()),
+                "warm {} vs cold {}", warm.objective(), cold.objective()
+            );
+            prop_assert!(validate::is_feasible(&m, &warm, 1e-6));
+        }
+    }
+
+    /// A massively degenerate re-solve — every constraint tightened to be
+    /// active at the unique optimum — terminates under the dual Bland rule
+    /// (forced on from the first pivot) and still lands on the optimum.
+    #[test]
+    fn dual_simplex_terminates_on_degenerate_rhs(
+        costs in prop::collection::vec(0.1f64..5.0, 2..5),
+        rows in prop::collection::vec(prop::collection::vec(0.0f64..2.0, 2..5), 2..8),
+    ) {
+        let n = costs.len();
+        let mut m = Model::new(Sense::Minimize);
+        let vars: Vec<Variable> =
+            (0..n).map(|i| m.add_var(format!("x{i}"), 0.0, 10.0)).collect();
+        let mut obj = LinExpr::new();
+        for (v, c) in vars.iter().zip(&costs) {
+            obj.add_term(*v, *c);
+        }
+        m.set_objective(obj);
+        // Nonnegative rows: feasible at the origin for any rhs ≥ 0, and
+        // with positive costs the origin is the unique optimum.
+        let mut ids = Vec::new();
+        for row in &rows {
+            let mut e = LinExpr::new();
+            for (i, coef) in row.iter().take(n).enumerate() {
+                e.add_term(vars[i], *coef);
+            }
+            ids.push(m.leq(e, 5.0));
+        }
+        // Bland from the very first pivot: termination must not rely on the
+        // Dantzig phase making progress.
+        let opts = SimplexOptions { bland_after: 0, ..SimplexOptions::default() };
+        let mut prepared = m.prepare().unwrap();
+        let mut ws = SolverWorkspace::new();
+        let first = prepared.solve_warm(&m, &opts, None, &mut ws).unwrap();
+        prop_assert_eq!(first.status(), Status::Optimal);
+        let basis = first.basis().cloned();
+        // Tighten every row to 0: all rows become active at the origin at
+        // once — maximal degeneracy for the dual ratio test.
+        for &id in &ids {
+            m.set_rhs(id, 0.0);
+        }
+        prop_assert!(prepared.refresh(&m));
+        let warm = prepared.solve_warm(&m, &opts, basis.as_ref(), &mut ws).unwrap();
+        prop_assert_eq!(warm.status(), Status::Optimal);
+        prop_assert!(warm.objective().abs() < 1e-9, "optimum is the origin");
+        prop_assert!(validate::is_feasible(&m, &warm, 1e-6));
     }
 }
 

@@ -75,10 +75,20 @@ impl TierKind {
     /// on the LP tiers when `warm_start` is set (combinatorial tiers ignore
     /// the flag).
     pub fn build_with(&self, warm_start: bool) -> Box<dyn Scheduler> {
+        self.build_with_options(warm_start, false)
+    }
+
+    /// Builds the tier's scheduler with the full option set: `warm_start`
+    /// as in [`TierKind::build_with`], plus `incremental`, which puts the
+    /// Postcard tier on the standing delta formulation (slot-over-slot
+    /// model advance + dual-simplex re-solve). Other tiers ignore
+    /// `incremental`.
+    pub fn build_with_options(&self, warm_start: bool, incremental: bool) -> Box<dyn Scheduler> {
         match self {
             TierKind::Alap => Box::new(AlapTier::new()),
             TierKind::Postcard => Box::new(PostcardScheduler::with_config(PostcardConfig {
                 warm_start,
+                incremental,
                 ..PostcardConfig::default()
             })),
             TierKind::FlowLp => {
@@ -218,8 +228,15 @@ pub struct AttemptRecord {
     pub elapsed: Duration,
     /// LP effort of this attempt (0 for combinatorial tiers).
     pub lp_iterations: usize,
+    /// Dual-simplex pivots within `lp_iterations` (non-zero only on warm
+    /// re-solves resuming from a dual-feasible basis).
+    pub dual_iterations: usize,
     /// Whether the attempt's solve was warm-started from a previous basis.
     pub warm_started: bool,
+    /// Whether the attempt advanced a standing incremental model in place.
+    pub delta_hit: bool,
+    /// Whether the attempt (re)built a standing incremental model.
+    pub rebuilt: bool,
 }
 
 /// A tier's scheduler. The ALAP rung keeps its concrete type so the chain
@@ -294,6 +311,24 @@ impl FallbackChain {
         clock: Box<dyn Clock>,
         warm_start: bool,
     ) -> Self {
+        Self::with_options(tiers, slot_budget, clock, warm_start, false)
+    }
+
+    /// [`FallbackChain::new`] with the full option set: `warm_start` as in
+    /// [`FallbackChain::with_warm_start`], and `incremental` to put the
+    /// Postcard tier on the standing delta formulation (see
+    /// [`TierKind::build_with_options`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiers` is empty.
+    pub fn with_options(
+        tiers: &[TierKind],
+        slot_budget: Duration,
+        clock: Box<dyn Clock>,
+        warm_start: bool,
+        incremental: bool,
+    ) -> Self {
         assert!(!tiers.is_empty(), "fallback chain needs at least one tier");
         Self {
             tiers: tiers
@@ -302,7 +337,7 @@ impl FallbackChain {
                     kind,
                     scheduler: match kind {
                         TierKind::Alap => TierScheduler::Alap(AlapTier::new()),
-                        _ => TierScheduler::Dyn(kind.build_with(warm_start)),
+                        _ => TierScheduler::Dyn(kind.build_with_options(warm_start, incremental)),
                     },
                 })
                 .collect(),
@@ -373,7 +408,10 @@ impl FallbackChain {
             outcome,
             elapsed: self.clock.elapsed(),
             lp_iterations: stats.lp_iterations,
+            dual_iterations: stats.dual_iterations,
             warm_started: stats.warm_started,
+            delta_hit: stats.delta_hit,
+            rebuilt: stats.rebuilt,
         });
     }
 }

@@ -73,6 +73,14 @@ pub struct RuntimeConfig {
     /// results are identical either way (stale bases degrade to cold
     /// solves), only solve effort changes.
     pub warm_start: bool,
+    /// Keep a standing incremental Postcard formulation across slots: a
+    /// same-shaped recurring batch advances the standing model in place
+    /// (graph rebase + RHS/bound refresh) and re-solves with the dual
+    /// simplex from the previous basis instead of rebuilding the LP. Shape
+    /// changes rebuild automatically. Off by default. Adding this field is
+    /// a snapshot format break (the vendored serde shim treats missing
+    /// fields as errors), hence snapshot v7.
+    pub incremental: bool,
     /// Put the ALAP fast-path admission rung ahead of the LP tiers:
     /// [`Runtime::new`] prepends [`TierKind::Alap`] to `tiers` (idempotent
     /// if it is already listed). Each request is then admitted or rejected
@@ -104,6 +112,7 @@ impl Default for RuntimeConfig {
             clock: ClockKind::Sim,
             strict_analysis: false,
             warm_start: false,
+            incremental: false,
             alap: false,
             reopt_every: 0,
             shards: 1,
@@ -199,11 +208,12 @@ impl Runtime {
             config.tiers.insert(0, TierKind::Alap);
         }
         Self::validate(&config)?;
-        let chain = FallbackChain::with_warm_start(
+        let chain = FallbackChain::with_options(
             &config.tiers,
             config.slot_budget(),
             config.clock.build(),
             config.warm_start,
+            config.incremental,
         );
         // The horizon must cover every arrival's full deadline *window*, not
         // just its release slot — a late release with a multi-slot window
@@ -284,11 +294,12 @@ impl Runtime {
         // grid is likewise not snapshotted: a fresh `AlapTier` starts dirty
         // and deterministically rebuilds the grid from the restored ledger
         // on first use, so resumed runs stay bit-identical.
-        let chain = FallbackChain::with_warm_start(
+        let chain = FallbackChain::with_options(
             &snap.config.tiers,
             snap.config.slot_budget(),
             snap.config.clock.build(),
             snap.config.warm_start,
+            snap.config.incremental,
         );
         let mut queue = AdmissionQueue::new(snap.config.queue_capacity);
         queue.restore(snap.queue, snap.queue_dropped);
@@ -619,6 +630,15 @@ impl Runtime {
                         rec.elapsed.as_secs_f64(),
                     );
                     self.metrics.observe("lp_iterations", rec.lp_iterations as f64);
+                    if rec.dual_iterations > 0 {
+                        self.metrics.inc("dual_simplex_iters", rec.dual_iterations as u64);
+                    }
+                    if rec.delta_hit {
+                        self.metrics.inc("model_delta_hits", 1);
+                    }
+                    if rec.rebuilt {
+                        self.metrics.inc("model_rebuilds", 1);
+                    }
                     if rec.tier == TierKind::Alap {
                         self.metrics
                             .observe("admission_latency_seconds", rec.elapsed.as_secs_f64());

@@ -34,7 +34,7 @@ pub mod reconcile;
 
 pub use manifest::{ShardRef, ShardSnapshot, ShardState};
 pub use planner::ShardPlanner;
-pub use pool::ShardSolve;
+pub use pool::{ShardSolve, WorkerPool};
 
 use crate::fallback::{FallbackChain, TierKind};
 use crate::runtime::RuntimeConfig;
@@ -102,12 +102,13 @@ pub struct ShardSlotResult {
     pub degraded_shards: Vec<usize>,
 }
 
-/// Owns the per-shard fallback chains and billing-attribution states and
-/// orchestrates one slot: partition → parallel solve → reconcile.
+/// Owns the long-lived shard worker pool (each worker holding its shard's
+/// fallback chain) and the billing-attribution states, and orchestrates one
+/// slot: partition → parallel solve → reconcile.
 #[derive(Debug)]
 pub struct ShardEngine {
     planner: ShardPlanner,
-    chains: Vec<FallbackChain>,
+    pool: WorkerPool,
     states: Vec<ShardState>,
     /// Per-shard stamp of the last checkpointed state, used to skip
     /// rewriting unchanged shard snapshot files.
@@ -132,17 +133,18 @@ impl ShardEngine {
         assert_eq!(states.len(), config.shards, "one state per shard");
         let chains = (0..config.shards)
             .map(|_| {
-                FallbackChain::with_warm_start(
+                FallbackChain::with_options(
                     &config.tiers,
                     config.slot_budget(),
                     config.clock.build(),
                     config.warm_start,
+                    config.incremental,
                 )
             })
             .collect();
         Self {
             planner: ShardPlanner::new(config.shard_by, config.shards),
-            chains,
+            pool: WorkerPool::new(chains),
             states,
             saved_stamps: vec![None; config.shards],
         }
@@ -150,7 +152,7 @@ impl ShardEngine {
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
-        self.chains.len()
+        self.pool.len()
     }
 
     /// The partitioner.
@@ -186,9 +188,9 @@ impl ShardEngine {
         skip_alap: bool,
     ) -> ShardSlotResult {
         let directives = pool::SlotDirectives { slot, forced: forced.to_vec(), skip_alap };
-        let solves = pool::solve_parallel(&mut self.chains, network, base, batches, &directives);
+        let solves = self.pool.solve_parallel(network, base, batches, &directives);
         let resolutions =
-            reconcile::reconcile(network, base, solves, &mut self.chains, batches, &directives);
+            reconcile::reconcile(network, base, solves, &mut self.pool, batches, &directives);
 
         let mut result = ShardSlotResult {
             commits: Vec::new(),

@@ -7,17 +7,28 @@
 //! central ledger is never touched from a worker thread; the reconciler
 //! merges tentative results afterwards in fixed shard order.
 //!
-//! Workers are scoped threads spawned fresh each slot
-//! ([`std::thread::scope`]): the per-shard [`FallbackChain`]s live on the
-//! engine and are lent to the workers as `&mut`, so LP warm-start bases
-//! carry across slots without any channel plumbing. Results are collected
-//! by joining handles in shard-index order — thread *scheduling* affects
-//! only wall-clock time, never the merged outcome.
+//! Workers are **long-lived**: [`WorkerPool::new`] moves each shard's
+//! [`FallbackChain`] onto its own thread once, and every slot's work is fed
+//! over a per-worker job channel. That keeps LP warm-start bases — and, in
+//! incremental mode, the standing slot-over-slot model — resident on the
+//! worker across the whole run instead of re-lending state through scoped
+//! borrows each slot. Results are collected from the per-worker result
+//! channels in shard-index order, so thread *scheduling* affects only
+//! wall-clock time, never the merged outcome. The reconciler's serial
+//! conflict re-solves go through [`WorkerPool::solve_one`], which posts a
+//! job to the owning worker and blocks for its answer — same chain, same
+//! thread, deterministic position in the merge order.
+//!
+//! Shutdown is channel-driven: dropping the pool drops every job sender,
+//! each worker's receive loop ends, and the threads are joined.
 
 use crate::clock::WallStopwatch;
 use crate::fallback::{AttemptRecord, FallbackChain, TierKind};
 use postcard_core::{Decision, PostcardError, Scheduler};
 use postcard_net::{FileId, Network, TrafficLedger, TransferRequest};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
 
 /// Per-slot solve directives shared by every shard of a slot: which slot
 /// is being solved and the fault/re-optimization state that must apply
@@ -179,45 +190,188 @@ pub fn solve_shard(
     solve
 }
 
-/// Runs every non-empty shard's solve on its own scoped thread and returns
-/// the results in shard-index order.
-pub fn solve_parallel(
-    chains: &mut [FallbackChain],
-    network: &Network,
-    base: &TrafficLedger,
-    batches: &[Vec<TransferRequest>],
-    directives: &SlotDirectives,
-) -> Vec<ShardSolve> {
-    assert_eq!(chains.len(), batches.len(), "one batch per shard");
-    std::thread::scope(|scope| {
-        let handles: Vec<_> =
-            chains
-                .iter_mut()
-                .zip(batches)
-                .enumerate()
-                .map(|(shard, (chain, batch))| {
-                    if batch.is_empty() {
-                        // Nothing to solve: skip the spawn, keep the slot cheap.
-                        None
-                    } else {
-                        Some(scope.spawn(move || {
-                            solve_shard(chain, shard, network, base, batch, directives)
-                        }))
+/// One slot's worth of work for a single shard worker. The network and
+/// base ledger are shared across the slot's jobs via [`Arc`]; the worker
+/// clones its own overlay from `base` exactly as the scoped version did.
+struct Job {
+    network: Arc<Network>,
+    base: Arc<TrafficLedger>,
+    batch: Vec<TransferRequest>,
+    directives: SlotDirectives,
+}
+
+/// A long-lived shard worker: owns its [`FallbackChain`] on a dedicated
+/// thread and answers one [`ShardSolve`] per [`Job`].
+#[derive(Debug)]
+struct Worker {
+    /// `None` only during teardown — dropping the sender ends the worker's
+    /// receive loop.
+    jobs: Option<mpsc::Sender<Job>>,
+    results: mpsc::Receiver<ShardSolve>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Worker {
+    fn spawn(shard: usize, mut chain: FallbackChain) -> Self {
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let (result_tx, result_rx) = mpsc::channel::<ShardSolve>();
+        let handle = std::thread::spawn(move || {
+            while let Ok(job) = job_rx.recv() {
+                let solve = solve_shard(
+                    &mut chain,
+                    shard,
+                    &job.network,
+                    &job.base,
+                    &job.batch,
+                    &job.directives,
+                );
+                if result_tx.send(solve).is_err() {
+                    // The pool is gone; nothing left to answer to.
+                    break;
+                }
+            }
+        });
+        Self { jobs: Some(job_tx), results: result_rx, handle: Some(handle) }
+    }
+
+    fn post(&self, job: Job) {
+        if let Some(jobs) = &self.jobs {
+            // A failed send means the worker thread is gone; the paired
+            // `take()` surfaces its panic when the result is drained.
+            let _ = jobs.send(job);
+        }
+    }
+
+    fn take(&mut self) -> ShardSolve {
+        match self.results.recv() {
+            Ok(solve) => solve,
+            Err(_) => {
+                // The worker died mid-job. Re-raise its panic on the runtime
+                // thread — a poisoned slot must not be partially merged.
+                if let Some(handle) = self.handle.take() {
+                    if let Err(payload) = handle.join() {
+                        std::panic::resume_unwind(payload);
                     }
-                })
-                .collect();
-        handles
+                }
+                // postcard-analyze: allow(PA103) — unreachable unless the
+                // worker leaked its result channel and exited cleanly; a
+                // silent Ok here would merge a slot that was never solved.
+                panic!("shard worker exited without a result");
+            }
+        }
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        // Hang up the job channel first so the receive loop ends…
+        self.jobs = None;
+        // …then reap the thread. A panic payload is deliberately swallowed
+        // here: either `take()` already re-raised it, or the pool itself is
+        // being dropped during unwinding and a double panic would abort.
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The set of long-lived shard workers, one per shard, each owning its
+/// shard's [`FallbackChain`] for the lifetime of the run.
+#[derive(Debug)]
+pub struct WorkerPool {
+    workers: Vec<Worker>,
+}
+
+impl WorkerPool {
+    /// Spawns one persistent worker per chain; `chains[i]` becomes shard
+    /// `i`'s solver state and lives on that worker's thread until the pool
+    /// is dropped.
+    pub fn new(chains: Vec<FallbackChain>) -> Self {
+        Self {
+            workers: chains
+                .into_iter()
+                .enumerate()
+                .map(|(shard, chain)| Worker::spawn(shard, chain))
+                .collect(),
+        }
+    }
+
+    /// Number of shard workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// `true` when the pool has no workers.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Posts every non-empty shard batch to its worker, then collects the
+    /// results in shard-index order. Empty batches never cross a channel:
+    /// the slot stays cheap and the shard's records stay empty, exactly as
+    /// the old spawn-skip did.
+    pub fn solve_parallel(
+        &mut self,
+        network: &Network,
+        base: &TrafficLedger,
+        batches: &[Vec<TransferRequest>],
+        directives: &SlotDirectives,
+    ) -> Vec<ShardSolve> {
+        assert_eq!(self.workers.len(), batches.len(), "one batch per shard");
+        let network = Arc::new(network.clone());
+        let base = Arc::new(base.clone());
+        // Fan the whole slot out first so the workers run concurrently…
+        let posted: Vec<bool> = batches
+            .iter()
+            .enumerate()
+            .map(|(shard, batch)| {
+                if batch.is_empty() {
+                    return false;
+                }
+                self.workers[shard].post(Job {
+                    network: Arc::clone(&network),
+                    base: Arc::clone(&base),
+                    batch: batch.clone(),
+                    directives: directives.clone(),
+                });
+                true
+            })
+            .collect();
+        // …then drain in shard-index order for a deterministic merge.
+        posted
             .into_iter()
             .enumerate()
-            .map(|(shard, handle)| match handle {
-                // postcard-analyze: allow(PA102) — a panicked worker already
-                // poisoned the slot; re-raising on the runtime thread is the
-                // only sound continuation (no partial merge).
-                Some(h) => h.join().expect("shard worker panicked"),
-                None => ShardSolve::empty(shard),
-            })
+            .map(
+                |(shard, sent)| {
+                    if sent {
+                        self.workers[shard].take()
+                    } else {
+                        ShardSolve::empty(shard)
+                    }
+                },
+            )
             .collect()
-    })
+    }
+
+    /// Runs one shard's solve on its own worker and blocks for the result —
+    /// the reconciler's serial conflict re-solve path. The job still runs on
+    /// the worker thread so the chain's warm state stays where it lives.
+    pub fn solve_one(
+        &mut self,
+        shard: usize,
+        network: &Network,
+        base: &TrafficLedger,
+        batch: &[TransferRequest],
+        directives: &SlotDirectives,
+    ) -> ShardSolve {
+        self.workers[shard].post(Job {
+            network: Arc::new(network.clone()),
+            base: Arc::new(base.clone()),
+            batch: batch.to_vec(),
+            directives: directives.clone(),
+        });
+        self.workers[shard].take()
+    }
 }
 
 #[cfg(test)]
@@ -252,9 +406,9 @@ mod tests {
             vec![TransferRequest::new(FileId(1), d(0), d(1), 6.0, 3, 0)],
             vec![TransferRequest::new(FileId(2), d(2), d(3), 9.0, 3, 0)],
         ];
-        let mut chains_a = vec![chain(), chain()];
+        let mut pool = WorkerPool::new(vec![chain(), chain()]);
         let mut chains_b = [chain(), chain()];
-        let par = solve_parallel(&mut chains_a, &net, &base, &batches, &SlotDirectives::plain(0));
+        let par = pool.solve_parallel(&net, &base, &batches, &SlotDirectives::plain(0));
         let seq: Vec<_> = chains_b
             .iter_mut()
             .zip(&batches)
@@ -274,14 +428,56 @@ mod tests {
     }
 
     #[test]
-    fn empty_shard_batches_skip_the_spawn() {
+    fn workers_persist_chain_state_across_slots() {
+        // Two slots through the same pool must match two sequential
+        // solve_shard calls on one chain: proof the worker kept its chain
+        // (warm bases and all) alive between slots instead of resetting.
+        let net = net();
+        let base = TrafficLedger::new(4);
+        let slot0 = vec![vec![TransferRequest::new(FileId(1), d(0), d(1), 6.0, 3, 0)]];
+        let slot1 = vec![vec![TransferRequest::new(FileId(2), d(0), d(1), 4.0, 3, 1)]];
+        let mut pool = WorkerPool::new(vec![chain()]);
+        let p0 = pool.solve_parallel(&net, &base, &slot0, &SlotDirectives::plain(0));
+        let mut after = base.clone();
+        for (files, decision) in &p0[0].commits {
+            apply_overlay(decision, files, &mut after);
+        }
+        let p1 = pool.solve_parallel(&net, &after, &slot1, &SlotDirectives::plain(1));
+
+        let mut c = chain();
+        let s0 = solve_shard(&mut c, 0, &net, &base, &slot0[0], &SlotDirectives::plain(0));
+        let s1 = solve_shard(&mut c, 0, &net, &after, &slot1[0], &SlotDirectives::plain(1));
+        assert_eq!(p0[0].accepted, s0.accepted);
+        assert_eq!(p1[0].accepted, s1.accepted);
+        for ((pf, pd), (sf, sd)) in p1[0].commits.iter().zip(&s1.commits) {
+            assert_eq!(pf, sf);
+            assert_eq!(pd, sd, "second-slot decisions must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn empty_shard_batches_skip_the_workers() {
         let net = net();
         let base = TrafficLedger::new(4);
         let batches = vec![Vec::new(), Vec::new()];
-        let mut chains = vec![chain(), chain()];
-        let solves = solve_parallel(&mut chains, &net, &base, &batches, &SlotDirectives::plain(0));
+        let mut pool = WorkerPool::new(vec![chain(), chain()]);
+        let solves = pool.solve_parallel(&net, &base, &batches, &SlotDirectives::plain(0));
         assert!(solves.iter().all(|s| s.commits.is_empty() && s.records.is_empty()));
         assert!(solves.iter().all(|s| !s.degraded));
+    }
+
+    #[test]
+    fn solve_one_reuses_the_shard_worker() {
+        let net = net();
+        let base = TrafficLedger::new(4);
+        let batch = vec![TransferRequest::new(FileId(1), d(0), d(1), 6.0, 3, 0)];
+        let mut pool = WorkerPool::new(vec![chain(), chain()]);
+        let solo = pool.solve_one(0, &net, &base, &batch, &SlotDirectives::plain(0));
+        assert_eq!(solo.accepted, vec![FileId(1)]);
+        assert!(!solo.degraded);
+        // The same worker answers subsequent requests.
+        let again = pool.solve_one(0, &net, &base, &batch, &SlotDirectives::plain(1));
+        assert_eq!(again.accepted, vec![FileId(1)]);
     }
 
     #[test]

@@ -24,8 +24,7 @@
 //! for a rates decision that over-committed `i → j`, the decomposed paths
 //! crossing `i → j` name the contending transfers.
 
-use super::pool::{self, ShardSolve};
-use crate::fallback::FallbackChain;
+use super::pool::{self, ShardSolve, WorkerPool};
 use postcard_core::Decision;
 use postcard_flow::decompose_flow;
 use postcard_flow::FlowViolation;
@@ -108,7 +107,7 @@ pub fn reconcile(
     network: &Network,
     base: &TrafficLedger,
     solves: Vec<ShardSolve>,
-    chains: &mut [FallbackChain],
+    pool: &mut WorkerPool,
     batches: &[Vec<TransferRequest>],
     directives: &pool::SlotDirectives,
 ) -> Vec<ShardSolve> {
@@ -139,17 +138,10 @@ pub fn reconcile(
 
         // Conflict: this shard's optimism lost. Re-solve it serially against
         // the working ledger (which contains every earlier shard's merged
-        // traffic); the re-solve is deterministic — same chain, same batch,
-        // fixed position in the merge order.
+        // traffic); the re-solve is deterministic — same chain on the same
+        // long-lived worker, same batch, fixed position in the merge order.
         let shard = solve.shard;
-        let resolve = pool::solve_shard(
-            &mut chains[shard],
-            shard,
-            network,
-            &working,
-            &batches[shard],
-            directives,
-        );
+        let resolve = pool.solve_one(shard, network, &working, &batches[shard], directives);
         debug_assert!(
             resolve.degraded
                 || resolve.commits.iter().all(|(files, decision)| validate_decision(
@@ -181,8 +173,7 @@ pub fn reconcile(
 mod tests {
     use super::*;
     use crate::clock::SimClock;
-    use crate::fallback::TierKind;
-    use crate::shard::pool::solve_parallel;
+    use crate::fallback::{FallbackChain, TierKind};
     use postcard_net::{DcId, FileId, NetworkBuilder};
     use std::time::Duration;
 
@@ -192,6 +183,10 @@ mod tests {
 
     fn chain(tiers: &[TierKind]) -> FallbackChain {
         FallbackChain::new(tiers, Duration::from_millis(250), Box::new(SimClock::new()))
+    }
+
+    fn two_shard_pool() -> WorkerPool {
+        WorkerPool::new(vec![chain(&TierKind::default_chain()), chain(&TierKind::default_chain())])
     }
 
     #[test]
@@ -205,11 +200,10 @@ mod tests {
             vec![TransferRequest::new(FileId(1), d(0), d(1), 6.0, 3, 0)],
             vec![TransferRequest::new(FileId(2), d(2), d(3), 9.0, 3, 0)],
         ];
-        let mut chains = vec![chain(&TierKind::default_chain()), chain(&TierKind::default_chain())];
-        let solves =
-            solve_parallel(&mut chains, &net, &base, &batches, &pool::SlotDirectives::plain(0));
+        let mut pool = two_shard_pool();
+        let solves = pool.solve_parallel(&net, &base, &batches, &pool::SlotDirectives::plain(0));
         let resolved =
-            reconcile(&net, &base, solves, &mut chains, &batches, &pool::SlotDirectives::plain(0));
+            reconcile(&net, &base, solves, &mut pool, &batches, &pool::SlotDirectives::plain(0));
         assert!(resolved.iter().all(|s| !s.conflicted && !s.degraded));
         assert_eq!(resolved[0].accepted, vec![FileId(1)]);
         assert_eq!(resolved[1].accepted, vec![FileId(2)]);
@@ -224,14 +218,13 @@ mod tests {
             vec![TransferRequest::new(FileId(1), d(0), d(1), 10.0, 1, 0)],
             vec![TransferRequest::new(FileId(2), d(0), d(1), 10.0, 1, 0)],
         ];
-        let mut chains = vec![chain(&TierKind::default_chain()), chain(&TierKind::default_chain())];
-        let solves =
-            solve_parallel(&mut chains, &net, &base, &batches, &pool::SlotDirectives::plain(0));
+        let mut pool = two_shard_pool();
+        let solves = pool.solve_parallel(&net, &base, &batches, &pool::SlotDirectives::plain(0));
         // Both optimistic solves admit their file (each saw an empty link).
         assert_eq!(solves[0].accepted, vec![FileId(1)]);
         assert_eq!(solves[1].accepted, vec![FileId(2)]);
         let resolved =
-            reconcile(&net, &base, solves, &mut chains, &batches, &pool::SlotDirectives::plain(0));
+            reconcile(&net, &base, solves, &mut pool, &batches, &pool::SlotDirectives::plain(0));
         // Shard 0 keeps its plan; shard 1's re-solve finds no room and
         // rejects — the merged view never over-commits the link.
         assert!(!resolved[0].conflicted);
@@ -264,11 +257,10 @@ mod tests {
             vec![TransferRequest::new(FileId(1), d(0), d(1), 6.0, 1, 0)],
             vec![TransferRequest::new(FileId(2), d(0), d(1), 6.0, 1, 0)],
         ];
-        let mut chains = vec![chain(&TierKind::default_chain()), chain(&TierKind::default_chain())];
-        let solves =
-            solve_parallel(&mut chains, &net, &base, &batches, &pool::SlotDirectives::plain(0));
+        let mut pool = two_shard_pool();
+        let solves = pool.solve_parallel(&net, &base, &batches, &pool::SlotDirectives::plain(0));
         let resolved =
-            reconcile(&net, &base, solves, &mut chains, &batches, &pool::SlotDirectives::plain(0));
+            reconcile(&net, &base, solves, &mut pool, &batches, &pool::SlotDirectives::plain(0));
         assert_eq!(resolved[0].accepted, vec![FileId(1)]);
         assert!(resolved[1].conflicted);
         assert_eq!(resolved[1].rejected, vec![FileId(2)]);

@@ -34,8 +34,9 @@ use std::path::Path;
 /// lost on resume) and `RuntimeConfig` gained `alap` and `reopt_every`;
 /// v6 — sharded checkpoints: the snapshot doubles as the manifest over
 /// per-shard snapshot files (`shard_refs`) and `RuntimeConfig` gained
-/// `shards` and `shard_by`.
-pub const SNAPSHOT_VERSION: u32 = 6;
+/// `shards` and `shard_by`; v7 — `RuntimeConfig` gained `incremental`
+/// (standing slot-over-slot formulation + dual simplex re-solve).
+pub const SNAPSHOT_VERSION: u32 = 7;
 
 /// One directed link, flattened for serialization.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

@@ -302,7 +302,7 @@ fn committed_v3_snapshot_fixture_fails_with_version_error() {
         "/tests/fixtures/snapshot_v3.json"
     ));
     let err = RuntimeSnapshot::load(path).unwrap_err();
-    assert!(err.contains("snapshot version 3 unsupported (expected 6)"), "{err}");
+    assert!(err.contains("snapshot version 3 unsupported (expected 7)"), "{err}");
     assert!(!err.contains("missing field"), "{err}");
     // The operator-facing entry point surfaces the same diagnosis.
     let err = Runtime::resume(path).unwrap_err();
@@ -319,7 +319,7 @@ fn committed_v4_snapshot_fixture_fails_with_version_error() {
         "/tests/fixtures/snapshot_v4.json"
     ));
     let err = RuntimeSnapshot::load(path).unwrap_err();
-    assert!(err.contains("snapshot version 4 unsupported (expected 6)"), "{err}");
+    assert!(err.contains("snapshot version 4 unsupported (expected 7)"), "{err}");
     assert!(!err.contains("missing field"), "{err}");
     let err = Runtime::resume(path).unwrap_err();
     assert!(err.to_string().contains("snapshot version 4 unsupported"), "{err}");
@@ -336,7 +336,7 @@ fn committed_v5_snapshot_fixture_fails_with_version_error() {
         "/tests/fixtures/snapshot_v5.json"
     ));
     let err = RuntimeSnapshot::load(path).unwrap_err();
-    assert!(err.contains("snapshot version 5 unsupported (expected 6)"), "{err}");
+    assert!(err.contains("snapshot version 5 unsupported (expected 7)"), "{err}");
     assert!(!err.contains("missing field"), "{err}");
     let err = Runtime::resume(path).unwrap_err();
     assert!(err.to_string().contains("snapshot version 5 unsupported"), "{err}");
