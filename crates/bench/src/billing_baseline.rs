@@ -1,0 +1,207 @@
+//! Billing-window baseline: max-charging vs percentile-aware bills.
+//!
+//! Replays the diurnal multi-day presets ([`postcard_sim::DiurnalPreset`])
+//! twice — once under the paper's max-charging controller, once with the
+//! percentile-aware headroom rung — and prices **both** final ledgers under
+//! the same 95th-percentile tariff. The p95-aware bill must come out
+//! *strictly lower* (the daily burst rides each billing window's free
+//! top-5% slots); CI gates on that inequality and on the deterministic
+//! bills matching the committed baseline (`BENCH_billing.json`). Everything
+//! here is wall-clock independent, so every gate arms unconditionally.
+
+use postcard_sim::{compare_billing, DiurnalPreset};
+use serde::{Deserialize, Serialize};
+
+/// One benchmark preset: a diurnal workload replayed under both tariffs.
+#[derive(Debug, Clone)]
+pub struct PresetSpec {
+    /// Preset name (stable across runs; used as the JSON key).
+    pub name: &'static str,
+    /// Days (= billing windows).
+    pub days: u64,
+    /// Seed for the valley jitter.
+    pub seed: u64,
+}
+
+impl PresetSpec {
+    fn preset(&self) -> DiurnalPreset {
+        DiurnalPreset { days: self.days, ..DiurnalPreset::three_day() }
+    }
+}
+
+/// The presets: the acceptance three-day run (carries the CI gates) and, on
+/// full runs, a week-long one.
+pub fn presets(quick: bool) -> Vec<PresetSpec> {
+    let mut out = vec![PresetSpec { name: "three_day", days: 3, seed: 1 }];
+    if !quick {
+        out.push(PresetSpec { name: "week", days: 7, seed: 2 });
+    }
+    out
+}
+
+/// Result of one preset's paired replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PresetResult {
+    /// Preset name.
+    pub name: String,
+    /// Days (= billing windows).
+    pub days: u64,
+    /// The tariff spec both ledgers were priced under (e.g. `p95:48`).
+    pub scheme: String,
+    /// Total bill of the max-charging controller's ledger.
+    pub max_bill: f64,
+    /// Total bill of the percentile-aware controller's ledger.
+    pub p95_bill: f64,
+    /// `max_bill / p95_bill`.
+    pub reduction_factor: f64,
+    /// Files accepted / rejected by the max-charging run.
+    pub max_accepted: usize,
+    /// Files rejected by the max-charging run.
+    pub max_rejected: usize,
+    /// Files accepted by the percentile-aware run.
+    pub p95_accepted: usize,
+    /// Files rejected by the percentile-aware run.
+    pub p95_rejected: usize,
+    /// Times the headroom rung declined and handed a batch to the LP tiers.
+    pub headroom_declined: u64,
+}
+
+/// Runs one preset.
+///
+/// # Panics
+///
+/// Panics if either service run fails — the presets are feasible by
+/// construction, so a failure is a harness bug.
+pub fn run_preset(spec: &PresetSpec) -> PresetResult {
+    let preset = spec.preset();
+    let cmp = compare_billing(&preset, spec.seed).expect("diurnal billing comparison");
+    PresetResult {
+        name: spec.name.to_string(),
+        days: spec.days,
+        scheme: cmp.scheme.spec(),
+        max_bill: cmp.max_bill,
+        p95_bill: cmp.p95_bill,
+        reduction_factor: cmp.reduction_factor(),
+        max_accepted: cmp.max_admissions.0,
+        max_rejected: cmp.max_admissions.1,
+        p95_accepted: cmp.p95_admissions.0,
+        p95_rejected: cmp.p95_admissions.1,
+        headroom_declined: cmp.headroom_declined,
+    }
+}
+
+/// The whole benchmark report (`BENCH_billing.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// One entry per preset.
+    pub presets: Vec<PresetResult>,
+}
+
+/// Runs every preset.
+pub fn run_all(quick: bool) -> BenchReport {
+    BenchReport { presets: presets(quick).iter().map(run_preset).collect() }
+}
+
+/// Checks a fresh report against the committed baseline. All gates are
+/// deterministic and arm unconditionally: the p95-aware bill must be
+/// strictly lower than the max-charging bill, admissions must not be traded
+/// away for it, and both bills must reproduce the baseline exactly (the
+/// whole pipeline is seeded). Returns the failures (empty = pass).
+pub fn check(current: &BenchReport, baseline: &BenchReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    for cur in &current.presets {
+        if cur.p95_bill >= cur.max_bill {
+            failures.push(format!(
+                "{}: p95-aware bill {} is not strictly below the max-charging bill {}",
+                cur.name, cur.p95_bill, cur.max_bill
+            ));
+        }
+        if (cur.p95_accepted, cur.p95_rejected) != (cur.max_accepted, cur.max_rejected) {
+            failures.push(format!(
+                "{}: the cheaper bill traded admissions away ({}/{} vs {}/{})",
+                cur.name, cur.p95_accepted, cur.p95_rejected, cur.max_accepted, cur.max_rejected
+            ));
+        }
+        if let Some(base) = baseline.presets.iter().find(|p| p.name == cur.name) {
+            for (what, got, want) in [
+                ("max_bill", cur.max_bill, base.max_bill),
+                ("p95_bill", cur.p95_bill, base.p95_bill),
+            ] {
+                let rel = (got - want).abs() / want.abs().max(1e-12);
+                if rel > 1e-9 {
+                    failures.push(format!(
+                        "{}: {what} {got} drifted from baseline {want} (rel {rel:.3e})",
+                        cur.name
+                    ));
+                }
+            }
+            if (cur.p95_accepted, cur.p95_rejected) != (base.p95_accepted, base.p95_rejected) {
+                failures.push(format!(
+                    "{}: accept/reject counts diverged from baseline ({}/{} -> {}/{})",
+                    cur.name,
+                    base.p95_accepted,
+                    base.p95_rejected,
+                    cur.p95_accepted,
+                    cur.p95_rejected
+                ));
+            }
+        } else {
+            failures.push(format!("{}: preset missing from baseline", cur.name));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> PresetSpec {
+        PresetSpec { name: "tiny", days: 2, seed: 9 }
+    }
+
+    #[test]
+    fn preset_run_is_deterministic_and_strictly_cheaper() {
+        let a = run_preset(&tiny());
+        let b = run_preset(&tiny());
+        assert_eq!(a, b, "seeded pipeline must be reproducible");
+        assert!(a.p95_bill < a.max_bill, "p95 {} vs max {}", a.p95_bill, a.max_bill);
+        assert_eq!((a.p95_accepted, a.p95_rejected), (a.max_accepted, a.max_rejected));
+        assert_eq!(a.scheme, "p95:48");
+    }
+
+    #[test]
+    fn check_catches_inversion_drift_and_missing_presets() {
+        let good = run_preset(&tiny());
+        let report = BenchReport { presets: vec![good.clone()] };
+        assert!(check(&report, &report).is_empty(), "{:?}", check(&report, &report));
+
+        let mut inverted = good.clone();
+        inverted.p95_bill = inverted.max_bill + 1.0;
+        let failures = check(&BenchReport { presets: vec![inverted] }, &report);
+        assert!(failures.iter().any(|f| f.contains("not strictly below")), "{failures:?}");
+
+        let mut traded = good.clone();
+        traded.p95_accepted -= 1;
+        traded.p95_rejected += 1;
+        let failures = check(&BenchReport { presets: vec![traded] }, &report);
+        assert!(failures.iter().any(|f| f.contains("traded admissions")), "{failures:?}");
+
+        let mut drifted = good.clone();
+        drifted.p95_bill *= 1.5;
+        drifted.max_bill *= 3.0; // keep the inequality true so only drift fires
+        let failures = check(&BenchReport { presets: vec![drifted] }, &report);
+        assert!(failures.iter().any(|f| f.contains("drifted from baseline")), "{failures:?}");
+
+        let unknown = BenchReport { presets: vec![PresetResult { name: "other".into(), ..good }] };
+        assert!(check(&unknown, &report).iter().any(|f| f.contains("missing from baseline")));
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = BenchReport { presets: vec![run_preset(&tiny())] };
+        let json = serde::json::to_string_pretty(&report);
+        let back: BenchReport = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -1,0 +1,94 @@
+//! `billing-baseline` — max-charging vs percentile-aware billing replay.
+//!
+//! ```text
+//! billing-baseline [--quick] [--out PATH] [--check PATH]
+//! ```
+//!
+//! Replays the diurnal presets (see `postcard_bench::billing_baseline`)
+//! under both charging schemes, prints a summary table, and optionally
+//! writes the JSON report (`--out`) or gates against a committed baseline
+//! (`--check`): the p95-aware bill must stay strictly below the
+//! max-charging bill with no admissions traded away, and both bills must
+//! reproduce the committed numbers exactly (the pipeline is seeded and
+//! wall-clock independent).
+
+use postcard_bench::billing_baseline::{check, run_all, BenchReport};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = argv.next(),
+            "--check" => check_path = argv.next(),
+            "--help" | "-h" => {
+                println!("usage: billing-baseline [--quick] [--out PATH] [--check PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("billing-baseline: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = run_all(quick);
+    println!(
+        "{:<12} {:>5} {:>8} {:>12} {:>12} {:>10} {:>9} {:>9}",
+        "preset", "days", "tariff", "max bill", "p95 bill", "reduction", "accepted", "declined"
+    );
+    for p in &report.presets {
+        println!(
+            "{:<12} {:>5} {:>8} {:>12.2} {:>12.2} {:>9.1}x {:>9} {:>9}",
+            p.name,
+            p.days,
+            p.scheme,
+            p.max_bill,
+            p.p95_bill,
+            p.reduction_factor,
+            p.p95_accepted,
+            p.headroom_declined
+        );
+    }
+
+    if let Some(path) = out {
+        let json = serde::json::to_string_pretty(&report);
+        if let Err(e) = std::fs::write(&path, json + "\n") {
+            eprintln!("billing-baseline: failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = check_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("billing-baseline: failed to read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline: BenchReport = match serde::json::from_str(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("billing-baseline: malformed baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let failures = check(&report, &baseline);
+        if failures.is_empty() {
+            println!("check against {path}: OK");
+        } else {
+            for f in &failures {
+                eprintln!("billing-baseline: FAIL: {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+
+    ExitCode::SUCCESS
+}

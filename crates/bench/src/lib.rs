@@ -6,6 +6,7 @@
 //! the simulation's cost.
 
 pub mod admission_baseline;
+pub mod billing_baseline;
 pub mod shard_baseline;
 pub mod solver_baseline;
 

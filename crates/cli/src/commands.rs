@@ -2,13 +2,13 @@
 
 use crate::args::{parse_range_f64, parse_range_usize, ArgError, Args};
 use postcard_core::{Decision, OnlineController};
-use postcard_net::{Network, TransferPlan};
+use postcard_net::{ChargingScheme, Network, TransferPlan};
 use postcard_runtime::{
     ArrivalSchedule, ClockKind, FaultPlan, Runtime, RuntimeConfig, ShardBy, TierKind,
 };
 use postcard_sim::{
-    report, run_scenario, run_scenario_service, Approach, Scenario, Trace, UniformWorkload,
-    WorkloadConfig,
+    compare_billing, report, run_scenario, run_scenario_service, Approach, DiurnalPreset, Scenario,
+    Trace, UniformWorkload, WorkloadConfig,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -59,7 +59,7 @@ commands:
                 [--max-deadline T] [--seed S] [--out PATH]
   schedule      --network PATH --trace PATH [--approach NAME]
                 [--plan-out PATH] [--costs-out PATH]
-  simulate      [--setting fig4|fig5|fig6|fig7|all] [--paper-scale]
+  simulate      [--setting fig4|fig5|fig6|fig7|all|diurnal] [--paper-scale]
                 [--runs N] [--slots N] [--seed S] [--all-approaches]
                 [--service] [--shards N] [--shard-by tenant|region]
   serve         --network PATH --trace PATH [--slots N]
@@ -68,7 +68,10 @@ commands:
                 [--wall-clock] [--strict] [--warm-start] [--incremental]
                 [--alap] [--reopt-every N]
                 [--shards N] [--shard-by tenant|region]
+                [--charging max|p<q>:<window>]
                 [--degrade slot:from:to:cap[,..]] [--force-timeout slot[:tier][,..]]
+                [--price-change slot:from:to:price[,..]]
+                [--maintain start:end:from:to[,..]]
                 [--stop-after-slot K] [--metrics-out PATH]
                 [--wall-metrics-out PATH]
   resume        --checkpoint PATH [--stop-after-slot K] [--metrics-out PATH]
@@ -79,8 +82,9 @@ commands:
 
 approaches: postcard (default), postcard-no-relay-storage, flow-lp,
             flow-two-phase, flow-greedy, direct
-tiers:      alap, postcard, flow-lp, flow-greedy (fallback order; default is
-            the three LP/greedy tiers — `alap` joins via --alap or --tiers)
+tiers:      headroom, alap, postcard, flow-lp, flow-greedy (fallback order;
+            default is the three LP/greedy tiers — `alap` joins via --alap
+            or --tiers, `headroom` joins automatically under --charging)
 
 `serve` runs the crash-safe service runtime: every slot is scheduled through
 the tier fallback chain, checkpoints are written every --every slots, and
@@ -108,6 +112,13 @@ With --shards N each slot's batch is partitioned by --shard-by (tenant: the
 FileId's high bits; region: the source datacenter), every shard solves in
 parallel on its own worker thread, and a deterministic reconciliation pass
 merges the plans into the one billing ledger (metric: shard_conflicts).
+With --charging p<q>:<window> the provider bills the q-th percentile of each
+link's per-slot volumes over aligned billing windows of <window> slots
+(e.g. p95:288) instead of the running peak. The headroom rung is prepended
+to the tier chain: bursts are served out of each window's free top-(100-q)%
+slots before any LP runs (metric: headroom_declined when no budget exists).
+--price-change reprices a link mid-run at a slot boundary; --maintain takes
+a link down for [start, end) and restores its pre-outage capacity exactly.
 Checkpoints become a manifest plus per-shard snapshot files next to it.
 Real per-slot solve wall time is kept out of the (deterministic) snapshotted
 metrics; export it with --wall-metrics-out (solve_wall_seconds, plus
@@ -298,6 +309,26 @@ fn simulate(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         .map_err(|_| CliError::Usage("--slots: bad value".into()))?;
     args.reject_unknown()?;
 
+    if setting == "diurnal" {
+        // The billing-window experiment is its own shape (two charging
+        // schemes, one workload) — it does not fit the approach table.
+        if all_approaches || service || shards != 1 {
+            return Err(CliError::Usage(
+                "--setting diurnal ignores approaches/service/shards flags".into(),
+            ));
+        }
+        let mut preset = DiurnalPreset::three_day();
+        if let Some(s) = slots_override {
+            preset.slots_per_day = (s / preset.days).max(preset.burst_release_in_day + 4);
+        }
+        let runs = runs_override.unwrap_or(1);
+        for run in 0..runs {
+            let cmp = compare_billing(&preset, seed.wrapping_add(run as u64))
+                .map_err(|e| CliError::Run(e.to_string()))?;
+            writeln!(out, "{}", cmp.render())?;
+        }
+        return Ok(());
+    }
     let bases = match setting.as_str() {
         "fig4" => vec![Scenario::fig4()],
         "fig5" => vec![Scenario::fig5()],
@@ -368,8 +399,13 @@ fn parse_tiers(spec: &str) -> Result<Vec<TierKind>, CliError> {
 }
 
 /// Builds a fault plan from comma-separated `--degrade` / `--force-timeout`
-/// specs.
-fn parse_faults(degrade: Option<&str>, force_timeout: Option<&str>) -> Result<FaultPlan, CliError> {
+/// / `--price-change` / `--maintain` specs.
+fn parse_faults(
+    degrade: Option<&str>,
+    force_timeout: Option<&str>,
+    price_change: Option<&str>,
+    maintain: Option<&str>,
+) -> Result<FaultPlan, CliError> {
     let mut plan = FaultPlan::none();
     if let Some(specs) = degrade {
         for spec in specs.split(',') {
@@ -380,6 +416,18 @@ fn parse_faults(degrade: Option<&str>, force_timeout: Option<&str>) -> Result<Fa
     if let Some(specs) = force_timeout {
         for spec in specs.split(',') {
             plan.timeouts.push(FaultPlan::parse_timeout(spec.trim()).map_err(CliError::Usage)?);
+        }
+    }
+    if let Some(specs) = price_change {
+        for spec in specs.split(',') {
+            plan.price_changes
+                .push(FaultPlan::parse_price_change(spec.trim()).map_err(CliError::Usage)?);
+        }
+    }
+    if let Some(specs) = maintain {
+        for spec in specs.split(',') {
+            plan.maintenance
+                .push(FaultPlan::parse_maintenance(spec.trim()).map_err(CliError::Usage)?);
         }
     }
     Ok(plan)
@@ -406,15 +454,24 @@ fn drive_service(
         } else if let Some(tier) = outcome.chosen_tier {
             let slot = outcome.report.slot;
             let cfg = rt.config();
+            // The headroom rung declining is routine (no free slots to
+            // burn), so narration measures "fell back" from the first
+            // *scheduling* tier, not the rung itself.
+            let first_scheduling = cfg
+                .tiers
+                .iter()
+                .copied()
+                .find(|t| *t != TierKind::Headroom)
+                .unwrap_or(cfg.tiers[0]);
             // A scheduled re-optimization slot lands on an LP tier by
             // design — narrate it as such, not as a fallback.
-            let scheduled_reopt = cfg.tiers.first() == Some(&TierKind::Alap)
+            let scheduled_reopt = first_scheduling == TierKind::Alap
                 && cfg.reopt_every > 0
                 && slot > 0
                 && slot % cfg.reopt_every == 0;
             if scheduled_reopt && tier != TierKind::Alap {
                 writeln!(out, "slot {slot}: re-optimized with {tier}")?;
-            } else if tier != cfg.tiers[0] {
+            } else if tier != cfg.tiers[0] && tier != first_scheduling {
                 writeln!(out, "slot {slot}: fell back to {tier}")?;
             }
         }
@@ -474,7 +531,16 @@ fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let alap = args.switch("alap");
     let reopt_every: u64 = args.get_or("reopt-every", 0)?;
     let (shards, shard_by) = parse_shard_flags(&args)?;
-    let faults = parse_faults(args.get("degrade"), args.get("force-timeout"))?;
+    let charging = match args.get("charging") {
+        Some(spec) => ChargingScheme::parse(spec).map_err(CliError::Usage)?,
+        None => ChargingScheme::MaxPerSlot,
+    };
+    let faults = parse_faults(
+        args.get("degrade"),
+        args.get("force-timeout"),
+        args.get("price-change"),
+        args.get("maintain"),
+    )?;
     let stop_after_slot: Option<u64> = args
         .get("stop-after-slot")
         .map(str::parse)
@@ -503,6 +569,7 @@ fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         reopt_every,
         shards,
         shard_by,
+        charging,
     };
     let rt = Runtime::new(network, arrivals, faults, slots, config)
         .map_err(|e| CliError::Usage(e.to_string()))?;
@@ -1184,6 +1251,128 @@ mod tests {
         assert!(matches!(err, Err(CliError::Usage(ref m)) if m.contains("quantum")), "{err:?}");
         let err = run_cli(&["serve", "--network", "x", "--trace", "y", "--degrade", "1:2"]);
         assert!(matches!(err, Err(CliError::Usage(_))), "{err:?}");
+        for bad in ["p95", "p0:48", "p101:48", "p95:0", "median", "p95:x"] {
+            let err = run_cli(&["serve", "--network", "x", "--trace", "y", "--charging", bad]);
+            assert!(
+                matches!(err, Err(CliError::Usage(ref m)) if m.contains("charging spec")
+                    || m.contains("percentile") || m.contains("window length")),
+                "{bad}: {err:?}"
+            );
+        }
+        let err = run_cli(&["serve", "--network", "x", "--trace", "y", "--price-change", "1:0"]);
+        assert!(matches!(err, Err(CliError::Usage(_))), "{err:?}");
+        let err = run_cli(&["serve", "--network", "x", "--trace", "y", "--maintain", "3:1:0:1"]);
+        assert!(matches!(err, Err(CliError::Usage(_))), "{err:?}");
+    }
+
+    #[test]
+    fn simulate_diurnal_renders_billing_comparison() {
+        let out = run_cli(&["simulate", "--setting", "diurnal", "--seed", "5"]).unwrap();
+        assert!(out.contains("billing comparison under p95:48"), "{out}");
+        assert!(out.contains("max-charging"), "{out}");
+        assert!(out.contains("p95-aware"), "{out}");
+        let err = run_cli(&["simulate", "--setting", "diurnal", "--service"]);
+        assert!(matches!(err, Err(CliError::Usage(_))), "{err:?}");
+    }
+
+    #[test]
+    fn serve_applies_price_changes_and_maintenance() {
+        let net_path = tmp("fault_net.csv");
+        let trace_path = tmp("fault_trace.csv");
+        let metrics_path = tmp("fault_metrics.csv");
+        run_cli(&["gen-network", "--dcs", "4", "--capacity", "500", "--out", &net_path]).unwrap();
+        run_cli(&[
+            "gen-trace",
+            "--dcs",
+            "4",
+            "--slots",
+            "5",
+            "--files",
+            "1..2",
+            "--out",
+            &trace_path,
+        ])
+        .unwrap();
+        let out = run_cli(&[
+            "serve",
+            "--network",
+            &net_path,
+            "--trace",
+            &trace_path,
+            "--price-change",
+            "1:0:1:9.5",
+            "--maintain",
+            "2:4:0:1",
+            "--metrics-out",
+            &metrics_path,
+        ])
+        .unwrap();
+        assert!(out.contains("finished"), "{out}");
+        let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(metrics.contains("counter,price_changes_applied,0,1"), "{metrics}");
+        assert!(metrics.contains("counter,maintenance_outages,0,1"), "{metrics}");
+        assert!(metrics.contains("counter,maintenance_restores,0,1"), "{metrics}");
+    }
+
+    #[test]
+    fn serve_p95_crash_mid_window_resumes_bit_identically() {
+        // Kill a percentile-charged run in the middle of a billing window:
+        // the resumed run must re-create the window accounting exactly
+        // (snapshot v8 carries the full ledger, so the headroom rung sees
+        // identical baselines and budgets).
+        let net_path = tmp("p95_net.csv");
+        let trace_path = tmp("p95_trace.csv");
+        let ckpt = tmp("p95.ckpt.json");
+        let m_full = tmp("p95_full.json");
+        let m_resumed = tmp("p95_resumed.json");
+        run_cli(&["gen-network", "--dcs", "4", "--capacity", "500", "--out", &net_path]).unwrap();
+        run_cli(&[
+            "gen-trace",
+            "--dcs",
+            "4",
+            "--slots",
+            "6",
+            "--files",
+            "1..3",
+            "--out",
+            &trace_path,
+        ])
+        .unwrap();
+        let base = |extra: &[&str], metrics: &str| {
+            // p75 over 4-slot windows: one free slot per window, a
+            // window rollover at slot 4, and the crash below lands
+            // mid-window. (p95:4 would have zero free slots — the
+            // config validator rejects that pairing outright.)
+            let mut argv = vec![
+                "serve",
+                "--network",
+                &net_path,
+                "--trace",
+                &trace_path,
+                "--charging",
+                "p75:4",
+            ];
+            argv.extend_from_slice(extra);
+            argv.extend_from_slice(&["--metrics-out", metrics]);
+            run_cli(&argv).unwrap()
+        };
+        base(&[], &m_full);
+        // Crash after slot 2 — inside the first 4-slot billing window.
+        base(&["--checkpoint", &ckpt, "--stop-after-slot", "2"], &tmp("p95_scratch.json"));
+        let out = run_cli(&["resume", "--checkpoint", &ckpt, "--metrics-out", &m_resumed]).unwrap();
+        assert!(out.contains("finished"), "{out}");
+        let full = std::fs::read_to_string(&m_full).unwrap();
+        let resumed = std::fs::read_to_string(&m_resumed).unwrap();
+        let line = |s: &str, key: &str| {
+            s.lines().find(|l| l.contains(key)).map(str::to_string).unwrap_or_default()
+        };
+        assert_eq!(line(&full, "\"bill_per_slot\""), line(&resumed, "\"bill_per_slot\""));
+        assert_eq!(line(&full, "files_accepted"), line(&resumed, "files_accepted"));
+        assert_eq!(
+            line(&full, "headroom_declined"),
+            line(&resumed, "headroom_declined"),
+            "window accounting resumed differently"
+        );
     }
 
     #[test]

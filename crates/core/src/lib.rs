@@ -52,6 +52,7 @@ mod delta;
 mod error;
 pub mod extensions;
 mod formulation;
+mod headroom;
 mod online;
 mod scheduler;
 
@@ -62,6 +63,7 @@ pub use formulation::{
     solve_postcard_warm_with, solve_postcard_with, PostcardConfig, PostcardProblem, PostcardRows,
     PostcardSolution,
 };
+pub use headroom::HeadroomScheduler;
 pub use online::{ControllerState, OnlineController, StepReport};
 pub use scheduler::{
     Decision, DirectScheduler, FlowLpScheduler, GreedyScheduler, PostcardScheduler, Scheduler,

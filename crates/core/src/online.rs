@@ -16,7 +16,7 @@
 
 use crate::error::PostcardError;
 use crate::scheduler::{Decision, Scheduler};
-use postcard_net::{FileId, Network, TrafficLedger, TransferRequest};
+use postcard_net::{ChargingScheme, FileId, Network, TrafficLedger, TransferRequest};
 use serde::{Deserialize, Serialize};
 
 /// What happened in one controller step.
@@ -67,6 +67,11 @@ pub struct OnlineController<S> {
     rejected_volume: f64,
     keep_decisions: bool,
     decisions: Vec<(u64, Decision)>,
+    /// How the cost history prices the ledger. Not part of
+    /// [`ControllerState`]: the scheme is run configuration (like the
+    /// scheduler), re-supplied on restore by whoever rebuilds the
+    /// controller.
+    charging: ChargingScheme,
 }
 
 impl<S: Scheduler> OnlineController<S> {
@@ -84,6 +89,7 @@ impl<S: Scheduler> OnlineController<S> {
             rejected_volume: 0.0,
             keep_decisions: false,
             decisions: Vec::new(),
+            charging: ChargingScheme::MaxPerSlot,
         }
     }
 
@@ -93,6 +99,19 @@ impl<S: Scheduler> OnlineController<S> {
     pub fn with_decision_log(mut self) -> Self {
         self.keep_decisions = true;
         self
+    }
+
+    /// Prices the cost history under `scheme` instead of the default
+    /// [`ChargingScheme::MaxPerSlot`]. Under `MaxPerSlot` every cost value
+    /// is bit-identical to what the controller always produced.
+    pub fn with_charging(mut self, scheme: ChargingScheme) -> Self {
+        self.charging = scheme;
+        self
+    }
+
+    /// The charging scheme pricing the cost history.
+    pub fn charging(&self) -> ChargingScheme {
+        self.charging
     }
 
     /// The committed decisions per slot (empty unless
@@ -161,6 +180,7 @@ impl<S: Scheduler> OnlineController<S> {
             rejected_volume: state.rejected_volume,
             keep_decisions: false,
             decisions: Vec::new(),
+            charging: ChargingScheme::MaxPerSlot,
         }
     }
 
@@ -237,14 +257,22 @@ impl<S: Scheduler> OnlineController<S> {
 
         self.total_accepted += accepted.len();
         self.total_rejected += rejected.len();
+        // `accepted` is a subsequence of `files` in arrival order in both
+        // paths above (the batch path takes every id, the per-file path
+        // pushes while iterating `files`), so a single positional cursor
+        // replaces the per-file `accepted.contains(..)` linear scan that
+        // made this loop O(batch²) on the 10³–10⁵-request batches the ALAP
+        // path admits — and it keeps the float accumulation order identical.
+        let mut cursor = 0;
         for f in files {
-            if accepted.contains(&f.id) {
+            if accepted.get(cursor) == Some(&f.id) {
+                cursor += 1;
                 self.accepted_volume += f.size_gb;
             } else {
                 self.rejected_volume += f.size_gb;
             }
         }
-        let cost = self.ledger.cost_per_slot(&self.network);
+        let cost = self.ledger.cost_per_slot_scheme(&self.network, self.charging);
         self.cost_history.push(cost);
         Ok(StepReport { slot, accepted, rejected, cost_per_slot: cost })
     }
@@ -283,7 +311,7 @@ impl<S: Scheduler> OnlineController<S> {
         self.total_rejected += rejected.len();
         self.accepted_volume += accepted_volume;
         self.rejected_volume += rejected_volume;
-        let cost = self.ledger.cost_per_slot(&self.network);
+        let cost = self.ledger.cost_per_slot_scheme(&self.network, self.charging);
         self.cost_history.push(cost);
         StepReport { slot, accepted, rejected, cost_per_slot: cost }
     }
@@ -367,6 +395,50 @@ mod tests {
         assert_eq!(r.rejected, vec![FileId(1)]);
         assert_eq!(r.accepted, vec![FileId(2)]);
         assert_eq!(ctl.admission_volumes(), (2.0, 10.0));
+    }
+
+    #[test]
+    fn admission_volumes_with_interleaved_rejections() {
+        // Rejections interleaved between acceptances exercise the positional
+        // cursor over `accepted`: every file must be attributed to exactly
+        // one side, in arrival order.
+        let net = NetworkBuilder::new(2).link(d(0), d(1), 1.0, 4.0).build();
+        let mut ctl = OnlineController::new(net, PostcardScheduler::new());
+        let batch = [
+            TransferRequest::new(FileId(1), d(0), d(1), 50.0, 1, 0), // too big
+            TransferRequest::new(FileId(2), d(0), d(1), 2.0, 1, 0),
+            TransferRequest::new(FileId(3), d(0), d(1), 60.0, 1, 0), // too big
+            TransferRequest::new(FileId(4), d(0), d(1), 2.0, 1, 0),
+        ];
+        let r = ctl.step(0, &batch).unwrap();
+        assert_eq!(r.accepted, vec![FileId(2), FileId(4)]);
+        assert_eq!(r.rejected, vec![FileId(1), FileId(3)]);
+        assert_eq!(ctl.admission_counts(), (2, 2));
+        assert_eq!(ctl.admission_volumes(), (4.0, 110.0));
+    }
+
+    #[test]
+    fn percentile_charging_prices_cost_history() {
+        // Direct scheduling of a 3-slot transfer elevates 3 slots; under
+        // p50 over a 6-slot window (charged rank 3) the bill charges the
+        // per-slot rate, under MaxPerSlot it charges the peak — same ledger.
+        let f = TransferRequest::new(FileId(1), d(1), d(2), 6.0, 3, 0);
+        let mut max_ctl = OnlineController::new(net(), DirectScheduler);
+        let max_cost = max_ctl.step(0, &[f]).unwrap().cost_per_slot;
+        let scheme = ChargingScheme::Percentile { q: 50.0, window_slots: 6 };
+        let mut p_ctl = OnlineController::new(net(), DirectScheduler).with_charging(scheme);
+        let p_cost = p_ctl.step(0, &[f]).unwrap().cost_per_slot;
+        // Direct spreads 6 GB over 3 of 6 window slots → the p50 rank
+        // (3rd of 6 sorted) lands on an idle slot and the bill is free,
+        // while MaxPerSlot charges the 2 GB peak at price 10.
+        assert!((max_cost - 20.0).abs() < 1e-9);
+        assert_eq!(p_cost, 0.0);
+        // With q=100 and a window covering the horizon the scheme-priced
+        // history is bit-identical to MaxPerSlot.
+        let wide = ChargingScheme::Percentile { q: 100.0, window_slots: 64 };
+        let mut wide_ctl = OnlineController::new(net(), DirectScheduler).with_charging(wide);
+        let wide_cost = wide_ctl.step(0, &[f]).unwrap().cost_per_slot;
+        assert_eq!(wide_cost.to_bits(), max_cost.to_bits());
     }
 
     #[test]

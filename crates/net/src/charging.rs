@@ -136,18 +136,24 @@ impl PercentileScheme {
 
     /// Charged volume of a (not necessarily sorted) slice of per-slot
     /// volumes; 0 for an empty slice.
+    ///
+    /// Selects the charged rank with `select_nth_unstable_by` — O(I) per
+    /// call instead of the O(I log I) full sort, which matters because
+    /// [`crate::TrafficLedger::cost_per_slot_with`] runs this for every
+    /// link every slot. Selection with the same `total_cmp` order picks the
+    /// identical element a sort would place at the charged index.
     pub fn charged_volume(&self, volumes: &[f64]) -> f64 {
         if volumes.is_empty() {
             return 0.0;
         }
-        let mut sorted = volumes.to_vec();
-        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mut work = volumes.to_vec();
         // postcard-analyze: allow(PA205) — rank lives in (0, len]: q is
         // asserted ≤ 100 so the product is ≤ len, ceil of a positive value
         // is ≥ 1, and the clamp below re-establishes the bound even for
         // pathological float rounding. The cast picks an index, not money.
-        let rank = ((self.q / 100.0) * sorted.len() as f64).ceil() as usize;
-        sorted[rank.clamp(1, sorted.len()) - 1]
+        let rank = ((self.q / 100.0) * work.len() as f64).ceil() as usize;
+        let index = rank.clamp(1, work.len()) - 1;
+        *work.select_nth_unstable_by(index, |a, b| a.total_cmp(b)).1
     }
 
     /// The 1-based sorted rank charged for a period of `num_slots` slots.
@@ -168,6 +174,107 @@ impl PercentileScheme {
         // q ∈ (0, 100] keeps the product in (0, num_slots] and the clamp
         // makes the truncation harmless; the result is a rank, not a bill.
         (((self.q / 100.0) * num_slots as f64).ceil() as usize).clamp(1, num_slots)
+    }
+}
+
+/// How a link's traffic series turns into billed volume.
+///
+/// `MaxPerSlot` is the paper formulation's objective (`X_ij ≥ x_ij(t)` for
+/// every slot — equivalently the 100th percentile over the whole horizon)
+/// and what the repo has always charged. `Percentile` is real transit
+/// billing (Sec. II-A): the horizon splits into aligned windows
+/// `[k·W, (k+1)·W)` of `window_slots` slots each, and every window is
+/// charged independently at the q-th percentile of its per-slot volumes —
+/// the top `(100−q)%` of each window's slots are *free*.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ChargingScheme {
+    /// Charge the running per-slot maximum over the whole horizon.
+    MaxPerSlot,
+    /// q-th percentile charging over aligned billing windows.
+    Percentile {
+        /// The percentile `q ∈ (0, 100]`.
+        q: f64,
+        /// Billing window length in slots, ≥ 1.
+        window_slots: usize,
+    },
+}
+
+impl ChargingScheme {
+    /// Parses a CLI spec: `max`, or `p<q>:<window>` (e.g. `p95:288` for the
+    /// 95-th percentile over 288-slot windows).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        if spec == "max" {
+            return Ok(ChargingScheme::MaxPerSlot);
+        }
+        let body = spec
+            .strip_prefix('p')
+            .ok_or_else(|| format!("bad charging spec `{spec}` (want `max` or `p<q>:<window>`)"))?;
+        let (q_str, w_str) = body
+            .split_once(':')
+            .ok_or_else(|| format!("bad charging spec `{spec}` (want `max` or `p<q>:<window>`)"))?;
+        let q: f64 = q_str.parse().map_err(|_| format!("bad percentile in `{spec}`"))?;
+        if !(q > 0.0 && q <= 100.0) {
+            return Err(format!("percentile in `{spec}` must be in (0, 100]"));
+        }
+        let window_slots: usize =
+            w_str.parse().map_err(|_| format!("bad window length in `{spec}`"))?;
+        if window_slots == 0 {
+            return Err(format!("window length in `{spec}` must be ≥ 1"));
+        }
+        Ok(ChargingScheme::Percentile { q, window_slots })
+    }
+
+    /// The canonical spec string `parse` round-trips.
+    pub fn spec(&self) -> String {
+        match self {
+            ChargingScheme::MaxPerSlot => "max".to_string(),
+            ChargingScheme::Percentile { q, window_slots } => format!("p{q}:{window_slots}"),
+        }
+    }
+
+    /// The per-window percentile scheme; `MaxPerSlot` degenerates to q=100.
+    pub fn percentile(&self) -> PercentileScheme {
+        match self {
+            ChargingScheme::MaxPerSlot => PercentileScheme::MAX,
+            ChargingScheme::Percentile { q, .. } => PercentileScheme::new(*q),
+        }
+    }
+
+    /// Billing window length in slots; `MaxPerSlot` has a single unbounded
+    /// window, reported as `usize::MAX`.
+    pub fn window_slots(&self) -> usize {
+        match self {
+            ChargingScheme::MaxPerSlot => usize::MAX,
+            ChargingScheme::Percentile { window_slots, .. } => *window_slots,
+        }
+    }
+
+    /// First slot of the aligned billing window containing `slot`.
+    pub fn window_start(&self, slot: u64) -> u64 {
+        match self {
+            ChargingScheme::MaxPerSlot => 0,
+            ChargingScheme::Percentile { window_slots, .. } => {
+                let w = *window_slots as u64;
+                (slot / w) * w
+            }
+        }
+    }
+
+    /// Number of *free* slots per billing window — slots whose volume the
+    /// percentile rank discards. Zero for `MaxPerSlot` (and for q=100).
+    pub fn free_slots(&self) -> usize {
+        match self {
+            ChargingScheme::MaxPerSlot => 0,
+            ChargingScheme::Percentile { window_slots, .. } => {
+                window_slots - self.percentile().charged_rank(*window_slots)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ChargingScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.spec())
     }
 }
 
@@ -246,5 +353,39 @@ mod tests {
     #[should_panic(expected = "percentile must be")]
     fn zero_percentile_rejected() {
         PercentileScheme::new(0.0);
+    }
+
+    #[test]
+    fn charging_scheme_parse_round_trip() {
+        assert_eq!(ChargingScheme::parse("max").unwrap(), ChargingScheme::MaxPerSlot);
+        let p = ChargingScheme::parse("p95:288").unwrap();
+        assert_eq!(p, ChargingScheme::Percentile { q: 95.0, window_slots: 288 });
+        assert_eq!(p.spec(), "p95:288");
+        assert_eq!(ChargingScheme::parse(&p.spec()).unwrap(), p);
+        assert_eq!(ChargingScheme::MaxPerSlot.spec(), "max");
+    }
+
+    #[test]
+    fn charging_scheme_rejects_bad_specs() {
+        for bad in ["", "p95", "p0:10", "p101:10", "p95:0", "p95:x", "px:10", "q95:10"] {
+            assert!(ChargingScheme::parse(bad).is_err(), "`{bad}` should be rejected");
+        }
+    }
+
+    #[test]
+    fn charging_scheme_windows_and_free_slots() {
+        let p = ChargingScheme::Percentile { q: 95.0, window_slots: 48 };
+        // ⌈0.95 · 48⌉ = 46, so 2 of every 48 slots are free.
+        assert_eq!(p.free_slots(), 2);
+        assert_eq!(p.window_start(0), 0);
+        assert_eq!(p.window_start(47), 0);
+        assert_eq!(p.window_start(48), 48);
+        assert_eq!(p.window_start(143), 96);
+        let max = ChargingScheme::MaxPerSlot;
+        assert_eq!(max.free_slots(), 0);
+        assert_eq!(max.window_start(1_000_000), 0);
+        // q=100 percentile billing has no free slots either.
+        let p100 = ChargingScheme::Percentile { q: 100.0, window_slots: 10 };
+        assert_eq!(p100.free_slots(), 0);
     }
 }

@@ -7,7 +7,7 @@
 //! percentile scheme. The ledger generalizes this to any percentile for
 //! reporting purposes while tracking the running peak incrementally.
 
-use crate::charging::PercentileScheme;
+use crate::charging::{ChargingScheme, PercentileScheme};
 use crate::topology::{DcId, Network};
 use serde::{Deserialize, Serialize};
 
@@ -87,8 +87,18 @@ impl TrafficLedger {
         self.peak[from.0 * self.n + to.0]
     }
 
-    /// Charged volume of a link under an arbitrary percentile scheme over a
-    /// charging period of `period_slots` slots (unwritten slots count as 0).
+    /// Charged volume of a link under an arbitrary percentile scheme over
+    /// the *current* billing window — the last aligned `period_slots`-sized
+    /// window `[k·P, (k+1)·P)` containing the ledger horizon. Unwritten
+    /// slots inside the window count as 0, so the window is always evaluated
+    /// at exactly `period_slots` slots.
+    ///
+    /// Earlier windows are closed books: their charges are fixed and queried
+    /// per window via [`TrafficLedger::window_series`] /
+    /// [`TrafficLedger::total_bill`], never mixed into the current window.
+    /// (The old implementation charged over the entire recorded history once
+    /// the series outgrew `period_slots`, which both diluted the percentile
+    /// rank with stale slots and let a long-past spike dominate forever.)
     pub fn charged_volume(
         &self,
         from: DcId,
@@ -96,10 +106,65 @@ impl TrafficLedger {
         scheme: PercentileScheme,
         period_slots: usize,
     ) -> f64 {
+        assert!(period_slots > 0, "charging period must be ≥ 1 slot");
         let series = self.series(from, to);
-        let mut padded = series.to_vec();
-        padded.resize(period_slots.max(series.len()), 0.0);
-        scheme.charged_volume(&padded)
+        let horizon = self.horizon() as usize;
+        let start = if horizon == 0 { 0 } else { ((horizon - 1) / period_slots) * period_slots };
+        let mut window = vec![0.0; period_slots];
+        for (k, v) in window.iter_mut().enumerate() {
+            *v = series.get(start + k).copied().unwrap_or(0.0);
+        }
+        scheme.charged_volume(&window)
+    }
+
+    /// The per-slot volumes of the aligned billing window starting at
+    /// `window_start`, padded with zeros to exactly `window_slots` entries.
+    pub fn window_series(
+        &self,
+        from: DcId,
+        to: DcId,
+        window_start: u64,
+        window_slots: usize,
+    ) -> Vec<f64> {
+        let series = self.series(from, to);
+        let start = window_start as usize;
+        (0..window_slots).map(|k| series.get(start + k).copied().unwrap_or(0.0)).collect()
+    }
+
+    /// The *baseline* of the billing window containing `slot` on a link:
+    /// the volume its charged rank currently sits at, with the window's
+    /// not-yet-written slots padded as zeros (exactly how the window will be
+    /// billed at rollover). Traffic added to slots at or below the baseline
+    /// — or to already-free slots — cannot raise this window's charge.
+    pub fn window_baseline(&self, from: DcId, to: DcId, scheme: ChargingScheme, slot: u64) -> f64 {
+        match scheme {
+            ChargingScheme::MaxPerSlot => self.peak(from, to),
+            ChargingScheme::Percentile { window_slots, .. } => {
+                let window = self.window_series(from, to, scheme.window_start(slot), window_slots);
+                scheme.percentile().charged_volume(&window)
+            }
+        }
+    }
+
+    /// How many of the current window's *free* top-`(100−q)%` slots are
+    /// still unspent on a link — the number of additional slots that can be
+    /// pushed strictly above the baseline without moving the charged rank.
+    ///
+    /// Order-statistic argument: with `F = W − ⌈q/100·W⌉` free slots and `b`
+    /// slots already strictly above the baseline, raising one more slot
+    /// above the baseline leaves the charged rank unchanged as long as
+    /// `b + 1 ≤ F` — the raised slots all land in the discarded suffix of
+    /// the sorted window, and every other element keeps its rank or moves
+    /// down. Always 0 under `MaxPerSlot` (no slot is free).
+    pub fn burst_budget(&self, from: DcId, to: DcId, scheme: ChargingScheme, slot: u64) -> usize {
+        let free = scheme.free_slots();
+        if free == 0 {
+            return 0;
+        }
+        let baseline = self.window_baseline(from, to, scheme, slot);
+        let window = self.window_series(from, to, scheme.window_start(slot), scheme.window_slots());
+        let above = window.iter().filter(|&&v| v > baseline).count();
+        free.saturating_sub(above)
     }
 
     /// One slot past the last recorded slot, across all links.
@@ -140,6 +205,56 @@ impl TrafficLedger {
             .links()
             .map(|l| l.price * self.charged_volume(l.from, l.to, scheme, period_slots))
             .sum()
+    }
+
+    /// The running bill per slot under a [`ChargingScheme`]: `MaxPerSlot` is
+    /// the classic priced-peak sum, `Percentile` charges the *current*
+    /// billing window of every link at its percentile rank.
+    pub fn cost_per_slot_scheme(&self, network: &Network, scheme: ChargingScheme) -> f64 {
+        match scheme {
+            ChargingScheme::MaxPerSlot => self.cost_per_slot(network),
+            ChargingScheme::Percentile { window_slots, .. } => {
+                self.cost_per_slot_with(network, scheme.percentile(), window_slots)
+            }
+        }
+    }
+
+    /// The *total* bill of the recorded horizon under a scheme, in
+    /// dollar-slots: `Σ_links Σ_windows price · charged(window)`.
+    ///
+    /// Under `MaxPerSlot` the whole horizon is one window charged at its
+    /// peak (the quantity the paper's LP minimizes). Under `Percentile` the
+    /// horizon splits into aligned `window_slots`-sized windows — including
+    /// a final partial window padded with zeros to full length, matching how
+    /// an ISP closes the books mid-cycle. Comparing two runs' ledgers with
+    /// the *same* percentile scheme here is the apples-to-apples billing
+    /// comparison the diurnal preset gates on.
+    pub fn total_bill(&self, network: &Network, scheme: ChargingScheme) -> f64 {
+        match scheme {
+            ChargingScheme::MaxPerSlot => self.cost_per_slot(network),
+            ChargingScheme::Percentile { window_slots, .. } => {
+                let horizon = self.horizon();
+                let windows = if horizon == 0 { 1 } else { horizon.div_ceil(window_slots as u64) };
+                let p = scheme.percentile();
+                network
+                    .links()
+                    .map(|l| {
+                        let per_window: f64 = (0..windows)
+                            .map(|k| {
+                                let window = self.window_series(
+                                    l.from,
+                                    l.to,
+                                    k * window_slots as u64,
+                                    window_slots,
+                                );
+                                p.charged_volume(&window)
+                            })
+                            .sum();
+                        l.price * per_window
+                    })
+                    .sum()
+            }
+        }
     }
 }
 
@@ -219,6 +334,87 @@ mod tests {
         l.record(d(0), d(1), 0, 1.0);
         l.record(d(0), d(1), 5, 2.0);
         assert_eq!(l.total_volume(d(0), d(1)), 3.0);
+    }
+
+    #[test]
+    fn charged_volume_uses_last_window_not_whole_history() {
+        // Regression: with a series spanning two 10-slot windows, the charge
+        // must come from the *current* window only. The old code resized to
+        // `period_slots.max(series.len())`, silently charging over the whole
+        // history once the series outgrew the period.
+        let mut l = TrafficLedger::new(2);
+        // Window 0 (slots 0..10): a huge spike.
+        l.record(d(0), d(1), 3, 1000.0);
+        // Window 1 (slots 10..20): quiet traffic only.
+        for s in 10..15 {
+            l.record(d(0), d(1), s, 2.0);
+        }
+        // p100 over the current 10-slot window sees only the quiet traffic —
+        // NOT the window-0 spike.
+        assert_eq!(l.charged_volume(d(0), d(1), PercentileScheme::MAX, 10), 2.0);
+        // p95 over a 20-slot period: horizon is 15, so the current aligned
+        // 20-slot window is [0, 20) and the spike is its single free slot.
+        assert_eq!(l.charged_volume(d(0), d(1), PercentileScheme::P95, 20), 2.0);
+    }
+
+    #[test]
+    fn charged_volume_at_exact_window_boundary() {
+        let mut l = TrafficLedger::new(2);
+        // Exactly one full 10-slot window recorded: slot 9 is the last slot
+        // of window 0, so the current window is still window 0.
+        for s in 0..10 {
+            l.record(d(0), d(1), s, (s + 1) as f64);
+        }
+        assert_eq!(l.charged_volume(d(0), d(1), PercentileScheme::MAX, 10), 10.0);
+        // One record into slot 10 rolls over to window 1: only slot 10 counts.
+        l.record(d(0), d(1), 10, 3.0);
+        assert_eq!(l.charged_volume(d(0), d(1), PercentileScheme::MAX, 10), 3.0);
+    }
+
+    #[test]
+    fn window_baseline_and_burst_budget() {
+        let p95 = ChargingScheme::Percentile { q: 95.0, window_slots: 20 };
+        let mut l = TrafficLedger::new(2);
+        // Empty window: baseline 0, full free budget (1 free slot in 20).
+        assert_eq!(l.window_baseline(d(0), d(1), p95, 0), 0.0);
+        assert_eq!(l.burst_budget(d(0), d(1), p95, 0), 1);
+        // Steady traffic raises the baseline; no slot is above it yet.
+        for s in 0..5 {
+            l.record(d(0), d(1), s, 4.0);
+        }
+        assert_eq!(l.window_baseline(d(0), d(1), p95, 4), 4.0);
+        assert_eq!(l.burst_budget(d(0), d(1), p95, 4), 1);
+        // One burst above the baseline spends the only free slot.
+        l.record(d(0), d(1), 5, 50.0);
+        assert_eq!(l.window_baseline(d(0), d(1), p95, 5), 4.0);
+        assert_eq!(l.burst_budget(d(0), d(1), p95, 5), 0);
+        // The next window starts with a fresh budget.
+        assert_eq!(l.burst_budget(d(0), d(1), p95, 20), 1);
+        // MaxPerSlot never has free slots.
+        assert_eq!(l.burst_budget(d(0), d(1), ChargingScheme::MaxPerSlot, 5), 0);
+    }
+
+    #[test]
+    fn total_bill_sums_windows() {
+        let net = Network::complete(2, 1.0, 1000.0);
+        let p100 = ChargingScheme::Percentile { q: 100.0, window_slots: 10 };
+        let mut l = TrafficLedger::new(2);
+        l.record(d(0), d(1), 0, 7.0); // window 0 peak
+        l.record(d(0), d(1), 13, 5.0); // window 1 peak (partial window)
+        assert!((l.total_bill(&net, p100) - 12.0).abs() < 1e-12);
+        // MaxPerSlot charges the single whole-horizon peak.
+        assert!((l.total_bill(&net, ChargingScheme::MaxPerSlot) - 7.0).abs() < 1e-12);
+        // q=100 with the window covering the whole horizon equals the peak
+        // bill exactly.
+        let wide = ChargingScheme::Percentile { q: 100.0, window_slots: 64 };
+        assert_eq!(
+            l.total_bill(&net, wide).to_bits(),
+            l.total_bill(&net, ChargingScheme::MaxPerSlot).to_bits()
+        );
+        // Empty ledger bills zero either way.
+        let empty = TrafficLedger::new(2);
+        assert_eq!(empty.total_bill(&net, p100), 0.0);
+        assert_eq!(empty.total_bill(&net, ChargingScheme::MaxPerSlot), 0.0);
     }
 
     #[test]

@@ -55,7 +55,9 @@ mod plan;
 mod timeexp;
 mod topology;
 
-pub use charging::{CostFunction, LinearCost, PercentileScheme, PiecewiseLinearCost};
+pub use charging::{
+    ChargingScheme, CostFunction, LinearCost, PercentileScheme, PiecewiseLinearCost,
+};
 pub use file::{FileId, TransferRequest, TENANT_BITS};
 pub use ledger::TrafficLedger;
 pub use plan::{PlanEntry, PlanViolation, TransferPlan};

@@ -203,6 +203,23 @@ impl Network {
         slot.capacity = capacity;
     }
 
+    /// Overwrites the per-GB price of an existing link, modeling a mid-cycle
+    /// tariff change. Volume already recorded keeps being billed at whatever
+    /// price the ledger's cost queries see at evaluation time — the ledger
+    /// stores volumes, not dollars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link does not exist or `price` is negative or NaN.
+    pub fn set_price(&mut self, from: DcId, to: DcId, price: f64) {
+        assert!(price >= 0.0, "price must be non-negative");
+        let n = self.n;
+        // postcard-analyze: allow(PA102) — documented panic contract (see
+        // the `# Panics` section above).
+        let slot = self.links[from.0 * n + to.0].as_mut().expect("link must exist");
+        slot.price = price;
+    }
+
     fn params(&self, from: DcId, to: DcId) -> Option<&LinkParams> {
         if from.0 >= self.n || to.0 >= self.n {
             return None;

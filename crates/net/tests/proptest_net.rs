@@ -2,8 +2,8 @@
 //! ledger accounting, time expansion, and (metamorphic) plan validation.
 
 use postcard_net::{
-    Arc, ArcKind, DcId, FileId, Network, PercentileScheme, TimeExpandedGraph, TrafficLedger,
-    TransferPlan, TransferRequest,
+    Arc, ArcKind, ChargingScheme, DcId, FileId, Network, PercentileScheme, TimeExpandedGraph,
+    TrafficLedger, TransferPlan, TransferRequest,
 };
 use proptest::prelude::*;
 
@@ -120,6 +120,65 @@ proptest! {
         prop_assert!((ledger.total_volume(DcId(0), DcId(1)) - size).abs() < 1e-12);
         prop_assert!((ledger.cost_per_slot(&net) - 6.0 * size).abs() < 1e-9);
         let _ = net.links().collect::<Vec<_>>();
+    }
+
+    /// Rank selection agrees with the sort-based oracle the implementation
+    /// replaced: `select_nth_unstable_by` must pick the exact element a full
+    /// `total_cmp` sort puts at the charged index, bit for bit.
+    #[test]
+    fn charged_volume_matches_sort_oracle(vols in volumes(), q in 1.0f64..=100.0) {
+        let scheme = PercentileScheme::new(q);
+        let fast = scheme.charged_volume(&vols);
+        let mut sorted = vols.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+        let oracle = sorted[rank.clamp(1, sorted.len()) - 1];
+        prop_assert_eq!(fast.to_bits(), oracle.to_bits());
+    }
+
+    /// Windowed billing invariants: the current-window charge is monotone in
+    /// q, and any window length covering the whole horizon charges the same
+    /// as the whole-history evaluation (window-length invariance).
+    #[test]
+    fn windowed_charging_properties(
+        records in prop::collection::vec((0u64..30, 0.1f64..100.0), 1..40),
+        q1 in 1.0f64..=100.0,
+        q2 in 1.0f64..=100.0,
+        window in 1usize..50,
+    ) {
+        let mut ledger = TrafficLedger::new(2);
+        for &(slot, vol) in &records {
+            ledger.record(DcId(0), DcId(1), slot, vol);
+        }
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = ledger.charged_volume(DcId(0), DcId(1), PercentileScheme::new(lo), window);
+        let b = ledger.charged_volume(DcId(0), DcId(1), PercentileScheme::new(hi), window);
+        prop_assert!(a <= b + 1e-12, "window charge must be monotone in q: {} vs {}", a, b);
+
+        // Any window at least as long as the horizon holds the entire series
+        // in window 0, so the charge is invariant in the window length and
+        // q=100 equals the running peak exactly.
+        let horizon = ledger.horizon() as usize;
+        for w in [horizon, horizon + 1, horizon + 17] {
+            let charged = ledger.charged_volume(DcId(0), DcId(1), PercentileScheme::MAX, w);
+            prop_assert_eq!(charged.to_bits(), ledger.peak(DcId(0), DcId(1)).to_bits());
+        }
+
+        // The burst budget never exceeds the scheme's free-slot count.
+        let scheme = ChargingScheme::Percentile { q: lo, window_slots: window };
+        let budget = ledger.burst_budget(DcId(0), DcId(1), scheme, ledger.horizon().saturating_sub(1));
+        prop_assert!(budget <= scheme.free_slots());
+    }
+
+    /// An empty window (no traffic recorded in it yet) always charges zero.
+    #[test]
+    fn empty_windows_charge_zero(window in 1usize..30, q in 1.0f64..=100.0) {
+        let ledger = TrafficLedger::new(2);
+        let charged = ledger.charged_volume(DcId(0), DcId(1), PercentileScheme::new(q), window);
+        prop_assert_eq!(charged, 0.0);
+        let scheme = ChargingScheme::Percentile { q, window_slots: window };
+        prop_assert_eq!(ledger.window_baseline(DcId(0), DcId(1), scheme, 0), 0.0);
+        prop_assert_eq!(ledger.burst_budget(DcId(0), DcId(1), scheme, 0), scheme.free_slots());
     }
 
     /// `TransferRequest::split` conserves size and produces valid requests.

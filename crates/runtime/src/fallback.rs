@@ -34,17 +34,21 @@
 
 use crate::clock::Clock;
 use postcard_core::{
-    Decision, FlowLpScheduler, GreedyScheduler, PostcardConfig, PostcardError, PostcardScheduler,
-    Scheduler, SolveStats,
+    Decision, FlowLpScheduler, GreedyScheduler, HeadroomScheduler, PostcardConfig, PostcardError,
+    PostcardScheduler, Scheduler, SolveStats,
 };
 use postcard_flow::AlapScheduler;
-use postcard_net::{Network, TrafficLedger, TransferPlan, TransferRequest};
+use postcard_net::{ChargingScheme, Network, TrafficLedger, TransferPlan, TransferRequest};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// One tier of the fallback chain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TierKind {
+    /// The percentile-headroom burst rung (percentile charging only): serves
+    /// batches out of already-paid-for billing-window headroom, declining
+    /// whatever would move the charged rank.
+    Headroom,
     /// The ALAP fast-path admission rung (no LP solve).
     Alap,
     /// The paper's store-and-forward LP.
@@ -59,6 +63,7 @@ impl TierKind {
     /// Stable name used in metrics, CLI flags, and snapshots.
     pub fn name(&self) -> &'static str {
         match self {
+            TierKind::Headroom => "headroom",
             TierKind::Alap => "alap",
             TierKind::Postcard => "postcard",
             TierKind::FlowLp => "flow-lp",
@@ -84,7 +89,27 @@ impl TierKind {
     /// model advance + dual-simplex re-solve). Other tiers ignore
     /// `incremental`.
     pub fn build_with_options(&self, warm_start: bool, incremental: bool) -> Box<dyn Scheduler> {
+        self.build_with_charging(warm_start, incremental, ChargingScheme::MaxPerSlot)
+    }
+
+    /// [`TierKind::build_with_options`], additionally supplying the run's
+    /// charging scheme — required by the [`TierKind::Headroom`] rung, which
+    /// places traffic against the scheme's billing windows. Other tiers
+    /// ignore it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when building [`TierKind::Headroom`] under a scheme with no
+    /// free slots (notably [`ChargingScheme::MaxPerSlot`]) — runtime config
+    /// validation rejects that combination before it gets here.
+    pub fn build_with_charging(
+        &self,
+        warm_start: bool,
+        incremental: bool,
+        charging: ChargingScheme,
+    ) -> Box<dyn Scheduler> {
         match self {
+            TierKind::Headroom => Box::new(HeadroomScheduler::new(charging)),
             TierKind::Alap => Box::new(AlapTier::new()),
             TierKind::Postcard => Box::new(PostcardScheduler::with_config(PostcardConfig {
                 warm_start,
@@ -117,6 +142,7 @@ impl std::str::FromStr for TierKind {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
+            "headroom" => Ok(TierKind::Headroom),
             "alap" => Ok(TierKind::Alap),
             "postcard" => Ok(TierKind::Postcard),
             "flow-lp" => Ok(TierKind::FlowLp),
@@ -146,6 +172,12 @@ pub enum AttemptOutcome {
     /// distinct from [`AttemptOutcome::ForcedTimeout`] so skipped slots do
     /// not pollute fallback-activation metrics.
     Skipped,
+    /// The headroom rung found no paid-for headroom for this batch and
+    /// passed it on. Unlike [`AttemptOutcome::Infeasible`] this does NOT
+    /// end the chain: headroom sits *outside* the feasible-set nesting (it
+    /// is a billing policy, not a weaker solver), so its rejections say
+    /// nothing about what the LP tiers can place.
+    Declined,
 }
 
 /// The [`TierKind::Alap`] rung: wraps [`AlapScheduler`] as a chain tier.
@@ -329,6 +361,32 @@ impl FallbackChain {
         warm_start: bool,
         incremental: bool,
     ) -> Self {
+        Self::with_charging(
+            tiers,
+            slot_budget,
+            clock,
+            warm_start,
+            incremental,
+            ChargingScheme::MaxPerSlot,
+        )
+    }
+
+    /// [`FallbackChain::with_options`], additionally supplying the run's
+    /// [`ChargingScheme`] — required when `tiers` contains the
+    /// [`TierKind::Headroom`] rung (see [`TierKind::build_with_charging`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiers` is empty, or contains [`TierKind::Headroom`] while
+    /// `charging` has no free slots.
+    pub fn with_charging(
+        tiers: &[TierKind],
+        slot_budget: Duration,
+        clock: Box<dyn Clock>,
+        warm_start: bool,
+        incremental: bool,
+        charging: ChargingScheme,
+    ) -> Self {
         assert!(!tiers.is_empty(), "fallback chain needs at least one tier");
         Self {
             tiers: tiers
@@ -337,7 +395,11 @@ impl FallbackChain {
                     kind,
                     scheduler: match kind {
                         TierKind::Alap => TierScheduler::Alap(AlapTier::new()),
-                        _ => TierScheduler::Dyn(kind.build_with_options(warm_start, incremental)),
+                        _ => TierScheduler::Dyn(kind.build_with_charging(
+                            warm_start,
+                            incremental,
+                            charging,
+                        )),
                     },
                 })
                 .collect(),
@@ -400,6 +462,13 @@ impl FallbackChain {
                 matches!(r.outcome, AttemptOutcome::Committed | AttemptOutcome::CommittedAfterRetry)
             })
             .map(|r| r.tier)
+    }
+
+    /// Whether the headroom rung declined at least once this slot. Declines
+    /// are a policy verdict, not a fallback activation, so the runtime's
+    /// `slots_on_fallback_tier` counting excludes such slots.
+    pub fn headroom_declined(&self) -> bool {
+        self.records.iter().any(|r| r.outcome == AttemptOutcome::Declined)
     }
 
     fn record(&mut self, tier: TierKind, outcome: AttemptOutcome, stats: SolveStats) {
@@ -470,6 +539,13 @@ impl Scheduler for FallbackChain {
                     self.record(kind, outcome, stats);
                     self.last_stats = stats;
                     return Ok(decision);
+                }
+                Err(PostcardError::Infeasible) if kind == TierKind::Headroom && !is_last => {
+                    // Headroom declining a batch is routine (no budget left,
+                    // indirect route needed, zero baseline): hand the batch
+                    // to the real solvers instead of rejecting it.
+                    self.record(kind, AttemptOutcome::Declined, stats);
+                    continue;
                 }
                 Err(PostcardError::Infeasible) => {
                     self.record(kind, AttemptOutcome::Infeasible, stats);
@@ -635,6 +711,58 @@ mod tests {
         let d = c.schedule(&net(), &[file()], &TrafficLedger::new(3)).unwrap();
         assert!(matches!(d, Decision::Plan(_)), "a one-tier chain must still commit");
         assert_eq!(c.chosen_tier(), Some(TierKind::Alap));
+    }
+
+    fn headroom_chain() -> FallbackChain {
+        FallbackChain::with_charging(
+            &[TierKind::Headroom, TierKind::Postcard],
+            Duration::from_millis(100),
+            Box::new(SimClock::new()),
+            false,
+            false,
+            ChargingScheme::Percentile { q: 95.0, window_slots: 20 },
+        )
+    }
+
+    #[test]
+    fn headroom_decline_falls_through_without_rejecting() {
+        // Empty ledger → zero baseline → headroom declines, but the batch is
+        // perfectly LP-servable and must still commit.
+        let mut c = headroom_chain();
+        c.begin_slot(0, vec![]);
+        let d = c.schedule(&net(), &[file()], &TrafficLedger::new(3)).unwrap();
+        assert!(matches!(d, Decision::Plan(_)));
+        assert_eq!(c.chosen_tier(), Some(TierKind::Postcard));
+        assert_eq!(c.records()[0].outcome, AttemptOutcome::Declined);
+        assert!(c.headroom_declined());
+    }
+
+    #[test]
+    fn headroom_commits_when_budget_allows() {
+        let scheme = ChargingScheme::Percentile { q: 95.0, window_slots: 20 };
+        let mut ledger = TrafficLedger::new(3);
+        // Established 4 GB baseline on the direct link 1 → 2.
+        for s in 0..10 {
+            ledger.record(d(1), d(2), s, 4.0);
+        }
+        let mut c = headroom_chain();
+        c.begin_slot(10, vec![]);
+        // A burst needing one converted slot: headroom takes it.
+        let f = TransferRequest::new(FileId(7), d(1), d(2), 50.0, 2, 10);
+        let dec = c.schedule(&net(), &[f], &ledger).unwrap();
+        assert_eq!(c.chosen_tier(), Some(TierKind::Headroom));
+        assert!(!c.headroom_declined());
+        let Decision::Plan(plan) = dec else { panic!("headroom emits plans") };
+        let mut after = ledger.clone();
+        plan.apply_to_ledger(&mut after);
+        // The window's charge did not move.
+        assert_eq!(after.window_baseline(d(1), d(2), scheme, 10), 4.0);
+    }
+
+    #[test]
+    fn headroom_name_parses() {
+        assert_eq!("headroom".parse::<TierKind>().unwrap(), TierKind::Headroom);
+        assert_eq!(TierKind::Headroom.name(), "headroom");
     }
 
     #[test]

@@ -1,16 +1,21 @@
 //! Deterministic fault-injection schedules.
 //!
-//! Two fault families, both applied at slot boundaries so runs (and their
+//! Four fault families, all applied at slot boundaries so runs (and their
 //! resumed halves) replay identically:
 //!
 //! * **link degradations** — at slot `t`, link `i → j`'s capacity drops to
 //!   a given value (the `tests/capacity_shock.rs` scenario, made a
 //!   first-class runtime input);
 //! * **forced solver timeouts** — at slot `t`, a named fallback tier is
-//!   treated as having blown the slot budget, activating the next tier.
+//!   treated as having blown the slot budget, activating the next tier;
+//! * **price changes** — at slot `t`, link `i → j`'s per-GB price changes
+//!   (mid-billing-cycle repricing; the multi-day diurnal scenarios use it);
+//! * **maintenance windows** — link `i → j` is taken out (capacity 0) for
+//!   `[start, end)` and restored to its pre-maintenance capacity afterwards.
 //!
 //! The whole plan serializes into snapshots, so a resumed run sees the same
-//! remaining faults.
+//! remaining faults (pending maintenance *restores* — whose restore value is
+//! only known once maintenance starts — ride along in the snapshot itself).
 
 use crate::fallback::TierKind;
 use postcard_net::DcId;
@@ -39,6 +44,33 @@ pub struct ForcedTimeout {
     pub tier: TierKind,
 }
 
+/// Per-GB price change of one link at one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PriceChange {
+    /// Slot at whose start the new price applies.
+    pub slot: u64,
+    /// Link source.
+    pub from: usize,
+    /// Link destination.
+    pub to: usize,
+    /// New per-GB price; must be non-negative.
+    pub price: f64,
+}
+
+/// Scheduled outage of one link over `[start, end)`, restored afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaintenanceWindow {
+    /// First slot of the outage.
+    pub start: u64,
+    /// One past the last outage slot; the link's pre-maintenance capacity
+    /// is restored at this slot's start.
+    pub end: u64,
+    /// Link source.
+    pub from: usize,
+    /// Link destination.
+    pub to: usize,
+}
+
 /// A full fault schedule.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct FaultPlan {
@@ -46,6 +78,10 @@ pub struct FaultPlan {
     pub degradations: Vec<LinkDegradation>,
     /// Forced tier timeouts.
     pub timeouts: Vec<ForcedTimeout>,
+    /// Per-GB price changes, applied at slot starts.
+    pub price_changes: Vec<PriceChange>,
+    /// Link maintenance windows (outage + automatic restore).
+    pub maintenance: Vec<MaintenanceWindow>,
 }
 
 impl FaultPlan {
@@ -68,9 +104,38 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a price change.
+    #[must_use]
+    pub fn reprice(mut self, slot: u64, from: DcId, to: DcId, price: f64) -> Self {
+        self.price_changes.push(PriceChange { slot, from: from.0, to: to.0, price });
+        self
+    }
+
+    /// Adds a maintenance window over `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end` (an empty window would silently do nothing).
+    #[must_use]
+    pub fn maintain(mut self, start: u64, end: u64, from: DcId, to: DcId) -> Self {
+        assert!(start < end, "maintenance window must be non-empty");
+        self.maintenance.push(MaintenanceWindow { start, end, from: from.0, to: to.0 });
+        self
+    }
+
     /// The degradations that fire at `slot`.
     pub fn degradations_at(&self, slot: u64) -> impl Iterator<Item = &LinkDegradation> {
         self.degradations.iter().filter(move |d| d.slot == slot)
+    }
+
+    /// The price changes that fire at `slot`.
+    pub fn price_changes_at(&self, slot: u64) -> impl Iterator<Item = &PriceChange> {
+        self.price_changes.iter().filter(move |p| p.slot == slot)
+    }
+
+    /// The maintenance windows whose outage starts at `slot`.
+    pub fn maintenance_starting_at(&self, slot: u64) -> impl Iterator<Item = &MaintenanceWindow> {
+        self.maintenance.iter().filter(move |m| m.start == slot)
     }
 
     /// The tiers forced to time out during `slot`.
@@ -112,6 +177,47 @@ impl FaultPlan {
         let slot = slot_text.parse().map_err(|_| format!("bad slot in `{spec}`"))?;
         let tier = tier_text.parse().map_err(|e| format!("{e} in `{spec}`"))?;
         Ok(ForcedTimeout { slot, tier })
+    }
+
+    /// Parses a `slot:from:to:price` price-change spec (CLI format).
+    ///
+    /// # Errors
+    ///
+    /// Describes the malformed component.
+    pub fn parse_price_change(spec: &str) -> Result<PriceChange, String> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        if parts.len() != 4 {
+            return Err(format!("price change `{spec}` must be slot:from:to:price"));
+        }
+        let slot = parts[0].parse().map_err(|_| format!("bad slot in `{spec}`"))?;
+        let from = parts[1].parse().map_err(|_| format!("bad source dc in `{spec}`"))?;
+        let to = parts[2].parse().map_err(|_| format!("bad destination dc in `{spec}`"))?;
+        let price: f64 = parts[3].parse().map_err(|_| format!("bad price in `{spec}`"))?;
+        if price.is_nan() || price < 0.0 {
+            return Err(format!("price must be non-negative in `{spec}`"));
+        }
+        Ok(PriceChange { slot, from, to, price })
+    }
+
+    /// Parses a `start:end:from:to` maintenance spec (CLI format); the
+    /// outage covers `[start, end)`.
+    ///
+    /// # Errors
+    ///
+    /// Describes the malformed component.
+    pub fn parse_maintenance(spec: &str) -> Result<MaintenanceWindow, String> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        if parts.len() != 4 {
+            return Err(format!("maintenance `{spec}` must be start:end:from:to"));
+        }
+        let start = parts[0].parse().map_err(|_| format!("bad start slot in `{spec}`"))?;
+        let end = parts[1].parse().map_err(|_| format!("bad end slot in `{spec}`"))?;
+        if start >= end {
+            return Err(format!("maintenance window must be non-empty in `{spec}`"));
+        }
+        let from = parts[2].parse().map_err(|_| format!("bad source dc in `{spec}`"))?;
+        let to = parts[3].parse().map_err(|_| format!("bad destination dc in `{spec}`"))?;
+        Ok(MaintenanceWindow { start, end, from, to })
     }
 }
 
@@ -159,9 +265,53 @@ mod tests {
     }
 
     #[test]
+    fn price_and_maintenance_builders_and_lookups() {
+        let plan = FaultPlan::none()
+            .reprice(6, DcId(0), DcId(1), 3.5)
+            .reprice(6, DcId(1), DcId(0), 1.0)
+            .maintain(4, 8, DcId(0), DcId(1));
+        assert_eq!(plan.price_changes_at(6).count(), 2);
+        assert_eq!(plan.price_changes_at(5).count(), 0);
+        let m: Vec<_> = plan.maintenance_starting_at(4).collect();
+        assert_eq!(m.len(), 1);
+        assert_eq!((m[0].start, m[0].end, m[0].from, m[0].to), (4, 8, 0, 1));
+        assert_eq!(plan.maintenance_starting_at(8).count(), 0);
+    }
+
+    #[test]
+    fn parse_price_change_formats() {
+        let p = FaultPlan::parse_price_change("5:0:2:12.5").unwrap();
+        assert_eq!((p.slot, p.from, p.to), (5, 0, 2));
+        assert_eq!(p.price, 12.5);
+        assert_eq!(FaultPlan::parse_price_change("5:0:2:0").unwrap().price, 0.0);
+        assert!(FaultPlan::parse_price_change("5:0:2").is_err());
+        assert!(FaultPlan::parse_price_change("5:0:2:-1").is_err());
+        assert!(FaultPlan::parse_price_change("x:0:2:1").is_err());
+    }
+
+    #[test]
+    fn parse_maintenance_formats() {
+        let m = FaultPlan::parse_maintenance("4:8:0:1").unwrap();
+        assert_eq!((m.start, m.end, m.from, m.to), (4, 8, 0, 1));
+        assert!(FaultPlan::parse_maintenance("8:4:0:1").is_err());
+        assert!(FaultPlan::parse_maintenance("4:4:0:1").is_err());
+        assert!(FaultPlan::parse_maintenance("4:8:0").is_err());
+        assert!(FaultPlan::parse_maintenance("a:8:0:1").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "maintenance window must be non-empty")]
+    fn empty_maintenance_window_rejected() {
+        let _ = FaultPlan::none().maintain(5, 5, DcId(0), DcId(1));
+    }
+
+    #[test]
     fn serde_round_trip() {
-        let plan =
-            FaultPlan::none().degrade(1, DcId(0), DcId(1), 2.0).force_timeout(9, TierKind::Greedy);
+        let plan = FaultPlan::none()
+            .degrade(1, DcId(0), DcId(1), 2.0)
+            .force_timeout(9, TierKind::Greedy)
+            .reprice(3, DcId(0), DcId(1), 7.0)
+            .maintain(2, 5, DcId(1), DcId(0));
         let back: FaultPlan = serde::json::from_str(&serde::json::to_string(&plan)).unwrap();
         assert_eq!(back, plan);
     }

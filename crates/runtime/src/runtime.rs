@@ -29,7 +29,7 @@
 use crate::arrivals::ArrivalSchedule;
 use crate::clock::{ClockKind, WallStopwatch};
 use crate::fallback::{AttemptOutcome, AttemptRecord, FallbackChain, TierKind};
-use crate::faults::FaultPlan;
+use crate::faults::{FaultPlan, LinkDegradation};
 use crate::metrics::MetricsRegistry;
 use crate::queue::{AdmissionQueue, QueuedRequest};
 use crate::shard::{manifest, ShardBy, ShardEngine, ShardState};
@@ -38,7 +38,7 @@ use postcard_analyze::check_problem;
 use postcard_core::{
     build_postcard_problem, OnlineController, PostcardConfig, PostcardError, StepReport,
 };
-use postcard_net::{DcId, Network, TransferRequest};
+use postcard_net::{ChargingScheme, DcId, Network, TransferRequest};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -98,6 +98,14 @@ pub struct RuntimeConfig {
     pub shards: usize,
     /// The partition key for sharded runs (ignored when `shards == 1`).
     pub shard_by: ShardBy,
+    /// How the provider is billed. `MaxPerSlot` (the default) reproduces the
+    /// paper's running-peak objective bit for bit. A `Percentile` scheme
+    /// prices the cost history per billing window and makes [`Runtime::new`]
+    /// prepend the [`TierKind::Headroom`] rung, which serves bursts out of
+    /// each window's free top-`(100−q)%` slots (CLI: `--charging p95:288`).
+    /// Adding this field is a snapshot format break (the vendored serde shim
+    /// treats missing fields as errors), hence snapshot v8.
+    pub charging: ChargingScheme,
 }
 
 impl Default for RuntimeConfig {
@@ -117,6 +125,7 @@ impl Default for RuntimeConfig {
             reopt_every: 0,
             shards: 1,
             shard_by: ShardBy::Tenant,
+            charging: ChargingScheme::MaxPerSlot,
         }
     }
 }
@@ -182,6 +191,12 @@ pub struct Runtime {
     /// registry: wall times differ run to run, and folding them into the
     /// snapshotted metrics would break bit-identical resume.
     wall_metrics: MetricsRegistry,
+    /// Capacity restores scheduled by started maintenance windows. The
+    /// restore value (the pre-outage capacity) is only known once the
+    /// outage starts, so it cannot be derived from the fault plan alone —
+    /// it rides in the snapshot (v8) to keep mid-maintenance resume
+    /// bit-identical.
+    pending_restores: Vec<LinkDegradation>,
     next_slot: u64,
     num_slots: u64,
 }
@@ -207,13 +222,23 @@ impl Runtime {
             config.tiers.retain(|t| *t != TierKind::Alap);
             config.tiers.insert(0, TierKind::Alap);
         }
+        // Percentile charging implies the headroom rung, ahead of everything
+        // (including the ALAP rung: paid-for headroom beats any placement
+        // that can still move the bill). Normalized the same idempotent way.
+        if config.charging != ChargingScheme::MaxPerSlot
+            && config.tiers.first() != Some(&TierKind::Headroom)
+        {
+            config.tiers.retain(|t| *t != TierKind::Headroom);
+            config.tiers.insert(0, TierKind::Headroom);
+        }
         Self::validate(&config)?;
-        let chain = FallbackChain::with_options(
+        let chain = FallbackChain::with_charging(
             &config.tiers,
             config.slot_budget(),
             config.clock.build(),
             config.warm_start,
             config.incremental,
+            config.charging,
         );
         // The horizon must cover every arrival's full deadline *window*, not
         // just its release slot — a late release with a multi-slot window
@@ -221,7 +246,7 @@ impl Runtime {
         let num_slots = num_slots.max(arrivals.horizon_slots());
         let engine = (config.shards > 1).then(|| ShardEngine::new(&config, network.num_dcs()));
         Ok(Self {
-            controller: OnlineController::new(network, chain),
+            controller: OnlineController::new(network, chain).with_charging(config.charging),
             queue: AdmissionQueue::new(config.queue_capacity),
             config,
             arrivals,
@@ -229,6 +254,7 @@ impl Runtime {
             metrics: MetricsRegistry::new(),
             engine,
             wall_metrics: MetricsRegistry::new(),
+            pending_restores: Vec::new(),
             next_slot: 0,
             num_slots,
         })
@@ -248,6 +274,13 @@ impl Runtime {
         }
         if config.shards == 0 {
             return Err(RuntimeError::Config("shard count must be at least 1".into()));
+        }
+        if config.tiers.contains(&TierKind::Headroom) && config.charging.free_slots() == 0 {
+            return Err(RuntimeError::Config(
+                "the headroom tier needs a percentile charging scheme with free slots \
+                 (e.g. --charging p95:288)"
+                    .into(),
+            ));
         }
         Ok(())
     }
@@ -294,12 +327,13 @@ impl Runtime {
         // grid is likewise not snapshotted: a fresh `AlapTier` starts dirty
         // and deterministically rebuilds the grid from the restored ledger
         // on first use, so resumed runs stay bit-identical.
-        let chain = FallbackChain::with_options(
+        let chain = FallbackChain::with_charging(
             &snap.config.tiers,
             snap.config.slot_budget(),
             snap.config.clock.build(),
             snap.config.warm_start,
             snap.config.incremental,
+            snap.config.charging,
         );
         let mut queue = AdmissionQueue::new(snap.config.queue_capacity);
         queue.restore(snap.queue, snap.queue_dropped);
@@ -310,8 +344,10 @@ impl Runtime {
         // manifest's shard files.
         let engine =
             (snap.config.shards > 1).then(|| ShardEngine::new(&snap.config, network.num_dcs()));
+        let charging = snap.config.charging;
         Ok(Self {
-            controller: OnlineController::from_state(network, chain, snap.controller),
+            controller: OnlineController::from_state(network, chain, snap.controller)
+                .with_charging(charging),
             queue,
             config: snap.config,
             arrivals: snap.arrivals,
@@ -319,6 +355,7 @@ impl Runtime {
             metrics: snap.metrics,
             engine,
             wall_metrics: MetricsRegistry::new(),
+            pending_restores: snap.pending_restores,
             next_slot: snap.next_slot,
             num_slots: snap.num_slots,
         })
@@ -342,6 +379,7 @@ impl Runtime {
             // Filled by `manifest::save_sharded` at write time (the refs
             // name the stamped files that actually land on disk).
             shard_refs: Vec::new(),
+            pending_restores: self.pending_restores.clone(),
             next_slot: self.next_slot,
             num_slots: self.num_slots,
         }
@@ -407,11 +445,28 @@ impl Runtime {
         }
         let slot = self.next_slot;
 
-        // (1) Faults first: degradations apply at the slot boundary.
+        // (1) Faults first, all at the slot boundary, in a fixed order so
+        // same-slot events compose deterministically: maintenance *restores*
+        // scheduled earlier, then degradations (a degradation at the restore
+        // slot wins), then price changes, then maintenance *outages*.
+        let mut capacities_changed = false;
+        let mut due_restores = Vec::new();
+        self.pending_restores.retain(|r| {
+            if r.slot == slot {
+                due_restores.push(*r);
+                false
+            } else {
+                true
+            }
+        });
+        for r in due_restores {
+            self.controller.network_mut().set_capacity(DcId(r.from), DcId(r.to), r.capacity);
+            self.metrics.inc("maintenance_restores", 1);
+            capacities_changed = true;
+        }
         // Capacity 0 is a *valid* full-outage degradation (the formulation
         // simply gets no variables on the dead link); only unknown links and
         // negative/NaN capacities are skipped.
-        let mut capacities_changed = false;
         for d in self.faults.degradations_at(slot).copied().collect::<Vec<_>>() {
             let (from, to) = (DcId(d.from), DcId(d.to));
             if self.controller.network().capacity(from, to).is_some() && d.capacity >= 0.0 {
@@ -422,9 +477,42 @@ impl Runtime {
                 self.metrics.inc("degradations_skipped", 1);
             }
         }
-        if capacities_changed {
-            // The ALAP residual grid caches link capacities; degradations
-            // invalidate it (no-op without an ALAP rung).
+        let mut prices_changed = false;
+        for p in self.faults.price_changes_at(slot).copied().collect::<Vec<_>>() {
+            let (from, to) = (DcId(p.from), DcId(p.to));
+            if self.controller.network().price(from, to).is_some() && p.price >= 0.0 {
+                self.controller.network_mut().set_price(from, to, p.price);
+                self.metrics.inc("price_changes_applied", 1);
+                prices_changed = true;
+            } else {
+                self.metrics.inc("price_changes_skipped", 1);
+            }
+        }
+        for m in self.faults.maintenance_starting_at(slot).copied().collect::<Vec<_>>() {
+            let (from, to) = (DcId(m.from), DcId(m.to));
+            match self.controller.network().capacity(from, to) {
+                Some(prev) => {
+                    // Remember the pre-outage capacity so the link comes
+                    // back at `end` exactly as it went down.
+                    self.pending_restores.push(LinkDegradation {
+                        slot: m.end,
+                        from: m.from,
+                        to: m.to,
+                        capacity: prev,
+                    });
+                    self.controller.network_mut().set_capacity(from, to, 0.0);
+                    self.metrics.inc("maintenance_outages", 1);
+                    capacities_changed = true;
+                }
+                None => {
+                    self.metrics.inc("maintenance_skipped", 1);
+                }
+            }
+        }
+        if capacities_changed || prices_changed {
+            // The ALAP residual grid caches link capacities and path costs;
+            // capacity and price changes both invalidate it (no-op without
+            // an ALAP rung).
             self.controller.scheduler_mut().mark_alap_dirty();
         }
 
@@ -492,7 +580,10 @@ impl Runtime {
         // the sharded path. On a scheduled re-optimization slot the ALAP
         // rung is skipped, so the full LP re-plans the batch; the residual
         // grid is rebased afterwards.
-        let alap_first = self.config.tiers.first() == Some(&TierKind::Alap);
+        // The headroom rung (prepended under percentile charging) sits ahead
+        // of everything, so "ALAP-first" means the first *scheduling* tier.
+        let alap_first =
+            self.config.tiers.iter().find(|t| **t != TierKind::Headroom) == Some(&TierKind::Alap);
         let reopt_now = alap_first
             && self.config.reopt_every > 0
             && slot > 0
@@ -573,9 +664,19 @@ impl Runtime {
             if batch.is_empty() { None } else { self.controller.scheduler().chosen_tier() };
         if let Some(tier) = chosen_tier {
             self.metrics.inc(&format!("tier_chosen_{}", tier.name()), 1);
-            // A scheduled re-optimization deliberately lands on an LP tier;
-            // that is the design working, not a fallback.
-            if tier != self.config.tiers[0] && !reopt_now {
+            // A scheduled re-optimization deliberately lands on an LP tier,
+            // and a headroom decline deliberately hands the slot to the
+            // first scheduling tier; both are the design working, not a
+            // fallback.
+            let declined = self.controller.scheduler().headroom_declined();
+            let expected_first = self
+                .config
+                .tiers
+                .iter()
+                .copied()
+                .find(|t| *t != TierKind::Headroom || !declined)
+                .unwrap_or(self.config.tiers[0]);
+            if tier != expected_first && !reopt_now {
                 self.metrics.inc("slots_on_fallback_tier", 1);
             }
         }
@@ -677,6 +778,11 @@ impl Runtime {
                 AttemptOutcome::Skipped => {
                     // A scheduled re-optimization skip, not a failure.
                 }
+                AttemptOutcome::Declined => {
+                    // The headroom rung found no burst budget and handed the
+                    // batch down — by design, so not a fallback activation.
+                    self.metrics.inc("headroom_declined", 1);
+                }
             }
         }
     }
@@ -760,7 +866,19 @@ impl Runtime {
             result.resolutions.iter().find(|s| s.batch_len > 0).and_then(|s| s.chosen_tier);
         if let Some(tier) = chosen_tier {
             self.metrics.inc(&format!("tier_chosen_{}", tier.name()), 1);
-            if tier != self.config.tiers[0] && !reopt_now {
+            // Same carve-outs as the unsharded path: a scheduled
+            // re-optimization and a headroom decline are by design.
+            let declined = result.resolutions.iter().any(|s| {
+                s.batch_len > 0 && s.records.iter().any(|r| r.outcome == AttemptOutcome::Declined)
+            });
+            let expected_first = self
+                .config
+                .tiers
+                .iter()
+                .copied()
+                .find(|t| *t != TierKind::Headroom || !declined)
+                .unwrap_or(self.config.tiers[0]);
+            if tier != expected_first && !reopt_now {
                 self.metrics.inc("slots_on_fallback_tier", 1);
             }
         }
@@ -1264,5 +1382,92 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits(), "bit-identical continuation");
         }
         assert_eq!(resumed.metrics(), full.metrics());
+    }
+
+    #[test]
+    fn price_change_reprices_the_link_at_its_slot() {
+        // The direct 1→2 link is repriced mid-run; unknown links are skipped.
+        let faults = FaultPlan::none().reprice(1, d(1), d(2), 2.0).reprice(1, d(2), d(0), 1.0);
+        let mut rt = Runtime::new(net(), arrivals(), faults, 3, RuntimeConfig::default()).unwrap();
+        rt.run_slot().unwrap();
+        assert_eq!(rt.controller().network().price(d(1), d(2)), Some(10.0));
+        rt.run_slot().unwrap();
+        assert_eq!(rt.controller().network().price(d(1), d(2)), Some(2.0));
+        assert_eq!(rt.metrics().counter("price_changes_applied"), 1);
+        assert_eq!(rt.metrics().counter("price_changes_skipped"), 1);
+    }
+
+    #[test]
+    fn maintenance_window_outage_then_exact_restore() {
+        // Link 0→2 goes dark for slots 1..3 and must come back at exactly
+        // the capacity it went down with — including a degradation that
+        // landed before the window opened.
+        let faults = FaultPlan::none().degrade(1, d(0), d(2), 40.0).maintain(1, 3, d(0), d(2));
+        let mut rt = Runtime::new(net(), arrivals(), faults, 5, RuntimeConfig::default()).unwrap();
+        rt.run_slot().unwrap(); // slot 0: untouched
+        assert_eq!(rt.controller().network().capacity(d(0), d(2)), Some(100.0));
+        rt.run_slot().unwrap(); // slot 1: degrade to 40, then the outage
+        assert_eq!(rt.controller().network().capacity(d(0), d(2)), Some(0.0));
+        rt.run_slot().unwrap(); // slot 2: still dark
+        assert_eq!(rt.controller().network().capacity(d(0), d(2)), Some(0.0));
+        rt.run_slot().unwrap(); // slot 3: restored to the pre-outage 40
+        assert_eq!(rt.controller().network().capacity(d(0), d(2)), Some(40.0));
+        assert_eq!(rt.metrics().counter("maintenance_outages"), 1);
+        assert_eq!(rt.metrics().counter("maintenance_restores"), 1);
+    }
+
+    #[test]
+    fn maintenance_mid_window_snapshot_carries_the_restore() {
+        let faults = FaultPlan::none().maintain(1, 3, d(1), d(2));
+        let mut full =
+            Runtime::new(net(), arrivals(), faults.clone(), 5, RuntimeConfig::default()).unwrap();
+        full.run_to_end().unwrap();
+
+        let mut half =
+            Runtime::new(net(), arrivals(), faults, 5, RuntimeConfig::default()).unwrap();
+        half.run_slot().unwrap();
+        half.run_slot().unwrap(); // crash mid-outage: the restore is pending
+        let snap = half.snapshot();
+        assert_eq!(snap.pending_restores.len(), 1);
+        assert_eq!(snap.pending_restores[0].slot, 3);
+        let mut resumed = Runtime::from_snapshot(snap).unwrap();
+        resumed.run_to_end().unwrap();
+        assert_eq!(resumed.controller().network().capacity(d(1), d(2)), Some(100.0));
+        for (a, b) in resumed.cost_history().iter().zip(full.cost_history()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "bit-identical continuation");
+        }
+        assert_eq!(resumed.metrics(), full.metrics());
+    }
+
+    #[test]
+    fn percentile_charging_prepends_the_headroom_rung() {
+        let config = RuntimeConfig {
+            charging: ChargingScheme::Percentile { q: 95.0, window_slots: 20 },
+            ..Default::default()
+        };
+        let rt = Runtime::new(net(), arrivals(), FaultPlan::none(), 4, config).unwrap();
+        assert_eq!(rt.config().tiers.first(), Some(&TierKind::Headroom));
+        // Slot 0 opens an all-zero billing window: no baseline to hide
+        // under, so the rung declines and Postcard takes the batch — which
+        // is the design working, not a fallback.
+        let mut rt = rt;
+        let outcomes = rt.run_to_end().unwrap();
+        assert_eq!(outcomes[0].chosen_tier, Some(TierKind::Postcard));
+        assert!(rt.metrics().counter("headroom_declined") >= 1);
+        assert_eq!(rt.metrics().counter("fallback_activations"), 0);
+        assert_eq!(rt.metrics().counter("slots_on_fallback_tier"), 0);
+        assert_eq!(rt.metrics().counter("files_accepted"), 2);
+    }
+
+    #[test]
+    fn headroom_tier_without_free_slots_is_rejected() {
+        let config = RuntimeConfig {
+            tiers: vec![TierKind::Headroom, TierKind::Postcard],
+            ..Default::default()
+        };
+        assert!(matches!(
+            Runtime::new(net(), arrivals(), FaultPlan::none(), 1, config),
+            Err(RuntimeError::Config(_))
+        ));
     }
 }

@@ -331,6 +331,7 @@ mod tests {
                 rejected_volume: 0.0,
             },
             metrics: MetricsRegistry::new(),
+            pending_restores: Vec::new(),
             shard_refs: Vec::new(),
             next_slot: 0,
             num_slots: 4,

@@ -35,8 +35,13 @@ use std::path::Path;
 /// v6 — sharded checkpoints: the snapshot doubles as the manifest over
 /// per-shard snapshot files (`shard_refs`) and `RuntimeConfig` gained
 /// `shards` and `shard_by`; v7 — `RuntimeConfig` gained `incremental`
-/// (standing slot-over-slot formulation + dual simplex re-solve).
-pub const SNAPSHOT_VERSION: u32 = 7;
+/// (standing slot-over-slot formulation + dual simplex re-solve); v8 —
+/// billing windows: `RuntimeConfig` gained `charging`, `FaultPlan` gained
+/// `price_changes` and `maintenance`, and the snapshot carries
+/// `pending_restores` (capacities to put back when maintenance windows
+/// end — the restore value is only known once the outage starts, so a run
+/// killed mid-maintenance needs it to resume bit-identically).
+pub const SNAPSHOT_VERSION: u32 = 8;
 
 /// One directed link, flattened for serialization.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -78,6 +83,9 @@ pub struct RuntimeSnapshot {
     pub controller: ControllerState,
     /// Metrics accumulated so far.
     pub metrics: MetricsRegistry,
+    /// Maintenance restores still owed: the capacity each link returns to
+    /// (and when) for outages in progress at the snapshot boundary.
+    pub pending_restores: Vec<crate::faults::LinkDegradation>,
     /// Manifest entries for per-shard snapshot files (empty for unsharded
     /// runs). The manifest still carries the full global state above, so a
     /// resumed run's *decisions* never depend on the shard files; the refs
@@ -209,6 +217,12 @@ mod tests {
                 rejected_volume: 100.0,
             },
             metrics: MetricsRegistry::new(),
+            pending_restores: vec![crate::faults::LinkDegradation {
+                slot: 5,
+                from: 1,
+                to: 2,
+                capacity: 100.0,
+            }],
             shard_refs: Vec::new(),
             next_slot: 2,
             num_slots: 10,
@@ -249,7 +263,7 @@ mod tests {
         // `shard_by` in the config). The version must be probed *before*
         // the typed decode, so the user sees the real problem, not a
         // decoding artifact.
-        for old in [3, 4, 5] {
+        for old in [3, 4, 5, 7] {
             let err = RuntimeSnapshot::from_json(&format!(r#"{{"version": {old}}}"#)).unwrap_err();
             assert!(err.contains(&format!("snapshot version {old} unsupported")), "{err}");
             assert!(!err.contains("missing field"), "{err}");

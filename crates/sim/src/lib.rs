@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod diurnal;
 pub mod report;
 mod runner;
 mod scenario;
@@ -48,6 +49,7 @@ mod stats;
 mod tenant;
 mod workload;
 
+pub use diurnal::{compare_billing, BillingComparison, DiurnalPreset};
 pub use runner::{
     run_scenario, run_trace, Approach, ApproachSummary, ParseApproachError, RunResult,
 };

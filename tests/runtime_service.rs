@@ -302,7 +302,7 @@ fn committed_v3_snapshot_fixture_fails_with_version_error() {
         "/tests/fixtures/snapshot_v3.json"
     ));
     let err = RuntimeSnapshot::load(path).unwrap_err();
-    assert!(err.contains("snapshot version 3 unsupported (expected 7)"), "{err}");
+    assert!(err.contains("snapshot version 3 unsupported (expected 8)"), "{err}");
     assert!(!err.contains("missing field"), "{err}");
     // The operator-facing entry point surfaces the same diagnosis.
     let err = Runtime::resume(path).unwrap_err();
@@ -319,7 +319,7 @@ fn committed_v4_snapshot_fixture_fails_with_version_error() {
         "/tests/fixtures/snapshot_v4.json"
     ));
     let err = RuntimeSnapshot::load(path).unwrap_err();
-    assert!(err.contains("snapshot version 4 unsupported (expected 7)"), "{err}");
+    assert!(err.contains("snapshot version 4 unsupported (expected 8)"), "{err}");
     assert!(!err.contains("missing field"), "{err}");
     let err = Runtime::resume(path).unwrap_err();
     assert!(err.to_string().contains("snapshot version 4 unsupported"), "{err}");
@@ -336,10 +336,29 @@ fn committed_v5_snapshot_fixture_fails_with_version_error() {
         "/tests/fixtures/snapshot_v5.json"
     ));
     let err = RuntimeSnapshot::load(path).unwrap_err();
-    assert!(err.contains("snapshot version 5 unsupported (expected 7)"), "{err}");
+    assert!(err.contains("snapshot version 5 unsupported (expected 8)"), "{err}");
     assert!(!err.contains("missing field"), "{err}");
     let err = Runtime::resume(path).unwrap_err();
     assert!(err.to_string().contains("snapshot version 5 unsupported"), "{err}");
+}
+
+#[test]
+fn committed_v7_snapshot_fixture_fails_with_version_error() {
+    // v7 predates the billing-window work: its config has no `charging`
+    // field, its fault plan has no `price_changes` / `maintenance`, and the
+    // snapshot has no `pending_restores`. The fixture was generated by the
+    // actual v7 binary (a real mid-run checkpoint, not hand-written JSON),
+    // and the version probe must reject it before the typed decode trips
+    // over any of the absent fields.
+    let path = std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/snapshot_v7.json"
+    ));
+    let err = RuntimeSnapshot::load(path).unwrap_err();
+    assert!(err.contains("snapshot version 7 unsupported (expected 8)"), "{err}");
+    assert!(!err.contains("missing field"), "{err}");
+    let err = Runtime::resume(path).unwrap_err();
+    assert!(err.to_string().contains("snapshot version 7 unsupported"), "{err}");
 }
 
 #[test]
